@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ablation: §8 mitigations vs. both threat models.
+ *
+ * Runs the Threat Model 1 attack against a tenant employing each user
+ * mitigation (hourly inversion, hourly shuffle, wear leveling), and
+ * the Threat Model 2 attack against a tenant that holds the instance
+ * with complemented values before release, plus the provider-side
+ * launch-rate control (quarantine). Reports residual attacker
+ * accuracy; 50% is coin-flip safety.
+ */
+
+#include <cstdio>
+
+#include "core/classifier.hpp"
+#include "core/experiment.hpp"
+#include "mitigation/strategies.hpp"
+
+using namespace pentimento;
+
+namespace {
+
+double
+tm1Accuracy(mitigation::MitigationStrategy *strategy)
+{
+    core::Experiment2Config config;
+    config.groups = {{5000.0, 16}};
+    config.burn_hours = 120.0;
+    config.measure_every_h = 2.0;
+    config.seed = 31337;
+    config.strategy = strategy;
+    const core::ExperimentResult result = core::runExperiment2(config);
+    return core::ThreatModel1Classifier().classify(result).accuracy;
+}
+
+double
+tm2Accuracy(mitigation::MitigationStrategy *strategy,
+            double quarantine_hours = 0.0)
+{
+    core::Experiment3Config config;
+    config.groups = {{8000.0, 12}};
+    config.burn_hours = 150.0;
+    config.recovery_hours = 25.0;
+    config.seed = 4242;
+    config.strategy = strategy;
+    config.platform.quarantine_hours = quarantine_hours;
+    config.platform.fleet_size = 3;
+    const core::ExperimentResult result = core::runExperiment3(config);
+    return core::ThreatModel2Classifier().classify(result).accuracy;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: mitigations vs. attacker accuracy "
+                "===\n\n");
+
+    std::printf("Threat Model 1 (16 bits on 5 ns routes, 120 h "
+                "burn):\n");
+    std::printf("  %-28s %7.1f%%\n", "no mitigation",
+                100.0 * tm1Accuracy(nullptr));
+    mitigation::InversionMitigation invert(1.0);
+    std::printf("  %-28s %7.1f%%\n", "hourly inversion",
+                100.0 * tm1Accuracy(&invert));
+    mitigation::ShuffleMitigation shuffle(1.0, 99);
+    std::printf("  %-28s %7.1f%%\n", "hourly shuffle",
+                100.0 * tm1Accuracy(&shuffle));
+    mitigation::WearLevelMitigation wear(4.0, 4);
+    std::printf("  %-28s %7.1f%%\n", "wear leveling (4 sites)",
+                100.0 * tm1Accuracy(&wear));
+
+    std::printf("\nThreat Model 2 (12 bits on 8 ns routes, 150 h "
+                "victim burn, 25 h recovery):\n");
+    std::printf("  %-28s %7.1f%%\n", "no mitigation",
+                100.0 * tm2Accuracy(nullptr));
+    mitigation::HoldRecoveryMitigation hold_c(
+        mitigation::Epilogue::Policy::Complement, 48.0);
+    std::printf("  %-28s %7.1f%%\n", "hold 48 h complemented",
+                100.0 * tm2Accuracy(&hold_c));
+    mitigation::HoldRecoveryMitigation hold_z(
+        mitigation::Epilogue::Policy::AllZero, 48.0);
+    std::printf("  %-28s %7.1f%%\n", "hold 48 h parked at 0",
+                100.0 * tm2Accuracy(&hold_z));
+    std::printf("  %-28s %7.1f%%\n",
+                "provider quarantine (500 h)",
+                100.0 * tm2Accuracy(nullptr, 500.0));
+
+    std::printf("\n50%% = coin flip. Data transformations defeat TM1 "
+                "by equalising the stress;\nhold-and-recover bleeds "
+                "the TM2 signal at rental cost; quarantine denies "
+                "board\nreacquisition outright (the attacker measures "
+                "a different card).\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation: recoverability vs. route length.
+ *
+ * The paper: "There appear to be no limitations in route length as to
+ * observable burn-in effects, with the 1000 ps tested routes showing
+ * a clear difference" (§6.1) and, as a mitigation, "the user should
+ * strive to make routes that hold sensitive data as short as
+ * possible" (§8.1). This sweep measures burn-in contrast and TM1
+ * accuracy from 500 ps to 20 ns on the cloud platform and compares
+ * against the analytic vulnerability model.
+ */
+
+#include <cstdio>
+
+#include "core/classifier.hpp"
+#include "core/experiment.hpp"
+#include "opentitan/vulnerability.hpp"
+#include "util/stats.hpp"
+
+using namespace pentimento;
+
+int
+main()
+{
+    std::printf("=== Ablation: route length vs. recoverability "
+                "(cloud, 100 h burn) ===\n\n");
+
+    opentitan::AttackScenario scenario;
+    scenario.burn_hours = 100.0;
+    scenario.temp_k = 340.0; // die under the target design
+    const opentitan::VulnerabilityMetric metric(scenario);
+
+    std::printf("  %9s  %14s  %14s  %12s\n", "length", "contrast(ps)",
+                "predicted(ps)", "TM1 accuracy");
+    for (const double length :
+         {500.0, 1000.0, 2000.0, 5000.0, 10000.0, 20000.0}) {
+        core::Experiment2Config config;
+        config.groups = {{length, 12}};
+        config.burn_hours = 100.0;
+        config.measure_every_h = 2.0;
+        config.seed = 555;
+        const core::ExperimentResult result =
+            core::runExperiment2(config);
+
+        util::RunningStats contrast;
+        for (const auto &route : result.routes) {
+            contrast.add(
+                std::abs(route.series.meanBetweenHours(90.0, 100.0)));
+        }
+        const core::ClassificationReport report =
+            core::ThreatModel1Classifier().classify(result);
+        std::printf("  %7.0fps  %14.3f  %14.3f  %10.1f%%\n", length,
+                    contrast.mean(), metric.expectedDeltaPs(length),
+                    100.0 * report.accuracy);
+    }
+
+    std::printf("\ncontrast scales linearly with route length "
+                "(more stressed transistors);\nshort routes are the "
+                "paper's recommended defensive design pattern.\n");
+    return 0;
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Ablation: which FPGA resource should a pentimento attack target?
+ *
+ * Paper §3 lists the conditions a victim resource must meet and picks
+ * programmable routing; §7 explains why LUT configuration SRAM — the
+ * resource Zick et al. recovered with femtosecond-class off-chip
+ * instrumentation — is out of reach for cloud sensors: its burn-in
+ * couples into the read path orders of magnitude more weakly, while
+ * on-chip TDCs resolve ~ps. This bench burns the same value through
+ * a route and through a LUT path and compares the recovered contrast
+ * against the sensor noise floor.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "fabric/design.hpp"
+#include "fabric/device.hpp"
+#include "phys/thermal.hpp"
+#include "tdc/tdc.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace pentimento;
+
+namespace {
+
+struct ResourceResult
+{
+    double contrast_ps = 0.0;
+    double noise_ps = 0.0;
+    int correct = 0;
+    int total = 0;
+};
+
+ResourceResult
+burnAndMeasure(bool use_lut, std::uint64_t seed)
+{
+    fabric::Device device{fabric::DeviceConfig{}};
+    phys::OvenEnvironment oven(333.15);
+    util::Rng rng(seed);
+
+    ResourceResult out;
+    out.total = 8;
+    std::vector<fabric::RouteSpec> paths;
+    std::vector<bool> secret;
+    for (int b = 0; b < out.total; ++b) {
+        // Match total nominal delay (~5 ns) across resource types so
+        // only the coupling differs.
+        paths.push_back(use_lut
+                            ? device.allocateLutPath(
+                                  "lut" + std::to_string(b), 40)
+                            : device.allocateRoute(
+                                  "net" + std::to_string(b), 5000.0));
+        secret.push_back(rng.bernoulli(0.5));
+    }
+
+    std::vector<tdc::Tdc> sensors;
+    std::vector<double> before;
+    std::vector<double> noise_samples;
+    for (int b = 0; b < out.total; ++b) {
+        sensors.emplace_back(device, paths[static_cast<std::size_t>(b)],
+                             device.allocateCarryChain(
+                                 "c" + std::to_string(b), 64));
+        sensors.back().calibrate(oven.dieTempK(), rng);
+        const double m1 =
+            sensors.back().measure(oven.dieTempK(), rng).deltaPs();
+        const double m2 =
+            sensors.back().measure(oven.dieTempK(), rng).deltaPs();
+        before.push_back(0.5 * (m1 + m2));
+        noise_samples.push_back(std::abs(m1 - m2));
+    }
+    out.noise_ps = util::mean(noise_samples);
+
+    auto victim = std::make_shared<fabric::Design>("victim");
+    for (int b = 0; b < out.total; ++b) {
+        victim->setRouteValue(paths[static_cast<std::size_t>(b)],
+                              secret[static_cast<std::size_t>(b)]);
+    }
+    device.loadDesign(victim);
+    device.advance(200.0, oven);
+    device.wipe();
+
+    util::RunningStats contrast;
+    for (int b = 0; b < out.total; ++b) {
+        const double drift =
+            sensors[static_cast<std::size_t>(b)]
+                .measure(oven.dieTempK(), rng)
+                .deltaPs() -
+            before[static_cast<std::size_t>(b)];
+        contrast.add(std::abs(drift));
+        out.correct +=
+            (drift > 0.0) == secret[static_cast<std::size_t>(b)];
+    }
+    out.contrast_ps = contrast.mean();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: target resource — programmable routing "
+                "vs. LUT config SRAM ===\n");
+    std::printf("(8 bits, ~5 ns paths, 200 h burn at 60 C, 64-tap "
+                "TDC)\n\n");
+
+    const ResourceResult route = burnAndMeasure(false, 11);
+    const ResourceResult lut = burnAndMeasure(true, 11);
+
+    std::printf("  %-22s %14s %14s %10s\n", "resource",
+                "contrast (ps)", "noise (ps)", "recovered");
+    std::printf("  %-22s %14.3f %14.3f %6d/%d\n",
+                "programmable routing", route.contrast_ps,
+                route.noise_ps, route.correct, route.total);
+    std::printf("  %-22s %14.3f %14.3f %6d/%d\n", "LUT config SRAM",
+                lut.contrast_ps, lut.noise_ps, lut.correct, lut.total);
+
+    std::printf("\nLUT burn-in couples ~%.0fx more weakly into timing; "
+                "reading it would need\n~%.0f fs resolution "
+                "(Zick et al. used off-chip femtosecond "
+                "instrumentation),\nfar beyond the ~10 ps of a cloud "
+                "TDC. Routing is the paper's target for a\nreason: it "
+                "burns, it differs by polarity, and it is observable "
+                "(paper 3).\n",
+                route.contrast_ps / std::max(lut.contrast_ps, 1e-9),
+                1000.0 * lut.contrast_ps);
+    return 0;
+}

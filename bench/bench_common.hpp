@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared rendering helpers for the figure/table benches.
+ */
+
+#ifndef PENTIMENTO_BENCH_COMMON_HPP
+#define PENTIMENTO_BENCH_COMMON_HPP
+
+#include <string>
+
+#include "core/classifier.hpp"
+#include "core/experiment.hpp"
+
+namespace pentimento::bench {
+
+/**
+ * Render one route-delay group of an experiment as an ASCII chart:
+ * burn-0 routes drawn with 'o', burn-1 routes with 'x', kernel
+ * smoothed, with an optional vertical marker at the burn/recovery
+ * switch.
+ */
+std::string renderGroupChart(const core::ExperimentResult &result,
+                             double target_ps, const std::string &title,
+                             double marker_hour = -1.0,
+                             double bandwidth_h = 25.0);
+
+/**
+ * Per-group ∆ps envelope at the end of an interval: the mean of
+ * |∆ps| over [h_from, h_to] split by burn value, printed next to the
+ * paper's reported range.
+ */
+struct EnvelopeRow
+{
+    double target_ps = 0.0;
+    double burn0_mean_ps = 0.0;
+    double burn1_mean_ps = 0.0;
+};
+
+/** Compute envelopes for every group over a window. */
+std::vector<EnvelopeRow> envelopes(const core::ExperimentResult &result,
+                                   double h_from, double h_to);
+
+/** Format a classification summary line. */
+std::string classificationSummary(const core::ClassificationReport &r);
+
+/** Print the standard measurement-cost line (paper §6.1: ~1.4%). */
+std::string measurementCost(const core::ExperimentResult &result);
+
+/**
+ * Dump the raw per-route series behind a figure to CSV (columns:
+ * route, target_ps, burn_value, hour, delta_ps) so the plot can be
+ * regenerated with external tooling.
+ */
+void dumpCsv(const core::ExperimentResult &result,
+             const std::string &path);
+
+/**
+ * Handle an optional `--csv <path>` command-line flag: when present,
+ * dump the result and report where. Returns true when a dump was
+ * written.
+ */
+bool handleCsvFlag(int argc, char **argv,
+                   const core::ExperimentResult &result);
+
+} // namespace pentimento::bench
+
+#endif // PENTIMENTO_BENCH_COMMON_HPP

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Regenerates Figure 3's sensor behaviour: raw TDC capture vectors
+ * for rising and falling transitions — including metastable bubbles —
+ * and their Binary Hamming Distances (the paper's example sequence
+ * reads 39, 22, 38, 22), plus a θ-sweep characterisation showing the
+ * propagation distance tracking the capture phase.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "fabric/device.hpp"
+#include "tdc/tdc.hpp"
+#include "util/rng.hpp"
+
+using namespace pentimento;
+
+namespace {
+
+std::string
+formatBits(const std::vector<bool> &bits)
+{
+    std::string s;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (i != 0 && i % 4 == 0) {
+            s += '_';
+        }
+        s += bits[i] ? '1' : '0';
+    }
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    fabric::Device device{fabric::DeviceConfig{}};
+    util::Rng rng(2023);
+    const double temp_k = 333.15;
+
+    tdc::TdcConfig config; // 64 taps at 2.8 ps/bit, like Figure 3
+    tdc::Tdc sensor(device, device.allocateRoute("rut", 1000.0),
+                    device.allocateCarryChain("chain", config.taps),
+                    config);
+    const double theta = sensor.calibrate(temp_k, rng);
+    std::printf("=== Figure 3: Tunable Dual-Polarity TDC ===\n\n");
+    std::printf("route under test: 1000 ps nominal, chain: %zu taps "
+                "at %.1f ps/bit\n",
+                config.taps, config.ps_per_bit);
+    std::printf("calibrated theta_init = %.1f ps\n\n", theta);
+
+    std::printf("raw output sequences (MSB = deepest tap):\n");
+    for (int pair = 0; pair < 2; ++pair) {
+        const tdc::Capture rising = sensor.capture(
+            phys::Transition::Rising, theta, temp_k, rng);
+        const tdc::Capture falling = sensor.capture(
+            phys::Transition::Falling, theta, temp_k, rng);
+        std::printf("  Rising Transition  %d: %s   (HD %2zu)\n", pair,
+                    formatBits(rising.bits).c_str(),
+                    rising.hammingDistance());
+        std::printf("  Falling Transition %d: %s   (HD %2zu)\n", pair,
+                    formatBits(falling.bits).c_str(),
+                    falling.hammingDistance());
+    }
+
+    std::printf("\nBinary Hamming Distance sequence over one trace: ");
+    const tdc::Trace trace = sensor.takeTrace(phys::Transition::Rising,
+                                              theta, temp_k, rng);
+    for (std::size_t i = 0; i < 8 && i < trace.hamming.size(); ++i) {
+        std::printf("%s%.0f", i == 0 ? "" : ", ", trace.hamming[i]);
+    }
+    std::printf(", ...\n\n");
+
+    std::printf("theta sweep (propagation distance tracks the capture "
+                "phase):\n");
+    std::printf("  %10s  %14s  %14s\n", "theta(ps)", "rising HD",
+                "falling HD");
+    for (double offset = -28.0; offset <= 28.0; offset += 7.0) {
+        const tdc::Trace rise = sensor.takeTrace(
+            phys::Transition::Rising, theta + offset, temp_k, rng);
+        const tdc::Trace fall = sensor.takeTrace(
+            phys::Transition::Falling, theta + offset, temp_k, rng);
+        std::printf("  %10.1f  %14.2f  %14.2f\n", theta + offset,
+                    rise.meanHamming(), fall.meanHamming());
+    }
+
+    std::printf("\nmetastability: repeated captures at fixed theta "
+                "differ inside the register\naperture, producing the "
+                "bubbles visible above (cf. Figure 3's "
+                "'0110'/'1001').\n");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot kernels:
+ * BTI kinetics steps, aged-delay evaluation, TDC captures and full
+ * measurement sweeps, and whole-device aging steps. These bound the
+ * wall-clock cost of the figure benches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "fabric/design.hpp"
+#include "fabric/device.hpp"
+#include "phys/aging.hpp"
+#include "phys/bti.hpp"
+#include "phys/thermal.hpp"
+#include "tdc/tdc.hpp"
+#include "util/rng.hpp"
+
+using namespace pentimento;
+
+namespace {
+
+void
+BM_BtiStressStep(benchmark::State &state)
+{
+    const phys::BtiParams params = phys::BtiParams::ultrascalePlus();
+    phys::BtiState bti;
+    for (auto _ : state) {
+        bti.applyStress(params.nbti, 1.0, 0.5);
+        benchmark::DoNotOptimize(bti.deltaVth(params.nbti, 1.0));
+    }
+}
+BENCHMARK(BM_BtiStressStep);
+
+void
+BM_ElementAgingHold(benchmark::State &state)
+{
+    const phys::BtiParams params = phys::BtiParams::ultrascalePlus();
+    phys::ElementAging aging;
+    for (auto _ : state) {
+        aging.holdStatic(params, true, 333.15, 1.0);
+        benchmark::DoNotOptimize(
+            aging.deltaVth(params, phys::TransistorType::Nmos));
+    }
+}
+BENCHMARK(BM_ElementAgingHold);
+
+void
+BM_RouteDelayQuery(benchmark::State &state)
+{
+    fabric::Device device{fabric::DeviceConfig{}};
+    const fabric::RouteSpec spec = device.allocateRoute(
+        "r", static_cast<double>(state.range(0)));
+    fabric::Route route = device.bindRoute(spec);
+    route.delayPs(phys::Transition::Rising, 333.15); // materialize
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            route.delayPs(phys::Transition::Falling, 333.15));
+    }
+    state.SetLabel(std::to_string(state.range(0)) + "ps route");
+}
+BENCHMARK(BM_RouteDelayQuery)->Arg(1000)->Arg(10000);
+
+void
+BM_TdcCapture(benchmark::State &state)
+{
+    fabric::Device device{fabric::DeviceConfig{}};
+    tdc::Tdc sensor(device, device.allocateRoute("r", 1000.0),
+                    device.allocateCarryChain("c", 64));
+    util::Rng rng(1);
+    const double theta = sensor.calibrate(333.15, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sensor.capture(phys::Transition::Rising, theta, 333.15,
+                           rng));
+    }
+}
+BENCHMARK(BM_TdcCapture);
+
+void
+BM_TdcFullMeasurement(benchmark::State &state)
+{
+    fabric::Device device{fabric::DeviceConfig{}};
+    tdc::Tdc sensor(device, device.allocateRoute("r", 5000.0),
+                    device.allocateCarryChain("c", 64));
+    util::Rng rng(1);
+    sensor.calibrate(333.15, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sensor.measure(333.15, rng));
+    }
+}
+BENCHMARK(BM_TdcFullMeasurement);
+
+void
+BM_DeviceAdvanceHour(benchmark::State &state)
+{
+    fabric::Device device{fabric::DeviceConfig{}};
+    std::vector<fabric::RouteSpec> specs;
+    auto design = std::make_shared<fabric::Design>("d");
+    for (int r = 0; r < state.range(0); ++r) {
+        specs.push_back(
+            device.allocateRoute("r" + std::to_string(r), 5000.0));
+        design->setRouteValue(specs.back(), r % 2 == 0);
+    }
+    device.loadDesign(design);
+    phys::OvenEnvironment oven(333.15);
+    for (auto _ : state) {
+        device.advance(1.0, oven);
+    }
+    state.SetLabel(std::to_string(state.range(0)) + " routes");
+}
+BENCHMARK(BM_DeviceAdvanceHour)->Arg(16)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

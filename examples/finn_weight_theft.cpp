@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Stealing quantized neural-network weights from a FINN-style AFI
+ * (paper §1-2: "netlist constants, e.g., cryptographic keys or
+ * machine learning weights").
+ *
+ * The FINN architecture and compile flow are public, so the weight
+ * routes' placement is public too — the attacker recovers it by
+ * extracting the skeleton from the project's unencrypted reference
+ * bitstream. A vendor's fine-tuned weights ship only inside an
+ * encrypted marketplace AFI. The attacker rents that AFI, burns it
+ * in, measures the known skeleton, and reassembles the weights.
+ */
+
+#include <cstdio>
+
+#include "core/attack.hpp"
+#include "core/presets.hpp"
+#include "finn/accelerator.hpp"
+
+using namespace pentimento;
+
+int
+main()
+{
+    cloud::CloudPlatform platform(core::awsF1Region(31));
+    const fabric::DeviceConfig family = core::awsF1Silicon();
+
+    // ---- Vendor: fine-tune the public architecture and publish.
+    finn::FinnConfig arch;
+    arch.layer_weights = {6, 6};
+    arch.weight_bits = 4;
+    arch.route_ps = 5000.0;
+
+    fabric::Device build_box(family);
+    util::Rng vendor_rng(0xF1AA);
+    const std::vector<int> secret_weights =
+        finn::FinnAccelerator::randomWeights(arch, vendor_rng);
+    finn::FinnAccelerator accel(build_box, arch, secret_weights);
+
+    // The marketplace image is encrypted; the skeleton is NOT secret
+    // because the FINN reference build is public.
+    const fabric::Bitstream afi_image = fabric::Bitstream::
+        compileEncrypted(accel.design(), family);
+    util::Rng ref_rng(1);
+    const fabric::Bitstream reference =
+        accel.referenceBitstream(family, ref_rng);
+
+    // ---- Attacker: recover the skeleton from the PUBLIC image.
+    std::vector<fabric::RouteSpec> skeleton;
+    for (fabric::RouteSpec &net : reference.extractSkeleton()) {
+        if (net.size() >= 2) { // datapath spacers are single-element
+            skeleton.push_back(std::move(net));
+        }
+    }
+    std::printf("public reference bitstream: %zu frames, %zu nets "
+                "recovered, %zu weight-bit routes\n",
+                reference.frameCount(),
+                reference.extractSkeleton().size(), skeleton.size());
+
+    const std::string afi_id = platform.marketplace().publish(
+        "nn-vendor", afi_image.instantiate(), skeleton);
+
+    // ---- The attack: Threat Model 1 against the weight routes.
+    core::Tm1Options options;
+    options.burn_hours = 200.0;
+    options.measure_every_h = 2.0;
+    options.seed = 555;
+    const core::Tm1Report report =
+        core::extractDesignData(platform, afi_id, options);
+
+    const std::vector<int> recovered =
+        finn::FinnAccelerator::decodeWeights(report.recovered_bits,
+                                             arch);
+    int exact = 0;
+    double mae = 0.0;
+    std::printf("\n  %8s  %8s  %10s\n", "weight", "actual",
+                "recovered");
+    for (std::size_t w = 0; w < recovered.size(); ++w) {
+        std::printf("  %8zu  %8d  %10d\n", w, secret_weights[w],
+                    recovered[w]);
+        exact += recovered[w] == secret_weights[w];
+        mae += std::abs(recovered[w] - secret_weights[w]);
+    }
+    mae /= static_cast<double>(recovered.size());
+    std::printf("\nweights exact: %d/%zu, mean abs error %.2f "
+                "quantization steps\n",
+                exact, recovered.size(), mae);
+    std::printf("bit accuracy:  %zu/%zu (%.1f%%)\n",
+                report.classification.correct,
+                report.classification.bits.size(),
+                100.0 * report.classification.accuracy);
+    return exact >= static_cast<int>(recovered.size()) - 2 ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * User mitigations in action (paper §8.1).
+ *
+ * Runs the same Threat Model 1 attack against a tenant that (a) does
+ * nothing, (b) inverts its data hourly, and (c) shuffles data across
+ * routes, and prints how far the attacker's recovery accuracy falls.
+ * A 50% accuracy equals coin-flipping — the secret is safe.
+ */
+
+#include <cstdio>
+
+#include "core/classifier.hpp"
+#include "core/experiment.hpp"
+#include "mitigation/strategies.hpp"
+
+using namespace pentimento;
+
+namespace {
+
+core::Experiment2Config
+attackConfig(mitigation::MitigationStrategy *strategy)
+{
+    core::Experiment2Config config;
+    config.groups = {{5000.0, 16}};
+    config.burn_hours = 120.0;
+    config.measure_every_h = 2.0;
+    config.seed = 77;
+    config.strategy = strategy;
+    return config;
+}
+
+double
+attackAccuracy(mitigation::MitigationStrategy *strategy)
+{
+    const core::ExperimentResult result =
+        core::runExperiment2(attackConfig(strategy));
+    return core::ThreatModel1Classifier().classify(result).accuracy;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Threat Model 1 attack vs. user mitigations\n");
+    std::printf("(16 secret bits on 5 ns routes, 120 h burn, cloud "
+                "device)\n\n");
+
+    const double open = attackAccuracy(nullptr);
+    std::printf("%-24s attacker accuracy %5.1f%%\n", "no mitigation:",
+                100.0 * open);
+
+    mitigation::InversionMitigation invert(1.0);
+    const double inverted = attackAccuracy(&invert);
+    std::printf("%-24s attacker accuracy %5.1f%%\n",
+                "hourly inversion:", 100.0 * inverted);
+
+    mitigation::ShuffleMitigation shuffle(1.0, 99);
+    const double shuffled = attackAccuracy(&shuffle);
+    std::printf("%-24s attacker accuracy %5.1f%%\n",
+                "hourly shuffle:", 100.0 * shuffled);
+
+    mitigation::WearLevelMitigation wear(4.0, 4);
+    const double leveled = attackAccuracy(&wear);
+    std::printf("%-24s attacker accuracy %5.1f%%\n",
+                "wear leveling (4 sites):", 100.0 * leveled);
+
+    std::printf("\n50%% = coin flip; the data transformations push "
+                "the attacker toward chance.\n");
+    return open > 0.9 ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: the pentimento effect in ~60 lines.
+ *
+ * 1. build a simulated UltraScale+ device and one 2 ns route;
+ * 2. hold a secret bit on the route for 200 hours (burn-in);
+ * 3. wipe the device, as a cloud provider would;
+ * 4. program a TDC over the same skeleton and measure ∆ps;
+ * 5. read the secret back out of the analog imprint.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "fabric/design.hpp"
+#include "fabric/device.hpp"
+#include "phys/thermal.hpp"
+#include "tdc/tdc.hpp"
+#include "util/rng.hpp"
+
+using namespace pentimento;
+
+int
+main()
+{
+    // A factory-new device at 60 C (the paper's lab oven).
+    fabric::Device device{fabric::DeviceConfig{}};
+    phys::OvenEnvironment oven(333.15);
+    util::Rng rng(2023);
+
+    // The skeleton: one 2000 ps route. Assumption 1 says the attacker
+    // knows these physical coordinates.
+    const fabric::RouteSpec secret_route =
+        device.allocateRoute("secret_bit", 2000.0);
+
+    // Attacker baseline: calibrate a TDC on the route *before* the
+    // victim computes (Threat Model 1 allows this).
+    tdc::Tdc sensor(device, secret_route,
+                    device.allocateCarryChain("chain", 64));
+    sensor.calibrate(oven.dieTempK(), rng);
+    const double before =
+        sensor.measure(oven.dieTempK(), rng).deltaPs();
+
+    // The victim design holds secret = 1 on the route for 200 hours.
+    const bool secret = true;
+    auto victim = std::make_shared<fabric::Design>("victim");
+    victim->setRouteValue(secret_route, secret);
+    device.loadDesign(victim);
+    device.advance(200.0, oven);
+
+    // Provider wipe: configuration gone, imprint not.
+    device.wipe();
+
+    // Measure again and recover the bit from the drift direction:
+    // burn 1 -> PBTI -> falling edge slowed -> ∆ps drifts positive.
+    const double after =
+        sensor.measure(oven.dieTempK(), rng).deltaPs();
+    const double drift = after - before;
+    const bool recovered = drift > 0.0;
+
+    std::printf("baseline  dps : %+7.2f ps\n", before);
+    std::printf("post-wipe dps : %+7.2f ps\n", after);
+    std::printf("drift         : %+7.2f ps\n", drift);
+    std::printf("secret was %d, recovered %d -> %s\n", secret,
+                recovered, recovered == secret ? "SUCCESS" : "FAIL");
+    return recovered == secret ? 0 : 1;
+}

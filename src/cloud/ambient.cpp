@@ -1,0 +1,39 @@
+#include "cloud/ambient.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace pentimento::cloud {
+
+AmbientModel::AmbientModel(AmbientParams params, util::Rng rng)
+    : params_(params), rng_(rng), temp_k_(params.mean_k)
+{
+    if (params_.mean_k <= 0.0) {
+        util::fatal("AmbientModel: non-positive mean temperature");
+    }
+    if (params_.reversion_per_h < 0.0 || params_.sigma_k < 0.0) {
+        util::fatal("AmbientModel: negative process parameter");
+    }
+}
+
+double
+AmbientModel::step(double dt_h)
+{
+    if (dt_h < 0.0) {
+        util::fatal("AmbientModel::step: negative time step");
+    }
+    if (dt_h == 0.0) {
+        return temp_k_;
+    }
+    // Exact OU discretisation: the stationary sd equals sigma_k
+    // regardless of step size.
+    const double a = std::exp(-params_.reversion_per_h * dt_h);
+    const double noise_sd =
+        params_.sigma_k * std::sqrt(1.0 - a * a);
+    temp_k_ = params_.mean_k + (temp_k_ - params_.mean_k) * a +
+              rng_.gaussian(0.0, noise_sd);
+    return temp_k_;
+}
+
+} // namespace pentimento::cloud

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Data-centre ambient temperature model.
+ *
+ * The cloud provides "substantially less control over environmental
+ * conditions" than the lab oven (paper §5): inlet temperature drifts
+ * with load, neighbours and HVAC cycles. We model the ambient seen by
+ * an F1 card as an Ornstein–Uhlenbeck process — mean-reverting noise —
+ * which is what turns the clean Figure 6 curves into the noisier
+ * Figure 7/8 ones.
+ */
+
+#ifndef PENTIMENTO_CLOUD_AMBIENT_HPP
+#define PENTIMENTO_CLOUD_AMBIENT_HPP
+
+#include "util/rng.hpp"
+
+namespace pentimento::cloud {
+
+/** Ornstein–Uhlenbeck parameters for ambient temperature. */
+struct AmbientParams
+{
+    /** Long-run mean ambient, kelvin. */
+    double mean_k = 318.15; // 45 C at the card
+    /** Mean-reversion rate per hour. */
+    double reversion_per_h = 0.25;
+    /** Stationary standard deviation, kelvin. */
+    double sigma_k = 1.6;
+};
+
+/**
+ * Mean-reverting ambient temperature process.
+ */
+class AmbientModel
+{
+  public:
+    AmbientModel(AmbientParams params, util::Rng rng);
+
+    /** Advance the process by dt hours and return the new ambient. */
+    double step(double dt_h);
+
+    /** Current ambient temperature in kelvin. */
+    double ambientK() const { return temp_k_; }
+
+  private:
+    AmbientParams params_;
+    util::Rng rng_;
+    double temp_k_;
+};
+
+} // namespace pentimento::cloud
+
+#endif // PENTIMENTO_CLOUD_AMBIENT_HPP

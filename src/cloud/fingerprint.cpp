@@ -1,0 +1,97 @@
+#include "cloud/fingerprint.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace pentimento::cloud {
+
+Fingerprinter::Fingerprinter(FingerprintConfig config)
+    : config_(std::move(config))
+{
+    if (config_.probe_routes < 2) {
+        util::fatal("Fingerprinter: need at least two probe routes");
+    }
+}
+
+std::vector<fabric::RouteSpec>
+Fingerprinter::probeSpecs(const fabric::DeviceConfig &config) const
+{
+    // Canonical locations at the top edge of the fabric, far from the
+    // linear allocator's range, identical for every device of the
+    // family. This mirrors an attacker shipping a fixed probe
+    // bitstream to every rented card.
+    std::vector<fabric::RouteSpec> specs;
+    const auto per_route = static_cast<std::size_t>(std::max(
+        1.0, std::round(config_.probe_route_ps / config.routing_pitch_ps)));
+    std::uint64_t cursor = 0;
+    for (std::size_t r = 0; r < config_.probe_routes; ++r) {
+        fabric::RouteSpec spec;
+        spec.name = "probe_" + std::to_string(r);
+        spec.target_ps = config_.probe_route_ps;
+        for (std::size_t e = 0; e < per_route; ++e) {
+            fabric::ResourceId id;
+            id.type = fabric::ResourceType::RoutingNode;
+            id.tile_y = static_cast<std::uint16_t>(config.tiles_y - 1 -
+                                                   cursor /
+                                                       config.tiles_x);
+            id.tile_x = static_cast<std::uint16_t>(cursor % config.tiles_x);
+            id.index =
+                static_cast<std::uint16_t>(config.nodes_per_tile - 1);
+            spec.elements.push_back(id);
+            ++cursor;
+        }
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+Fingerprint
+Fingerprinter::probe(FpgaInstance &instance,
+                     const std::string &label) const
+{
+    Fingerprint fp;
+    fp.label = label;
+    fabric::Device &device = instance.device();
+    const double temp_k = instance.dieTempK();
+    for (const fabric::RouteSpec &spec : probeSpecs(device.config())) {
+        fabric::RouteSpec chain = device.allocateCarryChain(
+            "probe_chain_" + spec.name, config_.tdc.taps);
+        tdc::Tdc sensor(device, spec, std::move(chain), config_.tdc);
+        sensor.calibrate(temp_k, instance.rng());
+        // θ_init lands the front mid-chain; the calibrated θ itself
+        // is the variation-bearing quantity (route delay + chain
+        // spread), so it is the fingerprint coordinate.
+        fp.route_delays_ps.push_back(sensor.thetaInit());
+    }
+    return fp;
+}
+
+double
+Fingerprinter::similarity(const Fingerprint &a, const Fingerprint &b)
+{
+    if (a.route_delays_ps.size() != b.route_delays_ps.size()) {
+        util::fatal("Fingerprinter::similarity: size mismatch");
+    }
+    return util::correlation(a.route_delays_ps, b.route_delays_ps);
+}
+
+int
+Fingerprinter::match(const Fingerprint &probe,
+                     const std::vector<Fingerprint> &catalog,
+                     double threshold)
+{
+    int best = -1;
+    double best_sim = threshold;
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        const double sim = similarity(probe, catalog[i]);
+        if (sim > best_sim) {
+            best_sim = sim;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+} // namespace pentimento::cloud

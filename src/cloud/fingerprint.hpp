@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Device fingerprinting (Assumption 2 support).
+ *
+ * Threat Model 2 needs the attacker to confirm they were handed the
+ * *victim's* physical board. The paper cites cloud-FPGA
+ * fingerprinting work; the mechanism here is process variation: the
+ * un-aged per-element delay pattern of a device is silicon-unique and
+ * stable. The fingerprinter probes a canonical set of routes with a
+ * TDC and matches delay vectors by correlation.
+ */
+
+#ifndef PENTIMENTO_CLOUD_FINGERPRINT_HPP
+#define PENTIMENTO_CLOUD_FINGERPRINT_HPP
+
+#include <string>
+#include <vector>
+
+#include "cloud/instance.hpp"
+#include "fabric/route.hpp"
+#include "tdc/tdc.hpp"
+
+namespace pentimento::cloud {
+
+/** A measured delay vector identifying a physical device. */
+struct Fingerprint
+{
+    std::string label;
+    std::vector<double> route_delays_ps;
+};
+
+/** Fingerprinting configuration. */
+struct FingerprintConfig
+{
+    /** Number of canonical probe routes. */
+    std::size_t probe_routes = 24;
+    /** Nominal probe route delay, ps. */
+    double probe_route_ps = 400.0;
+    /** TDC settings used for probing. */
+    tdc::TdcConfig tdc{};
+};
+
+/**
+ * Probes devices and matches fingerprints.
+ */
+class Fingerprinter
+{
+  public:
+    explicit Fingerprinter(FingerprintConfig config = {});
+
+    /**
+     * Measure the canonical probe routes on an instance. The probe
+     * skeletons are a pure function of the device family, so the same
+     * routes are compared across boards.
+     */
+    Fingerprint probe(FpgaInstance &instance,
+                      const std::string &label) const;
+
+    /** Similarity in [-1, 1]: Pearson correlation of delay vectors. */
+    static double similarity(const Fingerprint &a, const Fingerprint &b);
+
+    /**
+     * Index of the best-matching catalog entry for a probe, or -1
+     * when the best similarity is below the threshold.
+     */
+    static int match(const Fingerprint &probe,
+                     const std::vector<Fingerprint> &catalog,
+                     double threshold = 0.8);
+
+    /** The canonical probe skeletons for a device family. */
+    std::vector<fabric::RouteSpec>
+    probeSpecs(const fabric::DeviceConfig &config) const;
+
+  private:
+    FingerprintConfig config_;
+};
+
+} // namespace pentimento::cloud
+
+#endif // PENTIMENTO_CLOUD_FINGERPRINT_HPP

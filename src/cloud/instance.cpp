@@ -1,0 +1,36 @@
+#include "cloud/instance.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace pentimento::cloud {
+
+FpgaInstance::FpgaInstance(std::string id,
+                           fabric::DeviceConfig device_config,
+                           AmbientParams ambient, util::Rng rng)
+    : id_(std::move(id)), device_(std::move(device_config)),
+      ambient_(ambient, rng.split("ambient")),
+      thermal_(ambient.mean_k), rng_(rng.split("noise"))
+{
+    if (id_.empty()) {
+        util::fatal("FpgaInstance: empty id");
+    }
+}
+
+void
+FpgaInstance::advanceHours(double hours, double step_h)
+{
+    if (hours < 0.0 || step_h <= 0.0) {
+        util::fatal("FpgaInstance::advanceHours: bad time step");
+    }
+    double remaining = hours;
+    while (remaining > 1e-12) {
+        const double dt = std::min(step_h, remaining);
+        thermal_.setAmbientK(ambient_.step(dt));
+        device_.advance(dt, thermal_);
+        remaining -= dt;
+    }
+}
+
+} // namespace pentimento::cloud

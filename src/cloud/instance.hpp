@@ -1,0 +1,83 @@
+/**
+ * @file
+ * One rentable cloud FPGA card.
+ *
+ * Bundles the physical device with its thermal environment (package
+ * model driven by the OU ambient) and rental bookkeeping. The
+ * provider wipes the design on release; the silicon keeps its aging —
+ * the whole point of the paper.
+ */
+
+#ifndef PENTIMENTO_CLOUD_INSTANCE_HPP
+#define PENTIMENTO_CLOUD_INSTANCE_HPP
+
+#include <memory>
+#include <string>
+
+#include "cloud/ambient.hpp"
+#include "fabric/device.hpp"
+#include "phys/thermal.hpp"
+#include "util/rng.hpp"
+
+namespace pentimento::cloud {
+
+/**
+ * A physical F1 card in the fleet.
+ */
+class FpgaInstance
+{
+  public:
+    /**
+     * @param id provider-assigned identifier (e.g. "fpga-0003")
+     * @param device_config silicon configuration (age, seed, family)
+     * @param ambient ambient-process parameters
+     * @param rng per-instance noise stream
+     */
+    FpgaInstance(std::string id, fabric::DeviceConfig device_config,
+                 AmbientParams ambient, util::Rng rng);
+
+    /** Provider-assigned identifier. */
+    const std::string &id() const { return id_; }
+
+    /** The silicon. */
+    fabric::Device &device() { return device_; }
+    const fabric::Device &device() const { return device_; }
+
+    /** Present die temperature (kelvin). */
+    double dieTempK() const { return thermal_.dieTempK(); }
+
+    /**
+     * Advance simulated time in sub-steps: the ambient process is
+     * stepped, fed into the package model, and the device ages under
+     * whatever design is loaded.
+     */
+    void advanceHours(double hours, double step_h = 1.0);
+
+    /** Per-instance measurement-noise stream. */
+    util::Rng &rng() { return rng_; }
+
+    /** Rental bookkeeping (maintained by the platform). */
+    bool rented() const { return rented_; }
+    void setRented(bool rented) { rented_ = rented; }
+
+    /**
+     * Platform hour at which the card last returned to the pool.
+     * Fresh cards report a far-past time so quarantine policies never
+     * withhold never-rented stock.
+     */
+    double releasedAtHour() const { return released_at_h_; }
+    void setReleasedAtHour(double hour) { released_at_h_ = hour; }
+
+  private:
+    std::string id_;
+    fabric::Device device_;
+    AmbientModel ambient_;
+    phys::PackageThermalModel thermal_;
+    util::Rng rng_;
+    bool rented_ = false;
+    double released_at_h_ = -1.0e18;
+};
+
+} // namespace pentimento::cloud
+
+#endif // PENTIMENTO_CLOUD_INSTANCE_HPP

@@ -1,0 +1,53 @@
+#include "cloud/marketplace.hpp"
+
+#include "util/logging.hpp"
+
+namespace pentimento::cloud {
+
+std::string
+Marketplace::publish(const std::string &publisher,
+                     std::shared_ptr<const fabric::Design> design,
+                     std::vector<fabric::RouteSpec> skeleton)
+{
+    if (!design) {
+        util::fatal("Marketplace::publish: null design");
+    }
+    AfiRecord record;
+    record.afi_id = "agfi-" + std::to_string(next_id_++);
+    record.publisher = publisher;
+    record.design = std::move(design);
+    record.skeleton = std::move(skeleton);
+    const std::string id = record.afi_id;
+    records_.emplace(id, std::move(record));
+    return id;
+}
+
+const AfiRecord &
+Marketplace::lookup(const std::string &afi_id) const
+{
+    const auto it = records_.find(afi_id);
+    if (it == records_.end()) {
+        util::fatal("Marketplace: unknown AFI '" + afi_id + "'");
+    }
+    return it->second;
+}
+
+std::shared_ptr<const fabric::Design>
+Marketplace::fetchDesign(const std::string &afi_id) const
+{
+    return lookup(afi_id).design;
+}
+
+const std::vector<fabric::RouteSpec> &
+Marketplace::skeleton(const std::string &afi_id) const
+{
+    return lookup(afi_id).skeleton;
+}
+
+const AfiRecord &
+Marketplace::record(const std::string &afi_id) const
+{
+    return lookup(afi_id);
+}
+
+} // namespace pentimento::cloud

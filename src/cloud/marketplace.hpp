@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The AWS-marketplace abstraction (paper §2).
+ *
+ * Publishers sell Amazon FPGA Images (AFIs). A leased AFI can be
+ * *loaded* but not *inspected*: "no FPGA internal design code is
+ * exposed". Threat Model 1 violates exactly this promise — the
+ * attacker rents an AFI whose netlist constants (keys, weights) are
+ * opaque, and recovers them through BTI burn-in.
+ *
+ * The marketplace hands attackers an opaque design handle plus, when
+ * the publisher's sources are public (OpenTitan, FINN), the placement
+ * skeleton (Assumption 1). Ground-truth burn values stay inside the
+ * TargetDesign and are only consulted by scoring code.
+ */
+
+#ifndef PENTIMENTO_CLOUD_MARKETPLACE_HPP
+#define PENTIMENTO_CLOUD_MARKETPLACE_HPP
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/design.hpp"
+#include "fabric/route.hpp"
+
+namespace pentimento::cloud {
+
+/** One marketplace listing. */
+struct AfiRecord
+{
+    std::string afi_id;
+    std::string publisher;
+    /** The encrypted design image: loadable, not inspectable. */
+    std::shared_ptr<const fabric::Design> design;
+    /**
+     * The public placement skeleton (Assumption 1): available when
+     * the design's sources or prebuilt bitstreams are public.
+     */
+    std::vector<fabric::RouteSpec> skeleton;
+};
+
+/**
+ * Registry of published AFIs.
+ */
+class Marketplace
+{
+  public:
+    /**
+     * Publish a design; returns the assigned AFI id.
+     */
+    std::string publish(const std::string &publisher,
+                        std::shared_ptr<const fabric::Design> design,
+                        std::vector<fabric::RouteSpec> skeleton);
+
+    /** Loadable (opaque) design image for an AFI. */
+    std::shared_ptr<const fabric::Design>
+    fetchDesign(const std::string &afi_id) const;
+
+    /** Public skeleton for an AFI (may be empty for closed designs). */
+    const std::vector<fabric::RouteSpec> &
+    skeleton(const std::string &afi_id) const;
+
+    /** Full record (scoring / ground-truth access for experiments). */
+    const AfiRecord &record(const std::string &afi_id) const;
+
+    /** Number of published AFIs. */
+    std::size_t size() const { return records_.size(); }
+
+  private:
+    const AfiRecord &lookup(const std::string &afi_id) const;
+
+    std::unordered_map<std::string, AfiRecord> records_;
+    std::size_t next_id_ = 0;
+};
+
+} // namespace pentimento::cloud
+
+#endif // PENTIMENTO_CLOUD_MARKETPLACE_HPP

@@ -1,0 +1,193 @@
+#include "cloud/platform.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace pentimento::cloud {
+
+CloudPlatform::CloudPlatform(PlatformConfig config)
+    : config_(std::move(config)), drc_(config_.max_power_w),
+      rng_(config_.seed)
+{
+    if (config_.fleet_size == 0) {
+        util::fatal("CloudPlatform: empty fleet");
+    }
+    for (std::size_t i = 0; i < config_.fleet_size; ++i) {
+        fabric::DeviceConfig dc = config_.device_template;
+        dc.seed = rng_();
+        dc.service_age_h = rng_.uniform(config_.min_service_age_h,
+                                        config_.max_service_age_h);
+        std::string id = "fpga-" + std::to_string(i);
+        fleet_.push_back(std::make_unique<FpgaInstance>(
+            id, std::move(dc), config_.ambient, rng_.split(id)));
+    }
+}
+
+bool
+CloudPlatform::availableForRent(const FpgaInstance &inst) const
+{
+    if (inst.rented()) {
+        return false;
+    }
+    // Launch-rate control: a released board stays quarantined.
+    return now_h_ - inst.releasedAtHour() >= config_.quarantine_hours;
+}
+
+std::size_t
+CloudPlatform::availableCount() const
+{
+    std::size_t count = 0;
+    for (const auto &inst : fleet_) {
+        if (availableForRent(*inst)) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+std::optional<std::string>
+CloudPlatform::rent()
+{
+    std::vector<FpgaInstance *> candidates;
+    for (const auto &inst : fleet_) {
+        if (availableForRent(*inst)) {
+            candidates.push_back(inst.get());
+        }
+    }
+    if (candidates.empty()) {
+        return std::nullopt;
+    }
+    FpgaInstance *chosen = nullptr;
+    switch (config_.policy) {
+      case AllocationPolicy::MostRecentlyReleased:
+        chosen = *std::max_element(
+            candidates.begin(), candidates.end(),
+            [](const FpgaInstance *a, const FpgaInstance *b) {
+                return a->releasedAtHour() < b->releasedAtHour();
+            });
+        break;
+      case AllocationPolicy::LeastRecentlyReleased:
+        chosen = *std::min_element(
+            candidates.begin(), candidates.end(),
+            [](const FpgaInstance *a, const FpgaInstance *b) {
+                return a->releasedAtHour() < b->releasedAtHour();
+            });
+        break;
+      case AllocationPolicy::Random:
+        chosen = candidates[rng_.uniformInt(0, candidates.size() - 1)];
+        break;
+    }
+    // Hand the board over with a clean configuration (drops any
+    // provider scrub design that ran while pooled).
+    chosen->device().wipe();
+    chosen->setRented(true);
+    return chosen->id();
+}
+
+std::vector<std::string>
+CloudPlatform::rentAll()
+{
+    std::vector<std::string> rented;
+    while (auto id = rent()) {
+        rented.push_back(*id);
+    }
+    return rented;
+}
+
+FpgaInstance *
+CloudPlatform::find(const std::string &instance_id)
+{
+    for (const auto &inst : fleet_) {
+        if (inst->id() == instance_id) {
+            return inst.get();
+        }
+    }
+    return nullptr;
+}
+
+void
+CloudPlatform::release(const std::string &instance_id)
+{
+    FpgaInstance *inst = find(instance_id);
+    if (inst == nullptr || !inst->rented()) {
+        util::fatal("CloudPlatform::release: '" + instance_id +
+                    "' is not rented");
+    }
+    // Provider-side scrub: the configuration is cleared, the silicon
+    // keeps its BTI imprint.
+    inst->device().wipe();
+    inst->setRented(false);
+    inst->setReleasedAtHour(now_h_);
+
+    if (config_.active_scrub) {
+        // Best-effort analog scrub: toggle everything that was ever
+        // configured while the board waits in the pool. This stresses
+        // both transistor polarities equally — it can shrink but not
+        // invert or erase the differential imprint.
+        auto scrub = std::make_shared<fabric::Design>("provider_scrub");
+        for (const fabric::ResourceId &id :
+             inst->device().materializedIds()) {
+            scrub->setElementActivity(
+                id, fabric::ElementActivity{fabric::Activity::Toggle,
+                                            0.5});
+        }
+        scrub->setPowerW(10.0);
+        if (scrub->configuredElements() > 0) {
+            inst->device().loadDesign(std::move(scrub));
+        }
+    }
+}
+
+FpgaInstance &
+CloudPlatform::instance(const std::string &instance_id)
+{
+    FpgaInstance *inst = find(instance_id);
+    if (inst == nullptr) {
+        util::fatal("CloudPlatform::instance: unknown id '" +
+                    instance_id + "'");
+    }
+    return *inst;
+}
+
+std::vector<fabric::DrcViolation>
+CloudPlatform::loadDesign(const std::string &instance_id,
+                          std::shared_ptr<const fabric::Design> design)
+{
+    FpgaInstance *inst = find(instance_id);
+    if (inst == nullptr || !inst->rented()) {
+        util::fatal("CloudPlatform::loadDesign: '" + instance_id +
+                    "' is not rented");
+    }
+    if (!design) {
+        util::fatal("CloudPlatform::loadDesign: null design");
+    }
+    std::vector<fabric::DrcViolation> violations = drc_.check(*design);
+    if (!violations.empty()) {
+        return violations;
+    }
+    inst->device().loadDesign(std::move(design));
+    return {};
+}
+
+void
+CloudPlatform::advanceHours(double hours, double step_h)
+{
+    for (const auto &inst : fleet_) {
+        inst->advanceHours(hours, step_h);
+    }
+    now_h_ += hours;
+}
+
+std::vector<std::string>
+CloudPlatform::allInstanceIds() const
+{
+    std::vector<std::string> ids;
+    ids.reserve(fleet_.size());
+    for (const auto &inst : fleet_) {
+        ids.push_back(inst->id());
+    }
+    return ids;
+}
+
+} // namespace pentimento::cloud

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The cloud FPGA platform (AWS F1 model, paper §2).
+ *
+ * A fleet of FpgaInstances with the provider behaviours the paper's
+ * threat models depend on:
+ *
+ *  - rent / release lifecycle with a *design wipe* on release — which
+ *    clears configuration but cannot clear BTI;
+ *  - design-rule checking at load time (ring oscillators rejected,
+ *    85 W power cap);
+ *  - a finite regional fleet, so an attacker can flash-acquire all
+ *    available capacity to guarantee receiving a victim's board
+ *    (Assumption 2);
+ *  - optional launch-rate control (a §8.2 provider mitigation):
+ *    released boards are quarantined for a configurable number of
+ *    hours before re-entering the pool.
+ */
+
+#ifndef PENTIMENTO_CLOUD_PLATFORM_HPP
+#define PENTIMENTO_CLOUD_PLATFORM_HPP
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/instance.hpp"
+#include "cloud/marketplace.hpp"
+#include "fabric/drc.hpp"
+
+namespace pentimento::cloud {
+
+/** How the scheduler picks among available instances. */
+enum class AllocationPolicy
+{
+    MostRecentlyReleased, ///< LIFO: favours temporal adversaries
+    LeastRecentlyReleased, ///< FIFO
+    Random
+};
+
+/** Fleet configuration. */
+struct PlatformConfig
+{
+    /** Cards in the region (the paper hit regional limits quickly). */
+    std::size_t fleet_size = 8;
+    /** Region label, e.g. "eu-west-2" (Experiment 2's region). */
+    std::string region = "eu-west-2";
+    /** Template silicon configuration; per-card seed/age overrides. */
+    fabric::DeviceConfig device_template{};
+    /** Card service age range, hours (eu-west-2: up to ~4 years). */
+    double min_service_age_h = 18000.0;
+    double max_service_age_h = 36000.0;
+    /** Ambient process at each card. */
+    AmbientParams ambient{};
+    /** Power cap enforced by the DRC, watts. */
+    double max_power_w = 85.0;
+    /** Scheduler behaviour. */
+    AllocationPolicy policy = AllocationPolicy::MostRecentlyReleased;
+    /** §8.2 launch-rate control: hold released boards this long. */
+    double quarantine_hours = 0.0;
+    /**
+     * Provider active scrub: while a released board sits in the pool,
+     * drive every previously-used element with toggling data (a
+     * best-effort "analog erase" — the provider cannot complement
+     * values it never knew). The ablation_provider_scrub bench
+     * quantifies how little this helps, supporting the paper's claim
+     * that logical erasure cannot remove burn-in.
+     */
+    bool active_scrub = false;
+    /** Master seed for the fleet. */
+    std::uint64_t seed = 1234;
+};
+
+/**
+ * The rentable fleet plus its marketplace.
+ */
+class CloudPlatform
+{
+  public:
+    explicit CloudPlatform(PlatformConfig config);
+
+    /** Fleet configuration. */
+    const PlatformConfig &config() const { return config_; }
+
+    /** The marketplace attached to this platform. */
+    Marketplace &marketplace() { return marketplace_; }
+
+    /** Platform wall clock, hours since epoch. */
+    double nowHours() const { return now_h_; }
+
+    /** Instances currently available for rent. */
+    std::size_t availableCount() const;
+
+    /**
+     * Rent one instance according to the allocation policy.
+     * @return instance id, or nullopt when the region is exhausted
+     *         (the paper's "reached the limit of F1 devices" error)
+     */
+    std::optional<std::string> rent();
+
+    /** Flash attack: rent everything currently available. */
+    std::vector<std::string> rentAll();
+
+    /**
+     * Release an instance back into the pool. The provider wipes the
+     * design ("scrubs FPGA state on termination") — aging persists.
+     */
+    void release(const std::string &instance_id);
+
+    /** Access an instance (caller must have rented it). */
+    FpgaInstance &instance(const std::string &instance_id);
+
+    /**
+     * Load a design after provider-side design rule checks; on
+     * violations the design is NOT loaded and the violations are
+     * returned (ring oscillators die here).
+     */
+    std::vector<fabric::DrcViolation>
+    loadDesign(const std::string &instance_id,
+               std::shared_ptr<const fabric::Design> design);
+
+    /**
+     * Advance the whole region: every card ages under its loaded
+     * design (or recovers when idle).
+     */
+    void advanceHours(double hours, double step_h = 1.0);
+
+    /** Ids of all instances (diagnostics / experiments). */
+    std::vector<std::string> allInstanceIds() const;
+
+  private:
+    FpgaInstance *find(const std::string &instance_id);
+    bool availableForRent(const FpgaInstance &inst) const;
+
+    PlatformConfig config_;
+    Marketplace marketplace_;
+    fabric::DesignRuleChecker drc_;
+    std::vector<std::unique_ptr<FpgaInstance>> fleet_;
+    util::Rng rng_;
+    double now_h_ = 0.0;
+};
+
+} // namespace pentimento::cloud
+
+#endif // PENTIMENTO_CLOUD_PLATFORM_HPP

@@ -1,0 +1,247 @@
+#include "core/attack.hpp"
+
+#include <algorithm>
+
+#include "cloud/fingerprint.hpp"
+#include "util/logging.hpp"
+
+namespace pentimento::core {
+
+SecretBundle
+makeSecretTarget(fabric::Device &device, const std::vector<bool> &secret,
+                 double route_ps, const std::string &name,
+                 const fabric::ArithmeticHeavyConfig &arith)
+{
+    if (secret.empty()) {
+        util::fatal("makeSecretTarget: empty secret");
+    }
+    SecretBundle bundle;
+    bundle.secret = secret;
+    bundle.skeleton.reserve(secret.size());
+    for (std::size_t bit = 0; bit < secret.size(); ++bit) {
+        bundle.skeleton.push_back(device.allocateRoute(
+            name + "/secret[" + std::to_string(bit) + "]", route_ps));
+    }
+    bundle.design = std::make_shared<fabric::TargetDesign>(
+        name, bundle.skeleton, secret, arith);
+    return bundle;
+}
+
+Tm1Report
+extractDesignData(cloud::CloudPlatform &platform,
+                  const std::string &afi_id, const Tm1Options &options)
+{
+    const cloud::AfiRecord &record =
+        platform.marketplace().record(afi_id);
+    if (record.skeleton.empty()) {
+        util::fatal("extractDesignData: AFI '" + afi_id +
+                    "' has no public skeleton (Assumption 1 unmet)");
+    }
+
+    const auto rented = platform.rent();
+    if (!rented) {
+        util::fatal("extractDesignData: region exhausted");
+    }
+    Tm1Report report;
+    report.instance_id = *rented;
+    cloud::FpgaInstance &inst = platform.instance(*rented);
+    fabric::Device &device = inst.device();
+
+    auto measure = std::make_shared<tdc::MeasureDesign>(
+        device, record.skeleton, options.tdc);
+    if (!platform.loadDesign(*rented, measure).empty()) {
+        util::fatal("extractDesignData: measure design failed DRC");
+    }
+    measure->calibrateAll(inst.dieTempK(), inst.rng());
+
+    // Ground truth for scoring (never consulted by the attack path).
+    const auto *target =
+        dynamic_cast<const fabric::TargetDesign *>(record.design.get());
+
+    std::vector<DeltaSeries> raw(record.skeleton.size());
+    double measure_seconds = 0.0;
+    std::size_t sweeps = 0;
+    const auto measureNow = [&](double hour) {
+        if (!platform.loadDesign(*rented, measure).empty()) {
+            util::fatal("extractDesignData: measure DRC failure");
+        }
+        platform.advanceHours(kMeasureSettleHours);
+        const tdc::MeasurementSweep sweep =
+            measure->measureAll(inst.dieTempK(), inst.rng());
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+            raw[i].addPoint(hour, sweep.per_route[i].deltaPs());
+        }
+        measure_seconds += sweep.wall_seconds;
+        ++sweeps;
+    };
+    measureNow(0.0);
+
+    double hour = 0.0;
+    while (hour < options.burn_hours - 1e-9) {
+        const double dt = std::min(options.measure_every_h,
+                                   options.burn_hours - hour);
+        if (!platform.loadDesign(*rented, record.design).empty()) {
+            util::fatal("extractDesignData: AFI failed DRC");
+        }
+        platform.advanceHours(
+            std::max(0.0, dt - kMeasureSettleHours));
+        hour += dt;
+        measureNow(hour);
+    }
+    platform.release(*rented);
+
+    report.result.condition_hours = hour;
+    report.result.measure_seconds = measure_seconds;
+    report.result.sweeps = sweeps;
+    report.result.routes.reserve(record.skeleton.size());
+    for (std::size_t i = 0; i < record.skeleton.size(); ++i) {
+        RouteRecord route;
+        route.name = record.skeleton[i].name;
+        route.target_ps = record.skeleton[i].target_ps;
+        route.burn_value =
+            target != nullptr && i < target->routeCount()
+                ? target->burnValue(i)
+                : false;
+        route.series = raw[i].centeredAtFirst();
+        report.result.routes.push_back(std::move(route));
+    }
+
+    report.classification =
+        ThreatModel1Classifier().classify(report.result);
+    report.recovered_bits.reserve(report.classification.bits.size());
+    for (const BitEstimate &bit : report.classification.bits) {
+        report.recovered_bits.push_back(bit.value);
+    }
+    return report;
+}
+
+Tm2Report
+recoverUserData(cloud::CloudPlatform &platform,
+                const std::vector<bool> &secret,
+                const Tm2Options &options)
+{
+    Tm2Report report;
+    cloud::Fingerprinter fingerprinter;
+
+    // ---- Reconnaissance: fingerprint the board about to be handed
+    // to the victim (cartography / co-location preparation).
+    const auto recon = platform.rent();
+    if (!recon) {
+        util::fatal("recoverUserData: region exhausted");
+    }
+    const cloud::Fingerprint target_fp = fingerprinter.probe(
+        platform.instance(*recon), "recon:" + *recon);
+    platform.release(*recon);
+
+    // ---- Victim tenancy: loads the secret, computes, releases.
+    const auto victim = platform.rent();
+    if (!victim) {
+        util::fatal("recoverUserData: region exhausted for victim");
+    }
+    report.victim_instance = *victim;
+    cloud::FpgaInstance &victim_inst = platform.instance(*victim);
+    SecretBundle bundle = makeSecretTarget(
+        victim_inst.device(), secret, options.route_ps, "victim_design");
+    if (!platform.loadDesign(*victim, bundle.design).empty()) {
+        util::fatal("recoverUserData: victim design failed DRC");
+    }
+    platform.advanceHours(options.victim_hours);
+    platform.release(*victim);
+
+    // ---- Flash acquisition + fingerprint re-identification.
+    const std::vector<std::string> grabbed = platform.rentAll();
+    report.flash_rented = grabbed.size();
+    if (grabbed.empty()) {
+        util::fatal("recoverUserData: flash acquisition got nothing");
+    }
+    std::string best_id = grabbed.front();
+    double best_sim = -2.0;
+    for (const std::string &id : grabbed) {
+        const cloud::Fingerprint fp =
+            fingerprinter.probe(platform.instance(id), "flash:" + id);
+        const double sim =
+            cloud::Fingerprinter::similarity(fp, target_fp);
+        if (sim > best_sim) {
+            best_sim = sim;
+            best_id = id;
+        }
+    }
+    for (const std::string &id : grabbed) {
+        if (id != best_id) {
+            platform.release(id);
+        }
+    }
+    report.attacker_instance = best_id;
+    report.fingerprint_similarity = best_sim;
+    report.reacquired_same_board = best_id == report.victim_instance;
+
+    // ---- Recovery measurement on the re-acquired board.
+    cloud::FpgaInstance &att_inst = platform.instance(best_id);
+    fabric::Device &device = att_inst.device();
+    auto measure = std::make_shared<tdc::MeasureDesign>(
+        device, bundle.skeleton, options.tdc);
+    if (!platform.loadDesign(best_id, measure).empty()) {
+        util::fatal("recoverUserData: measure design failed DRC");
+    }
+    measure->calibrateAll(att_inst.dieTempK(), att_inst.rng());
+
+    auto park = std::make_shared<fabric::Design>("attacker_park");
+    for (const fabric::RouteSpec &spec : bundle.skeleton) {
+        park->setRouteValue(spec, options.park_value);
+    }
+    park->setPowerW(2.0);
+
+    std::vector<DeltaSeries> raw(bundle.skeleton.size());
+    double measure_seconds = 0.0;
+    std::size_t sweeps = 0;
+    const auto measureNow = [&](double hour) {
+        if (!platform.loadDesign(best_id, measure).empty()) {
+            util::fatal("recoverUserData: measure DRC failure");
+        }
+        platform.advanceHours(kMeasureSettleHours);
+        const tdc::MeasurementSweep sweep =
+            measure->measureAll(att_inst.dieTempK(), att_inst.rng());
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+            raw[i].addPoint(hour, sweep.per_route[i].deltaPs());
+        }
+        measure_seconds += sweep.wall_seconds;
+        ++sweeps;
+    };
+    measureNow(options.victim_hours);
+
+    double observed = 0.0;
+    while (observed < options.recovery_hours - 1e-9) {
+        const double dt = std::min(options.measure_every_h,
+                                   options.recovery_hours - observed);
+        if (!platform.loadDesign(best_id, park).empty()) {
+            util::fatal("recoverUserData: park design failed DRC");
+        }
+        platform.advanceHours(
+            std::max(0.0, dt - kMeasureSettleHours));
+        observed += dt;
+        measureNow(options.victim_hours + observed);
+    }
+    platform.release(best_id);
+
+    report.result.condition_hours = options.victim_hours + observed;
+    report.result.measure_seconds = measure_seconds;
+    report.result.sweeps = sweeps;
+    for (std::size_t i = 0; i < bundle.skeleton.size(); ++i) {
+        RouteRecord route;
+        route.name = bundle.skeleton[i].name;
+        route.target_ps = bundle.skeleton[i].target_ps;
+        route.burn_value = secret[i];
+        route.series = raw[i].centeredAtFirst();
+        report.result.routes.push_back(std::move(route));
+    }
+
+    report.classification =
+        ThreatModel2Classifier().classify(report.result);
+    report.recovered_bits.reserve(report.classification.bits.size());
+    for (const BitEstimate &bit : report.classification.bits) {
+        report.recovered_bits.push_back(bit.value);
+    }
+    return report;
+}
+
+} // namespace pentimento::core

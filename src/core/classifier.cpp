@@ -1,0 +1,192 @@
+#include "core/classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace pentimento::core {
+
+namespace {
+
+/** Map a z-score magnitude to a confidence in [0, 1). */
+double
+zToConfidence(double z)
+{
+    return std::erf(std::abs(z) / std::sqrt(2.0));
+}
+
+} // namespace
+
+ClassificationReport
+score(std::vector<BitEstimate> bits, const ExperimentResult &result)
+{
+    if (bits.size() != result.routes.size()) {
+        util::fatal("score: estimate/route arity mismatch");
+    }
+    ClassificationReport report;
+    report.bits = std::move(bits);
+    for (std::size_t i = 0; i < report.bits.size(); ++i) {
+        if (report.bits[i].value == result.routes[i].burn_value) {
+            ++report.correct;
+        }
+    }
+    report.accuracy = report.bits.empty()
+                          ? 0.0
+                          : static_cast<double>(report.correct) /
+                                static_cast<double>(report.bits.size());
+    return report;
+}
+
+ThreatModel1Classifier::ThreatModel1Classifier(double bandwidth_h)
+    : bandwidth_h_(bandwidth_h)
+{
+    if (bandwidth_h_ <= 0.0) {
+        util::fatal("ThreatModel1Classifier: non-positive bandwidth");
+    }
+}
+
+BitEstimate
+ThreatModel1Classifier::classifyRoute(const RouteRecord &record) const
+{
+    BitEstimate estimate;
+    // The series is centered at the pre-burn baseline, so the raw
+    // tail mean IS the accumulated drift — no smoothing bias at the
+    // steep early segment.
+    const std::size_t tail =
+        std::max<std::size_t>(3, record.series.size() / 10);
+    const double drift = record.series.tailMean(tail);
+    estimate.statistic = drift;
+    estimate.value = drift > 0.0;
+    const double noise = record.series.residualSd(bandwidth_h_);
+    if (noise > 0.0) {
+        const double se =
+            noise * std::sqrt(1.0 + 1.0 / static_cast<double>(tail));
+        estimate.confidence = zToConfidence(drift / se);
+    } else {
+        estimate.confidence = drift == 0.0 ? 0.0 : 1.0;
+    }
+    return estimate;
+}
+
+ClassificationReport
+ThreatModel1Classifier::classify(const ExperimentResult &result) const
+{
+    std::vector<BitEstimate> bits;
+    bits.reserve(result.routes.size());
+    for (const RouteRecord &record : result.routes) {
+        bits.push_back(classifyRoute(record));
+    }
+    return score(std::move(bits), result);
+}
+
+ThreatModel2Classifier::ThreatModel2Classifier()
+    : ThreatModel2Classifier(Config{})
+{
+}
+
+ThreatModel2Classifier::ThreatModel2Classifier(Config config)
+    : config_(config)
+{
+}
+
+double
+ThreatModel2Classifier::statistic(const RouteRecord &record)
+{
+    // Recovery slope per hour, normalised per nanosecond of route so
+    // different delay groups share one decision axis.
+    return record.series.slopePerHour() / (record.target_ps / 1000.0);
+}
+
+ClassificationReport
+ThreatModel2Classifier::classify(const ExperimentResult &result) const
+{
+    const std::size_t n = result.routes.size();
+    if (n == 0) {
+        return {};
+    }
+
+    // Cluster within same-length groups: the attacker knows each
+    // route's length from the skeleton, and both the recovery signal
+    // and the TDC noise scale differently with length, so mixing
+    // groups on one axis would let short-route noise blur long-route
+    // separations. Raw (un-normalised) slopes are used within a
+    // group.
+    std::map<double, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < n; ++i) {
+        groups[result.routes[i].target_ps].push_back(i);
+    }
+
+    std::vector<BitEstimate> bits(n);
+    for (const auto &[target_ps, indices] : groups) {
+        (void)target_ps;
+        std::vector<double> slopes;
+        std::vector<double> slope_ses;
+        slopes.reserve(indices.size());
+        for (const std::size_t i : indices) {
+            slopes.push_back(result.routes[i].series.slopePerHour());
+            slope_ses.push_back(
+                result.routes[i].series.slopeStdErrorPerHour());
+        }
+        std::sort(slope_ses.begin(), slope_ses.end());
+        const double noise_floor =
+            slope_ses[slope_ses.size() / 2]; // median slope s.e.
+
+        bool two_clusters = slopes.size() >= 4;
+        double threshold = 0.0;
+        double spread = 1e-12;
+        if (two_clusters) {
+            threshold = util::otsuThreshold(slopes);
+            std::vector<double> lo, hi;
+            for (const double s : slopes) {
+                (s <= threshold ? lo : hi).push_back(s);
+            }
+            two_clusters = !lo.empty() && !hi.empty();
+            if (two_clusters) {
+                spread = std::max(
+                    {util::stddev(lo), util::stddev(hi), 1e-12});
+                const double separation =
+                    util::mean(hi) - util::mean(lo);
+                // Accept the two-cluster hypothesis only when the
+                // split beats both the within-cluster spread and the
+                // per-route slope measurement noise; Otsu happily
+                // splits pure noise otherwise.
+                two_clusters =
+                    separation > config_.separation_guard * spread &&
+                    separation >
+                        config_.noise_guard * noise_floor;
+            }
+        }
+
+        if (two_clusters) {
+            for (std::size_t k = 0; k < indices.size(); ++k) {
+                BitEstimate &bit = bits[indices[k]];
+                bit.statistic = slopes[k];
+                // Recovery (strongly negative slope) marks a prior 1.
+                bit.value = slopes[k] <= threshold;
+                bit.confidence =
+                    zToConfidence((slopes[k] - threshold) / spread);
+            }
+        } else {
+            // Degenerate group: all routes behave alike. Decide the
+            // common value from the grand mean: a clearly negative
+            // slope means every bit was 1, otherwise 0.
+            const double grand = util::mean(slopes);
+            const double sd = std::max(util::stddev(slopes), 1e-12);
+            const double se =
+                sd / std::sqrt(static_cast<double>(slopes.size()));
+            const bool all_one = grand < -2.0 * se;
+            for (std::size_t k = 0; k < indices.size(); ++k) {
+                BitEstimate &bit = bits[indices[k]];
+                bit.statistic = slopes[k];
+                bit.value = all_one;
+                bit.confidence = zToConfidence(grand / se) * 0.5;
+            }
+        }
+    }
+    return score(std::move(bits), result);
+}
+
+} // namespace pentimento::core

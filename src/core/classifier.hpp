@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Bit-recovery classifiers for the two threat models.
+ *
+ * Threat Model 1 (design data): the attacker has a pre-burn baseline,
+ * so the *direction of drift* of the smoothed ∆ps series reveals the
+ * burn value — burn 1 (PBTI) drifts positive, burn 0 (NBTI) negative
+ * (Figures 6-7).
+ *
+ * Threat Model 2 (user data): no baseline exists; the attacker parks
+ * the routes at 0 and watches 25 h of recovery. Routes that held 1
+ * show a marked negative recovery slope (fast PBTI recovery plus
+ * fresh NBTI), routes that held 0 stay flat (Figure 8). Slopes are
+ * normalised by route length and split with an Otsu-style two-cluster
+ * threshold, with a separation guard for the degenerate all-same-bit
+ * case.
+ */
+
+#ifndef PENTIMENTO_CORE_CLASSIFIER_HPP
+#define PENTIMENTO_CORE_CLASSIFIER_HPP
+
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace pentimento::core {
+
+/** The verdict for one route/bit. */
+struct BitEstimate
+{
+    bool value = false;
+    /** Decision statistic (drift ps for TM1, norm. slope for TM2). */
+    double statistic = 0.0;
+    /** Confidence in [0, 1] derived from the statistic's z-score. */
+    double confidence = 0.0;
+};
+
+/** Scored classification of a whole experiment. */
+struct ClassificationReport
+{
+    std::vector<BitEstimate> bits;
+    std::size_t correct = 0;
+    double accuracy = 0.0;
+};
+
+/** Score estimates against the experiment's ground truth. */
+ClassificationReport score(std::vector<BitEstimate> bits,
+                           const ExperimentResult &result);
+
+/**
+ * TM1 classifier: sign of the smoothed net drift.
+ */
+class ThreatModel1Classifier
+{
+  public:
+    /** @param bandwidth_h smoothing bandwidth in hours */
+    explicit ThreatModel1Classifier(double bandwidth_h = 25.0);
+
+    /** Classify one route. */
+    BitEstimate classifyRoute(const RouteRecord &record) const;
+
+    /** Classify and score a full experiment. */
+    ClassificationReport classify(const ExperimentResult &result) const;
+
+  private:
+    double bandwidth_h_;
+};
+
+/**
+ * TM2 classifier: two-cluster split of length-normalised recovery
+ * slopes.
+ */
+class ThreatModel2Classifier
+{
+  public:
+    struct Config
+    {
+        /**
+         * Minimum cluster separation, in within-cluster-sigma units,
+         * for the two-cluster hypothesis to be accepted; below it all
+         * bits are assigned to a single class by the sign test.
+         */
+        double separation_guard = 2.5;
+        /**
+         * Minimum cluster separation in units of the median per-route
+         * slope standard error (the measurement noise floor).
+         */
+        double noise_guard = 2.2;
+    };
+
+    ThreatModel2Classifier();
+    explicit ThreatModel2Classifier(Config config);
+
+    /** Classify and score a full experiment. */
+    ClassificationReport classify(const ExperimentResult &result) const;
+
+    /** The length-normalised slope statistic for one route. */
+    static double statistic(const RouteRecord &record);
+
+  private:
+    Config config_;
+};
+
+} // namespace pentimento::core
+
+#endif // PENTIMENTO_CORE_CLASSIFIER_HPP

@@ -1,0 +1,112 @@
+#include "core/delta_series.hpp"
+
+#include "util/kernel_regression.hpp"
+#include "util/logging.hpp"
+
+namespace pentimento::core {
+
+void
+DeltaSeries::addPoint(double hour, double delta_ps)
+{
+    if (!hours_.empty() && hour < hours_.back()) {
+        util::fatal("DeltaSeries::addPoint: hours must be monotone");
+    }
+    hours_.push_back(hour);
+    values_.push_back(delta_ps);
+}
+
+DeltaSeries
+DeltaSeries::centeredAtFirst() const
+{
+    DeltaSeries out;
+    if (values_.empty()) {
+        return out;
+    }
+    const double origin = values_.front();
+    out.hours_ = hours_;
+    out.values_ = util::centered(values_, origin);
+    return out;
+}
+
+std::vector<double>
+DeltaSeries::smoothed(double bandwidth) const
+{
+    if (values_.empty()) {
+        return {};
+    }
+    if (values_.size() < 3) {
+        return values_;
+    }
+    return util::kernelSmooth(hours_, values_, bandwidth);
+}
+
+double
+DeltaSeries::slopePerHour() const
+{
+    if (values_.size() < 2) {
+        return 0.0;
+    }
+    return util::fitLine(hours_, values_).slope;
+}
+
+double
+DeltaSeries::slopeStdErrorPerHour() const
+{
+    if (values_.size() < 3) {
+        return 0.0;
+    }
+    return util::fitLine(hours_, values_).slope_stderr;
+}
+
+double
+DeltaSeries::netDriftPs(double bandwidth) const
+{
+    if (values_.empty()) {
+        return 0.0;
+    }
+    const std::vector<double> smooth = smoothed(bandwidth);
+    return smooth.back() - smooth.front();
+}
+
+double
+DeltaSeries::meanBetweenHours(double h0, double h1) const
+{
+    util::RunningStats stats;
+    for (std::size_t i = 0; i < hours_.size(); ++i) {
+        if (hours_[i] >= h0 && hours_[i] <= h1) {
+            stats.add(values_[i]);
+        }
+    }
+    return stats.mean();
+}
+
+double
+DeltaSeries::tailMean(std::size_t count) const
+{
+    if (values_.empty()) {
+        return 0.0;
+    }
+    util::RunningStats stats;
+    const std::size_t start =
+        values_.size() > count ? values_.size() - count : 0;
+    for (std::size_t i = start; i < values_.size(); ++i) {
+        stats.add(values_[i]);
+    }
+    return stats.mean();
+}
+
+double
+DeltaSeries::residualSd(double bandwidth) const
+{
+    if (values_.size() < 4) {
+        return 0.0;
+    }
+    const std::vector<double> smooth = smoothed(bandwidth);
+    std::vector<double> residuals(values_.size());
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        residuals[i] = values_[i] - smooth[i];
+    }
+    return util::stddev(residuals);
+}
+
+} // namespace pentimento::core

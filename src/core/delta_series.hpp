@@ -1,0 +1,78 @@
+/**
+ * @file
+ * ∆ps time series and the paper's post-processing pipeline (§5.2,
+ * §6.1): center at the first sample, smooth with local-linear kernel
+ * regression, extract trends.
+ */
+
+#ifndef PENTIMENTO_CORE_DELTA_SERIES_HPP
+#define PENTIMENTO_CORE_DELTA_SERIES_HPP
+
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace pentimento::core {
+
+/**
+ * One route's measured ∆ps over simulated hours.
+ */
+class DeltaSeries
+{
+  public:
+    /** Append a measurement. Hours must be non-decreasing. */
+    void addPoint(double hour, double delta_ps);
+
+    /** Number of samples. */
+    std::size_t size() const { return hours_.size(); }
+
+    bool empty() const { return hours_.empty(); }
+
+    /** Measurement times. */
+    const std::vector<double> &hours() const { return hours_; }
+
+    /** Raw ∆ps values. */
+    const std::vector<double> &values() const { return values_; }
+
+    /**
+     * Series re-expressed relative to its first sample — the paper
+     * "centers the data to the point at hour zero; any deviation from
+     * zero represents BTI degradation or recovery".
+     */
+    DeltaSeries centeredAtFirst() const;
+
+    /**
+     * Kernel-regression smoothed values at the sample hours
+     * (statsmodels-equivalent local linear estimator).
+     *
+     * @param bandwidth kernel bandwidth in hours; <= 0 for the
+     *        rule-of-thumb choice
+     */
+    std::vector<double> smoothed(double bandwidth = 0.0) const;
+
+    /** OLS slope of raw values against hours, ps per hour. */
+    double slopePerHour() const;
+
+    /** Standard error of the OLS slope estimate (0 when n < 3). */
+    double slopeStdErrorPerHour() const;
+
+    /** Smoothed(last) − smoothed(first): the net drift in ps. */
+    double netDriftPs(double bandwidth = 0.0) const;
+
+    /** Mean of the raw values sampled in [h0, h1] (inclusive). */
+    double meanBetweenHours(double h0, double h1) const;
+
+    /** Mean of the last `count` raw samples. */
+    double tailMean(std::size_t count) const;
+
+    /** Standard deviation of residuals around the smoothed curve. */
+    double residualSd(double bandwidth = 0.0) const;
+
+  private:
+    std::vector<double> hours_;
+    std::vector<double> values_;
+};
+
+} // namespace pentimento::core
+
+#endif // PENTIMENTO_CORE_DELTA_SERIES_HPP

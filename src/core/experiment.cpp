@@ -1,0 +1,454 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+#include "phys/thermal.hpp"
+#include "util/logging.hpp"
+#include "util/units.hpp"
+
+namespace pentimento::core {
+
+std::vector<RouteGroup>
+paperRouteGroups()
+{
+    return {{1000.0, 16}, {2000.0, 16}, {5000.0, 16}, {10000.0, 16}};
+}
+
+double
+ExperimentResult::measurementFraction() const
+{
+    const double condition_seconds =
+        util::hoursToSeconds(condition_hours);
+    if (condition_seconds + measure_seconds <= 0.0) {
+        return 0.0;
+    }
+    return measure_seconds / (condition_seconds + measure_seconds);
+}
+
+double
+ExperimentResult::secondsPerSweep() const
+{
+    if (sweeps == 0) {
+        return 0.0;
+    }
+    return measure_seconds / static_cast<double>(sweeps);
+}
+
+std::vector<std::size_t>
+ExperimentResult::groupIndices(double target_ps) const
+{
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < routes.size(); ++i) {
+        if (routes[i].target_ps == target_ps) {
+            indices.push_back(i);
+        }
+    }
+    return indices;
+}
+
+namespace {
+
+/** Allocated routes + ground-truth burn bits for one experiment. */
+struct RouteSetup
+{
+    std::vector<fabric::RouteSpec> specs;
+    std::vector<bool> burn_values;
+    std::vector<double> targets;
+};
+
+RouteSetup
+allocateRoutes(fabric::Device &device,
+               const std::vector<RouteGroup> &groups, util::Rng &rng)
+{
+    if (groups.empty()) {
+        util::fatal("experiment: no route groups configured");
+    }
+    RouteSetup setup;
+    for (const RouteGroup &group : groups) {
+        if (group.count <= 0 || group.target_ps <= 0.0) {
+            util::fatal("experiment: bad route group");
+        }
+        for (int i = 0; i < group.count; ++i) {
+            const std::string name =
+                "rut_" + std::to_string(
+                             static_cast<long>(group.target_ps)) +
+                "ps_" + std::to_string(i);
+            setup.specs.push_back(
+                device.allocateRoute(name, group.target_ps));
+            setup.burn_values.push_back(rng.bernoulli(0.5));
+            setup.targets.push_back(group.target_ps);
+        }
+    }
+    return setup;
+}
+
+/** Accumulates sweep results into per-route series. */
+class SeriesRecorder
+{
+  public:
+    explicit SeriesRecorder(std::size_t routes) : raw_(routes) {}
+
+    void
+    record(double hour, const tdc::MeasurementSweep &sweep)
+    {
+        if (sweep.per_route.size() != raw_.size()) {
+            util::fatal("SeriesRecorder: sweep arity mismatch");
+        }
+        for (std::size_t i = 0; i < raw_.size(); ++i) {
+            raw_[i].addPoint(hour, sweep.per_route[i].deltaPs());
+        }
+    }
+
+    DeltaSeries
+    centered(std::size_t i) const
+    {
+        return raw_[i].centeredAtFirst();
+    }
+
+  private:
+    std::vector<DeltaSeries> raw_;
+};
+
+ExperimentResult
+assembleResult(const RouteSetup &setup, const SeriesRecorder &recorder,
+               double condition_hours, double measure_seconds,
+               std::size_t sweeps)
+{
+    ExperimentResult result;
+    result.condition_hours = condition_hours;
+    result.measure_seconds = measure_seconds;
+    result.sweeps = sweeps;
+    result.routes.reserve(setup.specs.size());
+    for (std::size_t i = 0; i < setup.specs.size(); ++i) {
+        RouteRecord record;
+        record.name = setup.specs[i].name;
+        record.target_ps = setup.targets[i];
+        record.burn_value = setup.burn_values[i];
+        record.series = recorder.centered(i);
+        result.routes.push_back(std::move(record));
+    }
+    return result;
+}
+
+mitigation::NoMitigation g_no_mitigation;
+
+mitigation::MitigationStrategy &
+strategyOrDefault(mitigation::MitigationStrategy *strategy)
+{
+    return strategy != nullptr ? *strategy : g_no_mitigation;
+}
+
+/**
+ * Advance a condition interval in at-most-one-hour sub-steps so that
+ * mitigation strategies with hourly schedules (inversion, shuffle,
+ * wear-leveling) actually fire inside coarse measurement cadences.
+ * The design is (re)loaded after every strategy application because
+ * relocation may reference freshly allocated elements.
+ */
+void
+conditionWithStrategy(mitigation::MitigationStrategy &strategy,
+                      fabric::TargetDesign &target,
+                      fabric::Device &device,
+                      const std::vector<bool> &values, double start_hour,
+                      double duration_h,
+                      const std::function<void(double)> &load_and_advance)
+{
+    double advanced = 0.0;
+    while (advanced < duration_h - 1e-9) {
+        const double step = std::min(1.0, duration_h - advanced);
+        strategy.apply(target, device, values, start_hour + advanced);
+        load_and_advance(step);
+        advanced += step;
+    }
+}
+
+/** Apply a §8.1 epilogue before the tenant releases the instance. */
+void
+runEpilogue(const mitigation::Epilogue &epilogue,
+            std::shared_ptr<fabric::TargetDesign> target,
+            const std::vector<bool> &values,
+            const std::function<void(double)> &advance)
+{
+    if (epilogue.policy == mitigation::Epilogue::Policy::None ||
+        epilogue.hours <= 0.0) {
+        return;
+    }
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        switch (epilogue.policy) {
+          case mitigation::Epilogue::Policy::Complement:
+            target->setBurnValue(i, !values[i]);
+            break;
+          case mitigation::Epilogue::Policy::AllZero:
+            target->setBurnValue(i, false);
+            break;
+          case mitigation::Epilogue::Policy::AllOne:
+            target->setBurnValue(i, true);
+            break;
+          case mitigation::Epilogue::Policy::None:
+            break;
+        }
+    }
+    advance(epilogue.hours);
+}
+
+} // namespace
+
+ExperimentResult
+runExperiment1(const Experiment1Config &config)
+{
+    util::Rng rng(config.seed);
+    fabric::Device device(config.device);
+    phys::OvenEnvironment oven(
+        util::celsiusToKelvin(config.oven_temp_c));
+
+    RouteSetup setup = allocateRoutes(device, config.groups, rng);
+    auto target = std::make_shared<fabric::TargetDesign>(
+        "exp1_target", setup.specs, setup.burn_values, config.arith);
+    auto measure = std::make_shared<tdc::MeasureDesign>(
+        device, setup.specs, config.tdc);
+    mitigation::MitigationStrategy &strategy =
+        strategyOrDefault(config.strategy);
+
+    util::Rng meas_rng = rng.split("measurement");
+
+    // Hour 0: Calibration phase, then the baseline measurement that
+    // the series are centered against.
+    device.loadDesign(measure);
+    measure->calibrateAll(oven.dieTempK(), meas_rng);
+
+    SeriesRecorder recorder(setup.specs.size());
+    double measure_seconds = 0.0;
+    std::size_t sweeps = 0;
+    const auto measureNow = [&](double hour) {
+        device.loadDesign(measure);
+        const tdc::MeasurementSweep sweep =
+            measure->measureAll(oven.dieTempK(), meas_rng);
+        recorder.record(hour, sweep);
+        measure_seconds += sweep.wall_seconds;
+        ++sweeps;
+    };
+    measureNow(0.0);
+
+    const auto conditionStep = [&](const std::vector<bool> &values,
+                                   double hour, double dt) {
+        conditionWithStrategy(strategy, *target, device, values, hour,
+                              dt, [&](double step) {
+                                  device.loadDesign(target);
+                                  device.advance(step, oven);
+                              });
+    };
+
+    // Burn-in period: condition X, measure every measure_every_h.
+    const std::vector<bool> x = setup.burn_values;
+    std::vector<bool> x_bar(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x_bar[i] = !x[i];
+    }
+    double hour = 0.0;
+    while (hour < config.burn_hours - 1e-9) {
+        const double dt =
+            std::min(config.measure_every_h, config.burn_hours - hour);
+        conditionStep(x, hour, dt);
+        hour += dt;
+        measureNow(hour);
+    }
+    // Recovery period: condition X̄ (paper hours [200, 400)).
+    while (hour < config.burn_hours + config.recovery_hours - 1e-9) {
+        const double dt = std::min(config.measure_every_h,
+                                   config.burn_hours +
+                                       config.recovery_hours - hour);
+        conditionStep(x_bar, hour, dt);
+        hour += dt;
+        measureNow(hour);
+    }
+
+    return assembleResult(setup, recorder, hour, measure_seconds,
+                          sweeps);
+}
+
+ExperimentResult
+runExperiment2(const Experiment2Config &config)
+{
+    util::Rng rng(config.seed);
+    cloud::CloudPlatform platform(config.platform);
+
+    const auto rented = platform.rent();
+    if (!rented) {
+        util::fatal("runExperiment2: region exhausted");
+    }
+    cloud::FpgaInstance &inst = platform.instance(*rented);
+    fabric::Device &device = inst.device();
+
+    RouteSetup setup = allocateRoutes(device, config.groups, rng);
+    auto target = std::make_shared<fabric::TargetDesign>(
+        "exp2_target", setup.specs, setup.burn_values, config.arith);
+    auto measure = std::make_shared<tdc::MeasureDesign>(
+        device, setup.specs, config.tdc);
+    mitigation::MitigationStrategy &strategy =
+        strategyOrDefault(config.strategy);
+
+    // Calibration + baseline (TM1 allows pre-burn-in measurement).
+    if (!platform.loadDesign(*rented, measure).empty()) {
+        util::fatal("runExperiment2: measure design failed DRC");
+    }
+    measure->calibrateAll(inst.dieTempK(), inst.rng());
+
+    SeriesRecorder recorder(setup.specs.size());
+    double measure_seconds = 0.0;
+    std::size_t sweeps = 0;
+    const auto measureNow = [&](double hour) {
+        if (!platform.loadDesign(*rented, measure).empty()) {
+            util::fatal("runExperiment2: measure design failed DRC");
+        }
+        // Let the die settle to the Measure design's power before
+        // sampling (the paper's measurement takes ~52 s anyway).
+        platform.advanceHours(kMeasureSettleHours);
+        const tdc::MeasurementSweep sweep =
+            measure->measureAll(inst.dieTempK(), inst.rng());
+        recorder.record(hour, sweep);
+        measure_seconds += sweep.wall_seconds;
+        ++sweeps;
+    };
+    measureNow(0.0);
+
+    double hour = 0.0;
+    while (hour < config.burn_hours - 1e-9) {
+        const double dt =
+            std::min(config.measure_every_h, config.burn_hours - hour);
+        conditionWithStrategy(
+            strategy, *target, inst.device(), setup.burn_values, hour,
+            std::max(0.0, dt - kMeasureSettleHours), [&](double step) {
+                if (!platform.loadDesign(*rented, target).empty()) {
+                    util::fatal(
+                        "runExperiment2: target design failed DRC");
+                }
+                platform.advanceHours(step);
+            });
+        hour += dt;
+        measureNow(hour);
+    }
+    platform.release(*rented);
+
+    return assembleResult(setup, recorder, hour, measure_seconds,
+                          sweeps);
+}
+
+ExperimentResult
+runExperiment3(const Experiment3Config &config)
+{
+    util::Rng rng(config.seed);
+    cloud::CloudPlatform platform(config.platform);
+
+    // ---- Victim tenancy -------------------------------------------
+    const auto victim_id = platform.rent();
+    if (!victim_id) {
+        util::fatal("runExperiment3: region exhausted");
+    }
+    cloud::FpgaInstance &victim_inst = platform.instance(*victim_id);
+    fabric::Device &device = victim_inst.device();
+
+    RouteSetup setup = allocateRoutes(device, config.groups, rng);
+    auto target = std::make_shared<fabric::TargetDesign>(
+        "exp3_victim", setup.specs, setup.burn_values, config.arith);
+    mitigation::MitigationStrategy &strategy =
+        strategyOrDefault(config.strategy);
+
+    // The victim computes for burn_hours with no attacker access and
+    // no measurement (the attacker does not control the FPGA).
+    double hour = 0.0;
+    while (hour < config.burn_hours - 1e-9) {
+        const double dt = std::min(1.0, config.burn_hours - hour);
+        strategy.apply(*target, device, setup.burn_values, hour);
+        if (!platform.loadDesign(*victim_id, target).empty()) {
+            util::fatal("runExperiment3: victim design failed DRC");
+        }
+        platform.advanceHours(dt);
+        hour += dt;
+    }
+    runEpilogue(strategy.epilogue(), target, setup.burn_values,
+                [&](double hours) {
+                    if (!platform.loadDesign(*victim_id, target)
+                             .empty()) {
+                        util::fatal("runExperiment3: epilogue DRC");
+                    }
+                    platform.advanceHours(hours);
+                    hour += hours;
+                });
+    platform.release(*victim_id); // provider wipes the configuration
+
+    // ---- Attacker tenancy -----------------------------------------
+    if (config.attacker_wait_h > 0.0) {
+        // Waiting out a quarantine: the board recovers (or gets
+        // scrubbed) in the pool meanwhile.
+        platform.advanceHours(config.attacker_wait_h);
+        hour += config.attacker_wait_h;
+    }
+    const auto attacker_id = platform.rent();
+    if (!attacker_id) {
+        util::fatal("runExperiment3: region exhausted for attacker");
+    }
+    cloud::FpgaInstance &attacker_inst =
+        platform.instance(*attacker_id);
+    if (&attacker_inst.device() != &device) {
+        util::warn("runExperiment3: attacker was not assigned the "
+                   "victim board; recovery will fail (expected with "
+                   "quarantine/mitigation configurations)");
+    }
+    fabric::Device &att_device = attacker_inst.device();
+
+    // The attacker knows the skeleton (Assumption 1) and builds the
+    // Measure design over it; θ_init is consistent across devices of
+    // a type (§6.3), obtained here by calibrating at takeover.
+    auto measure = std::make_shared<tdc::MeasureDesign>(
+        att_device, setup.specs, config.tdc);
+    if (!platform.loadDesign(*attacker_id, measure).empty()) {
+        util::fatal("runExperiment3: measure design failed DRC");
+    }
+    measure->calibrateAll(attacker_inst.dieTempK(),
+                          attacker_inst.rng());
+
+    // Park design: every route under test forced to park_value.
+    auto park = std::make_shared<fabric::Design>("exp3_attacker_park");
+    for (const fabric::RouteSpec &spec : setup.specs) {
+        park->setRouteValue(spec, config.park_value);
+    }
+    park->setPowerW(2.0);
+
+    SeriesRecorder recorder(setup.specs.size());
+    double measure_seconds = 0.0;
+    std::size_t sweeps = 0;
+    const auto measureNow = [&](double at_hour) {
+        if (!platform.loadDesign(*attacker_id, measure).empty()) {
+            util::fatal("runExperiment3: measure design failed DRC");
+        }
+        platform.advanceHours(kMeasureSettleHours);
+        const tdc::MeasurementSweep sweep = measure->measureAll(
+            attacker_inst.dieTempK(), attacker_inst.rng());
+        recorder.record(at_hour, sweep);
+        measure_seconds += sweep.wall_seconds;
+        ++sweeps;
+    };
+
+    // First attacker sample: the centering origin (hour 200).
+    measureNow(hour);
+    double observed = 0.0;
+    while (observed < config.recovery_hours - 1e-9) {
+        const double dt = std::min(config.measure_every_h,
+                                   config.recovery_hours - observed);
+        if (!platform.loadDesign(*attacker_id, park).empty()) {
+            util::fatal("runExperiment3: park design failed DRC");
+        }
+        platform.advanceHours(
+            std::max(0.0, dt - kMeasureSettleHours));
+        observed += dt;
+        measureNow(hour + observed);
+    }
+    platform.release(*attacker_id);
+
+    return assembleResult(setup, recorder, hour + observed,
+                          measure_seconds, sweeps);
+}
+
+} // namespace pentimento::core

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The paper's three experiments (§5-6).
+ *
+ * Each experiment interleaves the Calibration, Condition and
+ * Measurement phases of §5.2 over simulated hours:
+ *
+ *  - Experiment 1 (lab): a factory-new ZCU102 in a 60 C oven; 64
+ *    routes in four delay groups burn a random X for 200 h, then
+ *    recover under X̄ for 200 h, measured hourly (Figure 6).
+ *  - Experiment 2 (cloud, TM1): the same route groups on a rented,
+ *    multi-year-old AWS F1 card; 200 h of burn with hourly
+ *    measurement interleaved by the attacker (Figure 7).
+ *  - Experiment 3 (cloud, TM2): a victim burns X for 200 h
+ *    uninterrupted and releases; the attacker re-acquires the board,
+ *    parks the routes at logic 0 and watches 25 h of recovery
+ *    (Figure 8).
+ *
+ * Results are centered ∆ps series per route plus ground-truth burn
+ * values for scoring.
+ */
+
+#ifndef PENTIMENTO_CORE_EXPERIMENT_HPP
+#define PENTIMENTO_CORE_EXPERIMENT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/platform.hpp"
+#include "core/delta_series.hpp"
+#include "core/presets.hpp"
+#include "fabric/design.hpp"
+#include "fabric/device.hpp"
+#include "mitigation/strategy.hpp"
+#include "tdc/measure_design.hpp"
+
+namespace pentimento::core {
+
+/**
+ * Thermal settle time before each measurement sweep, hours (54 s ≈
+ * the paper's 52 s measurement). The die relaxes to the Measure
+ * design's power level, so the baseline and every later sweep see the
+ * same thermal operating point; without this, the Target design's
+ * tens of watts would alias into ∆ps through the rise/fall
+ * temperature-coefficient mismatch.
+ */
+inline constexpr double kMeasureSettleHours = 0.015;
+
+/** One set of identically-sized routes under test. */
+struct RouteGroup
+{
+    double target_ps = 1000.0;
+    int count = 16;
+};
+
+/** The paper's standard 64-route layout (16 each of 1/2/5/10 ns). */
+std::vector<RouteGroup> paperRouteGroups();
+
+/** Result record for one route under test. */
+struct RouteRecord
+{
+    std::string name;
+    double target_ps = 0.0;
+    /** Ground-truth burn bit (opaque to the attacker; for scoring). */
+    bool burn_value = false;
+    /** Centered ∆ps series. */
+    DeltaSeries series;
+};
+
+/** Output of one experiment run. */
+struct ExperimentResult
+{
+    std::vector<RouteRecord> routes;
+    /** Hours spent in the Condition phase. */
+    double condition_hours = 0.0;
+    /** Total modeled Measurement wall-clock, seconds. */
+    double measure_seconds = 0.0;
+    /** Number of measurement sweeps taken. */
+    std::size_t sweeps = 0;
+
+    /** Fraction of experiment time spent measuring (paper: ~1.4%). */
+    double measurementFraction() const;
+
+    /** Mean wall-clock of one sweep (paper: 33-52 s). */
+    double secondsPerSweep() const;
+
+    /** Indices of the routes belonging to a delay group. */
+    std::vector<std::size_t> groupIndices(double target_ps) const;
+};
+
+/** Experiment 1 configuration (lab, Figure 6). */
+struct Experiment1Config
+{
+    std::vector<RouteGroup> groups = paperRouteGroups();
+    double burn_hours = 200.0;
+    double recovery_hours = 200.0;
+    double oven_temp_c = 60.0;
+    double measure_every_h = 1.0;
+    fabric::DeviceConfig device = zcu102New();
+    fabric::ArithmeticHeavyConfig arith{};
+    tdc::TdcConfig tdc{};
+    std::uint64_t seed = 2023;
+    /** Optional user mitigation applied during the burn (ablations). */
+    mitigation::MitigationStrategy *strategy = nullptr;
+};
+
+/** Run Experiment 1 on a local device. */
+ExperimentResult runExperiment1(const Experiment1Config &config);
+
+/** Experiment 2 configuration (cloud, TM1, Figure 7). */
+struct Experiment2Config
+{
+    std::vector<RouteGroup> groups = paperRouteGroups();
+    double burn_hours = 200.0;
+    double measure_every_h = 1.0;
+    cloud::PlatformConfig platform = awsF1Region();
+    fabric::ArithmeticHeavyConfig arith{}; // 3896 DSPs, ~63 W
+    tdc::TdcConfig tdc{};
+    std::uint64_t seed = 2023;
+    mitigation::MitigationStrategy *strategy = nullptr;
+};
+
+/** Run Experiment 2 against a cloud platform. */
+ExperimentResult runExperiment2(const Experiment2Config &config);
+
+/** Experiment 3 configuration (cloud, TM2, Figure 8). */
+struct Experiment3Config
+{
+    std::vector<RouteGroup> groups = paperRouteGroups();
+    /** Victim burn, uninstrumented (no attacker access). */
+    double burn_hours = 200.0;
+    /** Attacker's recovery observation window. */
+    double recovery_hours = 25.0;
+    double measure_every_h = 1.0;
+    /**
+     * Hours the attacker waits between the victim's release and their
+     * own rental (e.g. to outlast a provider quarantine). The board
+     * sits in the pool recovering — or being scrubbed — meanwhile.
+     */
+    double attacker_wait_h = 0.0;
+    /** Value the attacker parks the routes at (§6.3 chooses 0). */
+    bool park_value = false;
+    cloud::PlatformConfig platform = awsF1Region();
+    fabric::ArithmeticHeavyConfig arith{};
+    tdc::TdcConfig tdc{};
+    std::uint64_t seed = 2023;
+    /** Optional victim-side mitigation (incl. its epilogue). */
+    mitigation::MitigationStrategy *strategy = nullptr;
+};
+
+/** Run Experiment 3 against a cloud platform. */
+ExperimentResult runExperiment3(const Experiment3Config &config);
+
+} // namespace pentimento::core
+
+#endif // PENTIMENTO_CORE_EXPERIMENT_HPP

@@ -1,0 +1,65 @@
+#include "core/keyrank.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace pentimento::core {
+
+double
+binaryEntropy(double p)
+{
+    if (p <= 0.0 || p >= 1.0) {
+        return 0.0;
+    }
+    return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+KeyRankReport
+analyzeKeyRank(const std::vector<BitEstimate> &bits,
+               double target_success)
+{
+    if (target_success <= 0.0 || target_success >= 1.0) {
+        util::fatal("analyzeKeyRank: target outside (0,1)");
+    }
+    KeyRankReport report;
+    report.key_bits = bits.size();
+    if (bits.empty()) {
+        report.success_probability = 1.0;
+        return report;
+    }
+
+    // Confidence c maps to an estimated per-bit correctness
+    // probability of (1 + c) / 2: c = 0 is a coin flip, c = 1 is
+    // certain.
+    std::vector<double> p_correct;
+    p_correct.reserve(bits.size());
+    for (const BitEstimate &bit : bits) {
+        const double c = std::clamp(bit.confidence, 0.0, 1.0);
+        const double p = 0.5 * (1.0 + c);
+        p_correct.push_back(p);
+        report.residual_entropy_bits += binaryEntropy(p);
+    }
+
+    // Enumerate the least-confident bits until the joint probability
+    // of the remaining bits clears the target.
+    std::sort(p_correct.begin(), p_correct.end()); // ascending
+    double joint = 1.0;
+    for (const double p : p_correct) {
+        joint *= p;
+    }
+    std::size_t enumerated = 0;
+    double success = joint;
+    while (success < target_success && enumerated < p_correct.size()) {
+        // Removing a bit from the "must be right" set divides the
+        // joint probability by its correctness probability.
+        success /= p_correct[enumerated];
+        ++enumerated;
+    }
+    report.brute_force_bits = enumerated;
+    report.success_probability = success;
+    return report;
+}
+
+} // namespace pentimento::core

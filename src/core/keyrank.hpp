@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Key-recovery hardness analysis from per-bit estimates.
+ *
+ * The classifiers return a value and a confidence per bit. For a
+ * cryptographic key, partial recovery is already fatal if the
+ * attacker can brute-force the residue: sorting bits by confidence
+ * and enumerating the least-confident ones turns "85% of bits
+ * correct" into "the key falls in 2^k guesses". This module computes
+ * that k and the guessing-entropy summary used by the examples and
+ * EXPERIMENTS.md.
+ */
+
+#ifndef PENTIMENTO_CORE_KEYRANK_HPP
+#define PENTIMENTO_CORE_KEYRANK_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "core/classifier.hpp"
+
+namespace pentimento::core {
+
+/** Key-hardness summary for a set of recovered bits. */
+struct KeyRankReport
+{
+    /** Bits in the key. */
+    std::size_t key_bits = 0;
+    /**
+     * Shannon entropy (bits) remaining in the attacker's posterior:
+     * the sum of per-bit binary entropies implied by the confidences.
+     */
+    double residual_entropy_bits = 0.0;
+    /**
+     * Bits the attacker should enumerate (least-confident first) so
+     * that the chance all *other* bits are correct reaches the
+     * target success probability.
+     */
+    std::size_t brute_force_bits = 0;
+    /** Success probability achieved at that budget. */
+    double success_probability = 0.0;
+};
+
+/**
+ * Analyse a classification: how close is the attacker to the full
+ * key?
+ *
+ * @param bits per-bit estimates (value + confidence)
+ * @param target_success desired probability that the non-enumerated
+ *        bits are all correct
+ */
+KeyRankReport analyzeKeyRank(const std::vector<BitEstimate> &bits,
+                             double target_success = 0.9);
+
+/** Binary entropy of probability p, in bits. */
+double binaryEntropy(double p);
+
+} // namespace pentimento::core
+
+#endif // PENTIMENTO_CORE_KEYRANK_HPP

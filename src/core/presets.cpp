@@ -1,0 +1,53 @@
+#include "core/presets.hpp"
+
+#include "util/units.hpp"
+
+namespace pentimento::core {
+
+fabric::DeviceConfig
+zcu102New(std::uint64_t seed)
+{
+    fabric::DeviceConfig config;
+    config.family = "xczu9eg";
+    config.tiles_x = 192;
+    config.tiles_y = 192;
+    config.service_age_h = 0.0;
+    config.seed = seed;
+    return config;
+}
+
+fabric::DeviceConfig
+awsF1Silicon(std::uint64_t seed)
+{
+    fabric::DeviceConfig config;
+    config.family = "xcvu9p";
+    config.tiles_x = 256;
+    config.tiles_y = 256;
+    config.seed = seed;
+    // Age is assigned per card by the platform.
+    config.service_age_h = 30000.0;
+    return config;
+}
+
+cloud::PlatformConfig
+awsF1Region(std::uint64_t seed)
+{
+    cloud::PlatformConfig config;
+    config.region = "eu-west-2";
+    config.fleet_size = 8;
+    config.device_template = awsF1Silicon();
+    // The region opened ~4 years before Experiment 2 (paper footnote);
+    // cards span roughly two to four years of service.
+    config.min_service_age_h = 18000.0;
+    config.max_service_age_h = 36000.0;
+    config.ambient.mean_k = util::celsiusToKelvin(45.0);
+    config.ambient.sigma_k = 1.6;
+    config.ambient.reversion_per_h = 0.25;
+    config.max_power_w = 85.0;
+    config.policy = cloud::AllocationPolicy::MostRecentlyReleased;
+    config.quarantine_hours = 0.0;
+    config.seed = seed;
+    return config;
+}
+
+} // namespace pentimento::core

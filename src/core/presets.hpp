@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Calibrated device/platform presets matching the paper's testbeds.
+ */
+
+#ifndef PENTIMENTO_CORE_PRESETS_HPP
+#define PENTIMENTO_CORE_PRESETS_HPP
+
+#include <cstdint>
+
+#include "cloud/platform.hpp"
+#include "fabric/device.hpp"
+
+namespace pentimento::core {
+
+/**
+ * A factory-new ZCU102 (Zynq UltraScale+), Experiment 1's board:
+ * zero service age, full fresh-BTI susceptibility.
+ */
+fabric::DeviceConfig zcu102New(std::uint64_t seed = 1);
+
+/**
+ * One AWS F1 card's silicon (Virtex UltraScale+ xcvu9p). Service age
+ * is set by the platform per card.
+ */
+fabric::DeviceConfig awsF1Silicon(std::uint64_t seed = 1);
+
+/**
+ * The eu-west-2 F1 region of Experiments 2-3: a small fleet of
+ * multi-year-old cards, OU ambient around 45 C, 85 W cap,
+ * most-recently-released allocation.
+ */
+cloud::PlatformConfig awsF1Region(std::uint64_t seed = 1234);
+
+} // namespace pentimento::core
+
+#endif // PENTIMENTO_CORE_PRESETS_HPP

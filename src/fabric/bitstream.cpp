@@ -1,0 +1,109 @@
+#include "fabric/bitstream.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace pentimento::fabric {
+
+Bitstream::Bitstream(std::shared_ptr<const Design> design,
+                     const DeviceConfig &target, bool encrypted)
+    : design_(std::move(design)), family_(target.family),
+      tiles_x_(target.tiles_x), nodes_per_tile_(target.nodes_per_tile),
+      routing_pitch_ps_(target.routing_pitch_ps), encrypted_(encrypted)
+{
+    if (!design_) {
+        util::fatal("Bitstream: null design");
+    }
+    if (family_.empty()) {
+        util::fatal("Bitstream: empty device family");
+    }
+}
+
+Bitstream
+Bitstream::compile(std::shared_ptr<const Design> design,
+                   const DeviceConfig &target)
+{
+    return Bitstream(std::move(design), target, false);
+}
+
+Bitstream
+Bitstream::compileEncrypted(std::shared_ptr<const Design> design,
+                            const DeviceConfig &target)
+{
+    return Bitstream(std::move(design), target, true);
+}
+
+std::size_t
+Bitstream::frameCount() const
+{
+    return 1 + (design_->configuredElements() + 31) / 32;
+}
+
+std::uint64_t
+Bitstream::linearOf(const ResourceId &id) const
+{
+    const std::uint64_t tile =
+        static_cast<std::uint64_t>(id.tile_y) * tiles_x_ + id.tile_x;
+    return tile * nodes_per_tile_ + id.index;
+}
+
+std::vector<RouteSpec>
+Bitstream::extractSkeleton() const
+{
+    if (encrypted_) {
+        util::fatal("Bitstream::extractSkeleton: image is encrypted "
+                    "(\"no FPGA internal design code is exposed\")");
+    }
+    // Collect the configured routing elements in allocator-linear
+    // placement order; maximal runs of adjacent positions with the
+    // same drive class reconstruct the nets.
+    struct Entry
+    {
+        std::uint64_t linear;
+        ResourceId id;
+        Activity kind;
+    };
+    std::vector<Entry> entries;
+    for (const auto &[key, activity] : design_->activityMap()) {
+        const ResourceId id = ResourceId::fromKey(key);
+        if (id.type != ResourceType::RoutingNode) {
+            continue;
+        }
+        entries.push_back({linearOf(id), id, activity.kind});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.linear < b.linear;
+              });
+
+    std::vector<RouteSpec> skeleton;
+    RouteSpec current;
+    std::uint64_t prev_linear = 0;
+    Activity prev_kind = Activity::Unused;
+    const auto flush = [&] {
+        if (!current.elements.empty()) {
+            current.name = "net_" + std::to_string(skeleton.size());
+            current.target_ps =
+                static_cast<double>(current.elements.size()) *
+                routing_pitch_ps_;
+            skeleton.push_back(std::move(current));
+            current = RouteSpec{};
+        }
+    };
+    for (const Entry &entry : entries) {
+        const bool adjacent = !current.elements.empty() &&
+                              entry.linear == prev_linear + 1 &&
+                              entry.kind == prev_kind;
+        if (!adjacent) {
+            flush();
+        }
+        current.elements.push_back(entry.id);
+        prev_linear = entry.linear;
+        prev_kind = entry.kind;
+    }
+    flush();
+    return skeleton;
+}
+
+} // namespace pentimento::fabric

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Bitstream images and skeleton extraction.
+ *
+ * Assumption 1 of the threat models rests on placement information
+ * flowing out of *bitstreams*: "the OpenTitan hardware root of trust
+ * distributes a prebuilt bitstream... Xilinx FINN provides prebuilt
+ * bitstreams... which allows one to determine the locations of the
+ * sensitive data" (paper §2). This module models that artifact:
+ *
+ *  - compile() serialises a Design into a frame-oriented image tied
+ *    to a device geometry;
+ *  - encrypted images (AWS marketplace AFIs) can be *loaded* but not
+ *    inspected;
+ *  - plaintext images (OpenTitan / FINN style) expose their
+ *    configuration, and extractSkeleton() recovers the route
+ *    placements — exactly the reverse-engineering step an attacker
+ *    performs on a public prebuilt.
+ */
+
+#ifndef PENTIMENTO_FABRIC_BITSTREAM_HPP
+#define PENTIMENTO_FABRIC_BITSTREAM_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fabric/design.hpp"
+#include "fabric/device.hpp"
+#include "fabric/route.hpp"
+
+namespace pentimento::fabric {
+
+/**
+ * A compiled FPGA configuration image.
+ */
+class Bitstream
+{
+  public:
+    /** Compile a design into a plaintext image for a device family. */
+    static Bitstream compile(std::shared_ptr<const Design> design,
+                             const DeviceConfig &target);
+
+    /**
+     * Compile with bitstream encryption (the marketplace case): the
+     * image still loads, but its contents cannot be inspected.
+     */
+    static Bitstream
+    compileEncrypted(std::shared_ptr<const Design> design,
+                     const DeviceConfig &target);
+
+    /** Whether the configuration payload is encrypted. */
+    bool encrypted() const { return encrypted_; }
+
+    /** Device family the image targets (must match at load). */
+    const std::string &deviceFamily() const { return family_; }
+
+    /**
+     * Number of configuration frames (one frame per 32 configured
+     * elements, plus a header) — a size metric for reports.
+     */
+    std::size_t frameCount() const;
+
+    /**
+     * Materialise the design for loading. Both plaintext and
+     * encrypted images load — the platform holds the decryption key.
+     */
+    std::shared_ptr<const Design> instantiate() const { return design_; }
+
+    /**
+     * Reverse-engineer the net skeletons from a *plaintext* image:
+     * maximal runs of consecutively-placed, identically-driven
+     * routing elements are reported as one net each, ordered by
+     * placement. Static values are deliberately not returned — for
+     * the public prebuilt flows the secrets are loaded at runtime
+     * (Type B), so placements are what the image leaks.
+     *
+     * @throws util::FatalError on an encrypted image
+     */
+    std::vector<RouteSpec> extractSkeleton() const;
+
+  private:
+    Bitstream(std::shared_ptr<const Design> design,
+              const DeviceConfig &target, bool encrypted);
+
+    /** Allocator-linear position of a routing node on the target. */
+    std::uint64_t linearOf(const ResourceId &id) const;
+
+    std::shared_ptr<const Design> design_;
+    std::string family_;
+    std::uint16_t tiles_x_;
+    std::uint16_t nodes_per_tile_;
+    double routing_pitch_ps_;
+    bool encrypted_;
+};
+
+} // namespace pentimento::fabric
+
+#endif // PENTIMENTO_FABRIC_BITSTREAM_HPP

@@ -1,0 +1,155 @@
+#include "fabric/design.hpp"
+
+#include "util/logging.hpp"
+
+namespace pentimento::fabric {
+
+Design::Design(std::string name) : name_(std::move(name))
+{
+    if (name_.empty()) {
+        util::fatal("Design: empty name");
+    }
+}
+
+void
+Design::setPowerW(double watts)
+{
+    if (watts < 0.0) {
+        util::fatal("Design::setPowerW: negative power");
+    }
+    power_w_ = watts;
+}
+
+void
+Design::setElementActivity(ResourceId id, ElementActivity activity)
+{
+    if (activity.kind == Activity::Unused) {
+        activity_.erase(id.key());
+        return;
+    }
+    activity_[id.key()] = activity;
+}
+
+void
+Design::setRouteValue(const RouteSpec &spec, bool value)
+{
+    const ElementActivity a{value ? Activity::Hold1 : Activity::Hold0,
+                            0.5};
+    for (const ResourceId &id : spec.elements) {
+        activity_[id.key()] = a;
+    }
+}
+
+void
+Design::setRouteToggling(const RouteSpec &spec, double duty_one)
+{
+    if (duty_one < 0.0 || duty_one > 1.0) {
+        util::fatal("Design::setRouteToggling: duty outside [0,1]");
+    }
+    const ElementActivity a{Activity::Toggle, duty_one};
+    for (const ResourceId &id : spec.elements) {
+        activity_[id.key()] = a;
+    }
+}
+
+void
+Design::clearRoute(const RouteSpec &spec)
+{
+    for (const ResourceId &id : spec.elements) {
+        activity_.erase(id.key());
+    }
+}
+
+ElementActivity
+Design::activityFor(ResourceId id) const
+{
+    const auto it = activity_.find(id.key());
+    if (it == activity_.end()) {
+        return ElementActivity{};
+    }
+    return it->second;
+}
+
+void
+Design::addCombinationalEdge(const std::string &from,
+                             const std::string &to)
+{
+    edges_.emplace_back(from, to);
+}
+
+TargetDesign::TargetDesign(std::string name,
+                           const std::vector<RouteSpec> &routes,
+                           const std::vector<bool> &burn_values,
+                           const ArithmeticHeavyConfig &arith)
+    : Design(std::move(name)), routes_(routes), burn_values_(burn_values),
+      arith_(arith)
+{
+    if (routes_.size() != burn_values_.size()) {
+        util::fatal("TargetDesign: routes/burn value count mismatch");
+    }
+    for (std::size_t i = 0; i < routes_.size(); ++i) {
+        setRouteValue(routes_[i], burn_values_[i]);
+    }
+    // The Arithmetic Heavy datapath: fused multiply-add arrays around
+    // the routes under test (paper Figure 4). We model its aging
+    // contribution abstractly as DSP-site toggle activity and, more
+    // importantly for the experiments, its heat.
+    for (int d = 0; d < arith_.dsp_count; ++d) {
+        ResourceId id;
+        id.type = ResourceType::Dsp;
+        id.tile_x = static_cast<std::uint16_t>(d & 0xff);
+        id.tile_y = static_cast<std::uint16_t>((d >> 8) & 0xff);
+        id.index = static_cast<std::uint16_t>(d >> 16);
+        setElementActivity(id,
+                           ElementActivity{Activity::Toggle,
+                                           arith_.duty_one});
+        // A pipelined FMA is feed-forward: declare a few arcs so the
+        // DRC sees a realistic, loop-free netlist.
+        if (d < 8) {
+            addCombinationalEdge("fma" + std::to_string(d) + "/mul",
+                                 "fma" + std::to_string(d) + "/add");
+        }
+    }
+    setPowerW(arith_.base_watts + arith_.dsp_count * arith_.watts_per_dsp);
+}
+
+bool
+TargetDesign::burnValue(std::size_t i) const
+{
+    if (i >= burn_values_.size()) {
+        util::fatal("TargetDesign::burnValue: index out of range");
+    }
+    return burn_values_[i];
+}
+
+const RouteSpec &
+TargetDesign::routeSpec(std::size_t i) const
+{
+    if (i >= routes_.size()) {
+        util::fatal("TargetDesign::routeSpec: index out of range");
+    }
+    return routes_[i];
+}
+
+void
+TargetDesign::relocateRoute(std::size_t i, RouteSpec new_spec)
+{
+    if (i >= routes_.size()) {
+        util::fatal("TargetDesign::relocateRoute: index out of range");
+    }
+    clearRoute(routes_[i]);
+    routes_[i] = std::move(new_spec);
+    setRouteValue(routes_[i], burn_values_[i]);
+}
+
+void
+TargetDesign::setBurnValue(std::size_t i, bool value)
+{
+    if (i >= routes_.size()) {
+        util::fatal("TargetDesign::setBurnValue: index out of range");
+    }
+    burn_values_[i] = value;
+    setRouteValue(routes_[i], value);
+}
+
+} // namespace pentimento::fabric

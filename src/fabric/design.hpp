@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Designs: what a tenant programs onto the device.
+ *
+ * A Design maps physical elements to activities (hold 0 / hold 1 /
+ * toggle / unused), carries a power estimate, and exposes a coarse
+ * combinational netlist for design-rule checking. TargetDesign is the
+ * paper's Figure 4 artifact: routes under test pinned to burn values,
+ * surrounded by Arithmetic Heavy circuitry, with the measurement
+ * region left unconfigured.
+ */
+
+#ifndef PENTIMENTO_FABRIC_DESIGN_HPP
+#define PENTIMENTO_FABRIC_DESIGN_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fabric/route.hpp"
+#include "fabric/routing_element.hpp"
+
+namespace pentimento::fabric {
+
+/**
+ * Base design: element activity map + power + netlist edges.
+ */
+class Design
+{
+  public:
+    explicit Design(std::string name);
+    virtual ~Design() = default;
+
+    /** Design (or AFI) name. */
+    const std::string &name() const { return name_; }
+
+    /** Estimated power draw while loaded, in watts. */
+    double powerW() const { return power_w_; }
+
+    /** Set the power estimate. */
+    void setPowerW(double watts);
+
+    /** Configure a single element's activity. */
+    void setElementActivity(ResourceId id, ElementActivity activity);
+
+    /** Pin every element of a route to a static burn value. */
+    void setRouteValue(const RouteSpec &spec, bool value);
+
+    /** Drive a route with toggling data. */
+    void setRouteToggling(const RouteSpec &spec, double duty_one = 0.5);
+
+    /** Remove any configuration from a route's elements. */
+    void clearRoute(const RouteSpec &spec);
+
+    /** Activity of an element (Unused when unconfigured). */
+    ElementActivity activityFor(ResourceId id) const;
+
+    /** Number of configured elements. */
+    std::size_t configuredElements() const { return activity_.size(); }
+
+    /** Iterate all configured (id, activity) pairs. */
+    const std::unordered_map<std::uint64_t, ElementActivity> &
+    activityMap() const
+    {
+        return activity_;
+    }
+
+    /**
+     * Declare a combinational arc between named logic nodes; the DRC
+     * scans these for loops (ring-oscillator detection, as AWS does).
+     */
+    void addCombinationalEdge(const std::string &from,
+                              const std::string &to);
+
+    /** All declared combinational arcs. */
+    const std::vector<std::pair<std::string, std::string>> &
+    combinationalEdges() const
+    {
+        return edges_;
+    }
+
+  private:
+    std::string name_;
+    double power_w_ = 0.0;
+    std::unordered_map<std::uint64_t, ElementActivity> activity_;
+    std::vector<std::pair<std::string, std::string>> edges_;
+};
+
+/** Parameters of the Arithmetic Heavy filler (paper Figure 4). */
+struct ArithmeticHeavyConfig
+{
+    /** DSP blocks used (Experiment 2 uses 3896). */
+    int dsp_count = 3896;
+    /** Power per active DSP column, watts. */
+    double watts_per_dsp = 0.016;
+    /** Static power of the shell + design, watts. */
+    double base_watts = 0.7;
+    /** Toggle duty (fraction of time at one) of the datapath. */
+    double duty_one = 0.5;
+};
+
+/**
+ * The paper's Target design (Figure 4): burn values held on the
+ * routes under test, Arithmetic Heavy circuits around them, and the
+ * slices above the routes left unconfigured for the later Measure
+ * design.
+ */
+class TargetDesign : public Design
+{
+  public:
+    /**
+     * @param name design name
+     * @param routes routes under test (the skeleton)
+     * @param burn_values one burn bit per route
+     * @param arith Arithmetic Heavy sizing; its DSP/datapath elements
+     *        are synthesised beside the routes
+     */
+    TargetDesign(std::string name, const std::vector<RouteSpec> &routes,
+                 const std::vector<bool> &burn_values,
+                 const ArithmeticHeavyConfig &arith = {});
+
+    /** The burn value applied to route i. */
+    bool burnValue(std::size_t i) const;
+
+    /** Number of routes under test. */
+    std::size_t routeCount() const { return routes_.size(); }
+
+    /** Skeleton of route i. */
+    const RouteSpec &routeSpec(std::size_t i) const;
+
+    /** Change the value held on route i (mitigations rotate these). */
+    void setBurnValue(std::size_t i, bool value);
+
+    /**
+     * Move route i to a different physical location (wear-leveling /
+     * partial-reconfiguration mitigation, §8.1): the old elements are
+     * released and the burn value reappears on the new skeleton.
+     */
+    void relocateRoute(std::size_t i, RouteSpec new_spec);
+
+    /** Arithmetic Heavy sizing in effect. */
+    const ArithmeticHeavyConfig &arithmeticConfig() const { return arith_; }
+
+  private:
+    std::vector<RouteSpec> routes_;
+    std::vector<bool> burn_values_;
+    ArithmeticHeavyConfig arith_;
+};
+
+} // namespace pentimento::fabric
+
+#endif // PENTIMENTO_FABRIC_DESIGN_HPP

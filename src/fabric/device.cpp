@@ -1,0 +1,220 @@
+#include "fabric/device.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace pentimento::fabric {
+
+Device::Device(DeviceConfig config) : config_(std::move(config))
+{
+    if (config_.tiles_x == 0 || config_.tiles_y == 0 ||
+        config_.nodes_per_tile == 0) {
+        util::fatal("Device: empty fabric grid");
+    }
+    if (config_.routing_pitch_ps <= 0.0 || config_.carry_pitch_ps <= 0.0) {
+        util::fatal("Device: non-positive element pitch");
+    }
+    fresh_scale_ =
+        config_.age_model.freshStressScale(config_.service_age_h);
+}
+
+RoutingElement
+Device::makeElement(ResourceId id) const
+{
+    // Variation must be a pure function of (device seed, resource id)
+    // so that materialisation order is irrelevant and the same board
+    // rented twice presents identical silicon.
+    util::Rng stream = util::Rng(config_.seed).split(id.key());
+    phys::VariationSampler sampler(config_.variation, stream);
+    const phys::ElementVariation var = sampler.sample();
+    double pitch = config_.routing_pitch_ps;
+    double coupling = 1.0;
+    switch (id.type) {
+      case ResourceType::CarryElement:
+        pitch = config_.carry_pitch_ps;
+        break;
+      case ResourceType::Lut:
+        pitch = config_.lut_pitch_ps;
+        coupling = config_.lut_bti_coupling;
+        break;
+      default:
+        break;
+    }
+    return RoutingElement(id, pitch, pitch, var,
+                          fresh_scale_ * coupling);
+}
+
+RoutingElement &
+Device::element(ResourceId id)
+{
+    const auto it = elements_.find(id.key());
+    if (it != elements_.end()) {
+        return it->second;
+    }
+    auto [ins, ok] = elements_.emplace(id.key(), makeElement(id));
+    (void)ok;
+    return ins->second;
+}
+
+const RoutingElement *
+Device::findElement(ResourceId id) const
+{
+    const auto it = elements_.find(id.key());
+    return it == elements_.end() ? nullptr : &it->second;
+}
+
+RouteSpec
+Device::allocateRoute(const std::string &name, double target_ps)
+{
+    if (target_ps <= 0.0) {
+        util::fatal("Device::allocateRoute: non-positive target delay");
+    }
+    const auto count = static_cast<std::size_t>(
+        std::max(1.0, std::round(target_ps / config_.routing_pitch_ps)));
+    RouteSpec spec;
+    spec.name = name;
+    spec.target_ps = target_ps;
+    spec.elements.reserve(count);
+    const std::uint64_t per_tile = config_.nodes_per_tile;
+    const std::uint64_t capacity = static_cast<std::uint64_t>(
+                                       config_.tiles_x) *
+                                   config_.tiles_y * per_tile;
+    if (alloc_cursor_ + count > capacity) {
+        util::fatal("Device::allocateRoute: fabric exhausted");
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::uint64_t linear = alloc_cursor_++;
+        ResourceId id;
+        id.type = ResourceType::RoutingNode;
+        id.index = static_cast<std::uint16_t>(linear % per_tile);
+        const std::uint64_t tile = linear / per_tile;
+        id.tile_x = static_cast<std::uint16_t>(tile % config_.tiles_x);
+        id.tile_y = static_cast<std::uint16_t>(tile / config_.tiles_x);
+        spec.elements.push_back(id);
+    }
+    return spec;
+}
+
+RouteSpec
+Device::allocateCarryChain(const std::string &name, std::size_t taps)
+{
+    if (taps == 0) {
+        util::fatal("Device::allocateCarryChain: zero taps");
+    }
+    RouteSpec spec;
+    spec.name = name;
+    spec.target_ps = static_cast<double>(taps) * config_.carry_pitch_ps;
+    spec.elements.reserve(taps);
+    // Carry chains occupy a dedicated column address space; they are
+    // "uniformly placed and routed in consecutive physical locations"
+    // (paper §4).
+    for (std::size_t i = 0; i < taps; ++i) {
+        const std::uint64_t linear = carry_cursor_++;
+        ResourceId id;
+        id.type = ResourceType::CarryElement;
+        id.index = static_cast<std::uint16_t>(linear & 0xffff);
+        id.tile_x = static_cast<std::uint16_t>((linear >> 16) & 0xffff);
+        id.tile_y = static_cast<std::uint16_t>((linear >> 32) & 0xffff);
+        spec.elements.push_back(id);
+    }
+    return spec;
+}
+
+RouteSpec
+Device::allocateLutPath(const std::string &name, std::size_t cells)
+{
+    if (cells == 0) {
+        util::fatal("Device::allocateLutPath: zero cells");
+    }
+    RouteSpec spec;
+    spec.name = name;
+    spec.target_ps = static_cast<double>(cells) * config_.lut_pitch_ps;
+    spec.elements.reserve(cells);
+    for (std::size_t i = 0; i < cells; ++i) {
+        const std::uint64_t linear = lut_cursor_++;
+        ResourceId id;
+        id.type = ResourceType::Lut;
+        id.index = static_cast<std::uint16_t>(linear & 0xffff);
+        id.tile_x = static_cast<std::uint16_t>((linear >> 16) & 0xffff);
+        id.tile_y = static_cast<std::uint16_t>((linear >> 32) & 0xffff);
+        spec.elements.push_back(id);
+    }
+    return spec;
+}
+
+std::vector<ResourceId>
+Device::materializedIds() const
+{
+    std::vector<ResourceId> ids;
+    ids.reserve(elements_.size());
+    for (const auto &[key, elem] : elements_) {
+        (void)elem;
+        ids.push_back(ResourceId::fromKey(key));
+    }
+    return ids;
+}
+
+Route
+Device::bindRoute(const RouteSpec &spec)
+{
+    return Route(*this, spec);
+}
+
+void
+Device::loadDesign(std::shared_ptr<const Design> design)
+{
+    if (!design) {
+        util::fatal("Device::loadDesign: null design");
+    }
+    // Materialise every element the design configures so that aging
+    // accrues from the moment the design starts running — a victim's
+    // routes must burn in even if nothing ever reads their delay.
+    for (const auto &[key, activity] : design->activityMap()) {
+        (void)activity;
+        element(ResourceId::fromKey(key));
+    }
+    design_ = std::move(design);
+}
+
+void
+Device::wipe()
+{
+    // Clears the configuration only. Aging — the pentimento — stays.
+    design_.reset();
+}
+
+void
+Device::advance(double dt_h, phys::ThermalEnvironment &thermal)
+{
+    if (dt_h < 0.0) {
+        util::fatal("Device::advance: negative time step");
+    }
+    const double power = design_ ? design_->powerW() : 0.0;
+    const double temp_k = thermal.step(power, dt_h);
+    for (auto &[key, elem] : elements_) {
+        const ElementActivity activity =
+            design_ ? design_->activityFor(ResourceId::fromKey(key))
+                    : ElementActivity{};
+        elem.age(config_.bti, activity, temp_k, dt_h);
+    }
+    elapsed_h_ += dt_h;
+}
+
+void
+Device::applyServiceWear(double hours, double duty_one)
+{
+    if (hours < 0.0) {
+        util::fatal("Device::applyServiceWear: negative hours");
+    }
+    if (hours == 0.0) {
+        return;
+    }
+    for (auto &[key, elem] : elements_) {
+        (void)key;
+        elem.aging().holdToggling(config_.bti, duty_one,
+                                  config_.bti.reference_temp_k, hours);
+    }
+}
+
+} // namespace pentimento::fabric

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The simulated FPGA device.
+ *
+ * A Device owns the persistent physical state: every materialised
+ * element's process variation and BTI aging. Designs come and go —
+ * loadDesign()/wipe() change only the logical configuration — while
+ * aging keyed by ResourceId survives, which is exactly the data
+ * remanence the paper exploits. Element variation is a pure function
+ * of (device seed, resource id), so materialisation order never
+ * changes behaviour and two rentals of the same board see the same
+ * silicon.
+ */
+
+#ifndef PENTIMENTO_FABRIC_DEVICE_HPP
+#define PENTIMENTO_FABRIC_DEVICE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "fabric/design.hpp"
+#include "fabric/resource.hpp"
+#include "fabric/route.hpp"
+#include "fabric/routing_element.hpp"
+#include "phys/bti.hpp"
+#include "phys/thermal.hpp"
+#include "phys/variation.hpp"
+#include "util/rng.hpp"
+
+namespace pentimento::fabric {
+
+/** Static description of a device family + instance. */
+struct DeviceConfig
+{
+    /** Family name, e.g. "xcvu9p" (AWS F1) or "xczu9eg" (ZCU102). */
+    std::string family = "xcvu9p";
+    /** Interconnect tile grid. */
+    std::uint16_t tiles_x = 256;
+    std::uint16_t tiles_y = 256;
+    /** Routing nodes per interconnect tile. */
+    std::uint16_t nodes_per_tile = 64;
+    /** Mean per-element routing delay (ps). */
+    double routing_pitch_ps = 25.0;
+    /** Mean per-tap carry-chain delay (ps); the paper's 2.8 ps/bit. */
+    double carry_pitch_ps = 2.8;
+    /** Mean LUT read-path delay (ps). */
+    double lut_pitch_ps = 124.0;
+    /**
+     * How strongly a LUT config-SRAM cell's BTI couples into its read
+     * path delay. Zick et al. (paper §7) showed LUT imprints need
+     * femtosecond-class off-chip instrumentation precisely because
+     * the output-buffer coupling is orders of magnitude below a
+     * route's; cloud TDCs (~ps class) cannot see them.
+     */
+    double lut_bti_coupling = 0.02;
+    /** Physics calibration. */
+    phys::BtiParams bti = phys::BtiParams::ultrascalePlus();
+    phys::DelayParams delay{};
+    phys::VariationParams variation{};
+    /** Device-age derating model. */
+    phys::DeviceAgeModel age_model{};
+    /** Hours of prior service (0 = factory new ZCU102). */
+    double service_age_h = 0.0;
+    /** Per-device silicon seed (process variation identity). */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * One physical FPGA: persistent aging plus at most one loaded design.
+ */
+class Device
+{
+  public:
+    explicit Device(DeviceConfig config);
+
+    /** Static configuration. */
+    const DeviceConfig &config() const { return config_; }
+
+    /** Fresh-BTI derating from the device's service age. */
+    double freshScale() const { return fresh_scale_; }
+
+    /** Simulated hours elapsed since construction. */
+    double elapsedHours() const { return elapsed_h_; }
+
+    /**
+     * Materialise (if needed) and return an element. Variation is
+     * deterministic per (seed, id).
+     */
+    RoutingElement &element(ResourceId id);
+
+    /** Look up an element without materialising it. */
+    const RoutingElement *findElement(ResourceId id) const;
+
+    /** Number of materialised elements. */
+    std::size_t materializedCount() const { return elements_.size(); }
+
+    /**
+     * Allocate a route of roughly the requested delay out of
+     * consecutive routing nodes (the paper composes arbitrarily long
+     * route-under-test chains, §3).
+     */
+    RouteSpec allocateRoute(const std::string &name, double target_ps);
+
+    /**
+     * Allocate a TDC carry chain of the given number of taps.
+     */
+    RouteSpec allocateCarryChain(const std::string &name,
+                                 std::size_t taps);
+
+    /**
+     * Allocate a read path through LUT configuration SRAM cells (the
+     * resource Zick et al. targeted; paper §7). The cells imprint
+     * like any transistor, but their delay coupling is
+     * lut_bti_coupling — far below a TDC's reach.
+     */
+    RouteSpec allocateLutPath(const std::string &name,
+                              std::size_t cells);
+
+    /** Ids of every materialised element (provider scrub support). */
+    std::vector<ResourceId> materializedIds() const;
+
+    /** Bind a skeleton to this device. */
+    Route bindRoute(const RouteSpec &spec);
+
+    /** Program a design (replaces any currently loaded design). */
+    void loadDesign(std::shared_ptr<const Design> design);
+
+    /**
+     * Provider-style wipe: clears the logical configuration. The
+     * physical aging state is untouched — that is the vulnerability.
+     */
+    void wipe();
+
+    /** Currently loaded design, or nullptr. */
+    const Design *currentDesign() const { return design_.get(); }
+
+    /**
+     * Advance simulated time: steps the thermal environment with the
+     * loaded design's power and ages every materialised element
+     * according to its activity.
+     */
+    void advance(double dt_h, phys::ThermalEnvironment &thermal);
+
+    /**
+     * Pre-age the whole allocated fabric (used to model years of
+     * anonymous prior service; complements the fresh-scale derating).
+     */
+    void applyServiceWear(double hours, double duty_one = 0.5);
+
+  private:
+    RoutingElement makeElement(ResourceId id) const;
+
+    DeviceConfig config_;
+    double fresh_scale_;
+    double elapsed_h_ = 0.0;
+    std::uint64_t alloc_cursor_ = 0;
+    std::uint64_t carry_cursor_ = 0;
+    std::uint64_t lut_cursor_ = 0;
+    std::unordered_map<std::uint64_t, RoutingElement> elements_;
+    std::shared_ptr<const Design> design_;
+};
+
+} // namespace pentimento::fabric
+
+#endif // PENTIMENTO_FABRIC_DEVICE_HPP

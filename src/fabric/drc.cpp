@@ -1,0 +1,95 @@
+#include "fabric/drc.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pentimento::fabric {
+
+namespace {
+
+/**
+ * Iterative three-colour DFS over the combinational graph; returns a
+ * node on a cycle, or empty when acyclic.
+ */
+std::string
+findCombinationalLoop(
+    const std::vector<std::pair<std::string, std::string>> &edges)
+{
+    std::unordered_map<std::string, std::vector<std::string>> adj;
+    for (const auto &[from, to] : edges) {
+        adj[from].push_back(to);
+        adj.try_emplace(to);
+    }
+    enum class Colour { White, Grey, Black };
+    std::unordered_map<std::string, Colour> colour;
+    for (const auto &[node, _] : adj) {
+        colour[node] = Colour::White;
+    }
+    for (const auto &[start, _] : adj) {
+        if (colour[start] != Colour::White) {
+            continue;
+        }
+        // Explicit stack of (node, next-child-index) frames.
+        std::vector<std::pair<std::string, std::size_t>> stack;
+        stack.emplace_back(start, 0);
+        colour[start] = Colour::Grey;
+        while (!stack.empty()) {
+            auto &[node, child] = stack.back();
+            const auto &next = adj[node];
+            if (child < next.size()) {
+                const std::string &target = next[child++];
+                if (colour[target] == Colour::Grey) {
+                    return target;
+                }
+                if (colour[target] == Colour::White) {
+                    colour[target] = Colour::Grey;
+                    stack.emplace_back(target, 0);
+                }
+            } else {
+                colour[node] = Colour::Black;
+                stack.pop_back();
+            }
+        }
+    }
+    return {};
+}
+
+} // namespace
+
+DesignRuleChecker::DesignRuleChecker(double max_power_w)
+    : max_power_w_(max_power_w)
+{
+}
+
+std::vector<DrcViolation>
+DesignRuleChecker::check(const Design &design) const
+{
+    std::vector<DrcViolation> violations;
+
+    const std::string loop_node =
+        findCombinationalLoop(design.combinationalEdges());
+    if (!loop_node.empty()) {
+        violations.push_back(
+            {"combinational-loop",
+             "self-oscillating structure through '" + loop_node +
+                 "' (ring oscillators are rejected by the platform)"});
+    }
+
+    if (design.powerW() > max_power_w_) {
+        violations.push_back(
+            {"power-cap", "design draws " +
+                              std::to_string(design.powerW()) +
+                              " W, cap is " +
+                              std::to_string(max_power_w_) + " W"});
+    }
+
+    return violations;
+}
+
+bool
+DesignRuleChecker::accepts(const Design &design) const
+{
+    return check(design).empty();
+}
+
+} // namespace pentimento::fabric

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Design rule checking.
+ *
+ * Cloud providers vet tenant bitstreams: AWS rejects self-oscillating
+ * circuits (combinational loops, the substrate of ring-oscillator
+ * sensors) and enforces a power cap (85 W on F1). The paper's TDC
+ * passes these checks — a key advantage over RO sensors (§7) — and
+ * the ablation_sensor bench demonstrates the RO baseline being
+ * rejected here.
+ */
+
+#ifndef PENTIMENTO_FABRIC_DRC_HPP
+#define PENTIMENTO_FABRIC_DRC_HPP
+
+#include <string>
+#include <vector>
+
+#include "fabric/design.hpp"
+
+namespace pentimento::fabric {
+
+/** One rule violation found by the checker. */
+struct DrcViolation
+{
+    std::string rule;   ///< e.g. "combinational-loop", "power-cap"
+    std::string detail; ///< human-readable description
+};
+
+/**
+ * Provider-side design rule checker.
+ */
+class DesignRuleChecker
+{
+  public:
+    /** @param max_power_w platform power cap (AWS F1: 85 W) */
+    explicit DesignRuleChecker(double max_power_w = 85.0);
+
+    /** Run all rules; an empty result means the design is accepted. */
+    std::vector<DrcViolation> check(const Design &design) const;
+
+    /** Convenience: true when check() returns no violations. */
+    bool accepts(const Design &design) const;
+
+  private:
+    double max_power_w_;
+};
+
+} // namespace pentimento::fabric
+
+#endif // PENTIMENTO_FABRIC_DRC_HPP

@@ -1,0 +1,34 @@
+#include "fabric/resource.hpp"
+
+#include <sstream>
+
+namespace pentimento::fabric {
+
+const char *
+toString(ResourceType type)
+{
+    switch (type) {
+      case ResourceType::RoutingNode:
+        return "NODE";
+      case ResourceType::CarryElement:
+        return "CARRY";
+      case ResourceType::Register:
+        return "FF";
+      case ResourceType::Lut:
+        return "LUT";
+      case ResourceType::Dsp:
+        return "DSP";
+    }
+    return "?";
+}
+
+std::string
+ResourceId::toString() const
+{
+    std::ostringstream out;
+    out << "INT_X" << tile_x << "Y" << tile_y << "/"
+        << pentimento::fabric::toString(type) << "_" << index;
+    return out.str();
+}
+
+} // namespace pentimento::fabric

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Physical resource naming.
+ *
+ * Every transistor-bearing site in the simulated fabric has a stable
+ * ResourceId (tile coordinates, resource class, index within the
+ * tile). Stability matters: aging state is keyed by ResourceId, so a
+ * design loaded years later that touches the same physical site sees
+ * the imprint left by earlier tenants — the paper's Assumption 1
+ * ("the attacker knows the skeleton") is precisely knowledge of these
+ * ids.
+ */
+
+#ifndef PENTIMENTO_FABRIC_RESOURCE_HPP
+#define PENTIMENTO_FABRIC_RESOURCE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace pentimento::fabric {
+
+/** Classes of transistor-bearing resources modelled in the fabric. */
+enum class ResourceType : std::uint8_t
+{
+    RoutingNode,  ///< programmable interconnect segment + mux
+    CarryElement, ///< fast carry-chain stage (CARRY8 style)
+    Register,     ///< slice flip-flop
+    Lut,          ///< slice look-up table
+    Dsp           ///< DSP block (used by Arithmetic Heavy circuits)
+};
+
+/** Human-readable resource-class name. */
+const char *toString(ResourceType type);
+
+/**
+ * Stable identifier of one physical resource.
+ */
+struct ResourceId
+{
+    std::uint16_t tile_x = 0;
+    std::uint16_t tile_y = 0;
+    ResourceType type = ResourceType::RoutingNode;
+    std::uint16_t index = 0;
+
+    /** Pack into a 64-bit map key. */
+    std::uint64_t
+    key() const
+    {
+        return (static_cast<std::uint64_t>(tile_x) << 48) |
+               (static_cast<std::uint64_t>(tile_y) << 32) |
+               (static_cast<std::uint64_t>(type) << 16) |
+               static_cast<std::uint64_t>(index);
+    }
+
+    /** Inverse of key(). */
+    static ResourceId
+    fromKey(std::uint64_t k)
+    {
+        ResourceId id;
+        id.tile_x = static_cast<std::uint16_t>(k >> 48);
+        id.tile_y = static_cast<std::uint16_t>(k >> 32);
+        id.type = static_cast<ResourceType>((k >> 16) & 0xff);
+        id.index = static_cast<std::uint16_t>(k);
+        return id;
+    }
+
+    bool operator==(const ResourceId &other) const = default;
+
+    /** Vivado-flavoured site string, e.g. "INT_X12Y40/NODE_7". */
+    std::string toString() const;
+};
+
+} // namespace pentimento::fabric
+
+template <>
+struct std::hash<pentimento::fabric::ResourceId>
+{
+    std::size_t
+    operator()(const pentimento::fabric::ResourceId &id) const noexcept
+    {
+        return std::hash<std::uint64_t>{}(id.key());
+    }
+};
+
+#endif // PENTIMENTO_FABRIC_RESOURCE_HPP

@@ -1,0 +1,45 @@
+#include "fabric/route.hpp"
+
+#include "fabric/device.hpp"
+#include "util/logging.hpp"
+
+namespace pentimento::fabric {
+
+Route::Route(Device &device, RouteSpec spec)
+    : device_(&device), spec_(std::move(spec))
+{
+    if (spec_.elements.empty()) {
+        util::fatal("Route: spec '" + spec_.name + "' has no elements");
+    }
+}
+
+double
+Route::baseDelayPs(phys::Transition t) const
+{
+    double total = 0.0;
+    for (const ResourceId &id : spec_.elements) {
+        total += device_->element(id).basePs(t);
+    }
+    return total;
+}
+
+double
+Route::delayPs(phys::Transition t, double temp_k) const
+{
+    const auto &cfg = device_->config();
+    double total = 0.0;
+    for (const ResourceId &id : spec_.elements) {
+        total += device_->element(id).delayPs(cfg.bti, cfg.delay, t,
+                                              temp_k);
+    }
+    return total;
+}
+
+double
+Route::btiShiftPs(phys::Transition t) const
+{
+    return delayPs(t, device_->config().delay.ref_temp_k) -
+           baseDelayPs(t);
+}
+
+} // namespace pentimento::fabric

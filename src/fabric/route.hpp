@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Routes and route skeletons.
+ *
+ * A RouteSpec is the paper's "skeleton": the ordered list of physical
+ * resource ids a net occupies, with no knowledge of the value carried.
+ * Threat-model Assumption 1 is that the attacker possesses the
+ * victim's RouteSpecs (from an open-source bitstream such as OpenTitan
+ * or FINN, or as the AFI author). A Route binds a spec to a concrete
+ * Device for delay queries.
+ */
+
+#ifndef PENTIMENTO_FABRIC_ROUTE_HPP
+#define PENTIMENTO_FABRIC_ROUTE_HPP
+
+#include <string>
+#include <vector>
+
+#include "fabric/resource.hpp"
+#include "phys/delay_model.hpp"
+
+namespace pentimento::fabric {
+
+class Device;
+
+/**
+ * Placement skeleton of one net (Assumption 1 artifact).
+ */
+struct RouteSpec
+{
+    /** Net name, e.g. "keymgr_aes_key[key][0][17]". */
+    std::string name;
+    /** Nominal design delay this route was allocated for (ps). */
+    double target_ps = 0.0;
+    /** Ordered physical elements the net traverses. */
+    std::vector<ResourceId> elements;
+
+    /** Number of physical elements (transistor stages). */
+    std::size_t size() const { return elements.size(); }
+};
+
+/**
+ * A RouteSpec bound to a Device.
+ *
+ * Routes are cheap value types; the aging state lives in the Device.
+ */
+class Route
+{
+  public:
+    Route(Device &device, RouteSpec spec);
+
+    /** The placement skeleton. */
+    const RouteSpec &spec() const { return spec_; }
+
+    /** Net name. */
+    const std::string &name() const { return spec_.name; }
+
+    /** Number of elements. */
+    std::size_t size() const { return spec_.size(); }
+
+    /** Sum of un-aged element delays for a polarity. */
+    double baseDelayPs(phys::Transition t) const;
+
+    /** Present delay including BTI and temperature. */
+    double delayPs(phys::Transition t, double temp_k) const;
+
+    /**
+     * The pure BTI-induced delay shift for a polarity, in ps, at the
+     * reference temperature (diagnostic; the TDC never sees this
+     * directly).
+     */
+    double btiShiftPs(phys::Transition t) const;
+
+    /** Device this route is bound to. */
+    Device &device() { return *device_; }
+    const Device &device() const { return *device_; }
+
+  private:
+    Device *device_;
+    RouteSpec spec_;
+};
+
+} // namespace pentimento::fabric
+
+#endif // PENTIMENTO_FABRIC_ROUTE_HPP

@@ -1,0 +1,64 @@
+#include "fabric/routing_element.hpp"
+
+#include "util/logging.hpp"
+
+namespace pentimento::fabric {
+
+RoutingElement::RoutingElement(ResourceId id, double base_rise_ps,
+                               double base_fall_ps,
+                               const phys::ElementVariation &variation,
+                               double fresh_scale)
+    : id_(id), base_rise_ps_(base_rise_ps * variation.rise_mult),
+      base_fall_ps_(base_fall_ps * variation.fall_mult)
+{
+    if (base_rise_ps <= 0.0 || base_fall_ps <= 0.0) {
+        util::fatal("RoutingElement: non-positive base delay");
+    }
+    aging_.setScale(variation.bti_mult * fresh_scale);
+}
+
+double
+RoutingElement::basePs(phys::Transition t) const
+{
+    return t == phys::Transition::Rising ? base_rise_ps_ : base_fall_ps_;
+}
+
+double
+RoutingElement::delayPs(const phys::BtiParams &bti,
+                        const phys::DelayParams &dp, phys::Transition t,
+                        double temp_k) const
+{
+    const phys::TransistorType limiter = phys::limitingTransistor(t);
+    const double dvth = aging_.deltaVth(bti, limiter);
+    return phys::agedDelayPs(dp, t, basePs(t), dvth, temp_k);
+}
+
+void
+RoutingElement::age(const phys::BtiParams &bti,
+                    const ElementActivity &activity, double temp_k,
+                    double dt_h)
+{
+    switch (activity.kind) {
+      case Activity::Hold0:
+        aging_.holdStatic(bti, false, temp_k, dt_h);
+        break;
+      case Activity::Hold1:
+        aging_.holdStatic(bti, true, temp_k, dt_h);
+        break;
+      case Activity::Toggle:
+        aging_.holdToggling(bti, activity.duty_one, temp_k, dt_h);
+        break;
+      case Activity::Unused:
+        aging_.release(bti, temp_k, dt_h);
+        break;
+    }
+}
+
+double
+RoutingElement::deltaVth(const phys::BtiParams &bti,
+                         phys::TransistorType type) const
+{
+    return aging_.deltaVth(bti, type);
+}
+
+} // namespace pentimento::fabric

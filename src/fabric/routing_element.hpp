@@ -1,0 +1,92 @@
+/**
+ * @file
+ * One transistor-bearing fabric element.
+ *
+ * A routing element stands for a programmable interconnect segment
+ * (pass-transistor mux plus buffer) or one carry-chain stage. It owns
+ * its base rise/fall delays (with frozen process variation) and its
+ * BTI aging state — the aging state is the physical medium of the
+ * pentimento.
+ */
+
+#ifndef PENTIMENTO_FABRIC_ROUTING_ELEMENT_HPP
+#define PENTIMENTO_FABRIC_ROUTING_ELEMENT_HPP
+
+#include "fabric/resource.hpp"
+#include "phys/aging.hpp"
+#include "phys/delay_model.hpp"
+#include "phys/variation.hpp"
+
+namespace pentimento::fabric {
+
+/** What a configured design does with an element over an interval. */
+enum class Activity
+{
+    Unused, ///< not configured: both transistors recover
+    Hold0,  ///< statically holds logic 0 (NBTI stress on PMOS)
+    Hold1,  ///< statically holds logic 1 (PBTI stress on NMOS)
+    Toggle  ///< carries switching data (AC stress on both)
+};
+
+/** Activity plus its duty parameter. */
+struct ElementActivity
+{
+    Activity kind = Activity::Unused;
+    /** For Toggle: fraction of time at logic 1. */
+    double duty_one = 0.5;
+};
+
+/**
+ * A single physical element: delays + aging.
+ */
+class RoutingElement
+{
+  public:
+    /**
+     * @param id physical identity
+     * @param base_rise_ps un-aged rising-edge delay (variation baked in)
+     * @param base_fall_ps un-aged falling-edge delay
+     * @param variation frozen per-element multipliers
+     * @param fresh_scale device-age derating of BTI susceptibility
+     */
+    RoutingElement(ResourceId id, double base_rise_ps, double base_fall_ps,
+                   const phys::ElementVariation &variation,
+                   double fresh_scale);
+
+    /** Physical identity. */
+    const ResourceId &id() const { return id_; }
+
+    /** Un-aged delay for a polarity. */
+    double basePs(phys::Transition t) const;
+
+    /**
+     * Present delay for a polarity, including BTI shift and
+     * temperature.
+     */
+    double delayPs(const phys::BtiParams &bti, const phys::DelayParams &dp,
+                   phys::Transition t, double temp_k) const;
+
+    /** Advance aging for dt hours under the given activity. */
+    void age(const phys::BtiParams &bti, const ElementActivity &activity,
+             double temp_k, double dt_h);
+
+    /** Threshold shift of one transistor (volts). */
+    double deltaVth(const phys::BtiParams &bti,
+                    phys::TransistorType type) const;
+
+    /** Mutable aging state (tests, pre-wear injection). */
+    phys::ElementAging &aging() { return aging_; }
+
+    /** Aging state, read-only. */
+    const phys::ElementAging &aging() const { return aging_; }
+
+  private:
+    ResourceId id_;
+    double base_rise_ps_;
+    double base_fall_ps_;
+    phys::ElementAging aging_;
+};
+
+} // namespace pentimento::fabric
+
+#endif // PENTIMENTO_FABRIC_ROUTING_ELEMENT_HPP

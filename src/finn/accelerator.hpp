@@ -1,0 +1,117 @@
+/**
+ * @file
+ * FINN-style neural-network accelerator designs (paper §2).
+ *
+ * "Xilinx FINN provides prebuilt bitstreams for different neural
+ * network architectures... the complete source code and compilation
+ * scripts are available, which allows one to determine the locations
+ * of the sensitive data — the neural network weights."
+ *
+ * The threat: a vendor fine-tunes the public architecture with
+ * proprietary quantized weights and sells the result as an encrypted
+ * AFI. Because the *architecture* (and hence the placement skeleton)
+ * is public, an attacker who rents the AFI can aim TDCs at the weight
+ * routes and recover the weights bit by bit — Threat Model 1 against
+ * ML intellectual property.
+ *
+ * FinnAccelerator synthesises such a design: each weight is a
+ * quantized integer whose bits sit as netlist constants on dedicated
+ * routes, interleaved with toggling datapath nets (which conveniently
+ * also delimit the nets for bitstream-level skeleton extraction).
+ */
+
+#ifndef PENTIMENTO_FINN_ACCELERATOR_HPP
+#define PENTIMENTO_FINN_ACCELERATOR_HPP
+
+#include <memory>
+#include <vector>
+
+#include "fabric/bitstream.hpp"
+#include "fabric/design.hpp"
+#include "fabric/device.hpp"
+#include "util/rng.hpp"
+
+namespace pentimento::finn {
+
+/** Architecture parameters of the accelerator. */
+struct FinnConfig
+{
+    /** Weights per layer (e.g. {8, 8} = two 8-weight layers). */
+    std::vector<int> layer_weights = {8, 8};
+    /** Quantization width per weight (FINN commonly uses 2-8 bits). */
+    int weight_bits = 4;
+    /** Nominal delay of each weight-bit route, ps. */
+    double route_ps = 4000.0;
+    /** Datapath power per layer, watts. */
+    double watts_per_layer = 4.0;
+};
+
+/**
+ * One instantiated accelerator with concrete weights.
+ */
+class FinnAccelerator
+{
+  public:
+    /**
+     * Build the accelerator on a device.
+     *
+     * @param device device whose allocator provides placement
+     * @param config architecture
+     * @param weights one quantized value in [0, 2^weight_bits) per
+     *        weight; arity must match the architecture
+     */
+    FinnAccelerator(fabric::Device &device, const FinnConfig &config,
+                    std::vector<int> weights);
+
+    /** Draw random weights valid for an architecture. */
+    static std::vector<int> randomWeights(const FinnConfig &config,
+                                          util::Rng &rng);
+
+    /** The architecture. */
+    const FinnConfig &config() const { return config_; }
+
+    /** Ground-truth weights. */
+    const std::vector<int> &weights() const { return weights_; }
+
+    /** The weights flattened to bits (LSB first within a weight). */
+    std::vector<bool> weightBits() const;
+
+    /** The loadable design (weights as netlist constants). */
+    std::shared_ptr<fabric::TargetDesign> design() const
+    {
+        return design_;
+    }
+
+    /** Skeleton of the weight-bit routes (one per bit). */
+    const std::vector<fabric::RouteSpec> &weightSkeleton() const
+    {
+        return weight_routes_;
+    }
+
+    /**
+     * The public reference image: same architecture compiled with
+     * placeholder weights, shipped unencrypted (as the FINN project
+     * does). Attackers extract the skeleton from this.
+     */
+    fabric::Bitstream
+    referenceBitstream(const fabric::DeviceConfig &target,
+                       util::Rng &rng) const;
+
+    /** Reassemble quantized weights from recovered bits. */
+    static std::vector<int> decodeWeights(const std::vector<bool> &bits,
+                                          const FinnConfig &config);
+
+    /** Encode weights to the bit layout used on the routes. */
+    static std::vector<bool> encodeWeights(const std::vector<int> &w,
+                                           const FinnConfig &config);
+
+  private:
+    FinnConfig config_;
+    std::vector<int> weights_;
+    std::vector<fabric::RouteSpec> weight_routes_;
+    std::shared_ptr<fabric::TargetDesign> design_;
+};
+
+} // namespace pentimento::finn
+
+#endif // PENTIMENTO_FINN_ACCELERATOR_HPP

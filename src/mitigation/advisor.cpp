@@ -1,0 +1,58 @@
+#include "mitigation/advisor.hpp"
+
+#include <cmath>
+
+namespace pentimento::mitigation {
+
+RouteShorteningAdvisor::RouteShorteningAdvisor(
+    opentitan::AttackScenario scenario)
+    : metric_(scenario)
+{
+}
+
+double
+RouteShorteningAdvisor::safeLengthPs() const
+{
+    // expectedDeltaPs is linear in route length, so invert directly:
+    // the safe length is where SNR hits the detection threshold.
+    const auto &sc = metric_.scenario();
+    const double per_ps = metric_.expectedDeltaPs(1.0);
+    if (per_ps <= 0.0) {
+        return 1e12;
+    }
+    return sc.detection_snr * sc.sensor_noise_ps / per_ps;
+}
+
+AdvisorReport
+RouteShorteningAdvisor::analyze(
+    const std::vector<std::pair<std::string, double>> &routes) const
+{
+    AdvisorReport report;
+    report.safe_length_ps = safeLengthPs();
+    const auto &sc = metric_.scenario();
+    for (const auto &[name, length] : routes) {
+        RouteAdvice advice;
+        advice.name = name;
+        advice.length_ps = length;
+        advice.snr = metric_.expectedDeltaPs(length) / sc.sensor_noise_ps;
+        advice.flagged = advice.snr >= sc.detection_snr;
+        if (advice.flagged) {
+            advice.recommended_segments = static_cast<int>(
+                std::ceil(length / report.safe_length_ps));
+            // Splitting the net leaves each physical segment shorter;
+            // a re-timed segment boundary (register) breaks the
+            // attacker's single-route observable.
+            advice.post_split_snr =
+                metric_.expectedDeltaPs(
+                    length / advice.recommended_segments) /
+                sc.sensor_noise_ps;
+            ++report.flagged_count;
+        } else {
+            advice.post_split_snr = advice.snr;
+        }
+        report.routes.push_back(std::move(advice));
+    }
+    return report;
+}
+
+} // namespace pentimento::mitigation

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Route-shortening advisor (paper §8.1).
+ *
+ * "The user should strive to make routes that hold sensitive data as
+ * short as possible... The ability to specify that the physical
+ * design tools minimize sensitive routes would reduce vulnerability
+ * to pentimento-style attacks." This advisor is that verification
+ * aid: given a design's sensitive route lengths, it reports which
+ * exceed a safe length for a given attack scenario and what the
+ * leakage reduction from splitting them would be.
+ */
+
+#ifndef PENTIMENTO_MITIGATION_ADVISOR_HPP
+#define PENTIMENTO_MITIGATION_ADVISOR_HPP
+
+#include <string>
+#include <vector>
+
+#include "opentitan/vulnerability.hpp"
+
+namespace pentimento::mitigation {
+
+/** Advice for one route. */
+struct RouteAdvice
+{
+    std::string name;
+    double length_ps = 0.0;
+    double snr = 0.0;
+    bool flagged = false;       ///< SNR >= detection threshold
+    /** Segments to split into so each falls below the safe length. */
+    int recommended_segments = 1;
+    /** SNR of one segment after the recommended split. */
+    double post_split_snr = 0.0;
+};
+
+/** Whole-design report. */
+struct AdvisorReport
+{
+    double safe_length_ps = 0.0; ///< longest route below threshold
+    std::vector<RouteAdvice> routes;
+    std::size_t flagged_count = 0;
+};
+
+/**
+ * Analyses sensitive route lengths against an attack scenario.
+ */
+class RouteShorteningAdvisor
+{
+  public:
+    explicit RouteShorteningAdvisor(
+        opentitan::AttackScenario scenario = {});
+
+    /** Longest route whose predicted SNR stays below the threshold. */
+    double safeLengthPs() const;
+
+    /** Evaluate a set of named route lengths. */
+    AdvisorReport
+    analyze(const std::vector<std::pair<std::string, double>> &routes)
+        const;
+
+  private:
+    opentitan::VulnerabilityMetric metric_;
+};
+
+} // namespace pentimento::mitigation
+
+#endif // PENTIMENTO_MITIGATION_ADVISOR_HPP

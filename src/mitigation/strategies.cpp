@@ -1,0 +1,157 @@
+#include "mitigation/strategies.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hpp"
+
+namespace pentimento::mitigation {
+
+InversionMitigation::InversionMitigation(double period_h)
+    : period_h_(period_h)
+{
+    if (period_h_ <= 0.0) {
+        util::fatal("InversionMitigation: non-positive period");
+    }
+}
+
+void
+InversionMitigation::apply(fabric::TargetDesign &design,
+                           fabric::Device &device,
+                           const std::vector<bool> &logical_values,
+                           double hour)
+{
+    (void)device;
+    const auto period = static_cast<std::uint64_t>(hour / period_h_);
+    const bool invert = (period % 2) == 1;
+    for (std::size_t i = 0; i < logical_values.size(); ++i) {
+        design.setBurnValue(i, logical_values[i] != invert);
+    }
+}
+
+ShuffleMitigation::ShuffleMitigation(double period_h, std::uint64_t seed)
+    : period_h_(period_h), seed_(seed)
+{
+    if (period_h_ <= 0.0) {
+        util::fatal("ShuffleMitigation: non-positive period");
+    }
+}
+
+std::vector<std::size_t>
+ShuffleMitigation::permutationFor(std::uint64_t period,
+                                  std::size_t n) const
+{
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    util::Rng rng = util::Rng(seed_).split(period);
+    for (std::size_t i = n; i > 1; --i) {
+        const std::size_t j = rng.uniformInt(0, i - 1);
+        std::swap(perm[i - 1], perm[j]);
+    }
+    return perm;
+}
+
+void
+ShuffleMitigation::apply(fabric::TargetDesign &design,
+                         fabric::Device &device,
+                         const std::vector<bool> &logical_values,
+                         double hour)
+{
+    (void)device;
+    const auto period = static_cast<std::uint64_t>(hour / period_h_);
+    const std::vector<std::size_t> perm =
+        permutationFor(period, logical_values.size());
+    for (std::size_t i = 0; i < logical_values.size(); ++i) {
+        design.setBurnValue(i, logical_values[perm[i]]);
+    }
+}
+
+WearLevelMitigation::WearLevelMitigation(double period_h,
+                                         std::size_t locations)
+    : period_h_(period_h), locations_(locations)
+{
+    if (period_h_ <= 0.0 || locations_ < 2) {
+        util::fatal("WearLevelMitigation: bad configuration");
+    }
+}
+
+void
+WearLevelMitigation::apply(fabric::TargetDesign &design,
+                           fabric::Device &device,
+                           const std::vector<bool> &logical_values,
+                           double hour)
+{
+    const std::size_t n = logical_values.size();
+    if (sites_.empty()) {
+        // Lazily set up the alternate sites: location 0 is the
+        // design's original skeleton; the rest are fresh fabric.
+        sites_.resize(n);
+        for (std::size_t r = 0; r < n; ++r) {
+            sites_[r].push_back(design.routeSpec(r));
+            for (std::size_t l = 1; l < locations_; ++l) {
+                sites_[r].push_back(device.allocateRoute(
+                    design.routeSpec(r).name + "@site" +
+                        std::to_string(l),
+                    design.routeSpec(r).target_ps));
+            }
+        }
+    }
+    const auto period = static_cast<std::uint64_t>(hour / period_h_);
+    const std::size_t site = period % locations_;
+    if (site != current_site_ || hour == 0.0) {
+        for (std::size_t r = 0; r < n; ++r) {
+            design.relocateRoute(r, sites_[r][site]);
+        }
+        current_site_ = site;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        design.setBurnValue(i, logical_values[i]);
+    }
+}
+
+HoldRecoveryMitigation::HoldRecoveryMitigation(Epilogue::Policy policy,
+                                               double hold_hours)
+{
+    if (hold_hours < 0.0) {
+        util::fatal("HoldRecoveryMitigation: negative hold");
+    }
+    epilogue_.policy = policy;
+    epilogue_.hours = hold_hours;
+}
+
+std::string
+HoldRecoveryMitigation::name() const
+{
+    switch (epilogue_.policy) {
+      case Epilogue::Policy::Complement:
+        return "hold-complement";
+      case Epilogue::Policy::AllZero:
+        return "hold-zero";
+      case Epilogue::Policy::AllOne:
+        return "hold-one";
+      case Epilogue::Policy::None:
+        break;
+    }
+    return "hold-none";
+}
+
+void
+HoldRecoveryMitigation::apply(fabric::TargetDesign &design,
+                              fabric::Device &device,
+                              const std::vector<bool> &logical_values,
+                              double hour)
+{
+    (void)device;
+    (void)hour;
+    for (std::size_t i = 0; i < logical_values.size(); ++i) {
+        design.setBurnValue(i, logical_values[i]);
+    }
+}
+
+Epilogue
+HoldRecoveryMitigation::epilogue() const
+{
+    return epilogue_;
+}
+
+} // namespace pentimento::mitigation

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Concrete user mitigations from paper §8.1.
+ *
+ *  - InversionMitigation: "the data could be inverted at
+ *    predetermined periods (e.g., every hour)" — both polarities see
+ *    roughly equal stress, so the differential imprint cancels.
+ *  - ShuffleMitigation: "deterministically shuffled at the source and
+ *    unshuffled at the receiver" — each route carries a changing
+ *    mixture of bits.
+ *  - WearLevelMitigation: partial reconfiguration moves the sensitive
+ *    routes between physical locations, diluting the burn at any one
+ *    site (with the paper's caveat that it spreads the imprint).
+ *  - HoldRecoveryMitigation: the tenant erases the design and holds
+ *    the instance (optionally with complemented values) before
+ *    releasing, paying rent to bleed off the BTI signal.
+ */
+
+#ifndef PENTIMENTO_MITIGATION_STRATEGIES_HPP
+#define PENTIMENTO_MITIGATION_STRATEGIES_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/device.hpp"
+#include "mitigation/strategy.hpp"
+#include "util/rng.hpp"
+
+namespace pentimento::mitigation {
+
+/**
+ * Invert the held values every period.
+ */
+class InversionMitigation : public MitigationStrategy
+{
+  public:
+    /** @param period_h hours between inversions (paper suggests 1 h) */
+    explicit InversionMitigation(double period_h = 1.0);
+
+    std::string name() const override { return "invert"; }
+    void apply(fabric::TargetDesign &design, fabric::Device &device,
+               const std::vector<bool> &logical_values,
+               double hour) override;
+
+  private:
+    double period_h_;
+};
+
+/**
+ * Deterministically permute which logical bit each route carries,
+ * re-drawing the permutation every period.
+ */
+class ShuffleMitigation : public MitigationStrategy
+{
+  public:
+    ShuffleMitigation(double period_h, std::uint64_t seed);
+
+    std::string name() const override { return "shuffle"; }
+    void apply(fabric::TargetDesign &design, fabric::Device &device,
+               const std::vector<bool> &logical_values,
+               double hour) override;
+
+  private:
+    std::vector<std::size_t> permutationFor(std::uint64_t period,
+                                            std::size_t n) const;
+
+    double period_h_;
+    std::uint64_t seed_;
+};
+
+/**
+ * Rotate the sensitive routes across several physical locations via
+ * partial reconfiguration.
+ */
+class WearLevelMitigation : public MitigationStrategy
+{
+  public:
+    /**
+     * @param period_h hours between relocations
+     * @param locations number of physical sites per route
+     */
+    explicit WearLevelMitigation(double period_h,
+                                 std::size_t locations = 4);
+
+    std::string name() const override { return "wear-level"; }
+    void apply(fabric::TargetDesign &design, fabric::Device &device,
+               const std::vector<bool> &logical_values,
+               double hour) override;
+
+  private:
+    double period_h_;
+    std::size_t locations_;
+    /** [route][location] alternate skeletons, allocated lazily. */
+    std::vector<std::vector<fabric::RouteSpec>> sites_;
+    std::size_t current_site_ = 0;
+};
+
+/**
+ * Pass the logical values through unchanged, but hold the instance
+ * with an erase policy before release (§8.1's "erase their design and
+ * hold on to the instance for some time").
+ */
+class HoldRecoveryMitigation : public MitigationStrategy
+{
+  public:
+    HoldRecoveryMitigation(Epilogue::Policy policy, double hold_hours);
+
+    std::string name() const override;
+    void apply(fabric::TargetDesign &design, fabric::Device &device,
+               const std::vector<bool> &logical_values,
+               double hour) override;
+    Epilogue epilogue() const override;
+
+  private:
+    Epilogue epilogue_;
+};
+
+} // namespace pentimento::mitigation
+
+#endif // PENTIMENTO_MITIGATION_STRATEGIES_HPP

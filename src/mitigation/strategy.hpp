@@ -1,0 +1,92 @@
+/**
+ * @file
+ * User-side mitigation interface (paper §8.1).
+ *
+ * A mitigation strategy decides which *physical* values sit on the
+ * sensitive routes during each condition interval, given the
+ * unchanging *logical* data, and optionally what the tenant does with
+ * the instance after computing but before releasing it (the
+ * hold-and-recover mitigation). The attack benches run the same
+ * attacker against each strategy to quantify the residual leak.
+ */
+
+#ifndef PENTIMENTO_MITIGATION_STRATEGY_HPP
+#define PENTIMENTO_MITIGATION_STRATEGY_HPP
+
+#include <string>
+#include <vector>
+
+#include "fabric/design.hpp"
+#include "fabric/device.hpp"
+
+namespace pentimento::mitigation {
+
+/** What the tenant does between finishing work and releasing. */
+struct Epilogue
+{
+    enum class Policy
+    {
+        None,       ///< release immediately
+        Complement, ///< invert route values to speed BTI recovery
+        AllZero,    ///< park every route at 0
+        AllOne      ///< park every route at 1
+    };
+
+    Policy policy = Policy::None;
+    /** Hours the tenant pays to hold the instance after computing. */
+    double hours = 0.0;
+};
+
+/**
+ * Strategy interface: rewrite held values per interval.
+ */
+class MitigationStrategy
+{
+  public:
+    virtual ~MitigationStrategy() = default;
+
+    /** Strategy name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Configure the physical values for the next condition interval.
+     *
+     * @param design the tenant's loaded design (mutated in place)
+     * @param device the device the design runs on (wear-leveling
+     *        allocates alternate sites here)
+     * @param logical_values the true data, one bit per route
+     * @param hour simulated hour index since the tenancy started
+     */
+    virtual void apply(fabric::TargetDesign &design,
+                       fabric::Device &device,
+                       const std::vector<bool> &logical_values,
+                       double hour) = 0;
+
+    /** Pre-release behaviour; default: none. */
+    virtual Epilogue epilogue() const { return {}; }
+};
+
+/**
+ * Baseline: the logical values sit on the routes untouched — the
+ * vulnerable default every experiment in the paper uses.
+ */
+class NoMitigation : public MitigationStrategy
+{
+  public:
+    std::string name() const override { return "none"; }
+
+    void
+    apply(fabric::TargetDesign &design, fabric::Device &device,
+          const std::vector<bool> &logical_values, double hour) override
+    {
+        (void)device;
+        (void)hour;
+        for (std::size_t i = 0; i < logical_values.size(); ++i) {
+            design.setBurnValue(i, logical_values[i]);
+        }
+    }
+};
+
+} // namespace pentimento::mitigation
+
+#endif // PENTIMENTO_MITIGATION_STRATEGY_HPP

@@ -1,0 +1,121 @@
+#include "opentitan/assets.hpp"
+
+#include "util/logging.hpp"
+
+namespace pentimento::opentitan {
+
+const char *
+toString(AssetType type)
+{
+    switch (type) {
+      case AssetType::CryptographicKey:
+        return "CK";
+      case AssetType::StateToken:
+        return "SV/T";
+      case AssetType::Signal:
+        return "S";
+    }
+    return "?";
+}
+
+namespace {
+
+AssetInfo
+makeAsset(int index, const char *path, AssetType type, int width,
+          double mean, double sd, double min, double p25, double p50,
+          double p75, double max)
+{
+    AssetInfo a;
+    a.index = index;
+    a.path = path;
+    a.type = type;
+    a.bus_width = width;
+    a.reference.count = static_cast<std::size_t>(width);
+    a.reference.mean = mean;
+    a.reference.sd = sd;
+    a.reference.min = min;
+    a.reference.p25 = p25;
+    a.reference.p50 = p50;
+    a.reference.p75 = p75;
+    a.reference.max = max;
+    return a;
+}
+
+std::vector<AssetInfo>
+buildTable()
+{
+    using enum AssetType;
+    // Table 1 of the paper, verbatim: route lengths in ps of twenty
+    // security-critical assets of OpenTitan Earl Grey on a Virtex
+    // UltraScale+, sorted ascending by MAX.
+    return {
+        makeAsset(1, "/otp_ctrl_otp_lc_data[state]", StateToken, 320,
+                  169.5, 98.1, 39, 95.5, 157.5, 228, 509),
+        makeAsset(2, "/u_otp_ctrl/otp_ctrl_otp_lc_data[test_exit_token]",
+                  StateToken, 128, 197.5, 115.4, 37, 114, 170, 242.2,
+                  534),
+        makeAsset(3, "/otp_ctrl_otp_lc_data[rma_token]", StateToken, 101,
+                  239.8, 122.8, 38, 148, 222, 325, 583),
+        makeAsset(4, "/otp_ctrl_otp_lc_data[test_unlock_token]",
+                  StateToken, 128, 207.9, 120.1, 38, 130.5, 178.5, 247.2,
+                  609),
+        makeAsset(5, "/keymgr_aes_key[key][1]_282", CryptographicKey, 32,
+                  538.3, 106.4, 380, 433.5, 551, 614, 738),
+        makeAsset(6, "/keymgr_otbn_key[key][0]_285", CryptographicKey,
+                  384, 219.8, 150.9, 41, 99, 167, 327.2, 919),
+        makeAsset(7, "/keymgr_kmac_key[key][0]_28", CryptographicKey,
+                  256, 317.6, 141.7, 49, 213.8, 291, 408, 1050),
+        makeAsset(8, "/otp_ctrl_otp_keymgr_key[key_share0]",
+                  CryptographicKey, 256, 187.3, 200.8, 37, 54, 109, 217,
+                  1064),
+        makeAsset(9, "/u_otp_ctrl/part_scrmbl_rsp_data",
+                  CryptographicKey, 64, 353.4, 146.1, 116, 267.2, 348.5,
+                  411.2, 1075),
+        makeAsset(10, "/keymgr_aes_key[key][0]_283", CryptographicKey,
+                  256, 360.3, 154.2, 86, 270, 333, 412.2, 1311),
+        makeAsset(11, "/u_otp_ctrl/u_otp_ctrl_scrmbl/gen_anchor_keys",
+                  CryptographicKey, 135, 220.1, 358.7, 0, 57, 94, 162.5,
+                  1333),
+        makeAsset(12, "/otp_ctrl_otp_keymgr_key[key_share1]",
+                  CryptographicKey, 256, 262.5, 273.4, 37, 51, 158,
+                  335.5, 1381),
+        makeAsset(13, "/csrng_tl_rsp[d_data]", Signal, 32, 1291.8, 105.7,
+                  1031, 1244.8, 1323, 1359.8, 1432),
+        makeAsset(14, "/aes_tl_rsp[d_data]", Signal, 32, 1105.3, 411.4,
+                  276, 1135.8, 1279, 1369.5, 1631),
+        makeAsset(15, "/keymgr_otbn_key[key][1]_284", CryptographicKey,
+                  32, 1062.7, 281.2, 480, 854, 1074.5, 1270, 1670),
+        makeAsset(16, "/u_otp_ctrl/part_otp_rdata", Signal, 64, 1298.9,
+                  213, 933, 1118.5, 1311.5, 1447.2, 1784),
+        makeAsset(17, "/flash_ctrl_otp_rsp[key]", CryptographicKey, 128,
+                  1816.6, 404.6, 1215, 1503, 1717.5, 2010.2, 3245),
+        makeAsset(18, "/kmac_app_rsp", Signal, 777, 94.2, 179.7, 15, 40,
+                  58, 97, 3398),
+        makeAsset(19, "/flash_ctrl_otp_rsp[rand_key]", CryptographicKey,
+                  128, 1908.1, 670.7, 553, 1337, 1882, 2308.8, 3706),
+        makeAsset(20, "/aes_tl_req[a_data]", Signal, 32, 2114.8, 471.8,
+                  1455, 1805, 2079.5, 2337.2, 3946),
+    };
+}
+
+} // namespace
+
+const std::vector<AssetInfo> &
+earlGreyAssets()
+{
+    static const std::vector<AssetInfo> table = buildTable();
+    return table;
+}
+
+const AssetInfo &
+assetByIndex(int index)
+{
+    const auto &table = earlGreyAssets();
+    if (index < 1 || static_cast<std::size_t>(index) > table.size()) {
+        util::fatal("assetByIndex: row " + std::to_string(index) +
+                    " outside Table 1");
+    }
+    return table[static_cast<std::size_t>(index - 1)];
+}
+
+} // namespace pentimento::opentitan

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * OpenTitan Earl Grey security-asset database (paper §5.3, Table 1).
+ *
+ * OpenTitan is the paper's realistic target: an open-source hardware
+ * root of trust whose prebuilt bitstreams make Assumption 1 (known
+ * skeleton) hold. The paper identifies twenty security-critical
+ * assets — cryptographic keys (CK), life-cycle state values/tokens
+ * (SV/T) and sensitive signals (S) — and reports the distribution of
+ * their route lengths on a Virtex UltraScale+.
+ *
+ * We cannot place-and-route OpenTitan here (no Vivado), so the table
+ * is carried as reference data and the synthesizer in route_synth.hpp
+ * regenerates per-asset route populations with matching statistics.
+ */
+
+#ifndef PENTIMENTO_OPENTITAN_ASSETS_HPP
+#define PENTIMENTO_OPENTITAN_ASSETS_HPP
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace pentimento::opentitan {
+
+/** Asset classes from Table 1. */
+enum class AssetType
+{
+    CryptographicKey, ///< "CK"
+    StateToken,       ///< "SV/T"
+    Signal            ///< "S"
+};
+
+/** Short table label for an asset class. */
+const char *toString(AssetType type);
+
+/** One security-critical asset with its paper-reported statistics. */
+struct AssetInfo
+{
+    int index = 0;           ///< row number in Table 1
+    std::string path;        ///< hierarchical net path
+    AssetType type = AssetType::CryptographicKey;
+    int bus_width = 0;       ///< number of routes in the asset
+    util::Summary reference; ///< Table 1 row (lengths in ps)
+};
+
+/** The twenty Earl Grey assets of Table 1, in table order. */
+const std::vector<AssetInfo> &earlGreyAssets();
+
+/** Look up an asset by its Table 1 row number (1-based). */
+const AssetInfo &assetByIndex(int index);
+
+} // namespace pentimento::opentitan
+
+#endif // PENTIMENTO_OPENTITAN_ASSETS_HPP

@@ -1,0 +1,97 @@
+#include "opentitan/route_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace pentimento::opentitan {
+
+double
+RouteLengthSynthesizer::quantile(const AssetInfo &asset, double u,
+                                 double tail_gamma)
+{
+    const util::Summary &r = asset.reference;
+    const double anchors_u[5] = {0.0, 0.25, 0.50, 0.75, 1.0};
+    const double anchors_v[5] = {r.min, r.p25, r.p50, r.p75, r.max};
+    u = std::clamp(u, 0.0, 1.0);
+    for (int seg = 0; seg < 4; ++seg) {
+        if (u > anchors_u[seg + 1] && seg < 3) {
+            continue;
+        }
+        const double frac =
+            (u - anchors_u[seg]) / (anchors_u[seg + 1] - anchors_u[seg]);
+        if (seg == 3) {
+            // Top bin: power-warped so the population mean can match
+            // the reported mean despite the unknown tail shape.
+            return anchors_v[3] +
+                   (anchors_v[4] - anchors_v[3]) *
+                       std::pow(frac, tail_gamma);
+        }
+        return anchors_v[seg] +
+               (anchors_v[seg + 1] - anchors_v[seg]) * frac;
+    }
+    return r.max;
+}
+
+double
+RouteLengthSynthesizer::solveTailGamma(const AssetInfo &asset)
+{
+    const util::Summary &r = asset.reference;
+    // Lower three bins are linear, so their conditional means are the
+    // segment midpoints; each bin holds probability 1/4. The top-bin
+    // conditional mean under the gamma warp is p75 + span/(gamma+1).
+    const double lower_mean_sum = 0.25 * ((r.min + r.p25) / 2.0 +
+                                          (r.p25 + r.p50) / 2.0 +
+                                          (r.p50 + r.p75) / 2.0);
+    const double span = r.max - r.p75;
+    if (span <= 0.0) {
+        return 1.0;
+    }
+    // target = lower + 0.25 * (p75 + span / (gamma + 1))
+    const double top_excess =
+        (r.mean - lower_mean_sum) * 4.0 - r.p75;
+    if (top_excess <= 0.0) {
+        return 50.0; // mean at or below p75: squash the tail hard
+    }
+    const double gamma = span / top_excess - 1.0;
+    return std::clamp(gamma, 0.05, 50.0);
+}
+
+std::vector<double>
+RouteLengthSynthesizer::synthesize(const AssetInfo &asset) const
+{
+    if (asset.bus_width < 2) {
+        util::fatal("RouteLengthSynthesizer: bus width below 2");
+    }
+    const double gamma = solveTailGamma(asset);
+    const auto n = static_cast<std::size_t>(asset.bus_width);
+    std::vector<double> lengths;
+    lengths.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double u =
+            static_cast<double>(i) / static_cast<double>(n - 1);
+        lengths.push_back(quantile(asset, u, gamma));
+    }
+    return lengths;
+}
+
+std::vector<fabric::RouteSpec>
+RouteLengthSynthesizer::synthesizeRoutes(fabric::Device &device,
+                                         const AssetInfo &asset) const
+{
+    const std::vector<double> lengths = synthesize(asset);
+    std::vector<fabric::RouteSpec> specs;
+    specs.reserve(lengths.size());
+    for (std::size_t bit = 0; bit < lengths.size(); ++bit) {
+        // Routes shorter than one element pitch still occupy one
+        // physical node (Table 1 row 11 reports a 0 ps minimum).
+        const double target =
+            std::max(lengths[bit], device.config().routing_pitch_ps);
+        specs.push_back(device.allocateRoute(
+            asset.path + "[" + std::to_string(bit) + "]", target));
+    }
+    return specs;
+}
+
+} // namespace pentimento::opentitan

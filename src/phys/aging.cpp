@@ -1,0 +1,67 @@
+#include "phys/aging.hpp"
+
+#include "util/logging.hpp"
+
+namespace pentimento::phys {
+
+void
+ElementAging::holdStatic(const BtiParams &p, bool value, double temp_k,
+                         double dt_h)
+{
+    const double s_acc =
+        arrheniusAccel(p.stress_activation_ev, temp_k, p.reference_temp_k);
+    const double r_acc = arrheniusAccel(p.recovery_activation_ev, temp_k,
+                                        p.reference_temp_k);
+    if (value) {
+        // Logic 1 stresses NMOS pass devices (PBTI); the PMOS side
+        // recovers.
+        nmos_.applyStress(p.pbti, scale_, dt_h * s_acc);
+        pmos_.applyRecovery(p.nbti, dt_h * r_acc);
+    } else {
+        pmos_.applyStress(p.nbti, scale_, dt_h * s_acc);
+        nmos_.applyRecovery(p.pbti, dt_h * r_acc);
+    }
+}
+
+void
+ElementAging::holdToggling(const BtiParams &p, double duty_one,
+                           double temp_k, double dt_h)
+{
+    if (duty_one < 0.0 || duty_one > 1.0) {
+        util::fatal("ElementAging::holdToggling: duty outside [0,1]");
+    }
+    const double s_acc =
+        arrheniusAccel(p.stress_activation_ev, temp_k, p.reference_temp_k);
+    // A toggling node spends duty_one of the interval stressing the
+    // NMOS and the rest stressing the PMOS. Interleaved micro-recovery
+    // during the opposite half-cycles is folded into the effective
+    // stress times (AC stress factor).
+    nmos_.applyStress(p.pbti, scale_, dt_h * s_acc * duty_one);
+    pmos_.applyStress(p.nbti, scale_, dt_h * s_acc * (1.0 - duty_one));
+}
+
+void
+ElementAging::release(const BtiParams &p, double temp_k, double dt_h)
+{
+    const double r_acc = arrheniusAccel(p.recovery_activation_ev, temp_k,
+                                        p.reference_temp_k);
+    nmos_.applyRecovery(p.pbti, dt_h * r_acc);
+    pmos_.applyRecovery(p.nbti, dt_h * r_acc);
+}
+
+double
+ElementAging::deltaVth(const BtiParams &p, TransistorType type) const
+{
+    if (type == TransistorType::Nmos) {
+        return nmos_.deltaVth(p.pbti, scale_);
+    }
+    return pmos_.deltaVth(p.nbti, scale_);
+}
+
+const BtiState &
+ElementAging::state(TransistorType type) const
+{
+    return type == TransistorType::Nmos ? nmos_ : pmos_;
+}
+
+} // namespace pentimento::phys

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-element aging aggregate.
+ *
+ * An FPGA routing element is modelled as a complementary PMOS/NMOS
+ * pair; ElementAging bundles the two BtiStates with the per-element
+ * susceptibility scale and exposes the three ways a resource spends
+ * simulated time: statically holding a value (the paper's burn-in
+ * condition), toggling (Arithmetic Heavy style activity), or released
+ * (unconfigured / wiped).
+ */
+
+#ifndef PENTIMENTO_PHYS_AGING_HPP
+#define PENTIMENTO_PHYS_AGING_HPP
+
+#include "phys/bti.hpp"
+
+namespace pentimento::phys {
+
+/**
+ * Combined NBTI/PBTI aging state of one routing element.
+ */
+class ElementAging
+{
+  public:
+    /** Set the per-element susceptibility (variation * device age). */
+    void setScale(double scale) { scale_ = scale; }
+
+    /** Per-element susceptibility multiplier. */
+    double scale() const { return scale_; }
+
+    /**
+     * Hold a static logic value for dt wall-clock hours.
+     *
+     * The stressed transistor accrues effective stress time; the
+     * complementary transistor accrues recovery time.
+     */
+    void holdStatic(const BtiParams &p, bool value, double temp_k,
+                    double dt_h);
+
+    /**
+     * Carry a toggling signal for dt hours.
+     *
+     * @param duty_one fraction of time the signal is at logic 1
+     */
+    void holdToggling(const BtiParams &p, double duty_one, double temp_k,
+                      double dt_h);
+
+    /**
+     * Element unconfigured (design wiped / slice left empty): both
+     * transistors recover.
+     */
+    void release(const BtiParams &p, double temp_k, double dt_h);
+
+    /** Threshold shift of the chosen transistor, in volts. */
+    double deltaVth(const BtiParams &p, TransistorType type) const;
+
+    /** Direct access for tests and persistence. */
+    const BtiState &state(TransistorType type) const;
+
+  private:
+    BtiState nmos_;
+    BtiState pmos_;
+    double scale_ = 1.0;
+};
+
+} // namespace pentimento::phys
+
+#endif // PENTIMENTO_PHYS_AGING_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Propagation-delay sensitivity to threshold shift and temperature.
+ *
+ * BTI is observable only through timing (paper §3-4): a ΔVth on the
+ * NMOS side slows falling (1→0) transitions, a ΔVth on the PMOS side
+ * slows rising (0→1) transitions. The alpha-power-law MOSFET model
+ * gives, to first order,
+ *
+ *     Δd / d0 = alpha * ΔVth / (Vdd - Vth0)
+ *
+ * Temperature adds a small common-mode delay drift; rise and fall
+ * temperature coefficients differ slightly (electron vs hole mobility)
+ * which is what leaks ambient noise into the paper's differential
+ * falling-minus-rising observable on the cloud platform.
+ */
+
+#ifndef PENTIMENTO_PHYS_DELAY_MODEL_HPP
+#define PENTIMENTO_PHYS_DELAY_MODEL_HPP
+
+#include "phys/bti.hpp"
+
+namespace pentimento::phys {
+
+/** Transition polarities that propagate through a route. */
+enum class Transition
+{
+    Rising, ///< 0 -> 1, limited by PMOS pull-up health
+    Falling ///< 1 -> 0, limited by NMOS pull-down health
+};
+
+/** Transistor type whose degradation slows the given transition. */
+constexpr TransistorType
+limitingTransistor(Transition t)
+{
+    return t == Transition::Rising ? TransistorType::Pmos
+                                   : TransistorType::Nmos;
+}
+
+/** Electrical constants for the delay sensitivity model. */
+struct DelayParams
+{
+    /** Core supply voltage (UltraScale+ VCCINT). */
+    double vdd_v = 0.85;
+    /** Nominal threshold voltage. */
+    double vth0_v = 0.30;
+    /** Alpha-power-law velocity saturation exponent. */
+    double alpha = 1.3;
+    /** Fractional delay change per kelvin for rising transitions. */
+    double temp_coeff_rise_per_k = 1.03e-4;
+    /** Fractional delay change per kelvin for falling transitions. */
+    double temp_coeff_fall_per_k = 0.97e-4;
+    /** Temperature at which base delays are quoted. */
+    double ref_temp_k = 333.15;
+
+    /** Fractional delay increase caused by a threshold shift. */
+    double delayShiftFraction(double delta_vth_v) const;
+
+    /** Temperature multiplier for the given transition polarity. */
+    double temperatureFactor(Transition t, double temp_k) const;
+};
+
+/**
+ * Delay of one element for one transition polarity, given its base
+ * delay, the limiting transistor's ΔVth, and die temperature.
+ */
+double agedDelayPs(const DelayParams &p, Transition t, double base_ps,
+                   double delta_vth_v, double temp_k);
+
+} // namespace pentimento::phys
+
+#endif // PENTIMENTO_PHYS_DELAY_MODEL_HPP

@@ -1,0 +1,50 @@
+#include "phys/thermal.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace pentimento::phys {
+
+OvenEnvironment::OvenEnvironment(double temp_k) : temp_k_(temp_k)
+{
+    if (temp_k <= 0.0) {
+        util::fatal("OvenEnvironment: non-positive absolute temperature");
+    }
+}
+
+double
+OvenEnvironment::step(double power_w, double dt_h)
+{
+    (void)power_w;
+    (void)dt_h;
+    return temp_k_;
+}
+
+PackageThermalModel::PackageThermalModel(double ambient_k,
+                                         double r_thermal_k_per_w,
+                                         double tau_h)
+    : ambient_k_(ambient_k), r_thermal_(r_thermal_k_per_w), tau_h_(tau_h),
+      die_k_(ambient_k)
+{
+    if (ambient_k <= 0.0) {
+        util::fatal("PackageThermalModel: non-positive ambient");
+    }
+    if (r_thermal_ < 0.0 || tau_h_ <= 0.0) {
+        util::fatal("PackageThermalModel: bad thermal constants");
+    }
+}
+
+double
+PackageThermalModel::step(double power_w, double dt_h)
+{
+    if (power_w < 0.0 || dt_h < 0.0) {
+        util::fatal("PackageThermalModel::step: negative input");
+    }
+    const double target = ambient_k_ + r_thermal_ * power_w;
+    const double decay = std::exp(-dt_h / tau_h_);
+    die_k_ = target + (die_k_ - target) * decay;
+    return die_k_;
+}
+
+} // namespace pentimento::phys

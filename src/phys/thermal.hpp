@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Die-temperature models.
+ *
+ * Temperature matters twice in the paper: it accelerates BTI (the
+ * Target design's Arithmetic Heavy circuits exist partly to heat the
+ * die, §5.1; Experiment 1 uses a 60 C oven) and it perturbs measured
+ * delays (the cloud's uncontrolled environment makes Figures 7-8
+ * noisier than Figure 6). Two environments are provided: a constant
+ * oven and a first-order package model that tracks dissipated power
+ * around a (possibly drifting) ambient.
+ */
+
+#ifndef PENTIMENTO_PHYS_THERMAL_HPP
+#define PENTIMENTO_PHYS_THERMAL_HPP
+
+namespace pentimento::phys {
+
+/**
+ * Source of die temperature over simulated time.
+ */
+class ThermalEnvironment
+{
+  public:
+    virtual ~ThermalEnvironment() = default;
+
+    /**
+     * Advance the environment and return the die temperature.
+     *
+     * @param power_w power currently dissipated by the programmed
+     *        design
+     * @param dt_h simulated hours to advance
+     * @return die temperature in kelvin at the end of the step
+     */
+    virtual double step(double power_w, double dt_h) = 0;
+
+    /** Die temperature without advancing time. */
+    virtual double dieTempK() const = 0;
+};
+
+/**
+ * Temperature-controlled forced-convection oven (Experiment 1's Lab
+ * Companion OF-01E at 60 C): die temperature is pinned.
+ */
+class OvenEnvironment : public ThermalEnvironment
+{
+  public:
+    explicit OvenEnvironment(double temp_k);
+
+    double step(double power_w, double dt_h) override;
+    double dieTempK() const override { return temp_k_; }
+
+  private:
+    double temp_k_;
+};
+
+/**
+ * First-order package thermal model: the die relaxes toward
+ * ambient + R_th * P with time constant tau. Ambient can be updated
+ * between steps (the cloud module drives it with a stochastic
+ * process).
+ */
+class PackageThermalModel : public ThermalEnvironment
+{
+  public:
+    /**
+     * @param ambient_k initial ambient temperature
+     * @param r_thermal_k_per_w junction-to-ambient thermal resistance
+     * @param tau_h thermal time constant in hours (default 18 s: a
+     *        die + heatsink settles within a measurement sweep)
+     */
+    PackageThermalModel(double ambient_k, double r_thermal_k_per_w = 0.35,
+                        double tau_h = 0.005);
+
+    double step(double power_w, double dt_h) override;
+    double dieTempK() const override { return die_k_; }
+
+    /** Update the ambient temperature (e.g. data-centre drift). */
+    void setAmbientK(double ambient_k) { ambient_k_ = ambient_k; }
+
+    /** Current ambient temperature. */
+    double ambientK() const { return ambient_k_; }
+
+  private:
+    double ambient_k_;
+    double r_thermal_;
+    double tau_h_;
+    double die_k_;
+};
+
+} // namespace pentimento::phys
+
+#endif // PENTIMENTO_PHYS_THERMAL_HPP

@@ -1,0 +1,31 @@
+#include "phys/variation.hpp"
+
+#include <cmath>
+
+namespace pentimento::phys {
+
+VariationSampler::VariationSampler(const VariationParams &params,
+                                   util::Rng rng)
+    : params_(params), rng_(rng)
+{
+}
+
+ElementVariation
+VariationSampler::sample()
+{
+    ElementVariation v;
+    // Correlated rise/fall draws: shared + independent components.
+    const double rho = params_.rise_fall_correlation;
+    const double shared = rng_.gaussian();
+    const double ind_r = rng_.gaussian();
+    const double ind_f = rng_.gaussian();
+    const double mix = std::sqrt(std::max(0.0, 1.0 - rho * rho));
+    const double zr = rho * shared + mix * ind_r;
+    const double zf = rho * shared + mix * ind_f;
+    v.rise_mult = std::exp(params_.delay_sigma * zr);
+    v.fall_mult = std::exp(params_.delay_sigma * zf);
+    v.bti_mult = std::exp(params_.bti_sigma * rng_.gaussian());
+    return v;
+}
+
+} // namespace pentimento::phys

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Within-die process variation.
+ *
+ * Every physical element gets fixed multiplicative offsets on its base
+ * rise/fall delays and on its BTI susceptibility. Variation is what
+ * makes TDC traces device-unique (the cloud module's fingerprinting
+ * builds on it) and why the paper averages 10 traces against
+ * "architectural irregularities".
+ */
+
+#ifndef PENTIMENTO_PHYS_VARIATION_HPP
+#define PENTIMENTO_PHYS_VARIATION_HPP
+
+#include "util/rng.hpp"
+
+namespace pentimento::phys {
+
+/** Fixed per-element variation multipliers. */
+struct ElementVariation
+{
+    double rise_mult = 1.0;
+    double fall_mult = 1.0;
+    double bti_mult = 1.0;
+};
+
+/** Spread parameters for within-die variation. */
+struct VariationParams
+{
+    /** Sigma of log base-delay multipliers. */
+    double delay_sigma = 0.025;
+    /** Sigma of log BTI-susceptibility multipliers. */
+    double bti_sigma = 0.08;
+    /** Correlation between rise and fall delay variation. */
+    double rise_fall_correlation = 0.7;
+};
+
+/**
+ * Draws per-element variation from a device-seeded stream, so two
+ * devices differ but one device is stable across design loads.
+ */
+class VariationSampler
+{
+  public:
+    VariationSampler(const VariationParams &params, util::Rng rng);
+
+    /** Sample one element's fixed multipliers. */
+    ElementVariation sample();
+
+  private:
+    VariationParams params_;
+    util::Rng rng_;
+};
+
+} // namespace pentimento::phys
+
+#endif // PENTIMENTO_PHYS_VARIATION_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The Measure design (paper Figure 5).
+ *
+ * An array of TDC sensors, one per route under test, sharing a
+ * transition generator and capture clock. The routes reuse the exact
+ * skeletons of the Target design (Assumption 1); the carry chains are
+ * placed in the slice region the Target design deliberately left
+ * unconfigured.
+ */
+
+#ifndef PENTIMENTO_TDC_MEASURE_DESIGN_HPP
+#define PENTIMENTO_TDC_MEASURE_DESIGN_HPP
+
+#include <memory>
+#include <vector>
+
+#include "fabric/design.hpp"
+#include "fabric/device.hpp"
+#include "tdc/tdc.hpp"
+
+namespace pentimento::tdc {
+
+/** Result of measuring every sensor in a Measure design once. */
+struct MeasurementSweep
+{
+    std::vector<Measurement> per_route;
+    /** Total modeled wall-clock cost of the sweep, in seconds. */
+    double wall_seconds = 0.0;
+};
+
+/**
+ * A loadable design wrapping an array of TDCs.
+ */
+class MeasureDesign : public fabric::Design
+{
+  public:
+    /**
+     * Build sensors over the given route skeletons. One carry chain
+     * is allocated per route on the target device.
+     *
+     * @param device device the design will be loaded onto
+     * @param routes skeletons of the routes to observe
+     * @param config common sensor configuration
+     */
+    MeasureDesign(fabric::Device &device,
+                  const std::vector<fabric::RouteSpec> &routes,
+                  const TdcConfig &config = {});
+
+    /** Number of sensors (== number of routes). */
+    std::size_t sensorCount() const { return sensors_.size(); }
+
+    /** Sensor for route i. */
+    Tdc &sensor(std::size_t i);
+    const Tdc &sensor(std::size_t i) const;
+
+    /** Calibration phase: tune every sensor, return each θ_init. */
+    std::vector<double> calibrateAll(double temp_k, util::Rng &rng);
+
+    /** Adopt θ_init values captured on another device of this type. */
+    void adoptThetaInits(const std::vector<double> &thetas);
+
+    /** Measurement phase over every sensor. */
+    MeasurementSweep measureAll(double temp_k, util::Rng &rng) const;
+
+  private:
+    std::vector<Tdc> sensors_;
+};
+
+} // namespace pentimento::tdc
+
+#endif // PENTIMENTO_TDC_MEASURE_DESIGN_HPP

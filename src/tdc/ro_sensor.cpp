@@ -1,0 +1,52 @@
+#include "tdc/ro_sensor.hpp"
+
+#include "util/logging.hpp"
+
+namespace pentimento::tdc {
+
+RingOscillatorSensor::RingOscillatorSensor(fabric::Device &device,
+                                           fabric::RouteSpec route,
+                                           RoConfig config)
+    : device_(&device), route_(std::move(route)), config_(config)
+{
+    if (route_.elements.empty()) {
+        util::fatal("RingOscillatorSensor: empty route");
+    }
+}
+
+double
+RingOscillatorSensor::periodPs(double temp_k) const
+{
+    // One oscillation traverses the loop twice: once rising, once
+    // falling. The scalar period therefore *sums* the NMOS-limited
+    // and PMOS-limited transits — polarity information is destroyed.
+    fabric::Route bound(*device_, route_);
+    const double rise = bound.delayPs(phys::Transition::Rising, temp_k);
+    const double fall = bound.delayPs(phys::Transition::Falling, temp_k);
+    return rise + fall + 2.0 * config_.inverter_ps;
+}
+
+double
+RingOscillatorSensor::readFrequencyMhz(double temp_k,
+                                       util::Rng &rng) const
+{
+    const double period_ps = periodPs(temp_k);
+    const double freq_mhz = 1e6 / period_ps;
+    return freq_mhz * (1.0 + rng.gaussian(0.0, config_.reading_sigma));
+}
+
+std::shared_ptr<fabric::Design>
+RingOscillatorSensor::buildDesign() const
+{
+    auto design = std::make_shared<fabric::Design>("ro_sensor");
+    design->setRouteToggling(route_, 0.5);
+    design->setPowerW(1.0);
+    // The defining structure: the loop. This is what FPGADefender-
+    // style scanning and the AWS DRC look for.
+    design->addCombinationalEdge("ro/route", "ro/inverter");
+    design->addCombinationalEdge("ro/inverter", "ro/route");
+    design->addCombinationalEdge("ro/route", "ro/counter");
+    return design;
+}
+
+} // namespace pentimento::tdc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ring-oscillator sensor baseline (paper §7, related work).
+ *
+ * Prior FPGA aging studies use ring oscillators: a combinational loop
+ * through the tested resource whose oscillation frequency reflects the
+ * loop delay. The paper identifies two limitations that the RO
+ * baseline here reproduces:
+ *
+ *  1. a single scalar output integrates the NMOS and PMOS propagation
+ *     paths, so the burn *polarity* — which transistor type degraded —
+ *     is invisible;
+ *  2. the loop is a self-oscillating circuit, so provider design rule
+ *     checks (as on AWS F1) reject the design outright.
+ */
+
+#ifndef PENTIMENTO_TDC_RO_SENSOR_HPP
+#define PENTIMENTO_TDC_RO_SENSOR_HPP
+
+#include <memory>
+
+#include "fabric/design.hpp"
+#include "fabric/device.hpp"
+#include "fabric/route.hpp"
+#include "util/rng.hpp"
+
+namespace pentimento::tdc {
+
+/** Ring-oscillator configuration. */
+struct RoConfig
+{
+    /** Extra inverter delay closing the loop, ps. */
+    double inverter_ps = 35.0;
+    /** Counter gate time for one frequency reading, seconds. */
+    double gate_seconds = 0.1;
+    /** Relative jitter of a frequency reading (sigma). */
+    double reading_sigma = 2e-5;
+};
+
+/**
+ * A ring oscillator wrapped around a route under test.
+ */
+class RingOscillatorSensor
+{
+  public:
+    RingOscillatorSensor(fabric::Device &device, fabric::RouteSpec route,
+                         RoConfig config = {});
+
+    /** Oscillation period: rise + fall transit plus the inverter. */
+    double periodPs(double temp_k) const;
+
+    /** One noisy frequency reading in MHz. */
+    double readFrequencyMhz(double temp_k, util::Rng &rng) const;
+
+    /**
+     * The loadable design for this sensor. Its netlist contains the
+     * combinational loop, so DesignRuleChecker rejects it — run the
+     * ablation_sensor bench to see the paper's DRC argument play out.
+     */
+    std::shared_ptr<fabric::Design> buildDesign() const;
+
+    /** The observed route. */
+    const fabric::RouteSpec &routeSpec() const { return route_; }
+
+  private:
+    fabric::Device *device_;
+    fabric::RouteSpec route_;
+    RoConfig config_;
+};
+
+} // namespace pentimento::tdc
+
+#endif // PENTIMENTO_TDC_RO_SENSOR_HPP

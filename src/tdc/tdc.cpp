@@ -1,0 +1,207 @@
+#include "tdc/tdc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace pentimento::tdc {
+
+std::size_t
+Capture::hammingDistance() const
+{
+    // Rising: distance from 64'h0 = popcount of ones.
+    // Falling: distance from 64'hffff... = popcount of zeros.
+    std::size_t count = 0;
+    const bool counted = polarity == phys::Transition::Rising;
+    for (const bool bit : bits) {
+        if (bit == counted) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+double
+Trace::meanHamming() const
+{
+    return util::mean(hamming);
+}
+
+Tdc::Tdc(fabric::Device &device, fabric::RouteSpec route,
+         fabric::RouteSpec chain, TdcConfig config)
+    : device_(&device), route_(std::move(route)), chain_(std::move(chain)),
+      config_(config)
+{
+    if (chain_.elements.size() != config_.taps) {
+        util::fatal("Tdc: carry chain has " +
+                    std::to_string(chain_.elements.size()) +
+                    " taps but config expects " +
+                    std::to_string(config_.taps));
+    }
+    if (route_.elements.empty()) {
+        util::fatal("Tdc: empty route under test");
+    }
+}
+
+std::vector<double>
+Tdc::tapArrivalsPs(phys::Transition polarity, double temp_k) const
+{
+    const auto &cfg = device_->config();
+    double t = 0.0;
+    for (const fabric::ResourceId &id : route_.elements) {
+        t += device_->element(id).delayPs(cfg.bti, cfg.delay, polarity,
+                                          temp_k);
+    }
+    std::vector<double> arrivals;
+    arrivals.reserve(chain_.elements.size());
+    for (const fabric::ResourceId &id : chain_.elements) {
+        t += device_->element(id).delayPs(cfg.bti, cfg.delay, polarity,
+                                          temp_k);
+        arrivals.push_back(t);
+    }
+    return arrivals;
+}
+
+Capture
+Tdc::captureFromArrivals(const std::vector<double> &arrivals,
+                         phys::Transition polarity, double theta_ps,
+                         util::Rng &rng) const
+{
+    const double theta_eff =
+        theta_ps + rng.gaussian(0.0, config_.jitter_sigma_ps);
+
+    Capture cap;
+    cap.polarity = polarity;
+    cap.bits.reserve(arrivals.size());
+    const double w = config_.metastable_window_ps;
+    for (const double arrival : arrivals) {
+        // Has the front passed this tap by the capture edge? Inside
+        // the register aperture the outcome is probabilistic, which
+        // produces the metastable bubbles of Figure 3.
+        const double x = (theta_eff - arrival) / w;
+        bool passed;
+        if (x >= 0.5) {
+            passed = true;
+        } else if (x <= -0.5) {
+            passed = false;
+        } else {
+            passed = rng.bernoulli(x + 0.5);
+        }
+        // A passed tap shows the new value: 1 for a rising front,
+        // 0 for a falling front.
+        const bool new_value = polarity == phys::Transition::Rising;
+        cap.bits.push_back(passed ? new_value : !new_value);
+    }
+    return cap;
+}
+
+Capture
+Tdc::capture(phys::Transition polarity, double theta_ps, double temp_k,
+             util::Rng &rng) const
+{
+    return captureFromArrivals(tapArrivalsPs(polarity, temp_k), polarity,
+                               theta_ps, rng);
+}
+
+Trace
+Tdc::takeTrace(phys::Transition polarity, double theta_ps, double temp_k,
+               util::Rng &rng) const
+{
+    // Arrival times are deterministic for a fixed device state and
+    // temperature; compute them once and reuse across the trace's
+    // samples (only jitter and metastability vary per sample).
+    const std::vector<double> arrivals = tapArrivalsPs(polarity, temp_k);
+    Trace trace;
+    trace.polarity = polarity;
+    trace.theta_ps = theta_ps;
+    trace.hamming.reserve(
+        static_cast<std::size_t>(config_.samples_per_trace));
+    for (int s = 0; s < config_.samples_per_trace; ++s) {
+        trace.hamming.push_back(static_cast<double>(
+            captureFromArrivals(arrivals, polarity, theta_ps, rng)
+                .hammingDistance()));
+    }
+    return trace;
+}
+
+double
+Tdc::calibrate(double temp_k, util::Rng &rng)
+{
+    // The physical procedure iteratively reduces θ until the fronts
+    // appear mid-chain (§5.2). HD(θ) is monotone, so we binary-search
+    // the rising polarity to the chain midpoint and then verify the
+    // falling front also sits inside the margins.
+    const double mid = static_cast<double>(config_.taps) / 2.0;
+    const double span =
+        static_cast<double>(config_.taps) * config_.ps_per_bit;
+    double lo = 0.0;
+    double hi = route_.target_ps * 2.0 + span + 2000.0;
+
+    const auto meanHdAt = [&](double theta) {
+        return takeTrace(phys::Transition::Rising, theta, temp_k, rng)
+            .meanHamming();
+    };
+
+    for (int iter = 0; iter < 48 && hi - lo > 0.25; ++iter) {
+        const double theta = 0.5 * (lo + hi);
+        if (meanHdAt(theta) < mid) {
+            lo = theta;
+        } else {
+            hi = theta;
+        }
+    }
+    double theta = 0.5 * (lo + hi);
+
+    // Nudge until the falling front is inside the margins too.
+    const double lo_taps = static_cast<double>(config_.calibration_margin);
+    const double hi_taps =
+        static_cast<double>(config_.taps - config_.calibration_margin);
+    for (int iter = 0; iter < 32; ++iter) {
+        const double fall =
+            takeTrace(phys::Transition::Falling, theta, temp_k, rng)
+                .meanHamming();
+        if (fall < lo_taps) {
+            theta += config_.ps_per_bit;
+        } else if (fall > hi_taps) {
+            theta -= config_.ps_per_bit;
+        } else {
+            break;
+        }
+    }
+    theta_init_ = theta;
+    return theta;
+}
+
+Measurement
+Tdc::measure(double temp_k, util::Rng &rng) const
+{
+    if (theta_init_ <= 0.0) {
+        util::fatal("Tdc::measure: sensor not calibrated (θ_init unset)");
+    }
+    util::RunningStats rise_traces;
+    util::RunningStats fall_traces;
+    double seconds = 0.0;
+    for (int t = 0; t < config_.traces_per_measurement; ++t) {
+        const double theta =
+            theta_init_ -
+            static_cast<double>(t) * config_.trace_theta_step_ps;
+        rise_traces.add(
+            takeTrace(phys::Transition::Rising, theta, temp_k, rng)
+                .meanHamming());
+        fall_traces.add(
+            takeTrace(phys::Transition::Falling, theta, temp_k, rng)
+                .meanHamming());
+        seconds +=
+            config_.retune_seconds +
+            2.0 * config_.samples_per_trace * config_.sample_seconds;
+    }
+    Measurement m;
+    m.rising_distance_ps = rise_traces.mean() * config_.ps_per_bit;
+    m.falling_distance_ps = fall_traces.mean() * config_.ps_per_bit;
+    m.wall_seconds = seconds;
+    return m;
+}
+
+} // namespace pentimento::tdc

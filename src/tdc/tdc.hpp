@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tunable Dual-Polarity time-to-digital converter (paper §4).
+ *
+ * The TDC measures the propagation delay of a Route Under Test:
+ *
+ *  - a Programmable Clock Generator produces a Launch and a Capture
+ *    clock with a runtime-tunable phase relationship θ;
+ *  - a Transition Generator converts the launch edge into a rising
+ *    (0→1) or falling (1→0) transition that travels through the route
+ *    under test and into a Carry Chain of nominally identical delay
+ *    elements (2.8 ps/bit on UltraScale+);
+ *  - Capture Registers snapshot the chain on the capture edge; the
+ *    distance the transition front travelled is read out as a Binary
+ *    Hamming Distance (from all-zeros for rising, from all-ones for
+ *    falling);
+ *  - taps whose transition arrival falls inside the register aperture
+ *    resolve randomly, producing the metastable "bubbles" visible in
+ *    the paper's Figure 3 output sequences.
+ *
+ * BTI degradation of the route increases the route delay, so fewer
+ * taps are passed by capture time and the Hamming distance shrinks;
+ * recovery does the opposite. Because NMOS health governs falling
+ * edges and PMOS health governs rising edges, the difference
+ * (falling − rising) isolates burn polarity.
+ */
+
+#ifndef PENTIMENTO_TDC_TDC_HPP
+#define PENTIMENTO_TDC_TDC_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "fabric/device.hpp"
+#include "fabric/route.hpp"
+#include "phys/delay_model.hpp"
+#include "util/rng.hpp"
+
+namespace pentimento::tdc {
+
+/** Sensor geometry, noise and sampling policy. */
+struct TdcConfig
+{
+    /** Carry-chain taps (capture register width). */
+    std::size_t taps = 64;
+    /** Nominal conversion constant, ps per bit (paper: 2.8). */
+    double ps_per_bit = 2.8;
+    /** Register aperture: metastability window width in ps. */
+    double metastable_window_ps = 4.0;
+    /** Clock jitter sigma applied to θ per sample, ps. */
+    double jitter_sigma_ps = 0.9;
+    /** Samples per trace (paper: 24 in calibration). */
+    int samples_per_trace = 24;
+    /** Traces per measurement (paper: 10). */
+    int traces_per_measurement = 10;
+    /** θ decrement applied between consecutive traces, ps (§5.2). */
+    double trace_theta_step_ps = 0.35;
+    /** Wall-clock cost of retuning θ once, seconds. */
+    double retune_seconds = 0.015;
+    /** Wall-clock cost of one launch/capture sample, seconds. */
+    double sample_seconds = 0.0012;
+    /** Margin (taps) required from the chain ends at calibration. */
+    std::size_t calibration_margin = 8;
+};
+
+/** One raw capture: the register snapshot for one polarity. */
+struct Capture
+{
+    phys::Transition polarity = phys::Transition::Rising;
+    std::vector<bool> bits;
+
+    /**
+     * Binary Hamming distance as the paper defines it: from all-zeros
+     * for rising captures, from all-ones for falling captures.
+     */
+    std::size_t hammingDistance() const;
+};
+
+/** A trace: per-sample Hamming distances at one θ. */
+struct Trace
+{
+    phys::Transition polarity = phys::Transition::Rising;
+    double theta_ps = 0.0;
+    std::vector<double> hamming;
+
+    /** Mean Hamming distance over the trace's samples. */
+    double meanHamming() const;
+};
+
+/** Aggregated result of one measurement phase for one route. */
+struct Measurement
+{
+    /**
+     * Mean distance travelled by the rising front by capture time,
+     * converted to ps (mean HD * ps_per_bit).
+     */
+    double rising_distance_ps = 0.0;
+    /** Mean distance travelled by the falling front, in ps. */
+    double falling_distance_ps = 0.0;
+    /** Modeled wall-clock cost of the measurement, seconds. */
+    double wall_seconds = 0.0;
+
+    /**
+     * The paper's ∆ps observable: the falling-minus-rising *route
+     * delay* difference. A slower route shortens the distance its
+     * front travels by capture time (distance ≈ θ − delay), so the
+     * delay difference d_fall − d_rise equals the distance difference
+     * dist_rise − dist_fall. Burn 1 (PBTI, slow falling) drives this
+     * positive; burn 0 (NBTI, slow rising) drives it negative —
+     * matching the cyan/magenta trends of Figures 6-8.
+     */
+    double deltaPs() const
+    {
+        return rising_distance_ps - falling_distance_ps;
+    }
+};
+
+/**
+ * One TDC instance: a route under test feeding a dedicated carry
+ * chain on a specific device.
+ */
+class Tdc
+{
+  public:
+    /**
+     * @param device device the sensor is programmed onto
+     * @param route skeleton of the route under test
+     * @param chain skeleton of the carry chain (allocate with
+     *        Device::allocateCarryChain, taps must match config)
+     * @param config sensor configuration
+     */
+    Tdc(fabric::Device &device, fabric::RouteSpec route,
+        fabric::RouteSpec chain, TdcConfig config = {});
+
+    /** The route under test. */
+    const fabric::RouteSpec &routeSpec() const { return route_; }
+
+    /** The carry-chain skeleton. */
+    const fabric::RouteSpec &chainSpec() const { return chain_; }
+
+    /** Sensor configuration. */
+    const TdcConfig &config() const { return config_; }
+
+    /**
+     * Perform one launch/capture for the given polarity with capture
+     * phase θ (ps after launch).
+     */
+    Capture capture(phys::Transition polarity, double theta_ps,
+                    double temp_k, util::Rng &rng) const;
+
+    /** Take a trace of samples at fixed θ. */
+    Trace takeTrace(phys::Transition polarity, double theta_ps,
+                    double temp_k, util::Rng &rng) const;
+
+    /**
+     * Calibration phase (§5.2): iteratively tune θ until both
+     * polarities land mid-chain, store and return θ_init.
+     */
+    double calibrate(double temp_k, util::Rng &rng);
+
+    /** θ_init from the last calibration (or setThetaInit). */
+    double thetaInit() const { return theta_init_; }
+
+    /**
+     * Adopt a θ_init captured elsewhere. Experiment 3 relies on
+     * θ_init being consistent across devices of the same type (§6.3).
+     */
+    void setThetaInit(double theta_ps) { theta_init_ = theta_ps; }
+
+    /**
+     * Measurement phase (§5.2): ten traces per polarity with θ
+     * stepped down from θ_init, mean Hamming distance per trace, mean
+     * of traces, converted at ps_per_bit.
+     */
+    Measurement measure(double temp_k, util::Rng &rng) const;
+
+    /** Device access (e.g. to co-locate further sensors). */
+    fabric::Device &device() { return *device_; }
+
+  private:
+    /** Arrival time of the transition front at each chain tap. */
+    std::vector<double> tapArrivalsPs(phys::Transition polarity,
+                                      double temp_k) const;
+
+    /** Capture with precomputed arrivals (hot path of takeTrace). */
+    Capture captureFromArrivals(const std::vector<double> &arrivals,
+                                phys::Transition polarity,
+                                double theta_ps, util::Rng &rng) const;
+
+    fabric::Device *device_;
+    fabric::RouteSpec route_;
+    fabric::RouteSpec chain_;
+    TdcConfig config_;
+    double theta_init_ = 0.0;
+};
+
+} // namespace pentimento::tdc
+
+#endif // PENTIMENTO_TDC_TDC_HPP

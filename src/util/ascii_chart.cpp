@@ -1,0 +1,151 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace pentimento::util {
+
+AsciiChart::AsciiChart(int width, int height)
+    : width_(width), height_(height)
+{
+    if (width_ < 8 || height_ < 3) {
+        throw std::invalid_argument("AsciiChart: canvas too small");
+    }
+}
+
+void
+AsciiChart::addSeries(std::string label, char glyph,
+                      std::span<const double> x, std::span<const double> y)
+{
+    if (x.size() != y.size()) {
+        throw std::invalid_argument("AsciiChart: x/y size mismatch");
+    }
+    ChartSeries s;
+    s.label = std::move(label);
+    s.glyph = glyph;
+    s.x.assign(x.begin(), x.end());
+    s.y.assign(y.begin(), y.end());
+    series_.push_back(std::move(s));
+}
+
+void
+AsciiChart::setAxisLabels(std::string x_label, std::string y_label)
+{
+    x_label_ = std::move(x_label);
+    y_label_ = std::move(y_label);
+}
+
+void
+AsciiChart::addVerticalMarker(double x, char glyph)
+{
+    markers_.emplace_back(x, glyph);
+}
+
+std::string
+AsciiChart::render() const
+{
+    double xmin = std::numeric_limits<double>::infinity();
+    double xmax = -xmin;
+    double ymin = xmin;
+    double ymax = -xmin;
+    for (const auto &s : series_) {
+        for (std::size_t i = 0; i < s.x.size(); ++i) {
+            xmin = std::min(xmin, s.x[i]);
+            xmax = std::max(xmax, s.x[i]);
+            ymin = std::min(ymin, s.y[i]);
+            ymax = std::max(ymax, s.y[i]);
+        }
+    }
+    if (!(xmin <= xmax)) {
+        return "(empty chart)\n";
+    }
+    if (xmax == xmin) {
+        xmax = xmin + 1.0;
+    }
+    if (ymax == ymin) {
+        ymax = ymin + 1.0;
+        ymin -= 1.0;
+    }
+    // Pad the y range slightly so extreme points do not sit on the
+    // frame.
+    const double ypad = 0.05 * (ymax - ymin);
+    ymin -= ypad;
+    ymax += ypad;
+
+    std::vector<std::string> canvas(
+        static_cast<std::size_t>(height_),
+        std::string(static_cast<std::size_t>(width_), ' '));
+
+    const auto col = [&](double x) {
+        const double f = (x - xmin) / (xmax - xmin);
+        int c = static_cast<int>(std::lround(f * (width_ - 1)));
+        return std::clamp(c, 0, width_ - 1);
+    };
+    const auto row = [&](double y) {
+        const double f = (y - ymin) / (ymax - ymin);
+        int r = static_cast<int>(std::lround((1.0 - f) * (height_ - 1)));
+        return std::clamp(r, 0, height_ - 1);
+    };
+
+    // Zero line for orientation, if zero lies within range.
+    if (ymin < 0.0 && ymax > 0.0) {
+        const int zr = row(0.0);
+        for (int c = 0; c < width_; ++c) {
+            canvas[zr][c] = '-';
+        }
+    }
+    for (const auto &[mx, glyph] : markers_) {
+        if (mx < xmin || mx > xmax) {
+            continue;
+        }
+        const int mc = col(mx);
+        for (int r = 0; r < height_; ++r) {
+            canvas[r][mc] = glyph;
+        }
+    }
+    for (const auto &s : series_) {
+        for (std::size_t i = 0; i < s.x.size(); ++i) {
+            canvas[row(s.y[i])][col(s.x[i])] = s.glyph;
+        }
+    }
+
+    std::ostringstream out;
+    if (!title_.empty()) {
+        out << title_ << "\n";
+    }
+    char buf[32];
+    for (int r = 0; r < height_; ++r) {
+        const double yval =
+            ymax - (ymax - ymin) * static_cast<double>(r) / (height_ - 1);
+        std::snprintf(buf, sizeof(buf), "%9.2f |", yval);
+        out << buf << canvas[r] << "\n";
+    }
+    out << std::string(10, ' ') << '+' << std::string(width_, '-') << "\n";
+    std::snprintf(buf, sizeof(buf), "%-12.6g", xmin);
+    std::string footer(10 + 1, ' ');
+    footer += buf;
+    const int pad = width_ - static_cast<int>(footer.size()) + 11 - 12;
+    if (pad > 0) {
+        footer += std::string(static_cast<std::size_t>(pad), ' ');
+    }
+    std::snprintf(buf, sizeof(buf), "%.6g", xmax);
+    footer += buf;
+    out << footer << "\n";
+    if (!x_label_.empty() || !y_label_.empty()) {
+        out << "           x: " << x_label_ << "   y: " << y_label_ << "\n";
+    }
+    if (!series_.empty()) {
+        out << "           legend:";
+        for (const auto &s : series_) {
+            out << "  '" << s.glyph << "' = " << s.label;
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace pentimento::util

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Terminal rendering of the paper's time-series figures.
+ *
+ * Each bench regenerates a figure as numbers *and* as an ASCII chart so
+ * the shape (burn-0 falling, burn-1 rising, recovery kinks) is visible
+ * without plotting tools. Multiple series share one canvas; each series
+ * is drawn with its own glyph.
+ */
+
+#ifndef PENTIMENTO_UTIL_ASCII_CHART_HPP
+#define PENTIMENTO_UTIL_ASCII_CHART_HPP
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pentimento::util {
+
+/** One plotted series: points plus the glyph used to draw them. */
+struct ChartSeries
+{
+    std::string label;
+    char glyph = '*';
+    std::vector<double> x;
+    std::vector<double> y;
+};
+
+/**
+ * Multi-series scatter/line chart rendered to a character canvas.
+ */
+class AsciiChart
+{
+  public:
+    /**
+     * @param width canvas width in characters (plot area)
+     * @param height canvas height in rows (plot area)
+     */
+    AsciiChart(int width = 72, int height = 20);
+
+    /** Add a series; x and y must be the same length. */
+    void addSeries(std::string label, char glyph,
+                   std::span<const double> x, std::span<const double> y);
+
+    /** Optional chart title printed above the canvas. */
+    void setTitle(std::string title) { title_ = std::move(title); }
+
+    /** Optional axis captions. */
+    void setAxisLabels(std::string x_label, std::string y_label);
+
+    /**
+     * Draw a vertical marker at the given x (e.g. the burn-to-recovery
+     * switch at hour 200 in Figure 6).
+     */
+    void addVerticalMarker(double x, char glyph = '|');
+
+    /** Render the chart (canvas, y-axis ticks, legend) to a string. */
+    std::string render() const;
+
+  private:
+    int width_;
+    int height_;
+    std::string title_;
+    std::string x_label_;
+    std::string y_label_;
+    std::vector<ChartSeries> series_;
+    std::vector<std::pair<double, char>> markers_;
+};
+
+} // namespace pentimento::util
+
+#endif // PENTIMENTO_UTIL_ASCII_CHART_HPP

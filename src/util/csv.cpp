@@ -1,0 +1,66 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace pentimento::util {
+
+CsvWriter::CsvWriter(const std::string &path) : out_(path)
+{
+    if (!out_) {
+        fatal("CsvWriter: cannot open '" + path + "' for writing");
+    }
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes) {
+        return cell;
+    }
+    std::string quoted = "\"";
+    for (const char c : cell) {
+        if (c == '"') {
+            quoted += '"';
+        }
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i != 0) {
+            out_ << ',';
+        }
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &cells)
+{
+    std::ostringstream row;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i != 0) {
+            row << ',';
+        }
+        row << cells[i];
+    }
+    out_ << row.str() << '\n';
+}
+
+void
+CsvWriter::close()
+{
+    out_.close();
+}
+
+} // namespace pentimento::util

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Tiny CSV writer.
+ *
+ * Benches optionally dump the raw series behind each figure so the
+ * plots can be regenerated with external tooling.
+ */
+
+#ifndef PENTIMENTO_UTIL_CSV_HPP
+#define PENTIMENTO_UTIL_CSV_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pentimento::util {
+
+/**
+ * Streams rows to a CSV file; cells are escaped when needed.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Open the target file for writing.
+     * @throws FatalError when the file cannot be opened
+     */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row of string cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Write one row of numeric cells. */
+    void writeRow(const std::vector<double> &cells);
+
+    /** Flush and close the file (also done by the destructor). */
+    void close();
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::ofstream out_;
+};
+
+} // namespace pentimento::util
+
+#endif // PENTIMENTO_UTIL_CSV_HPP

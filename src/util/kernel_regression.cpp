@@ -1,0 +1,101 @@
+#include "util/kernel_regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace pentimento::util {
+
+namespace {
+
+/** Silverman's rule-of-thumb bandwidth for a Gaussian kernel. */
+double
+silvermanBandwidth(std::span<const double> x)
+{
+    const double sd = stddev(x);
+    const double n = static_cast<double>(x.size());
+    if (sd <= 0.0) {
+        return 1.0;
+    }
+    return 1.06 * sd * std::pow(n, -0.2);
+}
+
+double
+gaussianKernel(double u)
+{
+    return std::exp(-0.5 * u * u);
+}
+
+} // namespace
+
+KernelRegression::KernelRegression(std::span<const double> x,
+                                   std::span<const double> y,
+                                   double bandwidth)
+    : x_(x.begin(), x.end()), y_(y.begin(), y.end()), bandwidth_(bandwidth)
+{
+    if (x_.size() != y_.size()) {
+        throw std::invalid_argument("KernelRegression: size mismatch");
+    }
+    if (x_.empty()) {
+        throw std::invalid_argument("KernelRegression: empty sample");
+    }
+    if (bandwidth_ <= 0.0) {
+        bandwidth_ = silvermanBandwidth(x_);
+    }
+}
+
+double
+KernelRegression::at(double query) const
+{
+    // Weighted local linear fit around the query point. s* are the
+    // weighted moments of the centred predictor; the fitted intercept
+    // is the smoothed value.
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, t0 = 0.0, t1 = 0.0;
+    for (std::size_t i = 0; i < x_.size(); ++i) {
+        const double d = x_[i] - query;
+        const double w = gaussianKernel(d / bandwidth_);
+        s0 += w;
+        s1 += w * d;
+        s2 += w * d * d;
+        t0 += w * y_[i];
+        t1 += w * d * y_[i];
+    }
+    const double denom = s0 * s2 - s1 * s1;
+    if (s0 == 0.0) {
+        return 0.0;
+    }
+    if (std::abs(denom) < 1e-12 * std::max(1.0, s0 * s2)) {
+        // Degenerate neighbourhood (all points at one x): fall back to
+        // the locally constant (Nadaraya-Watson) estimate.
+        return t0 / s0;
+    }
+    return (s2 * t0 - s1 * t1) / denom;
+}
+
+std::vector<double>
+KernelRegression::fittedValues() const
+{
+    return at(std::span<const double>(x_));
+}
+
+std::vector<double>
+KernelRegression::at(std::span<const double> queries) const
+{
+    std::vector<double> out;
+    out.reserve(queries.size());
+    for (const double q : queries) {
+        out.push_back(at(q));
+    }
+    return out;
+}
+
+std::vector<double>
+kernelSmooth(std::span<const double> x, std::span<const double> y,
+             double bandwidth)
+{
+    return KernelRegression(x, y, bandwidth).fittedValues();
+}
+
+} // namespace pentimento::util

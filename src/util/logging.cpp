@@ -1,0 +1,53 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace pentimento::util {
+
+namespace {
+
+Verbosity g_verbosity = Verbosity::Warning;
+
+} // namespace
+
+void
+setVerbosity(Verbosity level)
+{
+    g_verbosity = level;
+}
+
+Verbosity
+verbosity()
+{
+    return g_verbosity;
+}
+
+void
+inform(const std::string &message)
+{
+    if (g_verbosity >= Verbosity::Info) {
+        std::cout << "info: " << message << "\n";
+    }
+}
+
+void
+warn(const std::string &message)
+{
+    if (g_verbosity >= Verbosity::Warning) {
+        std::cerr << "warn: " << message << "\n";
+    }
+}
+
+void
+fatal(const std::string &message)
+{
+    throw FatalError(message);
+}
+
+void
+panic(const std::string &message)
+{
+    throw PanicError(message);
+}
+
+} // namespace pentimento::util

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal status/error reporting in the gem5 spirit.
+ *
+ * inform() prints status, warn() flags questionable-but-survivable
+ * conditions, fatal() aborts on user error (bad configuration), and
+ * panic() aborts on internal invariant violations. Verbosity can be
+ * silenced globally so tests and benches stay quiet.
+ */
+
+#ifndef PENTIMENTO_UTIL_LOGGING_HPP
+#define PENTIMENTO_UTIL_LOGGING_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace pentimento::util {
+
+/** Severity used by setVerbosity to filter console output. */
+enum class Verbosity
+{
+    Silent,  ///< nothing is printed
+    Warning, ///< warn() only
+    Info     ///< inform() and warn()
+};
+
+/** Set the global console verbosity (default: Warning). */
+void setVerbosity(Verbosity level);
+
+/** Current global console verbosity. */
+Verbosity verbosity();
+
+/** Print an informational status line (stdout). */
+void inform(const std::string &message);
+
+/** Print a warning (stderr). */
+void warn(const std::string &message);
+
+/** Error thrown by fatal(): a user/configuration problem. */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Error thrown by panic(): an internal simulator bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    using std::logic_error::logic_error;
+};
+
+/**
+ * Abort the current operation due to a user error (bad configuration,
+ * invalid argument combination). Throws FatalError.
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/**
+ * Abort due to a broken internal invariant (a simulator bug).
+ * Throws PanicError.
+ */
+[[noreturn]] void panic(const std::string &message);
+
+} // namespace pentimento::util
+
+#endif // PENTIMENTO_UTIL_LOGGING_HPP

@@ -1,0 +1,225 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pentimento::util {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0) {
+        return;
+    }
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2) {
+        return 0.0;
+    }
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+percentileSorted(std::span<const double> sorted, double q)
+{
+    if (sorted.empty()) {
+        throw std::invalid_argument("percentileSorted: empty sample");
+    }
+    if (q < 0.0 || q > 1.0) {
+        throw std::invalid_argument("percentileSorted: q outside [0,1]");
+    }
+    if (sorted.size() == 1) {
+        return sorted[0];
+    }
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary
+summarize(std::span<const double> values)
+{
+    Summary s;
+    s.count = values.size();
+    if (values.empty()) {
+        return s;
+    }
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+
+    RunningStats rs;
+    for (const double v : sorted) {
+        rs.add(v);
+    }
+    s.mean = rs.mean();
+    s.sd = rs.stddev();
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.p25 = percentileSorted(sorted, 0.25);
+    s.p50 = percentileSorted(sorted, 0.50);
+    s.p75 = percentileSorted(sorted, 0.75);
+    return s;
+}
+
+LineFit
+fitLine(std::span<const double> x, std::span<const double> y)
+{
+    if (x.size() != y.size()) {
+        throw std::invalid_argument("fitLine: size mismatch");
+    }
+    if (x.size() < 2) {
+        throw std::invalid_argument("fitLine: need at least two points");
+    }
+    const double n = static_cast<double>(x.size());
+    double sx = 0.0, sy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+    }
+    const double mx = sx / n;
+    const double my = sy / n;
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    LineFit fit;
+    if (sxx == 0.0) {
+        fit.intercept = my;
+        return fit;
+    }
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r2 = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+    if (x.size() > 2) {
+        const double sse = syy - fit.slope * sxy;
+        const double mse =
+            std::max(0.0, sse) / (n - 2.0);
+        fit.slope_stderr = std::sqrt(mse / sxx);
+    }
+    return fit;
+}
+
+double
+mean(std::span<const double> values)
+{
+    RunningStats rs;
+    for (const double v : values) {
+        rs.add(v);
+    }
+    return rs.mean();
+}
+
+double
+stddev(std::span<const double> values)
+{
+    RunningStats rs;
+    for (const double v : values) {
+        rs.add(v);
+    }
+    return rs.stddev();
+}
+
+double
+correlation(std::span<const double> x, std::span<const double> y)
+{
+    if (x.size() != y.size() || x.size() < 2) {
+        throw std::invalid_argument("correlation: bad sample sizes");
+    }
+    const double mx = mean(x);
+    const double my = mean(y);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0) {
+        return 0.0;
+    }
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+otsuThreshold(std::span<const double> values)
+{
+    if (values.size() < 2) {
+        throw std::invalid_argument("otsuThreshold: need two values");
+    }
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+    double best_threshold = sorted.front();
+    double best_between = -1.0;
+    for (std::size_t split = 1; split < n; ++split) {
+        const double w0 = static_cast<double>(split);
+        const double w1 = static_cast<double>(n - split);
+        const double m0 = mean({sorted.data(), split});
+        const double m1 = mean({sorted.data() + split, n - split});
+        const double between = w0 * w1 * (m0 - m1) * (m0 - m1);
+        if (between > best_between) {
+            best_between = between;
+            best_threshold = 0.5 * (sorted[split - 1] + sorted[split]);
+        }
+    }
+    return best_threshold;
+}
+
+std::vector<double>
+centered(std::span<const double> values, double origin)
+{
+    std::vector<double> out;
+    out.reserve(values.size());
+    for (const double v : values) {
+        out.push_back(v - origin);
+    }
+    return out;
+}
+
+} // namespace pentimento::util

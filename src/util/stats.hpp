@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the analysis pipeline.
+ *
+ * Provides Welford running moments, percentile summaries matching the
+ * columns of the paper's Table 1 (MEAN/SD/MIN/25%/50%/75%/MAX), and an
+ * ordinary-least-squares line fit used by the threat-model classifiers
+ * to extract the sign of ∆ps trends.
+ */
+
+#ifndef PENTIMENTO_UTIL_STATS_HPP
+#define PENTIMENTO_UTIL_STATS_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pentimento::util {
+
+/**
+ * Numerically stable running mean/variance accumulator (Welford).
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Number of observations added. */
+    std::size_t count() const { return n_; }
+
+    /** Mean of the observations (0 when empty). */
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance (0 when fewer than two samples). */
+    double variance() const;
+
+    /** Unbiased sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation seen. */
+    double min() const { return min_; }
+
+    /** Largest observation seen. */
+    double max() const { return max_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Seven-number summary as reported per asset in the paper's Table 1.
+ */
+struct Summary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double sd = 0.0;
+    double min = 0.0;
+    double p25 = 0.0;
+    double p50 = 0.0;
+    double p75 = 0.0;
+    double max = 0.0;
+};
+
+/** Compute the seven-number summary of a sample (copies and sorts). */
+Summary summarize(std::span<const double> values);
+
+/**
+ * Linear interpolated percentile of a *sorted* sample.
+ *
+ * Uses the same convention as numpy's default ("linear"), which is
+ * what the paper's pandas describe() output reflects.
+ *
+ * @param sorted ascending sample
+ * @param q quantile in [0, 1]
+ */
+double percentileSorted(std::span<const double> sorted, double q);
+
+/** Result of an ordinary least squares line fit y = a + b x. */
+struct LineFit
+{
+    double intercept = 0.0;
+    double slope = 0.0;
+    /** Coefficient of determination. */
+    double r2 = 0.0;
+    /** Standard error of the slope estimate (0 when n < 3). */
+    double slope_stderr = 0.0;
+};
+
+/** Fit a straight line through (x, y) points by least squares. */
+LineFit fitLine(std::span<const double> x, std::span<const double> y);
+
+/** Arithmetic mean (0 for empty input). */
+double mean(std::span<const double> values);
+
+/** Unbiased sample standard deviation (0 for n < 2). */
+double stddev(std::span<const double> values);
+
+/** Pearson correlation of two equally-sized samples. */
+double correlation(std::span<const double> x, std::span<const double> y);
+
+/** Elementwise subtraction of a constant, returning a new vector. */
+std::vector<double> centered(std::span<const double> values, double origin);
+
+/**
+ * Otsu-style 1D two-cluster threshold: the split value maximising the
+ * between-class variance. Used by the TM2 classifier and by ablation
+ * benches to split measurements without labels.
+ *
+ * @param values at least two observations
+ * @return threshold; elements <= threshold form the lower cluster
+ */
+double otsuThreshold(std::span<const double> values);
+
+} // namespace pentimento::util
+
+#endif // PENTIMENTO_UTIL_STATS_HPP

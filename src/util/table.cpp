@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace pentimento::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty()) {
+        throw std::invalid_argument("TablePrinter: no headers");
+    }
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument("TablePrinter: row arity mismatch");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    std::ostringstream out;
+    const auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << (c == 0 ? "" : "  ");
+            // Left-align the first column, right-align the rest
+            // (numeric columns read better right-aligned).
+            if (c == 0) {
+                out << row[c]
+                    << std::string(widths[c] - row[c].size(), ' ');
+            } else {
+                out << std::string(widths[c] - row[c].size(), ' ')
+                    << row[c];
+            }
+        }
+        out << "\n";
+    };
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c == 0 ? 0 : 2);
+    }
+    out << std::string(total, '-') << "\n";
+    for (const auto &row : rows_) {
+        emit(row);
+    }
+    return out.str();
+}
+
+} // namespace pentimento::util

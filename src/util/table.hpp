@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fixed-width table rendering for bench output.
+ *
+ * The table/figure benches print the same rows the paper reports;
+ * TablePrinter handles alignment and numeric formatting so each bench
+ * focuses on content.
+ */
+
+#ifndef PENTIMENTO_UTIL_TABLE_HPP
+#define PENTIMENTO_UTIL_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace pentimento::util {
+
+/**
+ * Accumulates rows of cells and renders them with aligned columns.
+ */
+class TablePrinter
+{
+  public:
+    /** Define the header row. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a fully formatted row (must match the header arity). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given precision (helper for rows). */
+    static std::string num(double value, int precision = 1);
+
+    /** Render the table with a header underline. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pentimento::util
+
+#endif // PENTIMENTO_UTIL_TABLE_HPP

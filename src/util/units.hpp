@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unit helpers shared across the simulator.
+ *
+ * The codebase carries delays in picoseconds, stress time in hours and
+ * temperature in kelvin; these helpers make conversions explicit at
+ * call sites instead of burying magic constants.
+ */
+
+#ifndef PENTIMENTO_UTIL_UNITS_HPP
+#define PENTIMENTO_UTIL_UNITS_HPP
+
+namespace pentimento::util {
+
+/** Boltzmann constant in eV/K, used by Arrhenius acceleration. */
+inline constexpr double kBoltzmannEv = 8.617333262e-5;
+
+/** Convert degrees Celsius to kelvin. */
+constexpr double
+celsiusToKelvin(double celsius)
+{
+    return celsius + 273.15;
+}
+
+/** Convert kelvin to degrees Celsius. */
+constexpr double
+kelvinToCelsius(double kelvin)
+{
+    return kelvin - 273.15;
+}
+
+/** Convert hours to seconds. */
+constexpr double
+hoursToSeconds(double hours)
+{
+    return hours * 3600.0;
+}
+
+/** Convert seconds to hours. */
+constexpr double
+secondsToHours(double seconds)
+{
+    return seconds / 3600.0;
+}
+
+/** Convert picoseconds to nanoseconds. */
+constexpr double
+psToNs(double ps)
+{
+    return ps * 1e-3;
+}
+
+/** Convert nanoseconds to picoseconds. */
+constexpr double
+nsToPs(double ns)
+{
+    return ns * 1e3;
+}
+
+} // namespace pentimento::util
+
+#endif // PENTIMENTO_UTIL_UNITS_HPP

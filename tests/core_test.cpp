@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Tests for the core module: ∆ps series analysis, presets, experiment
+ * plumbing and both threat-model classifiers (on synthetic data; the
+ * end-to-end miniature experiments live in integration_test.cpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.hpp"
+#include "core/delta_series.hpp"
+#include "core/experiment.hpp"
+#include "core/presets.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace pc = pentimento::core;
+namespace pu = pentimento::util;
+
+namespace {
+
+pc::DeltaSeries
+makeSeries(const std::vector<double> &values, double dt = 1.0)
+{
+    pc::DeltaSeries series;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        series.addPoint(static_cast<double>(i) * dt, values[i]);
+    }
+    return series;
+}
+
+/** Synthetic route record with a linear ∆ps ramp plus noise. */
+pc::RouteRecord
+syntheticRecord(double slope_per_h, double noise_sd, bool truth,
+                double target_ps, std::uint64_t seed, int points = 40)
+{
+    pu::Rng rng(seed);
+    pc::RouteRecord record;
+    record.name = "synthetic";
+    record.target_ps = target_ps;
+    record.burn_value = truth;
+    for (int i = 0; i < points; ++i) {
+        record.series.addPoint(i, slope_per_h * i +
+                                      rng.gaussian(0.0, noise_sd));
+    }
+    return record;
+}
+
+} // namespace
+
+// -------------------------------------------------------- DeltaSeries
+
+TEST(DeltaSeries, AddPointEnforcesMonotoneHours)
+{
+    pc::DeltaSeries series;
+    series.addPoint(0.0, 1.0);
+    series.addPoint(1.0, 2.0);
+    EXPECT_THROW(series.addPoint(0.5, 3.0), pu::FatalError);
+}
+
+TEST(DeltaSeries, CenteredAtFirst)
+{
+    const pc::DeltaSeries series = makeSeries({5.0, 6.0, 7.5});
+    const pc::DeltaSeries centered = series.centeredAtFirst();
+    EXPECT_DOUBLE_EQ(centered.values()[0], 0.0);
+    EXPECT_DOUBLE_EQ(centered.values()[2], 2.5);
+    EXPECT_EQ(centered.hours(), series.hours());
+}
+
+TEST(DeltaSeries, CenteredEmptyIsEmpty)
+{
+    const pc::DeltaSeries series;
+    EXPECT_TRUE(series.centeredAtFirst().empty());
+}
+
+TEST(DeltaSeries, SlopeOfLinearRamp)
+{
+    std::vector<double> values;
+    for (int i = 0; i < 20; ++i) {
+        values.push_back(0.25 * i);
+    }
+    EXPECT_NEAR(makeSeries(values).slopePerHour(), 0.25, 1e-12);
+}
+
+TEST(DeltaSeries, SlopeOfShortSeriesIsZero)
+{
+    EXPECT_DOUBLE_EQ(makeSeries({1.0}).slopePerHour(), 0.0);
+}
+
+TEST(DeltaSeries, NetDriftOfRamp)
+{
+    std::vector<double> values;
+    for (int i = 0; i < 30; ++i) {
+        values.push_back(0.1 * i);
+    }
+    EXPECT_NEAR(makeSeries(values).netDriftPs(5.0), 2.9, 0.05);
+}
+
+TEST(DeltaSeries, MeanBetweenHours)
+{
+    const pc::DeltaSeries series = makeSeries({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(series.meanBetweenHours(1.0, 2.0), 2.5);
+    EXPECT_DOUBLE_EQ(series.meanBetweenHours(0.0, 3.0), 2.5);
+}
+
+TEST(DeltaSeries, TailMean)
+{
+    const pc::DeltaSeries series = makeSeries({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(series.tailMean(2), 3.5);
+    EXPECT_DOUBLE_EQ(series.tailMean(10), 2.5); // clamps to size
+}
+
+TEST(DeltaSeries, ResidualSdTracksNoise)
+{
+    pu::Rng rng(3);
+    std::vector<double> values;
+    for (int i = 0; i < 200; ++i) {
+        values.push_back(rng.gaussian(0.0, 0.5));
+    }
+    const double sd = makeSeries(values).residualSd(20.0);
+    EXPECT_NEAR(sd, 0.5, 0.12);
+}
+
+TEST(DeltaSeries, SmoothedShortSeriesPassesThrough)
+{
+    const pc::DeltaSeries series = makeSeries({1.0, 2.0});
+    EXPECT_EQ(series.smoothed(), series.values());
+}
+
+// ------------------------------------------------------------ presets
+
+TEST(Presets, Zcu102IsFactoryNew)
+{
+    const auto config = pc::zcu102New();
+    EXPECT_EQ(config.family, "xczu9eg");
+    EXPECT_DOUBLE_EQ(config.service_age_h, 0.0);
+}
+
+TEST(Presets, F1RegionMatchesPaperSetup)
+{
+    const auto config = pc::awsF1Region();
+    EXPECT_EQ(config.region, "eu-west-2");
+    EXPECT_DOUBLE_EQ(config.max_power_w, 85.0);
+    EXPECT_GT(config.min_service_age_h, 10000.0);
+    EXPECT_EQ(config.policy,
+              pentimento::cloud::AllocationPolicy::MostRecentlyReleased);
+}
+
+TEST(Presets, PaperRouteGroups)
+{
+    const auto groups = pc::paperRouteGroups();
+    ASSERT_EQ(groups.size(), 4u);
+    EXPECT_DOUBLE_EQ(groups[0].target_ps, 1000.0);
+    EXPECT_DOUBLE_EQ(groups[3].target_ps, 10000.0);
+    for (const auto &g : groups) {
+        EXPECT_EQ(g.count, 16);
+    }
+}
+
+// -------------------------------------------------- ExperimentResult
+
+TEST(ExperimentResult, MeasurementFraction)
+{
+    pc::ExperimentResult result;
+    result.condition_hours = 1.0;     // 3600 s
+    result.measure_seconds = 36.0;    // ~1%
+    result.sweeps = 2;
+    EXPECT_NEAR(result.measurementFraction(), 36.0 / 3636.0, 1e-12);
+    EXPECT_DOUBLE_EQ(result.secondsPerSweep(), 18.0);
+}
+
+TEST(ExperimentResult, EmptyFractionIsZero)
+{
+    const pc::ExperimentResult result;
+    EXPECT_DOUBLE_EQ(result.measurementFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(result.secondsPerSweep(), 0.0);
+}
+
+TEST(ExperimentResult, GroupIndices)
+{
+    pc::ExperimentResult result;
+    for (int i = 0; i < 6; ++i) {
+        pc::RouteRecord record;
+        record.target_ps = (i % 2 == 0) ? 1000.0 : 2000.0;
+        result.routes.push_back(record);
+    }
+    EXPECT_EQ(result.groupIndices(1000.0),
+              (std::vector<std::size_t>{0, 2, 4}));
+    EXPECT_EQ(result.groupIndices(2000.0),
+              (std::vector<std::size_t>{1, 3, 5}));
+    EXPECT_TRUE(result.groupIndices(500.0).empty());
+}
+
+// ----------------------------------------------------- TM1 classifier
+
+TEST(Tm1Classifier, PositiveDriftMeansOne)
+{
+    const pc::ThreatModel1Classifier classifier;
+    const auto up =
+        classifier.classifyRoute(syntheticRecord(0.01, 0.05, true, 1000,
+                                                 1));
+    const auto down = classifier.classifyRoute(
+        syntheticRecord(-0.01, 0.05, false, 1000, 2));
+    EXPECT_TRUE(up.value);
+    EXPECT_FALSE(down.value);
+}
+
+TEST(Tm1Classifier, ConfidenceGrowsWithSignal)
+{
+    const pc::ThreatModel1Classifier classifier;
+    const auto strong = classifier.classifyRoute(
+        syntheticRecord(0.05, 0.02, true, 1000, 3));
+    const auto weak = classifier.classifyRoute(
+        syntheticRecord(0.001, 0.2, true, 1000, 3));
+    EXPECT_GT(strong.confidence, weak.confidence);
+    EXPECT_GE(strong.confidence, 0.9);
+}
+
+TEST(Tm1Classifier, ScoresAgainstGroundTruth)
+{
+    pc::ExperimentResult result;
+    result.routes.push_back(syntheticRecord(0.02, 0.02, true, 1000, 4));
+    result.routes.push_back(
+        syntheticRecord(-0.02, 0.02, false, 1000, 5));
+    result.routes.push_back(
+        syntheticRecord(0.02, 0.02, false, 1000, 6)); // mislabeled
+    const auto report =
+        pc::ThreatModel1Classifier().classify(result);
+    EXPECT_EQ(report.correct, 2u);
+    EXPECT_NEAR(report.accuracy, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Tm1Classifier, BadBandwidthFatal)
+{
+    EXPECT_THROW(pc::ThreatModel1Classifier(0.0), pu::FatalError);
+}
+
+TEST(Tm1Classifier, ScoreArityMismatchFatal)
+{
+    pc::ExperimentResult result;
+    result.routes.push_back(syntheticRecord(0.0, 0.1, false, 1000, 7));
+    EXPECT_THROW(pc::score({}, result), pu::FatalError);
+}
+
+// ----------------------------------------------------- TM2 classifier
+
+TEST(Tm2Classifier, SeparatesTwoClusters)
+{
+    pc::ExperimentResult result;
+    for (int i = 0; i < 8; ++i) {
+        // Burn-1 routes recover (negative slope); burn-0 stay flat.
+        const bool was_one = i % 2 == 0;
+        result.routes.push_back(syntheticRecord(
+            was_one ? -0.02 : 0.0, 0.01, was_one, 1000, 100 + i));
+    }
+    const auto report = pc::ThreatModel2Classifier().classify(result);
+    EXPECT_DOUBLE_EQ(report.accuracy, 1.0);
+}
+
+TEST(Tm2Classifier, AllFlatMeansAllZero)
+{
+    pc::ExperimentResult result;
+    for (int i = 0; i < 8; ++i) {
+        result.routes.push_back(
+            syntheticRecord(0.0, 0.01, false, 1000, 200 + i));
+    }
+    const auto report = pc::ThreatModel2Classifier().classify(result);
+    EXPECT_DOUBLE_EQ(report.accuracy, 1.0);
+}
+
+TEST(Tm2Classifier, AllRecoveringMeansAllOne)
+{
+    pc::ExperimentResult result;
+    for (int i = 0; i < 8; ++i) {
+        result.routes.push_back(
+            syntheticRecord(-0.05, 0.005, true, 1000, 300 + i));
+    }
+    const auto report = pc::ThreatModel2Classifier().classify(result);
+    EXPECT_DOUBLE_EQ(report.accuracy, 1.0);
+}
+
+TEST(Tm2Classifier, GroupsClassifiedIndependently)
+{
+    pc::ExperimentResult result;
+    // Long routes: strong separation. Short routes: flat zeros.
+    for (int i = 0; i < 6; ++i) {
+        const bool was_one = i < 3;
+        result.routes.push_back(syntheticRecord(
+            was_one ? -0.2 : 0.0, 0.02, was_one, 10000, 400 + i));
+    }
+    for (int i = 0; i < 6; ++i) {
+        result.routes.push_back(
+            syntheticRecord(0.0, 0.02, false, 1000, 500 + i));
+    }
+    const auto report = pc::ThreatModel2Classifier().classify(result);
+    EXPECT_DOUBLE_EQ(report.accuracy, 1.0);
+}
+
+TEST(Tm2Classifier, EmptyResultEmptyReport)
+{
+    const auto report =
+        pc::ThreatModel2Classifier().classify(pc::ExperimentResult{});
+    EXPECT_TRUE(report.bits.empty());
+}
+
+TEST(Tm2Classifier, StatisticNormalisedByLength)
+{
+    const auto a = syntheticRecord(-0.02, 0.0, true, 1000, 600);
+    const auto b = syntheticRecord(-0.04, 0.0, true, 2000, 600);
+    EXPECT_NEAR(pc::ThreatModel2Classifier::statistic(a),
+                pc::ThreatModel2Classifier::statistic(b), 1e-6);
+}
+
+// ----------------------------------------------------- config checks
+
+TEST(ExperimentConfig, BadRouteGroupIsFatal)
+{
+    pc::Experiment1Config config;
+    config.groups = {{-1.0, 4}};
+    config.burn_hours = 1.0;
+    config.recovery_hours = 0.0;
+    EXPECT_THROW(pc::runExperiment1(config), pu::FatalError);
+}
+
+TEST(ExperimentConfig, EmptyGroupsFatal)
+{
+    pc::Experiment1Config config;
+    config.groups = {};
+    EXPECT_THROW(pc::runExperiment1(config), pu::FatalError);
+}

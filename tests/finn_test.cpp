@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the bitstream layer and the FINN-style accelerator:
+ * compilation, encryption semantics, skeleton extraction, weight
+ * encode/decode, and the end-to-end weight-theft flow at reduced
+ * scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/attack.hpp"
+#include "core/presets.hpp"
+#include "fabric/bitstream.hpp"
+#include "fabric/device.hpp"
+#include "fabric/drc.hpp"
+#include "finn/accelerator.hpp"
+#include "util/logging.hpp"
+
+namespace pc = pentimento::core;
+namespace pcl = pentimento::cloud;
+namespace pf = pentimento::fabric;
+namespace pfn = pentimento::finn;
+namespace pu = pentimento::util;
+
+namespace {
+
+pf::DeviceConfig
+family()
+{
+    pf::DeviceConfig config;
+    config.tiles_x = 64;
+    config.tiles_y = 64;
+    return config;
+}
+
+} // namespace
+
+// ----------------------------------------------------------bitstream
+
+TEST(Bitstream, CompileRejectsBadInput)
+{
+    EXPECT_THROW(pf::Bitstream::compile(nullptr, family()),
+                 pu::FatalError);
+    pf::DeviceConfig bad = family();
+    bad.family = "";
+    EXPECT_THROW(pf::Bitstream::compile(
+                     std::make_shared<pf::Design>("d"), bad),
+                 pu::FatalError);
+}
+
+TEST(Bitstream, FrameCountTracksConfiguration)
+{
+    pf::Device device(family());
+    auto design = std::make_shared<pf::Design>("d");
+    design->setRouteValue(device.allocateRoute("r", 1000.0), true);
+    const pf::Bitstream image =
+        pf::Bitstream::compile(design, family());
+    // 40 elements -> 2 payload frames + header.
+    EXPECT_EQ(image.frameCount(), 3u);
+    EXPECT_EQ(image.deviceFamily(), family().family);
+}
+
+TEST(Bitstream, InstantiateReturnsTheDesign)
+{
+    auto design = std::make_shared<pf::Design>("d");
+    const pf::Bitstream image =
+        pf::Bitstream::compile(design, family());
+    EXPECT_EQ(image.instantiate().get(), design.get());
+}
+
+TEST(Bitstream, EncryptedImageRefusesInspection)
+{
+    auto design = std::make_shared<pf::Design>("d");
+    const pf::Bitstream image =
+        pf::Bitstream::compileEncrypted(design, family());
+    EXPECT_TRUE(image.encrypted());
+    EXPECT_THROW(image.extractSkeleton(), pu::FatalError);
+    // ...but it still loads.
+    EXPECT_NE(image.instantiate(), nullptr);
+}
+
+TEST(Bitstream, SkeletonExtractionRecoversRoutes)
+{
+    pf::Device device(family());
+    const pf::RouteSpec a = device.allocateRoute("a", 500.0);
+    const pf::RouteSpec gap =
+        device.allocateRoute("gap", device.config().routing_pitch_ps);
+    const pf::RouteSpec b = device.allocateRoute("b", 750.0);
+    auto design = std::make_shared<pf::Design>("d");
+    design->setRouteValue(a, true);
+    design->setRouteToggling(gap, 0.5);
+    design->setRouteValue(b, true);
+
+    const pf::Bitstream image =
+        pf::Bitstream::compile(design, family());
+    const auto skeleton = image.extractSkeleton();
+    ASSERT_EQ(skeleton.size(), 3u);
+    EXPECT_EQ(skeleton[0].size(), a.size());
+    EXPECT_EQ(skeleton[1].size(), 1u);
+    EXPECT_EQ(skeleton[2].size(), b.size());
+    // Element identity, not just counts.
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(skeleton[0].elements[i], a.elements[i]);
+    }
+}
+
+TEST(Bitstream, SkeletonSurvivesTileBoundaries)
+{
+    // A route long enough to span several tiles must still extract
+    // as a single net.
+    pf::DeviceConfig config = family();
+    config.nodes_per_tile = 8;
+    pf::Device device(config);
+    const pf::RouteSpec long_route = device.allocateRoute("r", 1000.0);
+    auto design = std::make_shared<pf::Design>("d");
+    design->setRouteValue(long_route, false);
+    const pf::Bitstream image = pf::Bitstream::compile(design, config);
+    const auto skeleton = image.extractSkeleton();
+    ASSERT_EQ(skeleton.size(), 1u);
+    EXPECT_EQ(skeleton[0].size(), long_route.size());
+}
+
+TEST(Bitstream, NonRoutingResourcesExcludedFromSkeleton)
+{
+    pf::Device device(family());
+    auto design = std::make_shared<pf::Design>("d");
+    design->setRouteValue(device.allocateLutPath("lut", 4), true);
+    const pf::Bitstream image =
+        pf::Bitstream::compile(design, family());
+    EXPECT_TRUE(image.extractSkeleton().empty());
+}
+
+// --------------------------------------------------------------- finn
+
+TEST(Finn, WeightEncodeDecodeRoundTrip)
+{
+    pfn::FinnConfig config;
+    config.weight_bits = 4;
+    const std::vector<int> weights{0, 15, 7, 9, 1, 14, 3, 12, 5, 10,
+                                   2, 13};
+    const std::vector<bool> bits =
+        pfn::FinnAccelerator::encodeWeights(weights, config);
+    EXPECT_EQ(bits.size(), weights.size() * 4);
+    EXPECT_EQ(pfn::FinnAccelerator::decodeWeights(bits, config),
+              weights);
+}
+
+TEST(Finn, EncodeRejectsOutOfRange)
+{
+    pfn::FinnConfig config;
+    config.weight_bits = 2;
+    EXPECT_THROW(pfn::FinnAccelerator::encodeWeights({4}, config),
+                 pu::FatalError);
+    EXPECT_THROW(pfn::FinnAccelerator::encodeWeights({-1}, config),
+                 pu::FatalError);
+}
+
+TEST(Finn, DecodeRejectsRaggedInput)
+{
+    pfn::FinnConfig config;
+    config.weight_bits = 4;
+    EXPECT_THROW(pfn::FinnAccelerator::decodeWeights(
+                     std::vector<bool>(6), config),
+                 pu::FatalError);
+}
+
+TEST(Finn, ConstructionValidatesArity)
+{
+    pf::Device device(family());
+    pfn::FinnConfig config;
+    config.layer_weights = {4};
+    EXPECT_THROW(pfn::FinnAccelerator(device, config, {1, 2}),
+                 pu::FatalError);
+}
+
+TEST(Finn, DesignEncodesWeightsAsBurnValues)
+{
+    pf::Device device(family());
+    pfn::FinnConfig config;
+    config.layer_weights = {2};
+    config.weight_bits = 3;
+    pfn::FinnAccelerator accel(device, config, {5, 2}); // 101, 010
+    const std::vector<bool> expected{true, false, true,
+                                     false, true, false};
+    EXPECT_EQ(accel.weightBits(), expected);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(accel.design()->burnValue(i), expected[i]);
+    }
+    EXPECT_EQ(accel.weightSkeleton().size(), 6u);
+}
+
+TEST(Finn, DesignPassesProviderDrc)
+{
+    pf::Device device(family());
+    pfn::FinnConfig config;
+    pu::Rng rng(1);
+    pfn::FinnAccelerator accel(
+        device, config, pfn::FinnAccelerator::randomWeights(config, rng));
+    const pf::DesignRuleChecker drc;
+    EXPECT_TRUE(drc.accepts(*accel.design()));
+    EXPECT_LT(accel.design()->powerW(), 85.0);
+}
+
+TEST(Finn, ReferenceBitstreamSkeletonMatchesVendorPlacement)
+{
+    // The attack's key step: the PUBLIC reference build places the
+    // weight routes exactly where the vendor's private build does.
+    pf::Device vendor_box(family());
+    pfn::FinnConfig config;
+    config.layer_weights = {3};
+    config.weight_bits = 2;
+    pu::Rng rng(2);
+    pfn::FinnAccelerator vendor(
+        vendor_box, config,
+        pfn::FinnAccelerator::randomWeights(config, rng));
+
+    pu::Rng ref_rng(99); // different placeholder weights
+    const pf::Bitstream reference =
+        vendor.referenceBitstream(family(), ref_rng);
+    std::vector<pf::RouteSpec> extracted;
+    for (auto &net : reference.extractSkeleton()) {
+        if (net.size() >= 2) {
+            extracted.push_back(std::move(net));
+        }
+    }
+    ASSERT_EQ(extracted.size(), vendor.weightSkeleton().size());
+    for (std::size_t r = 0; r < extracted.size(); ++r) {
+        ASSERT_EQ(extracted[r].size(),
+                  vendor.weightSkeleton()[r].size());
+        for (std::size_t e = 0; e < extracted[r].size(); ++e) {
+            EXPECT_EQ(extracted[r].elements[e],
+                      vendor.weightSkeleton()[r].elements[e]);
+        }
+    }
+}
+
+TEST(Finn, EndToEndWeightTheftMini)
+{
+    pcl::PlatformConfig region = pc::awsF1Region(12);
+    region.fleet_size = 1;
+    pcl::CloudPlatform platform(region);
+
+    pfn::FinnConfig config;
+    config.layer_weights = {4};
+    config.weight_bits = 2;
+    config.route_ps = 8000.0;
+    pf::Device build_box(pc::awsF1Silicon());
+    pu::Rng rng(42);
+    const std::vector<int> secret =
+        pfn::FinnAccelerator::randomWeights(config, rng);
+    pfn::FinnAccelerator accel(build_box, config, secret);
+
+    const std::string afi_id = platform.marketplace().publish(
+        "vendor", accel.design(), accel.weightSkeleton());
+    pc::Tm1Options options;
+    options.burn_hours = 80.0;
+    options.measure_every_h = 4.0;
+    options.seed = 7;
+    const pc::Tm1Report report =
+        pc::extractDesignData(platform, afi_id, options);
+    const std::vector<int> recovered =
+        pfn::FinnAccelerator::decodeWeights(report.recovered_bits,
+                                            config);
+    int exact = 0;
+    for (std::size_t w = 0; w < recovered.size(); ++w) {
+        exact += recovered[w] == secret[w];
+    }
+    EXPECT_GE(exact, 3); // 8 ns routes: nearly every weight lands
+}

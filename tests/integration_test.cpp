@@ -1,0 +1,433 @@
+/**
+ * @file
+ * End-to-end integration tests: miniature versions of the paper's
+ * three experiments, the attack facades (marketplace extraction and
+ * user-data recovery), mitigation effectiveness and provider-side
+ * quarantine. Scales are reduced for test runtime; the full-scale
+ * reproductions live in bench/.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/attack.hpp"
+#include "core/classifier.hpp"
+#include "core/experiment.hpp"
+#include "core/presets.hpp"
+#include "mitigation/strategies.hpp"
+#include "util/logging.hpp"
+
+namespace pc = pentimento::core;
+namespace pcl = pentimento::cloud;
+namespace pf = pentimento::fabric;
+namespace pm = pentimento::mitigation;
+namespace pu = pentimento::util;
+
+namespace {
+
+pc::Experiment1Config
+miniExp1()
+{
+    pc::Experiment1Config config;
+    config.groups = {{2000.0, 4}, {8000.0, 4}};
+    config.burn_hours = 40.0;
+    config.recovery_hours = 30.0;
+    config.measure_every_h = 5.0;
+    config.arith.dsp_count = 64;
+    config.seed = 31;
+    return config;
+}
+
+pc::Experiment2Config
+miniExp2()
+{
+    pc::Experiment2Config config;
+    config.groups = {{4000.0, 4}, {10000.0, 4}};
+    config.burn_hours = 60.0;
+    config.measure_every_h = 5.0;
+    config.platform.fleet_size = 2;
+    config.seed = 32;
+    return config;
+}
+
+pc::Experiment3Config
+miniExp3()
+{
+    pc::Experiment3Config config;
+    config.groups = {{8000.0, 6}};
+    config.burn_hours = 120.0;
+    config.recovery_hours = 25.0;
+    config.measure_every_h = 1.0;
+    config.platform.fleet_size = 2;
+    config.seed = 33;
+    return config;
+}
+
+} // namespace
+
+// ----------------------------------------------------- Experiment 1
+
+TEST(Experiment1, BurnPolaritySeparatesDeltas)
+{
+    const pc::ExperimentResult result = pc::runExperiment1(miniExp1());
+    ASSERT_EQ(result.routes.size(), 8u);
+    for (const auto &route : result.routes) {
+        const double at_burn_end = route.series.meanBetweenHours(
+            30.0, 40.0);
+        if (route.burn_value) {
+            EXPECT_GT(at_burn_end, 0.1)
+                << route.name << " should drift positive";
+        } else {
+            EXPECT_LT(at_burn_end, -0.1)
+                << route.name << " should drift negative";
+        }
+    }
+}
+
+TEST(Experiment1, LongerRoutesDriftMore)
+{
+    const pc::ExperimentResult result = pc::runExperiment1(miniExp1());
+    double short_mag = 0.0, long_mag = 0.0;
+    int short_n = 0, long_n = 0;
+    for (const auto &route : result.routes) {
+        const double mag =
+            std::abs(route.series.meanBetweenHours(30.0, 40.0));
+        if (route.target_ps == 2000.0) {
+            short_mag += mag;
+            ++short_n;
+        } else {
+            long_mag += mag;
+            ++long_n;
+        }
+    }
+    EXPECT_GT(long_mag / long_n, 2.0 * short_mag / short_n);
+}
+
+TEST(Experiment1, SeriesCenteredAtFirstSample)
+{
+    const pc::ExperimentResult result = pc::runExperiment1(miniExp1());
+    for (const auto &route : result.routes) {
+        ASSERT_FALSE(route.series.empty());
+        EXPECT_DOUBLE_EQ(route.series.values().front(), 0.0);
+        EXPECT_DOUBLE_EQ(route.series.hours().front(), 0.0);
+    }
+}
+
+TEST(Experiment1, RecoveryMovesTowardZeroForBurnOne)
+{
+    const pc::ExperimentResult result = pc::runExperiment1(miniExp1());
+    for (const auto &route : result.routes) {
+        if (!route.burn_value) {
+            continue;
+        }
+        const double at_burn_end =
+            route.series.meanBetweenHours(30.0, 40.0);
+        const double at_recovery_end =
+            route.series.meanBetweenHours(60.0, 70.0);
+        EXPECT_LT(at_recovery_end, at_burn_end)
+            << route.name << " must recover downward";
+    }
+}
+
+TEST(Experiment1, DeterministicForSeed)
+{
+    const pc::ExperimentResult a = pc::runExperiment1(miniExp1());
+    const pc::ExperimentResult b = pc::runExperiment1(miniExp1());
+    ASSERT_EQ(a.routes.size(), b.routes.size());
+    for (std::size_t i = 0; i < a.routes.size(); ++i) {
+        EXPECT_EQ(a.routes[i].burn_value, b.routes[i].burn_value);
+        EXPECT_EQ(a.routes[i].series.values(),
+                  b.routes[i].series.values());
+    }
+}
+
+TEST(Experiment1, MeasurementCostTracked)
+{
+    const pc::ExperimentResult result = pc::runExperiment1(miniExp1());
+    EXPECT_GT(result.measure_seconds, 0.0);
+    EXPECT_GT(result.sweeps, 10u);
+    EXPECT_LT(result.measurementFraction(), 0.05);
+}
+
+// ----------------------------------------------------- Experiment 2
+
+TEST(Experiment2, ThreatModel1RecoversMostBits)
+{
+    const pc::ExperimentResult result = pc::runExperiment2(miniExp2());
+    const auto report = pc::ThreatModel1Classifier().classify(result);
+    EXPECT_GE(report.accuracy, 0.75);
+}
+
+TEST(Experiment2, CloudContrastSmallerThanLab)
+{
+    pc::Experiment1Config lab = miniExp1();
+    lab.groups = {{8000.0, 4}};
+    lab.recovery_hours = 0.0;
+    pc::Experiment2Config cloud = miniExp2();
+    cloud.groups = {{8000.0, 4}};
+    cloud.burn_hours = lab.burn_hours;
+
+    const pc::ExperimentResult lab_result = pc::runExperiment1(lab);
+    const pc::ExperimentResult cloud_result =
+        pc::runExperiment2(cloud);
+    double lab_mag = 0.0, cloud_mag = 0.0;
+    for (const auto &route : lab_result.routes) {
+        lab_mag +=
+            std::abs(route.series.meanBetweenHours(30.0, 40.0)) / 4.0;
+    }
+    for (const auto &route : cloud_result.routes) {
+        cloud_mag +=
+            std::abs(route.series.meanBetweenHours(30.0, 40.0)) / 4.0;
+    }
+    EXPECT_LT(cloud_mag, 0.5 * lab_mag);
+}
+
+// ----------------------------------------------------- Experiment 3
+
+TEST(Experiment3, SeriesStartAtVictimReleaseHour)
+{
+    const pc::ExperimentResult result = pc::runExperiment3(miniExp3());
+    for (const auto &route : result.routes) {
+        EXPECT_DOUBLE_EQ(route.series.hours().front(), 120.0);
+        EXPECT_DOUBLE_EQ(route.series.values().front(), 0.0);
+    }
+}
+
+TEST(Experiment3, ThreatModel2RecoversLongRouteBits)
+{
+    const pc::ExperimentResult result = pc::runExperiment3(miniExp3());
+    const auto report = pc::ThreatModel2Classifier().classify(result);
+    EXPECT_GE(report.accuracy, 0.8);
+}
+
+TEST(Experiment3, BurnOneRoutesShowRecoverySlope)
+{
+    const pc::ExperimentResult result = pc::runExperiment3(miniExp3());
+    double one_slope = 0.0, zero_slope = 0.0;
+    int ones = 0, zeros = 0;
+    for (const auto &route : result.routes) {
+        if (route.burn_value) {
+            one_slope += route.series.slopePerHour();
+            ++ones;
+        } else {
+            zero_slope += route.series.slopePerHour();
+            ++zeros;
+        }
+    }
+    if (ones > 0 && zeros > 0) {
+        EXPECT_LT(one_slope / ones, zero_slope / zeros);
+    }
+}
+
+// ------------------------------------------------- marketplace attack
+
+TEST(MarketplaceAttack, ExtractsAfiConstants)
+{
+    pcl::PlatformConfig region = pc::awsF1Region(41);
+    region.fleet_size = 2;
+    pcl::CloudPlatform platform(region);
+
+    // Publisher builds an AFI holding an 8-bit secret on 8 ns routes
+    // and lists it with its (public) skeleton.
+    pf::Device scratch(pc::awsF1Silicon(7));
+    const std::vector<bool> secret{true, false, true,  true,
+                                   false, true, false, false};
+    pc::SecretBundle bundle =
+        pc::makeSecretTarget(scratch, secret, 8000.0, "vendor_afi");
+    const std::string afi_id = platform.marketplace().publish(
+        "vendor", bundle.design, bundle.skeleton);
+
+    pc::Tm1Options options;
+    options.burn_hours = 60.0;
+    options.measure_every_h = 5.0;
+    options.seed = 77;
+    const pc::Tm1Report report =
+        pc::extractDesignData(platform, afi_id, options);
+
+    EXPECT_EQ(report.recovered_bits.size(), secret.size());
+    EXPECT_GE(report.classification.accuracy, 0.75);
+}
+
+TEST(MarketplaceAttack, RequiresSkeleton)
+{
+    pcl::PlatformConfig region = pc::awsF1Region(42);
+    region.fleet_size = 1;
+    pcl::CloudPlatform platform(region);
+    auto design = std::make_shared<pf::Design>("opaque");
+    const std::string afi_id =
+        platform.marketplace().publish("vendor", design, {});
+    EXPECT_THROW(pc::extractDesignData(platform, afi_id),
+                 pu::FatalError);
+}
+
+// ---------------------------------------------------- TM2 full story
+
+TEST(UserDataRecovery, EndToEndOnVictimBoard)
+{
+    pcl::PlatformConfig region = pc::awsF1Region(43);
+    region.fleet_size = 3;
+    pcl::CloudPlatform platform(region);
+
+    const std::vector<bool> secret{true, true, false, true, false,
+                                   false};
+    pc::Tm2Options options;
+    options.victim_hours = 120.0;
+    options.recovery_hours = 25.0;
+    options.route_ps = 8000.0;
+    options.seed = 99;
+    const pc::Tm2Report report =
+        pc::recoverUserData(platform, secret, options);
+
+    EXPECT_TRUE(report.reacquired_same_board);
+    EXPECT_GT(report.fingerprint_similarity, 0.9);
+    EXPECT_EQ(report.flash_rented, 3u);
+    EXPECT_GE(report.classification.accuracy, 0.8);
+}
+
+TEST(UserDataRecovery, QuarantineDefeatsReacquisition)
+{
+    // §8.2 launch-rate control: with the victim board quarantined,
+    // the flash acquisition cannot grab it and recovery fails.
+    pcl::PlatformConfig region = pc::awsF1Region(44);
+    region.fleet_size = 3;
+    region.quarantine_hours = 500.0;
+    pcl::CloudPlatform platform(region);
+
+    const std::vector<bool> secret{true, true, true, false};
+    pc::Tm2Options options;
+    options.victim_hours = 60.0;
+    options.recovery_hours = 10.0;
+    options.route_ps = 8000.0;
+    options.seed = 17;
+    const pc::Tm2Report report =
+        pc::recoverUserData(platform, secret, options);
+    EXPECT_FALSE(report.reacquired_same_board);
+    EXPECT_LT(report.fingerprint_similarity, 0.9);
+}
+
+// ----------------------------------------------------- mitigations
+
+TEST(Mitigations, HourlyInversionSuppressesTm1)
+{
+    // Inversion equalises the stress both bit values apply, so what
+    // vanishes is the *separation between the classes* (a common-mode
+    // drift remains because NBTI is stronger than PBTI — it carries
+    // no data).
+    const auto classSeparation = [](const pc::ExperimentResult &r) {
+        double one = 0.0, zero = 0.0;
+        int ones = 0, zeros = 0;
+        for (const auto &route : r.routes) {
+            if (route.burn_value) {
+                one += route.series.tailMean(3);
+                ++ones;
+            } else {
+                zero += route.series.tailMean(3);
+                ++zeros;
+            }
+        }
+        if (ones == 0 || zeros == 0) {
+            return -1.0;
+        }
+        return std::abs(one / ones - zero / zeros);
+    };
+
+    pc::Experiment2Config vulnerable = miniExp2();
+    vulnerable.groups = {{8000.0, 8}};
+    const pc::ExperimentResult open = pc::runExperiment2(vulnerable);
+    const double open_sep = classSeparation(open);
+    ASSERT_GT(open_sep, 0.0) << "need both bit values in the sample";
+
+    pm::InversionMitigation invert(5.0);
+    pc::Experiment2Config defended = vulnerable;
+    defended.strategy = &invert;
+    const pc::ExperimentResult closed = pc::runExperiment2(defended);
+    const double closed_sep = classSeparation(closed);
+
+    EXPECT_LT(closed_sep, 0.3 * open_sep);
+}
+
+TEST(Mitigations, WearLevelingDilutesImprint)
+{
+    // The attacker keeps measuring the ORIGINAL skeleton; rotating
+    // the data across k physical sites leaves only ~1/k of the stress
+    // at the measured location.
+    pc::Experiment1Config open_config = miniExp1();
+    open_config.groups = {{8000.0, 4}};
+    open_config.recovery_hours = 0.0;
+    const pc::ExperimentResult open =
+        pc::runExperiment1(open_config);
+
+    pm::WearLevelMitigation wear(5.0, 4);
+    pc::Experiment1Config defended = open_config;
+    defended.strategy = &wear;
+    const pc::ExperimentResult closed = pc::runExperiment1(defended);
+
+    double open_mag = 0.0, closed_mag = 0.0;
+    for (std::size_t i = 0; i < open.routes.size(); ++i) {
+        open_mag += std::abs(
+            open.routes[i].series.meanBetweenHours(30.0, 40.0));
+        closed_mag += std::abs(
+            closed.routes[i].series.meanBetweenHours(30.0, 40.0));
+    }
+    EXPECT_LT(closed_mag, 0.7 * open_mag);
+}
+
+TEST(Mitigations, HoldComplementEpilogueWeakensTm2)
+{
+    pc::Experiment3Config base = miniExp3();
+    const pc::ExperimentResult open = pc::runExperiment3(base);
+    const auto open_report =
+        pc::ThreatModel2Classifier().classify(open);
+
+    pm::HoldRecoveryMitigation hold(pm::Epilogue::Policy::Complement,
+                                    60.0);
+    pc::Experiment3Config defended = miniExp3();
+    defended.strategy = &hold;
+    const pc::ExperimentResult closed = pc::runExperiment3(defended);
+
+    // The complement hold bleeds the PBTI imprint and pre-stresses
+    // the other side, shrinking the recovery slopes the attacker
+    // keys on.
+    double open_spread = 0.0, closed_spread = 0.0;
+    double open_min = 1e9, open_max = -1e9;
+    double closed_min = 1e9, closed_max = -1e9;
+    for (const auto &route : open.routes) {
+        const double s = route.series.slopePerHour();
+        open_min = std::min(open_min, s);
+        open_max = std::max(open_max, s);
+    }
+    for (const auto &route : closed.routes) {
+        const double s = route.series.slopePerHour();
+        closed_min = std::min(closed_min, s);
+        closed_max = std::max(closed_max, s);
+    }
+    open_spread = open_max - open_min;
+    closed_spread = closed_max - closed_min;
+    EXPECT_LT(closed_spread, open_spread);
+    (void)open_report;
+}
+
+// --------------------------------------------------------- wipe e2e
+
+TEST(WipeSemantics, PentimentoSurvivesProviderScrub)
+{
+    pcl::PlatformConfig region = pc::awsF1Region(45);
+    region.fleet_size = 1;
+    pcl::CloudPlatform platform(region);
+
+    const auto victim = platform.rent();
+    pf::Device &device = platform.instance(*victim).device();
+    const pf::RouteSpec spec = device.allocateRoute("secret", 8000.0);
+    auto design = std::make_shared<pf::Design>("victim");
+    design->setRouteValue(spec, true);
+    design->setPowerW(20.0);
+    ASSERT_TRUE(platform.loadDesign(*victim, design).empty());
+    platform.advanceHours(100.0);
+    platform.release(*victim); // wipe happens here
+
+    pf::Route route = device.bindRoute(spec);
+    EXPECT_EQ(device.currentDesign(), nullptr);
+    EXPECT_GT(
+        route.btiShiftPs(pentimento::phys::Transition::Falling), 0.1);
+}

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Tests for the key-rank / guessing-entropy analysis and for the new
+ * substrate features added beyond the first milestone: LUT paths,
+ * provider active scrub, attacker quarantine waits and skeleton
+ * necessity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/attack.hpp"
+#include "core/classifier.hpp"
+#include "core/experiment.hpp"
+#include "core/keyrank.hpp"
+#include "core/presets.hpp"
+#include "fabric/device.hpp"
+#include "phys/thermal.hpp"
+#include "tdc/tdc.hpp"
+#include "util/logging.hpp"
+
+namespace pc = pentimento::core;
+namespace pcl = pentimento::cloud;
+namespace pf = pentimento::fabric;
+namespace pp = pentimento::phys;
+namespace pt = pentimento::tdc;
+namespace pu = pentimento::util;
+
+namespace {
+
+pc::BitEstimate
+bit(bool value, double confidence)
+{
+    pc::BitEstimate estimate;
+    estimate.value = value;
+    estimate.confidence = confidence;
+    return estimate;
+}
+
+} // namespace
+
+// ------------------------------------------------------ binaryEntropy
+
+TEST(BinaryEntropy, ExtremesAreZero)
+{
+    EXPECT_DOUBLE_EQ(pc::binaryEntropy(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(pc::binaryEntropy(1.0), 0.0);
+}
+
+TEST(BinaryEntropy, MaximalAtHalf)
+{
+    EXPECT_DOUBLE_EQ(pc::binaryEntropy(0.5), 1.0);
+    EXPECT_GT(pc::binaryEntropy(0.5), pc::binaryEntropy(0.3));
+    EXPECT_GT(pc::binaryEntropy(0.5), pc::binaryEntropy(0.9));
+}
+
+TEST(BinaryEntropy, Symmetric)
+{
+    EXPECT_NEAR(pc::binaryEntropy(0.2), pc::binaryEntropy(0.8), 1e-12);
+}
+
+// ------------------------------------------------------- key ranking
+
+TEST(KeyRank, AllCertainBitsNeedNoBruteForce)
+{
+    std::vector<pc::BitEstimate> bits(16, bit(true, 1.0));
+    const pc::KeyRankReport report = pc::analyzeKeyRank(bits);
+    EXPECT_EQ(report.key_bits, 16u);
+    EXPECT_EQ(report.brute_force_bits, 0u);
+    EXPECT_NEAR(report.residual_entropy_bits, 0.0, 1e-9);
+    EXPECT_GE(report.success_probability, 0.9);
+}
+
+TEST(KeyRank, CoinFlipBitsMustAllBeEnumerated)
+{
+    std::vector<pc::BitEstimate> bits(8, bit(false, 0.0));
+    const pc::KeyRankReport report = pc::analyzeKeyRank(bits, 0.9);
+    EXPECT_EQ(report.brute_force_bits, 8u);
+    EXPECT_NEAR(report.residual_entropy_bits, 8.0, 1e-9);
+}
+
+TEST(KeyRank, WeakestBitsEnumeratedFirst)
+{
+    std::vector<pc::BitEstimate> bits;
+    for (int i = 0; i < 12; ++i) {
+        bits.push_back(bit(true, 0.999));
+    }
+    bits.push_back(bit(true, 0.0));
+    bits.push_back(bit(false, 0.1));
+    const pc::KeyRankReport report = pc::analyzeKeyRank(bits, 0.9);
+    // Only the two weak bits need enumeration.
+    EXPECT_LE(report.brute_force_bits, 3u);
+    EXPECT_GE(report.brute_force_bits, 2u);
+    EXPECT_GE(report.success_probability, 0.9);
+}
+
+TEST(KeyRank, EmptyKeyIsTrivial)
+{
+    const pc::KeyRankReport report = pc::analyzeKeyRank({});
+    EXPECT_EQ(report.key_bits, 0u);
+    EXPECT_DOUBLE_EQ(report.success_probability, 1.0);
+}
+
+TEST(KeyRank, BadTargetFatal)
+{
+    std::vector<pc::BitEstimate> bits(2, bit(true, 0.5));
+    EXPECT_THROW(pc::analyzeKeyRank(bits, 0.0), pu::FatalError);
+    EXPECT_THROW(pc::analyzeKeyRank(bits, 1.0), pu::FatalError);
+}
+
+TEST(KeyRank, EntropyDecreasesWithConfidence)
+{
+    std::vector<pc::BitEstimate> weak(8, bit(true, 0.2));
+    std::vector<pc::BitEstimate> strong(8, bit(true, 0.95));
+    EXPECT_GT(pc::analyzeKeyRank(weak).residual_entropy_bits,
+              pc::analyzeKeyRank(strong).residual_entropy_bits);
+}
+
+TEST(KeyRank, RealClassificationIsNearlyBruteForceFree)
+{
+    pc::Experiment2Config config;
+    config.groups = {{8000.0, 8}};
+    config.burn_hours = 60.0;
+    config.measure_every_h = 5.0;
+    config.platform.fleet_size = 2;
+    config.seed = 32;
+    const auto result = pc::runExperiment2(config);
+    const auto report = pc::ThreatModel1Classifier().classify(result);
+    const pc::KeyRankReport rank =
+        pc::analyzeKeyRank(report.bits, 0.75);
+    EXPECT_LE(rank.brute_force_bits, 3u);
+}
+
+// ------------------------------------------------------- LUT paths
+
+TEST(LutPath, AllocatesLutResources)
+{
+    pf::Device device{pf::DeviceConfig{}};
+    const pf::RouteSpec path = device.allocateLutPath("lut", 10);
+    EXPECT_EQ(path.size(), 10u);
+    for (const auto &id : path.elements) {
+        EXPECT_EQ(id.type, pf::ResourceType::Lut);
+    }
+    EXPECT_THROW(device.allocateLutPath("bad", 0), pu::FatalError);
+}
+
+TEST(LutPath, CouplingSuppressesObservableShift)
+{
+    pf::Device device{pf::DeviceConfig{}};
+    const pf::RouteSpec net = device.allocateRoute("net", 5000.0);
+    const pf::RouteSpec lut = device.allocateLutPath("lut", 40);
+    auto design = std::make_shared<pf::Design>("burn");
+    design->setRouteValue(net, true);
+    design->setRouteValue(lut, true);
+    device.loadDesign(design);
+    pp::OvenEnvironment oven(333.15);
+    device.advance(200.0, oven);
+
+    pf::Route net_route = device.bindRoute(net);
+    pf::Route lut_route = device.bindRoute(lut);
+    const double net_shift =
+        net_route.btiShiftPs(pp::Transition::Falling);
+    const double lut_shift =
+        lut_route.btiShiftPs(pp::Transition::Falling);
+    EXPECT_GT(net_shift, 1.0);
+    EXPECT_LT(lut_shift, 0.1 * net_shift);
+    EXPECT_GT(lut_shift, 0.0); // the imprint exists, just tiny
+}
+
+TEST(LutPath, MaterializedIdsReportsEverything)
+{
+    pf::Device device{pf::DeviceConfig{}};
+    EXPECT_TRUE(device.materializedIds().empty());
+    const pf::RouteSpec net = device.allocateRoute("net", 250.0);
+    auto design = std::make_shared<pf::Design>("d");
+    design->setRouteValue(net, true);
+    device.loadDesign(design);
+    EXPECT_EQ(device.materializedIds().size(), net.size());
+}
+
+// ------------------------------------------------- provider scrub
+
+TEST(ActiveScrub, ScrubDesignLoadedOnRelease)
+{
+    pcl::PlatformConfig config = pc::awsF1Region(3);
+    config.fleet_size = 1;
+    config.active_scrub = true;
+    pcl::CloudPlatform platform(config);
+
+    const auto id = platform.rent();
+    pf::Device &device = platform.instance(*id).device();
+    const pf::RouteSpec net = device.allocateRoute("net", 1000.0);
+    auto design = std::make_shared<pf::Design>("victim");
+    design->setRouteValue(net, true);
+    ASSERT_TRUE(platform.loadDesign(*id, design).empty());
+    platform.advanceHours(10.0);
+    platform.release(*id);
+
+    ASSERT_NE(device.currentDesign(), nullptr);
+    EXPECT_EQ(device.currentDesign()->name(), "provider_scrub");
+    // Scrub toggles the previously-used elements.
+    EXPECT_EQ(device.currentDesign()->activityFor(net.elements[0]).kind,
+              pf::Activity::Toggle);
+
+    // Renting hands over a clean configuration again.
+    const auto again = platform.rent();
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(device.currentDesign(), nullptr);
+}
+
+TEST(ActiveScrub, ReducesDifferentialImprint)
+{
+    const auto imprintAfterPool = [](bool scrub) {
+        pcl::PlatformConfig config = pc::awsF1Region(4);
+        config.fleet_size = 1;
+        config.active_scrub = scrub;
+        pcl::CloudPlatform platform(config);
+        const auto id = platform.rent();
+        pf::Device &device = platform.instance(*id).device();
+        const pf::RouteSpec net = device.allocateRoute("net", 5000.0);
+        auto design = std::make_shared<pf::Design>("victim");
+        design->setRouteValue(net, true);
+        platform.loadDesign(*id, design);
+        platform.advanceHours(100.0);
+        platform.release(*id);
+        platform.advanceHours(72.0); // pooled (idle or scrubbed)
+        pf::Route route = device.bindRoute(net);
+        return route.btiShiftPs(pp::Transition::Falling) -
+               route.btiShiftPs(pp::Transition::Rising);
+    };
+    const double idle = imprintAfterPool(false);
+    const double scrubbed = imprintAfterPool(true);
+    EXPECT_GT(idle, 0.0);
+    EXPECT_LT(scrubbed, 0.75 * idle);
+}
+
+// ----------------------------------------------- attacker wait (TM2)
+
+TEST(AttackerWait, QuarantineWaitStillFindsBoardInTinyRegion)
+{
+    pc::Experiment3Config config;
+    config.groups = {{8000.0, 6}};
+    config.burn_hours = 100.0;
+    config.recovery_hours = 20.0;
+    config.attacker_wait_h = 48.0;
+    config.platform.fleet_size = 1;
+    config.platform.quarantine_hours = 48.0;
+    config.seed = 99;
+    const pc::ExperimentResult result = pc::runExperiment3(config);
+    // Series start after burn + wait.
+    EXPECT_DOUBLE_EQ(result.routes[0].series.hours().front(), 148.0);
+}
+
+// --------------------------------------- skeleton necessity (Assum.1)
+
+TEST(SkeletonNecessity, WrongSkeletonYieldsNoSignal)
+{
+    pf::Device device{pf::DeviceConfig{}};
+    pp::OvenEnvironment oven(333.15);
+    pu::Rng rng(5);
+
+    const pf::RouteSpec truth = device.allocateRoute("true", 5000.0);
+    const pf::RouteSpec decoy = device.allocateRoute("decoy", 5000.0);
+
+    pt::Tdc sensor(device, decoy,
+                   device.allocateCarryChain("c", 64));
+    sensor.calibrate(oven.dieTempK(), rng);
+    const double before =
+        sensor.measure(oven.dieTempK(), rng).deltaPs();
+
+    auto design = std::make_shared<pf::Design>("victim");
+    design->setRouteValue(truth, true);
+    device.loadDesign(design);
+    device.advance(200.0, oven);
+    device.wipe();
+
+    const double drift =
+        sensor.measure(oven.dieTempK(), rng).deltaPs() - before;
+    // The decoy saw no stress: drift stays inside the noise floor,
+    // far below the ~5 ps a correct skeleton would show.
+    EXPECT_LT(std::abs(drift), 1.0);
+}

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the OpenTitan asset database (Table 1), the route-length
+ * synthesizer and the vulnerability metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fabric/device.hpp"
+#include "opentitan/assets.hpp"
+#include "opentitan/route_synth.hpp"
+#include "opentitan/vulnerability.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace po = pentimento::opentitan;
+namespace pf = pentimento::fabric;
+namespace pu = pentimento::util;
+
+// --------------------------------------------------------- asset table
+
+TEST(Assets, TwentyRows)
+{
+    EXPECT_EQ(po::earlGreyAssets().size(), 20u);
+}
+
+TEST(Assets, SortedAscendingByMax)
+{
+    const auto &assets = po::earlGreyAssets();
+    for (std::size_t i = 1; i < assets.size(); ++i) {
+        EXPECT_LE(assets[i - 1].reference.max, assets[i].reference.max);
+    }
+}
+
+TEST(Assets, FirstRowMatchesPaper)
+{
+    const po::AssetInfo &a = po::assetByIndex(1);
+    EXPECT_EQ(a.path, "/otp_ctrl_otp_lc_data[state]");
+    EXPECT_EQ(a.type, po::AssetType::StateToken);
+    EXPECT_EQ(a.bus_width, 320);
+    EXPECT_DOUBLE_EQ(a.reference.mean, 169.5);
+    EXPECT_DOUBLE_EQ(a.reference.sd, 98.1);
+    EXPECT_DOUBLE_EQ(a.reference.min, 39.0);
+    EXPECT_DOUBLE_EQ(a.reference.p50, 157.5);
+    EXPECT_DOUBLE_EQ(a.reference.max, 509.0);
+}
+
+TEST(Assets, LastRowMatchesPaper)
+{
+    const po::AssetInfo &a = po::assetByIndex(20);
+    EXPECT_EQ(a.path, "/aes_tl_req[a_data]");
+    EXPECT_EQ(a.type, po::AssetType::Signal);
+    EXPECT_EQ(a.bus_width, 32);
+    EXPECT_DOUBLE_EQ(a.reference.max, 3946.0);
+}
+
+TEST(Assets, TypeCountsMatchPaper)
+{
+    int ck = 0, svt = 0, s = 0;
+    for (const auto &a : po::earlGreyAssets()) {
+        switch (a.type) {
+          case po::AssetType::CryptographicKey:
+            ++ck;
+            break;
+          case po::AssetType::StateToken:
+            ++svt;
+            break;
+          case po::AssetType::Signal:
+            ++s;
+            break;
+        }
+    }
+    EXPECT_EQ(ck, 11);
+    EXPECT_EQ(svt, 4);
+    EXPECT_EQ(s, 5);
+}
+
+TEST(Assets, IndexBoundsChecked)
+{
+    EXPECT_THROW(po::assetByIndex(0), pu::FatalError);
+    EXPECT_THROW(po::assetByIndex(21), pu::FatalError);
+    EXPECT_EQ(po::assetByIndex(18).bus_width, 777);
+}
+
+TEST(Assets, TypeNames)
+{
+    EXPECT_STREQ(po::toString(po::AssetType::CryptographicKey), "CK");
+    EXPECT_STREQ(po::toString(po::AssetType::StateToken), "SV/T");
+    EXPECT_STREQ(po::toString(po::AssetType::Signal), "S");
+}
+
+// ----------------------------------------------------- synthesizer
+
+/** Property suite over every Table 1 asset. */
+class AssetSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    const po::AssetInfo &
+    asset() const
+    {
+        return po::assetByIndex(GetParam());
+    }
+    po::RouteLengthSynthesizer synth_;
+};
+
+TEST_P(AssetSweep, CountEqualsBusWidth)
+{
+    EXPECT_EQ(synth_.synthesize(asset()).size(),
+              static_cast<std::size_t>(asset().bus_width));
+}
+
+TEST_P(AssetSweep, MinAndMaxExact)
+{
+    const auto lengths = synth_.synthesize(asset());
+    const auto [min_it, max_it] =
+        std::minmax_element(lengths.begin(), lengths.end());
+    EXPECT_NEAR(*min_it, asset().reference.min, 1e-9);
+    EXPECT_NEAR(*max_it, asset().reference.max, 1e-9);
+}
+
+TEST_P(AssetSweep, QuartilesCloseToReference)
+{
+    const auto lengths = synth_.synthesize(asset());
+    const pu::Summary s = pu::summarize(lengths);
+    const double span = asset().reference.max - asset().reference.min;
+    EXPECT_NEAR(s.p25, asset().reference.p25, 0.02 * span + 1.0);
+    EXPECT_NEAR(s.p50, asset().reference.p50, 0.02 * span + 1.0);
+    EXPECT_NEAR(s.p75, asset().reference.p75, 0.02 * span + 1.0);
+}
+
+TEST_P(AssetSweep, MeanMatchedByTailWarp)
+{
+    const auto lengths = synth_.synthesize(asset());
+    const pu::Summary s = pu::summarize(lengths);
+    // The tail warp solves for the mean analytically; discretisation
+    // leaves a small residual.
+    EXPECT_NEAR(s.mean, asset().reference.mean,
+                0.05 * asset().reference.mean + 2.0);
+}
+
+TEST_P(AssetSweep, AllLengthsNonNegativeAndSorted)
+{
+    const auto lengths = synth_.synthesize(asset());
+    for (std::size_t i = 0; i < lengths.size(); ++i) {
+        EXPECT_GE(lengths[i], 0.0);
+        if (i > 0) {
+            EXPECT_GE(lengths[i], lengths[i - 1]);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwenty, AssetSweep,
+                         ::testing::Range(1, 21));
+
+TEST(Synthesizer, DeterministicAcrossCalls)
+{
+    po::RouteLengthSynthesizer synth;
+    const auto a = synth.synthesize(po::assetByIndex(5));
+    const auto b = synth.synthesize(po::assetByIndex(5));
+    EXPECT_EQ(a, b);
+}
+
+TEST(Synthesizer, RoutesMaterializeOnDevice)
+{
+    pf::DeviceConfig config;
+    config.tiles_x = 64;
+    config.tiles_y = 64;
+    pf::Device device(config);
+    po::RouteLengthSynthesizer synth;
+    const auto specs =
+        synth.synthesizeRoutes(device, po::assetByIndex(13));
+    EXPECT_EQ(specs.size(), 32u);
+    for (const auto &spec : specs) {
+        EXPECT_GE(spec.target_ps, device.config().routing_pitch_ps);
+        EXPECT_FALSE(spec.elements.empty());
+    }
+}
+
+TEST(Synthesizer, ZeroMinAssetHandled)
+{
+    // Asset 11 reports MIN = 0 ps; routes still occupy one element.
+    pf::DeviceConfig config;
+    config.tiles_x = 64;
+    config.tiles_y = 64;
+    pf::Device device(config);
+    po::RouteLengthSynthesizer synth;
+    const auto specs =
+        synth.synthesizeRoutes(device, po::assetByIndex(11));
+    for (const auto &spec : specs) {
+        EXPECT_GE(spec.size(), 1u);
+    }
+}
+
+// ------------------------------------------------------ vulnerability
+
+TEST(Vulnerability, DeltaLinearInLength)
+{
+    const po::VulnerabilityMetric metric;
+    const double one = metric.expectedDeltaPs(1000.0);
+    EXPECT_NEAR(metric.expectedDeltaPs(2000.0), 2.0 * one, 1e-12);
+}
+
+TEST(Vulnerability, Burn0StrongerThanBurn1)
+{
+    // NBTI (burn 0) carries the larger prefactor.
+    const po::VulnerabilityMetric metric;
+    EXPECT_GT(metric.expectedDeltaPs(1000.0, false),
+              metric.expectedDeltaPs(1000.0, true));
+}
+
+TEST(Vulnerability, ZeroBurnHoursZeroDelta)
+{
+    po::AttackScenario scenario;
+    scenario.burn_hours = 0.0;
+    const po::VulnerabilityMetric metric(scenario);
+    EXPECT_DOUBLE_EQ(metric.expectedDeltaPs(1000.0), 0.0);
+}
+
+TEST(Vulnerability, NewDeviceMoreVulnerable)
+{
+    po::AttackScenario lab;
+    lab.device_age_h = 0.0;
+    po::AttackScenario cloud;
+    cloud.device_age_h = 30000.0;
+    EXPECT_GT(po::VulnerabilityMetric(lab).expectedDeltaPs(1000.0),
+              3.0 * po::VulnerabilityMetric(cloud).expectedDeltaPs(
+                        1000.0));
+}
+
+TEST(Vulnerability, HotterBurnMoreVulnerable)
+{
+    po::AttackScenario cool;
+    cool.temp_k = 298.15;
+    po::AttackScenario hot;
+    hot.temp_k = 348.15;
+    EXPECT_GT(po::VulnerabilityMetric(hot).expectedDeltaPs(1000.0),
+              po::VulnerabilityMetric(cool).expectedDeltaPs(1000.0));
+}
+
+TEST(Vulnerability, EvaluateFractionsInRange)
+{
+    const po::VulnerabilityMetric metric;
+    po::RouteLengthSynthesizer synth;
+    const auto &asset = po::assetByIndex(19);
+    const auto v =
+        metric.evaluate(asset, synth.synthesize(asset));
+    EXPECT_EQ(v.asset_index, 19);
+    EXPECT_GE(v.recoverable_fraction, 0.0);
+    EXPECT_LE(v.recoverable_fraction, 1.0);
+    EXPECT_GT(v.mean_snr, 0.0);
+    EXPECT_EQ(v.routes, 128u);
+}
+
+TEST(Vulnerability, LongRouteAssetsMoreRecoverable)
+{
+    const po::VulnerabilityMetric metric;
+    const auto report = metric.evaluateEarlGrey();
+    ASSERT_EQ(report.size(), 20u);
+    // Asset 20 (max 3946 ps) must beat asset 1 (max 509 ps).
+    EXPECT_GT(report[19].median_delta_ps, report[0].median_delta_ps);
+}
+
+TEST(Vulnerability, EmptyRouteListFatal)
+{
+    const po::VulnerabilityMetric metric;
+    EXPECT_THROW(metric.evaluate(po::assetByIndex(1), {}),
+                 pu::FatalError);
+}
+
+TEST(Vulnerability, BadScenarioFatal)
+{
+    po::AttackScenario scenario;
+    scenario.sensor_noise_ps = 0.0;
+    EXPECT_THROW(po::VulnerabilityMetric{scenario}, pu::FatalError);
+}

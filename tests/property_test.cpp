@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Property-style suites: randomized aging schedules, platform rental
+ * fuzzing, TDC linearity, and classifier behaviour across SNR — the
+ * invariants that must hold for *any* input, not just the paper's
+ * configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cloud/fingerprint.hpp"
+#include "cloud/platform.hpp"
+#include "core/classifier.hpp"
+#include "core/presets.hpp"
+#include "fabric/design.hpp"
+#include "fabric/device.hpp"
+#include "phys/aging.hpp"
+#include "phys/thermal.hpp"
+#include "tdc/tdc.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pc = pentimento::core;
+namespace pcl = pentimento::cloud;
+namespace pf = pentimento::fabric;
+namespace pp = pentimento::phys;
+namespace pt = pentimento::tdc;
+namespace pu = pentimento::util;
+
+// ------------------------------------------- random aging schedules
+
+class AgingScheduleFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AgingScheduleFuzz, ShiftStaysNonNegativeAndBounded)
+{
+    const pp::BtiParams params = pp::BtiParams::ultrascalePlus();
+    pu::Rng rng(GetParam());
+    pp::ElementAging aging;
+    pp::ElementAging pure_stress; // upper bound: never recovers
+
+    double stressed_hours = 0.0;
+    for (int step = 0; step < 200; ++step) {
+        const double dt = rng.uniform(0.1, 5.0);
+        const double temp = rng.uniform(300.0, 360.0);
+        const int action = static_cast<int>(rng.uniformInt(0, 3));
+        switch (action) {
+          case 0:
+            aging.holdStatic(params, true, temp, dt);
+            pure_stress.holdStatic(params, true, temp, dt);
+            stressed_hours += dt;
+            break;
+          case 1:
+            aging.holdStatic(params, false, temp, dt);
+            break;
+          case 2:
+            aging.holdToggling(params, rng.uniform(0.0, 1.0), temp, dt);
+            break;
+          default:
+            aging.release(params, temp, dt);
+            break;
+        }
+        const double nmos =
+            aging.deltaVth(params, pp::TransistorType::Nmos);
+        const double pmos =
+            aging.deltaVth(params, pp::TransistorType::Pmos);
+        EXPECT_GE(nmos, 0.0);
+        EXPECT_GE(pmos, 0.0);
+        // An element that also saw hold-0 / toggle / release time can
+        // never have MORE NMOS stress than one that spent every
+        // hold-1 interval stressing and never recovered, plus the
+        // toggle contributions bounded by full-time stress.
+        EXPECT_LE(nmos,
+                  pure_stress.deltaVth(params,
+                                       pp::TransistorType::Nmos) +
+                      params.pbti.prefactor_v *
+                          std::pow(4000.0, 0.5));
+    }
+}
+
+TEST_P(AgingScheduleFuzz, DeterministicReplay)
+{
+    const pp::BtiParams params = pp::BtiParams::ultrascalePlus();
+    const auto run = [&](std::uint64_t seed) {
+        pu::Rng rng(seed);
+        pp::ElementAging aging;
+        for (int step = 0; step < 100; ++step) {
+            const double dt = rng.uniform(0.1, 3.0);
+            if (rng.bernoulli(0.5)) {
+                aging.holdStatic(params, rng.bernoulli(0.5), 330.0, dt);
+            } else {
+                aging.release(params, 330.0, dt);
+            }
+        }
+        return aging.deltaVth(params, pp::TransistorType::Nmos) +
+               aging.deltaVth(params, pp::TransistorType::Pmos);
+    };
+    EXPECT_DOUBLE_EQ(run(GetParam()), run(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AgingScheduleFuzz,
+                         ::testing::Values(1, 7, 42, 1337, 99999));
+
+// --------------------------------------------------- platform fuzzing
+
+class PlatformFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PlatformFuzz, RentalInvariantsSurviveRandomOperations)
+{
+    pcl::PlatformConfig config = pc::awsF1Region(GetParam());
+    config.fleet_size = 4;
+    config.device_template.tiles_x = 32;
+    config.device_template.tiles_y = 32;
+    pcl::CloudPlatform platform(config);
+    pu::Rng rng(GetParam());
+
+    std::vector<std::string> held;
+    for (int step = 0; step < 120; ++step) {
+        const int action = static_cast<int>(rng.uniformInt(0, 3));
+        if (action == 0) {
+            if (const auto id = platform.rent()) {
+                // A freshly rented board must be clean.
+                EXPECT_EQ(platform.instance(*id)
+                              .device()
+                              .currentDesign(),
+                          nullptr);
+                held.push_back(*id);
+            }
+        } else if (action == 1 && !held.empty()) {
+            const std::size_t pick =
+                rng.uniformInt(0, held.size() - 1);
+            platform.release(held[pick]);
+            held.erase(held.begin() +
+                       static_cast<std::ptrdiff_t>(pick));
+        } else if (action == 2 && !held.empty()) {
+            const std::size_t pick =
+                rng.uniformInt(0, held.size() - 1);
+            auto design = std::make_shared<pf::Design>(
+                "fuzz" + std::to_string(step));
+            design->setPowerW(rng.uniform(1.0, 80.0));
+            EXPECT_TRUE(
+                platform.loadDesign(held[pick], design).empty());
+        } else {
+            platform.advanceHours(rng.uniform(0.1, 3.0));
+        }
+        // Conservation: held + available == fleet.
+        EXPECT_EQ(held.size() + platform.availableCount(),
+                  config.fleet_size);
+        // No duplicates among held ids.
+        for (std::size_t i = 0; i < held.size(); ++i) {
+            for (std::size_t j = i + 1; j < held.size(); ++j) {
+                EXPECT_NE(held[i], held[j]);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlatformFuzz,
+                         ::testing::Values(3, 17, 23571));
+
+// ------------------------------------------------------ TDC linearity
+
+class TdcLinearity : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TdcLinearity, MeasuredDriftTracksInjectedShift)
+{
+    // Burn for the parameter hours; the measured ∆ps drift must match
+    // the route's true (internal) BTI shift within sensor noise.
+    const double hours = GetParam();
+    pf::Device device{pf::DeviceConfig{}};
+    pp::OvenEnvironment oven(333.15);
+    pu::Rng rng(5);
+
+    const pf::RouteSpec route = device.allocateRoute("r", 5000.0);
+    pt::Tdc sensor(device, route, device.allocateCarryChain("c", 64));
+    sensor.calibrate(oven.dieTempK(), rng);
+    const double before =
+        sensor.measure(oven.dieTempK(), rng).deltaPs();
+
+    auto design = std::make_shared<pf::Design>("burn");
+    design->setRouteValue(route, true);
+    device.loadDesign(design);
+    device.advance(hours, oven);
+    device.wipe();
+
+    pf::Route bound = device.bindRoute(route);
+    const double truth = bound.btiShiftPs(pp::Transition::Falling);
+    const double measured =
+        sensor.measure(oven.dieTempK(), rng).deltaPs() - before;
+    EXPECT_NEAR(measured, truth, 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(BurnDurations, TdcLinearity,
+                         ::testing::Values(10.0, 50.0, 100.0, 200.0));
+
+// ----------------------------------------------- classifier SNR sweep
+
+class ClassifierSnr : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ClassifierSnr, AccuracyReachesCeilingAboveSnrTwo)
+{
+    // Synthetic TM1 records at the parameter SNR: drift 1 ps, noise
+    // 1/SNR ps.
+    const double snr = GetParam();
+    pu::Rng rng(31);
+    pc::ExperimentResult result;
+    for (int i = 0; i < 32; ++i) {
+        pc::RouteRecord record;
+        record.target_ps = 5000.0;
+        record.burn_value = i % 2 == 0;
+        const double drift = record.burn_value ? 1.0 : -1.0;
+        for (int h = 0; h <= 60; ++h) {
+            record.series.addPoint(
+                h, drift * h / 60.0 +
+                       rng.gaussian(0.0, 1.0 / snr));
+        }
+        result.routes.push_back(std::move(record));
+    }
+    const double accuracy =
+        pc::ThreatModel1Classifier().classify(result).accuracy;
+    if (snr >= 2.0) {
+        EXPECT_GE(accuracy, 0.95);
+    } else if (snr <= 0.25) {
+        EXPECT_LE(accuracy, 0.95);
+        EXPECT_GE(accuracy, 0.4); // never worse than near-chance
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SnrGrid, ClassifierSnr,
+                         ::testing::Values(0.125, 0.25, 1.0, 2.0, 8.0));
+
+// --------------------------------------- fingerprint stability
+
+TEST(FingerprintProperty, SurvivesHeavyBurnIn)
+{
+    // Assumption 2 needs re-identification to work *after* the victim
+    // used the board: the process-variation fingerprint must dominate
+    // the few-ps aging drift.
+    pcl::PlatformConfig config = pc::awsF1Region(66);
+    config.fleet_size = 2;
+    config.device_template.tiles_x = 64;
+    config.device_template.tiles_y = 64;
+    pcl::CloudPlatform platform(config);
+    pcl::Fingerprinter fingerprinter;
+
+    const auto a = platform.rent();
+    const auto before =
+        fingerprinter.probe(platform.instance(*a), "before");
+
+    // Heavy tenant usage on that board.
+    pf::Device &device = platform.instance(*a).device();
+    auto design = std::make_shared<pf::Design>("tenant");
+    for (int r = 0; r < 8; ++r) {
+        design->setRouteValue(
+            device.allocateRoute("n" + std::to_string(r), 5000.0),
+            r % 2 == 0);
+    }
+    design->setPowerW(60.0);
+    ASSERT_TRUE(platform.loadDesign(*a, design).empty());
+    platform.advanceHours(200.0);
+
+    const auto after =
+        fingerprinter.probe(platform.instance(*a), "after");
+    EXPECT_GT(pcl::Fingerprinter::similarity(before, after), 0.9);
+
+    // And it still beats a different board.
+    const auto b = platform.rent();
+    const auto other =
+        fingerprinter.probe(platform.instance(*b), "other");
+    EXPECT_GT(pcl::Fingerprinter::similarity(before, after),
+              pcl::Fingerprinter::similarity(before, other));
+}
+
+// --------------------------------------------- OU ambient properties
+
+TEST(AmbientProperty, PackageNeverLeavesPhysicalRange)
+{
+    pcl::AmbientModel ambient({}, pu::Rng(8));
+    pp::PackageThermalModel pkg(ambient.ambientK());
+    for (int i = 0; i < 5000; ++i) {
+        pkg.setAmbientK(ambient.step(1.0));
+        const double die = pkg.step(63.0, 1.0);
+        EXPECT_GT(die, 273.15); // above freezing
+        EXPECT_LT(die, 400.0);  // below silicon limits
+    }
+}

@@ -1,0 +1,488 @@
+/**
+ * @file
+ * Unit tests for the TDC sensor: capture semantics, Hamming-distance
+ * post-processing, calibration, measurement, the Measure design and
+ * the ring-oscillator baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fabric/device.hpp"
+#include "fabric/drc.hpp"
+#include "phys/thermal.hpp"
+#include "tdc/measure_design.hpp"
+#include "tdc/ro_sensor.hpp"
+#include "tdc/tdc.hpp"
+#include "util/logging.hpp"
+
+namespace pf = pentimento::fabric;
+namespace pp = pentimento::phys;
+namespace pt = pentimento::tdc;
+namespace pu = pentimento::util;
+
+namespace {
+
+pf::DeviceConfig
+deviceConfig(std::uint64_t seed = 1)
+{
+    pf::DeviceConfig config;
+    config.tiles_x = 32;
+    config.tiles_y = 32;
+    config.nodes_per_tile = 64;
+    config.seed = seed;
+    return config;
+}
+
+pt::TdcConfig
+quietTdc()
+{
+    pt::TdcConfig config;
+    config.jitter_sigma_ps = 0.0;
+    config.metastable_window_ps = 1e-9;
+    return config;
+}
+
+struct Bench
+{
+    explicit Bench(double route_ps = 1000.0,
+                   pt::TdcConfig tdc_config = {},
+                   std::uint64_t seed = 1)
+        : device(deviceConfig(seed)),
+          route(device.allocateRoute("rut", route_ps)),
+          chain(device.allocateCarryChain("chain", tdc_config.taps)),
+          sensor(device, route, chain, tdc_config), rng(seed)
+    {
+    }
+
+    pf::Device device;
+    pf::RouteSpec route;
+    pf::RouteSpec chain;
+    pt::Tdc sensor;
+    pu::Rng rng;
+};
+
+} // namespace
+
+// ------------------------------------------------------------ Capture
+
+TEST(Capture, HammingDistanceRisingCountsOnes)
+{
+    pt::Capture cap;
+    cap.polarity = pp::Transition::Rising;
+    cap.bits = {true, true, true, false, false};
+    EXPECT_EQ(cap.hammingDistance(), 3u);
+}
+
+TEST(Capture, HammingDistanceFallingCountsZeros)
+{
+    pt::Capture cap;
+    cap.polarity = pp::Transition::Falling;
+    cap.bits = {false, false, true, true, true, true};
+    EXPECT_EQ(cap.hammingDistance(), 2u);
+}
+
+TEST(Capture, HammingHandlesBubbles)
+{
+    // The paper's falling example: 0000_0110_1111... has HD 6 from
+    // all-ones (six zeros).
+    pt::Capture cap;
+    cap.polarity = pp::Transition::Falling;
+    cap.bits = {false, false, false, false, false, true, true, false,
+                true,  true,  true,  true};
+    EXPECT_EQ(cap.hammingDistance(), 6u);
+}
+
+TEST(Trace, MeanHamming)
+{
+    pt::Trace trace;
+    trace.hamming = {10.0, 12.0, 14.0};
+    EXPECT_DOUBLE_EQ(trace.meanHamming(), 12.0);
+}
+
+// ---------------------------------------------------------------- Tdc
+
+TEST(Tdc, ConstructorValidatesChainArity)
+{
+    pf::Device device(deviceConfig());
+    const pf::RouteSpec route = device.allocateRoute("r", 500.0);
+    const pf::RouteSpec chain = device.allocateCarryChain("c", 32);
+    pt::TdcConfig config; // expects 64 taps
+    EXPECT_THROW(pt::Tdc(device, route, chain, config), pu::FatalError);
+}
+
+TEST(Tdc, CaptureAtZeroThetaSeesNothing)
+{
+    Bench bench(1000.0, quietTdc());
+    const pt::Capture cap = bench.sensor.capture(
+        pp::Transition::Rising, 0.0, 333.15, bench.rng);
+    EXPECT_EQ(cap.hammingDistance(), 0u);
+}
+
+TEST(Tdc, CaptureAtHugeThetaSeesFullChain)
+{
+    Bench bench(1000.0, quietTdc());
+    const pt::Capture cap = bench.sensor.capture(
+        pp::Transition::Rising, 1e6, 333.15, bench.rng);
+    EXPECT_EQ(cap.hammingDistance(), bench.sensor.config().taps);
+}
+
+TEST(Tdc, FallingCaptureConventions)
+{
+    Bench bench(1000.0, quietTdc());
+    const pt::Capture none = bench.sensor.capture(
+        pp::Transition::Falling, 0.0, 333.15, bench.rng);
+    // Nothing propagated: the chain still shows the old all-ones
+    // state, so HD from all-ones is zero.
+    EXPECT_EQ(none.hammingDistance(), 0u);
+    for (const bool bit : none.bits) {
+        EXPECT_TRUE(bit);
+    }
+}
+
+class ThetaSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ThetaSweep, HammingMonotoneInTheta)
+{
+    Bench bench(1000.0, quietTdc());
+    const double theta = GetParam();
+    const auto hd_at = [&](double t) {
+        return bench.sensor
+            .capture(pp::Transition::Rising, t, 333.15, bench.rng)
+            .hammingDistance();
+    };
+    EXPECT_LE(hd_at(theta), hd_at(theta + 15.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(AroundRouteDelay, ThetaSweep,
+                         ::testing::Values(950.0, 1000.0, 1050.0,
+                                           1100.0, 1150.0));
+
+TEST(Tdc, MetastabilityCreatesVariedCaptures)
+{
+    pt::TdcConfig config;
+    config.jitter_sigma_ps = 0.0;
+    config.metastable_window_ps = 6.0;
+    Bench bench(1000.0, config);
+    // Park θ mid-chain so several taps sit inside the aperture.
+    const double theta = 1000.0 * 1.02 + 32 * 2.8;
+    bool varied = false;
+    const auto first =
+        bench.sensor
+            .capture(pp::Transition::Rising, theta, 333.15, bench.rng)
+            .hammingDistance();
+    for (int i = 0; i < 50 && !varied; ++i) {
+        varied = bench.sensor
+                     .capture(pp::Transition::Rising, theta, 333.15,
+                              bench.rng)
+                     .hammingDistance() != first;
+    }
+    EXPECT_TRUE(varied);
+}
+
+TEST(Tdc, QuietConfigIsDeterministic)
+{
+    Bench bench(1000.0, quietTdc());
+    const double theta = 1100.0;
+    const auto a = bench.sensor.capture(pp::Transition::Rising, theta,
+                                        333.15, bench.rng);
+    const auto b = bench.sensor.capture(pp::Transition::Rising, theta,
+                                        333.15, bench.rng);
+    EXPECT_EQ(a.bits, b.bits);
+}
+
+TEST(Tdc, CalibrationLandsMidChain)
+{
+    Bench bench(2000.0);
+    const double theta = bench.sensor.calibrate(333.15, bench.rng);
+    EXPECT_GT(theta, 0.0);
+    const pt::Trace rise = bench.sensor.takeTrace(
+        pp::Transition::Rising, theta, 333.15, bench.rng);
+    const pt::Trace fall = bench.sensor.takeTrace(
+        pp::Transition::Falling, theta, 333.15, bench.rng);
+    const double margin =
+        static_cast<double>(bench.sensor.config().calibration_margin);
+    const double taps = static_cast<double>(bench.sensor.config().taps);
+    EXPECT_GT(rise.meanHamming(), margin - 1.0);
+    EXPECT_LT(rise.meanHamming(), taps - margin + 1.0);
+    EXPECT_GT(fall.meanHamming(), margin - 1.0);
+    EXPECT_LT(fall.meanHamming(), taps - margin + 1.0);
+}
+
+class CalibrationSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(CalibrationSweep, WorksAcrossRouteLengths)
+{
+    Bench bench(GetParam());
+    const double theta = bench.sensor.calibrate(333.15, bench.rng);
+    // θ_init must exceed the route transit plus part of the chain.
+    EXPECT_GT(theta, GetParam() * 0.8);
+    const pt::Trace rise = bench.sensor.takeTrace(
+        pp::Transition::Rising, theta, 333.15, bench.rng);
+    EXPECT_GT(rise.meanHamming(), 4.0);
+    EXPECT_LT(rise.meanHamming(),
+              static_cast<double>(bench.sensor.config().taps) - 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperLengths, CalibrationSweep,
+                         ::testing::Values(1000.0, 2000.0, 5000.0,
+                                           10000.0));
+
+TEST(Tdc, MeasureRequiresCalibration)
+{
+    Bench bench;
+    EXPECT_THROW(bench.sensor.measure(333.15, bench.rng),
+                 pu::FatalError);
+}
+
+TEST(Tdc, ThetaInitAdoption)
+{
+    Bench bench;
+    bench.sensor.setThetaInit(1234.5);
+    EXPECT_DOUBLE_EQ(bench.sensor.thetaInit(), 1234.5);
+}
+
+TEST(Tdc, MeasureWallClockModel)
+{
+    Bench bench;
+    bench.sensor.calibrate(333.15, bench.rng);
+    const pt::Measurement m = bench.sensor.measure(333.15, bench.rng);
+    const auto &config = bench.sensor.config();
+    const double expected =
+        config.traces_per_measurement *
+        (config.retune_seconds +
+         2.0 * config.samples_per_trace * config.sample_seconds);
+    EXPECT_DOUBLE_EQ(m.wall_seconds, expected);
+}
+
+TEST(Tdc, PristineRouteDeltaNearZero)
+{
+    Bench bench(1000.0);
+    bench.sensor.calibrate(333.15, bench.rng);
+    const pt::Measurement m = bench.sensor.measure(333.15, bench.rng);
+    EXPECT_LT(std::abs(m.deltaPs()), 6.0);
+}
+
+TEST(Tdc, Burn1RaisesDeltaPs)
+{
+    Bench bench(2000.0);
+    bench.sensor.calibrate(333.15, bench.rng);
+    const pt::Measurement before =
+        bench.sensor.measure(333.15, bench.rng);
+
+    // Age the route under logic 1 (PBTI slows the falling edge).
+    auto design = std::make_shared<pf::Design>("burn");
+    design->setRouteValue(bench.route, true);
+    bench.device.loadDesign(design);
+    pp::OvenEnvironment oven(333.15);
+    bench.device.advance(200.0, oven);
+    bench.device.wipe();
+
+    const pt::Measurement after =
+        bench.sensor.measure(333.15, bench.rng);
+    EXPECT_GT(after.deltaPs() - before.deltaPs(), 1.0);
+}
+
+TEST(Tdc, Burn0LowersDeltaPs)
+{
+    Bench bench(2000.0);
+    bench.sensor.calibrate(333.15, bench.rng);
+    const pt::Measurement before =
+        bench.sensor.measure(333.15, bench.rng);
+
+    auto design = std::make_shared<pf::Design>("burn");
+    design->setRouteValue(bench.route, false);
+    bench.device.loadDesign(design);
+    pp::OvenEnvironment oven(333.15);
+    bench.device.advance(200.0, oven);
+    bench.device.wipe();
+
+    const pt::Measurement after =
+        bench.sensor.measure(333.15, bench.rng);
+    EXPECT_LT(after.deltaPs() - before.deltaPs(), -1.0);
+}
+
+class BurnContrastSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BurnContrastSweep, ContrastScalesWithRouteLength)
+{
+    const double length = GetParam();
+    Bench bench(length);
+    bench.sensor.calibrate(333.15, bench.rng);
+    const double before =
+        bench.sensor.measure(333.15, bench.rng).deltaPs();
+    auto design = std::make_shared<pf::Design>("burn");
+    design->setRouteValue(bench.route, true);
+    bench.device.loadDesign(design);
+    pp::OvenEnvironment oven(333.15);
+    bench.device.advance(200.0, oven);
+    bench.device.wipe();
+    const double after =
+        bench.sensor.measure(333.15, bench.rng).deltaPs();
+    const double contrast = after - before;
+    // Roughly 1.05 ps per ns of route (the Figure 6 envelope).
+    EXPECT_GT(contrast, 0.7 * length / 1000.0);
+    EXPECT_LT(contrast, 1.6 * length / 1000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperLengths, BurnContrastSweep,
+                         ::testing::Values(1000.0, 2000.0, 5000.0,
+                                           10000.0));
+
+// -------------------------------------------------------MeasureDesign
+
+TEST(MeasureDesign, OneSensorPerRoute)
+{
+    pf::Device device(deviceConfig());
+    std::vector<pf::RouteSpec> routes{device.allocateRoute("a", 1000.0),
+                                      device.allocateRoute("b", 2000.0)};
+    pt::MeasureDesign design(device, routes);
+    EXPECT_EQ(design.sensorCount(), 2u);
+    EXPECT_EQ(design.sensor(0).routeSpec().name, "a");
+    EXPECT_EQ(design.sensor(1).routeSpec().name, "b");
+    EXPECT_THROW(design.sensor(2), pu::FatalError);
+}
+
+TEST(MeasureDesign, EmptyRouteListFatal)
+{
+    pf::Device device(deviceConfig());
+    EXPECT_THROW(pt::MeasureDesign(device, {}), pu::FatalError);
+}
+
+TEST(MeasureDesign, PassesProviderDrc)
+{
+    pf::Device device(deviceConfig());
+    std::vector<pf::RouteSpec> routes{device.allocateRoute("a", 1000.0)};
+    pt::MeasureDesign design(device, routes);
+    const pf::DesignRuleChecker drc;
+    EXPECT_TRUE(drc.accepts(design));
+}
+
+TEST(MeasureDesign, CalibrateAllAndMeasureAll)
+{
+    pf::Device device(deviceConfig());
+    std::vector<pf::RouteSpec> routes{device.allocateRoute("a", 1000.0),
+                                      device.allocateRoute("b", 5000.0)};
+    pt::MeasureDesign design(device, routes);
+    pu::Rng rng(3);
+    const std::vector<double> thetas = design.calibrateAll(333.15, rng);
+    ASSERT_EQ(thetas.size(), 2u);
+    EXPECT_GT(thetas[1], thetas[0]); // longer route needs larger θ
+    const pt::MeasurementSweep sweep = design.measureAll(333.15, rng);
+    EXPECT_EQ(sweep.per_route.size(), 2u);
+    EXPECT_GT(sweep.wall_seconds, 0.0);
+}
+
+TEST(MeasureDesign, AdoptThetaInitsArityChecked)
+{
+    pf::Device device(deviceConfig());
+    std::vector<pf::RouteSpec> routes{device.allocateRoute("a", 1000.0)};
+    pt::MeasureDesign design(device, routes);
+    EXPECT_THROW(design.adoptThetaInits({1.0, 2.0}), pu::FatalError);
+    design.adoptThetaInits({1111.0});
+    EXPECT_DOUBLE_EQ(design.sensor(0).thetaInit(), 1111.0);
+}
+
+TEST(MeasureDesign, MarksRoutesAndChainsToggling)
+{
+    pf::Device device(deviceConfig());
+    std::vector<pf::RouteSpec> routes{device.allocateRoute("a", 500.0)};
+    pt::MeasureDesign design(device, routes);
+    EXPECT_EQ(design.activityFor(routes[0].elements[0]).kind,
+              pf::Activity::Toggle);
+    EXPECT_EQ(
+        design.activityFor(design.sensor(0).chainSpec().elements[0])
+            .kind,
+        pf::Activity::Toggle);
+}
+
+// ------------------------------------------------------------ RO base
+
+TEST(RoSensor, PeriodSumsBothPolarities)
+{
+    pf::Device device(deviceConfig());
+    const pf::RouteSpec route = device.allocateRoute("r", 1000.0);
+    pt::RoConfig config;
+    pt::RingOscillatorSensor ro(device, route, config);
+    pf::Route bound = device.bindRoute(route);
+    const double expected =
+        bound.delayPs(pp::Transition::Rising, 333.15) +
+        bound.delayPs(pp::Transition::Falling, 333.15) +
+        2.0 * config.inverter_ps;
+    EXPECT_NEAR(ro.periodPs(333.15), expected, 1e-9);
+}
+
+TEST(RoSensor, CannotDistinguishBurnPolarity)
+{
+    // The paper's core argument against RO sensing: both burn
+    // polarities slow the loop, so the scalar output loses the sign.
+    pf::DeviceConfig config = deviceConfig();
+    pf::Device dev_one(config);
+    pf::Device dev_zero(config);
+    const pf::RouteSpec route_one = dev_one.allocateRoute("r", 2000.0);
+    const pf::RouteSpec route_zero = dev_zero.allocateRoute("r", 2000.0);
+
+    pp::OvenEnvironment oven(333.15);
+    auto design_one = std::make_shared<pf::Design>("one");
+    design_one->setRouteValue(route_one, true);
+    dev_one.loadDesign(design_one);
+    dev_one.advance(200.0, oven);
+
+    auto design_zero = std::make_shared<pf::Design>("zero");
+    design_zero->setRouteValue(route_zero, false);
+    dev_zero.loadDesign(design_zero);
+    dev_zero.advance(200.0, oven);
+
+    pt::RingOscillatorSensor ro_one(dev_one, route_one);
+    pt::RingOscillatorSensor ro_zero(dev_zero, route_zero);
+    const double p1 = ro_one.periodPs(333.15);
+    const double p0 = ro_zero.periodPs(333.15);
+    // Both periods grew; their difference is far smaller than either
+    // growth (NBTI vs PBTI prefactor gap only).
+    pf::Device fresh(config);
+    const pf::RouteSpec route_f = fresh.allocateRoute("r", 2000.0);
+    pt::RingOscillatorSensor ro_fresh(fresh, route_f);
+    const double pf_ = ro_fresh.periodPs(333.15);
+    EXPECT_GT(p1, pf_);
+    EXPECT_GT(p0, pf_);
+    EXPECT_LT(std::abs(p1 - p0), 0.6 * std::min(p1 - pf_, p0 - pf_));
+}
+
+TEST(RoSensor, DesignFailsDrc)
+{
+    pf::Device device(deviceConfig());
+    const pf::RouteSpec route = device.allocateRoute("r", 1000.0);
+    pt::RingOscillatorSensor ro(device, route);
+    const pf::DesignRuleChecker drc;
+    const auto violations = drc.check(*ro.buildDesign());
+    ASSERT_FALSE(violations.empty());
+    EXPECT_EQ(violations[0].rule, "combinational-loop");
+}
+
+TEST(RoSensor, FrequencyReadingIsNoisyButClose)
+{
+    pf::Device device(deviceConfig());
+    const pf::RouteSpec route = device.allocateRoute("r", 1000.0);
+    pt::RingOscillatorSensor ro(device, route);
+    pu::Rng rng(5);
+    const double nominal = 1e6 / ro.periodPs(333.15);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_NEAR(ro.readFrequencyMhz(333.15, rng), nominal,
+                    nominal * 1e-3);
+    }
+}
+
+TEST(RoSensor, EmptyRouteFatal)
+{
+    pf::Device device(deviceConfig());
+    pf::RouteSpec empty;
+    EXPECT_THROW(pt::RingOscillatorSensor(device, empty),
+                 pu::FatalError);
+}
