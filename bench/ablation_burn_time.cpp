@@ -11,38 +11,63 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/classifier.hpp"
 #include "core/experiment.hpp"
 #include "util/stats.hpp"
 
 using namespace pentimento;
 
+namespace {
+
+struct BurnRow
+{
+    double hours = 0.0;
+    double contrast_ps = 0.0;
+    double accuracy = 0.0;
+};
+
+BurnRow
+runBurn(double hours)
+{
+    core::Experiment2Config config;
+    config.groups = {{5000.0, 12}};
+    config.burn_hours = hours;
+    config.measure_every_h = std::max(1.0, hours / 50.0);
+    config.seed = 808;
+    const core::ExperimentResult result = core::runExperiment2(config);
+
+    BurnRow row;
+    row.hours = hours;
+    util::RunningStats contrast;
+    for (const auto &route : result.routes) {
+        contrast.add(std::abs(
+            route.series.meanBetweenHours(hours * 0.9, hours)));
+    }
+    row.contrast_ps = contrast.mean();
+    row.accuracy =
+        core::ThreatModel1Classifier().classify(result).accuracy;
+    return row;
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("=== Ablation: burn-in duration vs. TM1 accuracy "
                 "(cloud, 5 ns routes) ===\n\n");
     std::printf("  %9s  %14s  %12s\n", "burn (h)", "contrast(ps)",
                 "TM1 accuracy");
 
-    for (const double hours : {10.0, 25.0, 50.0, 100.0, 200.0}) {
-        core::Experiment2Config config;
-        config.groups = {{5000.0, 12}};
-        config.burn_hours = hours;
-        config.measure_every_h = std::max(1.0, hours / 50.0);
-        config.seed = 808;
-        const core::ExperimentResult result =
-            core::runExperiment2(config);
-
-        util::RunningStats contrast;
-        for (const auto &route : result.routes) {
-            contrast.add(std::abs(
-                route.series.meanBetweenHours(hours * 0.9, hours)));
-        }
-        const core::ClassificationReport report =
-            core::ThreatModel1Classifier().classify(result);
-        std::printf("  %9.0f  %14.3f  %10.1f%%\n", hours,
-                    contrast.mean(), 100.0 * report.accuracy);
+    const std::vector<double> grid = {10.0, 25.0, 50.0, 100.0, 200.0};
+    const auto pool = bench::makePool(argc, argv);
+    const std::vector<BurnRow> rows = util::parallelMap<BurnRow>(
+        grid.size(), [&](std::size_t i) { return runBurn(grid[i]); },
+        pool.get());
+    for (const BurnRow &row : rows) {
+        std::printf("  %9.0f  %14.3f  %10.1f%%\n", row.hours,
+                    row.contrast_ps, 100.0 * row.accuracy);
     }
 
     std::printf("\nBTI's sublinear (t^n) kinetics mean the first tens "

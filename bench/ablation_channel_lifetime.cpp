@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_common.hpp"
 #include "fabric/design.hpp"
 #include "fabric/device.hpp"
 #include "phys/thermal.hpp"
@@ -74,7 +75,7 @@ readAfterGap(double gap_hours, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("=== Ablation: temporal-channel lifetime — heat vs. "
                 "pentimento ===\n");
@@ -88,15 +89,23 @@ main()
         const char *label;
         double hours;
     };
-    const Gap gaps[] = {{"30 seconds", 30.0 / 3600.0},
-                        {"5 minutes", 5.0 / 60.0},
-                        {"1 hour", 1.0},
-                        {"1 day", 24.0},
-                        {"1 week", 168.0}};
-    for (const Gap &gap : gaps) {
-        const ChannelReadout r = readAfterGap(gap.hours, 77);
-        std::printf("  %-18s %15.2f K  %15.2f ps\n", gap.label,
-                    r.thermal_signal_k, r.bti_signal_ps);
+    const std::vector<Gap> gaps = {{"30 seconds", 30.0 / 3600.0},
+                                   {"5 minutes", 5.0 / 60.0},
+                                   {"1 hour", 1.0},
+                                   {"1 day", 24.0},
+                                   {"1 week", 168.0}};
+    const auto pool = bench::makePool(argc, argv);
+    const std::vector<ChannelReadout> readouts =
+        util::parallelMap<ChannelReadout>(
+            gaps.size(),
+            [&](std::size_t i) {
+                return readAfterGap(gaps[i].hours, 77);
+            },
+            pool.get());
+    for (std::size_t i = 0; i < gaps.size(); ++i) {
+        std::printf("  %-18s %15.2f K  %15.2f ps\n", gaps[i].label,
+                    readouts[i].thermal_signal_k,
+                    readouts[i].bti_signal_ps);
     }
 
     std::printf("\nthe thermal channel decays with the package time "

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_common.hpp"
 #include "fabric/design.hpp"
 #include "fabric/device.hpp"
 #include "phys/thermal.hpp"
@@ -60,27 +61,33 @@ contrastForAge(double age_hours, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("=== Ablation: device age vs. burn-in contrast "
                 "(5 ns routes, 200 h at 60 C) ===\n\n");
     std::printf("  %12s  %14s  %16s\n", "age", "contrast(ps)",
                 "vs factory-new");
 
-    const double fresh = contrastForAge(0.0, 42);
     struct AgePoint
     {
         const char *label;
         double hours;
     };
-    const AgePoint points[] = {{"new", 0.0},
-                               {"1 year", 8760.0},
-                               {"2 years", 17520.0},
-                               {"4 years", 35040.0}};
-    for (const AgePoint &point : points) {
-        const double c = contrastForAge(point.hours, 42);
-        std::printf("  %12s  %14.2f  %15.2fx\n", point.label, c,
-                    c / fresh);
+    const std::vector<AgePoint> points = {{"new", 0.0},
+                                          {"1 year", 8760.0},
+                                          {"2 years", 17520.0},
+                                          {"4 years", 35040.0}};
+    const auto pool = bench::makePool(argc, argv);
+    const std::vector<double> contrasts = util::parallelMap<double>(
+        points.size(),
+        [&](std::size_t i) {
+            return contrastForAge(points[i].hours, 42);
+        },
+        pool.get());
+    const double fresh = contrasts[0];
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        std::printf("  %12s  %14.2f  %15.2fx\n", points[i].label,
+                    contrasts[i], contrasts[i] / fresh);
     }
 
     std::printf("\nfresh-trap depletion on worn silicon shrinks new "

@@ -11,7 +11,9 @@
  */
 
 #include <cstdio>
+#include <functional>
 
+#include "bench_common.hpp"
 #include "core/classifier.hpp"
 #include "core/experiment.hpp"
 #include "mitigation/strategies.hpp"
@@ -52,40 +54,81 @@ tm2Accuracy(mitigation::MitigationStrategy *strategy,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("=== Ablation: mitigations vs. attacker accuracy "
                 "===\n\n");
 
+    // Each grid point constructs its own strategy inside the lambda:
+    // strategies carry mutable state (e.g. the shuffle RNG), so they
+    // must not be shared across concurrently-running points.
+    enum class Tm
+    {
+        One,
+        Two
+    };
+    struct Point
+    {
+        Tm model;
+        const char *label;
+        std::function<double()> run;
+    };
+    const std::vector<Point> grid = {
+        {Tm::One, "no mitigation", [] { return tm1Accuracy(nullptr); }},
+        {Tm::One, "hourly inversion",
+         [] {
+             mitigation::InversionMitigation invert(1.0);
+             return tm1Accuracy(&invert);
+         }},
+        {Tm::One, "hourly shuffle",
+         [] {
+             mitigation::ShuffleMitigation shuffle(1.0, 99);
+             return tm1Accuracy(&shuffle);
+         }},
+        {Tm::One, "wear leveling (4 sites)",
+         [] {
+             mitigation::WearLevelMitigation wear(4.0, 4);
+             return tm1Accuracy(&wear);
+         }},
+        {Tm::Two, "no mitigation", [] { return tm2Accuracy(nullptr); }},
+        {Tm::Two, "hold 48 h complemented",
+         [] {
+             mitigation::HoldRecoveryMitigation hold(
+                 mitigation::Epilogue::Policy::Complement, 48.0);
+             return tm2Accuracy(&hold);
+         }},
+        {Tm::Two, "hold 48 h parked at 0",
+         [] {
+             mitigation::HoldRecoveryMitigation hold(
+                 mitigation::Epilogue::Policy::AllZero, 48.0);
+             return tm2Accuracy(&hold);
+         }},
+        {Tm::Two, "provider quarantine (500 h)",
+         [] { return tm2Accuracy(nullptr, 500.0); }},
+    };
+
+    const auto pool = bench::makePool(argc, argv);
+    const std::vector<double> acc = util::parallelMap<double>(
+        grid.size(), [&](std::size_t i) { return grid[i].run(); },
+        pool.get());
+
     std::printf("Threat Model 1 (16 bits on 5 ns routes, 120 h "
                 "burn):\n");
-    std::printf("  %-28s %7.1f%%\n", "no mitigation",
-                100.0 * tm1Accuracy(nullptr));
-    mitigation::InversionMitigation invert(1.0);
-    std::printf("  %-28s %7.1f%%\n", "hourly inversion",
-                100.0 * tm1Accuracy(&invert));
-    mitigation::ShuffleMitigation shuffle(1.0, 99);
-    std::printf("  %-28s %7.1f%%\n", "hourly shuffle",
-                100.0 * tm1Accuracy(&shuffle));
-    mitigation::WearLevelMitigation wear(4.0, 4);
-    std::printf("  %-28s %7.1f%%\n", "wear leveling (4 sites)",
-                100.0 * tm1Accuracy(&wear));
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (grid[i].model == Tm::One) {
+            std::printf("  %-28s %7.1f%%\n", grid[i].label,
+                        100.0 * acc[i]);
+        }
+    }
 
     std::printf("\nThreat Model 2 (12 bits on 8 ns routes, 150 h "
                 "victim burn, 25 h recovery):\n");
-    std::printf("  %-28s %7.1f%%\n", "no mitigation",
-                100.0 * tm2Accuracy(nullptr));
-    mitigation::HoldRecoveryMitigation hold_c(
-        mitigation::Epilogue::Policy::Complement, 48.0);
-    std::printf("  %-28s %7.1f%%\n", "hold 48 h complemented",
-                100.0 * tm2Accuracy(&hold_c));
-    mitigation::HoldRecoveryMitigation hold_z(
-        mitigation::Epilogue::Policy::AllZero, 48.0);
-    std::printf("  %-28s %7.1f%%\n", "hold 48 h parked at 0",
-                100.0 * tm2Accuracy(&hold_z));
-    std::printf("  %-28s %7.1f%%\n",
-                "provider quarantine (500 h)",
-                100.0 * tm2Accuracy(nullptr, 500.0));
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (grid[i].model == Tm::Two) {
+            std::printf("  %-28s %7.1f%%\n", grid[i].label,
+                        100.0 * acc[i]);
+        }
+    }
 
     std::printf("\n50%% = coin flip. Data transformations defeat TM1 "
                 "by equalising the stress;\nhold-and-recover bleeds "

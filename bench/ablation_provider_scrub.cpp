@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/classifier.hpp"
 #include "core/experiment.hpp"
 
@@ -42,7 +43,7 @@ tm2Accuracy(double quarantine_hours, bool active_scrub,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("=== Ablation: provider-side scrubbing vs. Threat "
                 "Model 2 ===\n");
@@ -50,19 +51,33 @@ main()
                 "single-board region so the\nattacker always receives "
                 "the victim card after quarantine)\n\n");
 
+    struct Policy
+    {
+        double quarantine_h;
+        bool scrub;
+    };
+    std::vector<Policy> grid = {{0.0, false}};
+    for (const double q : {24.0, 72.0, 168.0}) {
+        grid.push_back({q, false});
+        grid.push_back({q, true});
+    }
+    const auto pool = bench::makePool(argc, argv);
+    const std::vector<double> acc = util::parallelMap<double>(
+        grid.size(),
+        [&](std::size_t i) {
+            return tm2Accuracy(grid[i].quarantine_h, grid[i].scrub, 1);
+        },
+        pool.get());
+
     std::printf("  %-34s %10s\n", "policy", "accuracy");
     std::printf("  %-34s %9.1f%%\n", "immediate re-rental (baseline)",
-                100.0 * tm2Accuracy(0.0, false, 1));
-    for (const double q : {24.0, 72.0, 168.0}) {
+                100.0 * acc[0]);
+    for (std::size_t i = 1; i < grid.size(); ++i) {
         char label[64];
-        std::snprintf(label, sizeof(label), "idle quarantine %.0f h",
-                      q);
-        std::printf("  %-34s %9.1f%%\n", label,
-                    100.0 * tm2Accuracy(q, false, 1));
-        std::snprintf(label, sizeof(label),
-                      "scrubbed quarantine %.0f h", q);
-        std::printf("  %-34s %9.1f%%\n", label,
-                    100.0 * tm2Accuracy(q, true, 1));
+        std::snprintf(label, sizeof(label), "%s quarantine %.0f h",
+                      grid[i].scrub ? "scrubbed" : "idle",
+                      grid[i].quarantine_h);
+        std::printf("  %-34s %9.1f%%\n", label, 100.0 * acc[i]);
     }
 
     std::printf("\nidle waiting barely helps — the imprint outlives a "

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "fabric/design.hpp"
 #include "fabric/device.hpp"
 #include "fabric/drc.hpp"
@@ -115,12 +116,19 @@ runComparison(double ambient_sigma_k, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("=== Ablation: TDC vs. ring-oscillator sensor "
                 "(12 bits, 5 ns routes, 150 h) ===\n\n");
 
-    const SensorRun lab = runComparison(0.0, 5);
+    const auto pool = bench::makePool(argc, argv);
+    const std::vector<double> sigmas = {0.0, 1.6};
+    const std::vector<SensorRun> runs = util::parallelMap<SensorRun>(
+        sigmas.size(),
+        [&](std::size_t i) { return runComparison(sigmas[i], 5); },
+        pool.get());
+
+    const SensorRun lab = runs[0];
     std::printf("lab conditions (temperature pinned):\n");
     std::printf("  TDC  sign recovery:      %2d/%d\n", lab.tdc_correct,
                 lab.total);
@@ -128,7 +136,7 @@ main()
                 "NBTI/PBTI asymmetry only)\n",
                 lab.ro_correct, lab.total);
 
-    const SensorRun cloud = runComparison(1.6, 5);
+    const SensorRun cloud = runs[1];
     std::printf("\ncloud conditions (+/-1.6 K ambient drift between "
                 "readings):\n");
     std::printf("  TDC  sign recovery:      %2d/%d  (differential "

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_common.hpp"
 #include "fabric/design.hpp"
 #include "fabric/device.hpp"
 #include "phys/thermal.hpp"
@@ -90,7 +91,7 @@ accuracyWithKnowledge(double knowledge, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("=== Ablation: skeleton knowledge (Assumption 1) vs. "
                 "recovery accuracy ===\n");
@@ -98,15 +99,26 @@ main()
                 "conditions; wrong locations point at\nfresh fabric)\n"
                 "\n");
     std::printf("  %10s  %10s\n", "knowledge", "accuracy");
-    for (const double knowledge : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-        double acc = 0.0;
-        const int trials = 3;
+
+    // Flatten (knowledge level x trial) into one grid so every
+    // independent run can occupy a worker lane.
+    const std::vector<double> levels = {0.0, 0.25, 0.5, 0.75, 1.0};
+    const int trials = 3;
+    const auto pool = bench::makePool(argc, argv);
+    const std::vector<double> acc = util::parallelMap<double>(
+        levels.size() * trials,
+        [&](std::size_t i) {
+            return accuracyWithKnowledge(levels[i / trials],
+                                         1000 + i % trials);
+        },
+        pool.get());
+    for (std::size_t level = 0; level < levels.size(); ++level) {
+        double sum = 0.0;
         for (int t = 0; t < trials; ++t) {
-            acc += accuracyWithKnowledge(
-                knowledge, 1000 + static_cast<std::uint64_t>(t));
+            sum += acc[level * trials + t];
         }
-        std::printf("  %9.0f%%  %9.1f%%\n", 100.0 * knowledge,
-                    100.0 * acc / trials);
+        std::printf("  %9.0f%%  %9.1f%%\n", 100.0 * levels[level],
+                    100.0 * sum / trials);
     }
     std::printf("\naccuracy interpolates from coin-flip to complete "
                 "recovery: Assumption 1 is\nnecessary, and every "

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_common.hpp"
 #include "fabric/design.hpp"
 #include "fabric/device.hpp"
 #include "phys/thermal.hpp"
@@ -83,7 +84,7 @@ contrastAtDwell(double dwell, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("=== Ablation: data dwell time vs. pentimento "
                 "contrast ===\n");
@@ -91,9 +92,15 @@ main()
                 "fraction of time the route\nactually carries the "
                 "secret value)\n\n");
     std::printf("  %8s  %20s\n", "dwell", "signed contrast (ps)");
-    for (const double dwell : {1.0, 0.9, 0.75, 0.6, 0.5}) {
-        std::printf("  %7.0f%%  %20.3f\n", 100.0 * dwell,
-                    contrastAtDwell(dwell, 99));
+    const std::vector<double> dwells = {1.0, 0.9, 0.75, 0.6, 0.5};
+    const auto pool = bench::makePool(argc, argv);
+    const std::vector<double> contrasts = util::parallelMap<double>(
+        dwells.size(),
+        [&](std::size_t i) { return contrastAtDwell(dwells[i], 99); },
+        pool.get());
+    for (std::size_t i = 0; i < dwells.size(); ++i) {
+        std::printf("  %7.0f%%  %20.3f\n", 100.0 * dwells[i],
+                    contrasts[i]);
     }
     std::printf("\nthe imprint scales with the dwell *imbalance* and "
                 "dies at 50/50 — periodic\ninversion and balanced "

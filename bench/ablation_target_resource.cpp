@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_common.hpp"
 #include "fabric/design.hpp"
 #include "fabric/device.hpp"
 #include "phys/thermal.hpp"
@@ -100,15 +101,21 @@ burnAndMeasure(bool use_lut, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("=== Ablation: target resource — programmable routing "
                 "vs. LUT config SRAM ===\n");
     std::printf("(8 bits, ~5 ns paths, 200 h burn at 60 C, 64-tap "
                 "TDC)\n\n");
 
-    const ResourceResult route = burnAndMeasure(false, 11);
-    const ResourceResult lut = burnAndMeasure(true, 11);
+    const auto pool = bench::makePool(argc, argv);
+    const std::vector<ResourceResult> results =
+        util::parallelMap<ResourceResult>(
+            2,
+            [](std::size_t i) { return burnAndMeasure(i == 1, 11); },
+            pool.get());
+    const ResourceResult route = results[0];
+    const ResourceResult lut = results[1];
 
     std::printf("  %-22s %14s %14s %10s\n", "resource",
                 "contrast (ps)", "noise (ps)", "recovered");

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_common.hpp"
 #include "fabric/design.hpp"
 #include "fabric/device.hpp"
 #include "phys/thermal.hpp"
@@ -61,18 +62,25 @@ contrastAtTemperature(double temp_c, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("=== Ablation: temperature vs. burn-in contrast "
                 "(5 ns routes, 100 h, new device) ===\n\n");
     std::printf("  %8s  %14s  %12s\n", "temp", "contrast(ps)",
                 "vs 25 C");
 
-    const double room = contrastAtTemperature(25.0, 7);
-    for (const double temp_c : {25.0, 45.0, 60.0, 85.0}) {
-        const double c = contrastAtTemperature(temp_c, 7);
-        std::printf("  %6.0f C  %14.2f  %11.2fx\n", temp_c, c,
-                    c / room);
+    const std::vector<double> temps = {25.0, 45.0, 60.0, 85.0};
+    const auto pool = bench::makePool(argc, argv);
+    const std::vector<double> contrasts = util::parallelMap<double>(
+        temps.size(),
+        [&](std::size_t i) {
+            return contrastAtTemperature(temps[i], 7);
+        },
+        pool.get());
+    const double room = contrasts[0];
+    for (std::size_t i = 0; i < temps.size(); ++i) {
+        std::printf("  %6.0f C  %14.2f  %11.2fx\n", temps[i],
+                    contrasts[i], contrasts[i] / room);
     }
 
     std::printf("\nArrhenius acceleration: hotter dies imprint "

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
@@ -10,6 +11,36 @@
 #include "util/stats.hpp"
 
 namespace pentimento::bench {
+
+int
+parseWorkers(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--workers") == 0) {
+            const int lanes = std::atoi(argv[i + 1]);
+            if (lanes >= 1) {
+                return lanes;
+            }
+            std::fprintf(stderr,
+                         "bench: ignoring bad --workers '%s'\n",
+                         argv[i + 1]);
+        }
+    }
+    // Environment fallback goes through the library's single parser
+    // of PENTIMENTO_WORKERS so the lanes convention can't drift.
+    if (const auto lanes = util::ThreadPool::lanesFromEnv()) {
+        return static_cast<int>(*lanes);
+    }
+    return 1;
+}
+
+std::unique_ptr<util::ThreadPool>
+makePool(int argc, char **argv)
+{
+    const int lanes = parseWorkers(argc, argv);
+    return std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(lanes - 1));
+}
 
 std::string
 renderGroupChart(const core::ExperimentResult &result, double target_ps,

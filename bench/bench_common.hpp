@@ -6,12 +6,30 @@
 #ifndef PENTIMENTO_BENCH_COMMON_HPP
 #define PENTIMENTO_BENCH_COMMON_HPP
 
+#include <memory>
 #include <string>
 
 #include "core/classifier.hpp"
 #include "core/experiment.hpp"
+#include "util/parallel.hpp"
 
 namespace pentimento::bench {
+
+/**
+ * Total parallel lanes requested on the command line: `--workers N`
+ * wins, then PENTIMENTO_WORKERS, then 1 (serial). Benches are
+ * deterministic by construction, so lanes only change wall-clock,
+ * never output.
+ */
+int parseWorkers(int argc, char **argv);
+
+/**
+ * Build the bench's work pool from the command line: a pool with
+ * parseWorkers() - 1 extra threads (the caller is the final lane).
+ * With --workers 1 the pool has zero workers and every
+ * parallelMap/parallelFor degenerates to the serial loop.
+ */
+std::unique_ptr<util::ThreadPool> makePool(int argc, char **argv);
 
 /**
  * Render one route-delay group of an experiment as an ASCII chart:

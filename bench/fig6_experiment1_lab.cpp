@@ -71,6 +71,8 @@ main(int argc, char **argv)
                 "oven) ===\n\n");
     core::Experiment1Config config;
     config.seed = 2023;
+    const auto pool = bench::makePool(argc, argv);
+    config.pool = pool.get();
     const core::ExperimentResult result = core::runExperiment1(config);
 
     const char *labels[] = {"(a) 1000 ps routes", "(b) 2000 ps routes",

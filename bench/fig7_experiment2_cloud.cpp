@@ -28,6 +28,8 @@ main(int argc, char **argv)
                 "Threat Model 1) ===\n\n");
     core::Experiment2Config config;
     config.seed = 2023;
+    const auto pool = bench::makePool(argc, argv);
+    config.pool = pool.get();
     const core::ExperimentResult result = core::runExperiment2(config);
 
     const char *labels[] = {"(a) 1000 ps routes", "(b) 2000 ps routes",

@@ -31,6 +31,8 @@ main(int argc, char **argv)
                 "recovery) ===\n\n");
     core::Experiment3Config config;
     config.seed = 2023;
+    const auto pool = bench::makePool(argc, argv);
+    config.pool = pool.get();
     const core::ExperimentResult result = core::runExperiment3(config);
 
     const char *labels[] = {"(a) 1000 ps routes", "(b) 2000 ps routes",

@@ -15,7 +15,9 @@
 #include "phys/aging.hpp"
 #include "phys/bti.hpp"
 #include "phys/thermal.hpp"
+#include "tdc/measure_design.hpp"
 #include "tdc/tdc.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 using namespace pentimento;
@@ -112,6 +114,75 @@ BM_DeviceAdvanceHour(benchmark::State &state)
     state.SetLabel(std::to_string(state.range(0)) + " routes");
 }
 BENCHMARK(BM_DeviceAdvanceHour)->Arg(16)->Arg(64);
+
+void
+BM_DeviceAdvanceHourParallel(benchmark::State &state)
+{
+    util::ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+    fabric::Device device{fabric::DeviceConfig{}};
+    device.setWorkPool(&pool);
+    std::vector<fabric::RouteSpec> specs;
+    auto design = std::make_shared<fabric::Design>("d");
+    for (int r = 0; r < state.range(0); ++r) {
+        specs.push_back(
+            device.allocateRoute("r" + std::to_string(r), 5000.0));
+        design->setRouteValue(specs.back(), r % 2 == 0);
+    }
+    device.loadDesign(design);
+    phys::OvenEnvironment oven(333.15);
+    for (auto _ : state) {
+        device.advance(1.0, oven);
+    }
+    state.SetLabel(std::to_string(state.range(0)) + " routes, " +
+                   std::to_string(state.range(1) + 1) + " lanes");
+}
+BENCHMARK(BM_DeviceAdvanceHourParallel)
+    ->Args({64, 0})
+    ->Args({64, 3})
+    ->Args({256, 0})
+    ->Args({256, 3});
+
+void
+BM_MeasureSweepParallel(benchmark::State &state)
+{
+    util::ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+    util::ThreadPool *handle =
+        pool.workerCount() > 0 ? &pool : nullptr;
+    fabric::Device device{fabric::DeviceConfig{}};
+    std::vector<fabric::RouteSpec> routes;
+    for (int r = 0; r < state.range(0); ++r) {
+        routes.push_back(
+            device.allocateRoute("r" + std::to_string(r), 5000.0));
+    }
+    tdc::MeasureDesign design(device, routes);
+    util::Rng rng(1);
+    design.calibrateAll(333.15, rng, handle);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            design.measureAll(333.15, rng, handle));
+    }
+    state.SetLabel(std::to_string(state.range(0)) + " sensors, " +
+                   std::to_string(state.range(1) + 1) + " lanes");
+}
+BENCHMARK(BM_MeasureSweepParallel)
+    ->Args({64, 0})
+    ->Args({64, 3})
+    ->Args({256, 0})
+    ->Args({256, 3});
+
+void
+BM_ThreadPoolOverhead(benchmark::State &state)
+{
+    util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        std::size_t sink = 0;
+        pool.parallelFor(0, 1024, [&](std::size_t i) {
+            benchmark::DoNotOptimize(sink += i);
+        });
+    }
+    state.SetLabel(std::to_string(state.range(0) + 1) + " lanes");
+}
+BENCHMARK(BM_ThreadPoolOverhead)->Arg(0)->Arg(3);
 
 } // namespace
 

@@ -46,13 +46,14 @@ extractDesignData(cloud::CloudPlatform &platform,
     report.instance_id = *rented;
     cloud::FpgaInstance &inst = platform.instance(*rented);
     fabric::Device &device = inst.device();
+    device.setWorkPool(options.pool);
 
     auto measure = std::make_shared<tdc::MeasureDesign>(
         device, record.skeleton, options.tdc);
     if (!platform.loadDesign(*rented, measure).empty()) {
         util::fatal("extractDesignData: measure design failed DRC");
     }
-    measure->calibrateAll(inst.dieTempK(), inst.rng());
+    measure->calibrateAll(inst.dieTempK(), inst.rng(), options.pool);
 
     // Ground truth for scoring (never consulted by the attack path).
     const auto *target =
@@ -66,8 +67,8 @@ extractDesignData(cloud::CloudPlatform &platform,
             util::fatal("extractDesignData: measure DRC failure");
         }
         platform.advanceHours(kMeasureSettleHours);
-        const tdc::MeasurementSweep sweep =
-            measure->measureAll(inst.dieTempK(), inst.rng());
+        const tdc::MeasurementSweep sweep = measure->measureAll(
+            inst.dieTempK(), inst.rng(), options.pool);
         for (std::size_t i = 0; i < raw.size(); ++i) {
             raw[i].addPoint(hour, sweep.per_route[i].deltaPs());
         }
@@ -89,6 +90,7 @@ extractDesignData(cloud::CloudPlatform &platform,
         measureNow(hour);
     }
     platform.release(*rented);
+    device.setWorkPool(nullptr);
 
     report.result.condition_hours = hour;
     report.result.measure_seconds = measure_seconds;
@@ -178,12 +180,14 @@ recoverUserData(cloud::CloudPlatform &platform,
     // ---- Recovery measurement on the re-acquired board.
     cloud::FpgaInstance &att_inst = platform.instance(best_id);
     fabric::Device &device = att_inst.device();
+    device.setWorkPool(options.pool);
     auto measure = std::make_shared<tdc::MeasureDesign>(
         device, bundle.skeleton, options.tdc);
     if (!platform.loadDesign(best_id, measure).empty()) {
         util::fatal("recoverUserData: measure design failed DRC");
     }
-    measure->calibrateAll(att_inst.dieTempK(), att_inst.rng());
+    measure->calibrateAll(att_inst.dieTempK(), att_inst.rng(),
+                          options.pool);
 
     auto park = std::make_shared<fabric::Design>("attacker_park");
     for (const fabric::RouteSpec &spec : bundle.skeleton) {
@@ -199,8 +203,8 @@ recoverUserData(cloud::CloudPlatform &platform,
             util::fatal("recoverUserData: measure DRC failure");
         }
         platform.advanceHours(kMeasureSettleHours);
-        const tdc::MeasurementSweep sweep =
-            measure->measureAll(att_inst.dieTempK(), att_inst.rng());
+        const tdc::MeasurementSweep sweep = measure->measureAll(
+            att_inst.dieTempK(), att_inst.rng(), options.pool);
         for (std::size_t i = 0; i < raw.size(); ++i) {
             raw[i].addPoint(hour, sweep.per_route[i].deltaPs());
         }
@@ -222,6 +226,7 @@ recoverUserData(cloud::CloudPlatform &platform,
         measureNow(options.victim_hours + observed);
     }
     platform.release(best_id);
+    device.setWorkPool(nullptr);
 
     report.result.condition_hours = options.victim_hours + observed;
     report.result.measure_seconds = measure_seconds;

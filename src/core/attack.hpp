@@ -58,6 +58,8 @@ struct Tm1Options
     double measure_every_h = 1.0;
     tdc::TdcConfig tdc{};
     std::uint64_t seed = 99;
+    /** Work pool for sweeps/aging (see Experiment1Config::pool). */
+    util::ThreadPool *pool = nullptr;
 };
 
 /** Outcome of a TM1 extraction. */
@@ -92,6 +94,8 @@ struct Tm2Options
     double route_ps = 5000.0;
     tdc::TdcConfig tdc{};
     std::uint64_t seed = 99;
+    /** Work pool for sweeps/aging (see Experiment1Config::pool). */
+    util::ThreadPool *pool = nullptr;
 };
 
 /** Outcome of a TM2 recovery. */

@@ -1,5 +1,7 @@
 #include "core/delta_series.hpp"
 
+#include <algorithm>
+
 #include "util/kernel_regression.hpp"
 #include "util/logging.hpp"
 
@@ -13,6 +15,20 @@ DeltaSeries::addPoint(double hour, double delta_ps)
     }
     hours_.push_back(hour);
     values_.push_back(delta_ps);
+}
+
+void
+DeltaSeries::insertPoint(double hour, double delta_ps)
+{
+    const auto pos =
+        std::upper_bound(hours_.begin(), hours_.end(), hour);
+    const std::size_t idx =
+        static_cast<std::size_t>(pos - hours_.begin());
+    hours_.insert(pos, hour);
+    values_.insert(values_.begin() +
+                       static_cast<std::vector<double>::difference_type>(
+                           idx),
+                   delta_ps);
 }
 
 DeltaSeries

@@ -23,6 +23,19 @@ class DeltaSeries
     /** Append a measurement. Hours must be non-decreasing. */
     void addPoint(double hour, double delta_ps);
 
+    /**
+     * Insert a measurement at its sorted position (stable: a point
+     * whose hour ties existing samples lands after them). Parallel
+     * campaigns that merge per-worker partial series use this. When
+     * hours are distinct — every sweep stamps a unique hour — the
+     * resulting series, and every estimate derived from it, is a pure
+     * function of the point *set*, not the insertion order. Points
+     * sharing an hour keep arrival order, so order-sensitive
+     * estimates (e.g. centeredAtFirst on a tied first hour) require
+     * the caller to merge ties in a fixed order.
+     */
+    void insertPoint(double hour, double delta_ps);
+
     /** Number of samples. */
     std::size_t size() const { return hours_.size(); }
 

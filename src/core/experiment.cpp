@@ -200,6 +200,7 @@ runExperiment1(const Experiment1Config &config)
 {
     util::Rng rng(config.seed);
     fabric::Device device(config.device);
+    device.setWorkPool(config.pool);
     phys::OvenEnvironment oven(
         util::celsiusToKelvin(config.oven_temp_c));
 
@@ -216,7 +217,7 @@ runExperiment1(const Experiment1Config &config)
     // Hour 0: Calibration phase, then the baseline measurement that
     // the series are centered against.
     device.loadDesign(measure);
-    measure->calibrateAll(oven.dieTempK(), meas_rng);
+    measure->calibrateAll(oven.dieTempK(), meas_rng, config.pool);
 
     SeriesRecorder recorder(setup.specs.size());
     double measure_seconds = 0.0;
@@ -224,7 +225,7 @@ runExperiment1(const Experiment1Config &config)
     const auto measureNow = [&](double hour) {
         device.loadDesign(measure);
         const tdc::MeasurementSweep sweep =
-            measure->measureAll(oven.dieTempK(), meas_rng);
+            measure->measureAll(oven.dieTempK(), meas_rng, config.pool);
         recorder.record(hour, sweep);
         measure_seconds += sweep.wall_seconds;
         ++sweeps;
@@ -280,6 +281,7 @@ runExperiment2(const Experiment2Config &config)
     }
     cloud::FpgaInstance &inst = platform.instance(*rented);
     fabric::Device &device = inst.device();
+    device.setWorkPool(config.pool);
 
     RouteSetup setup = allocateRoutes(device, config.groups, rng);
     auto target = std::make_shared<fabric::TargetDesign>(
@@ -293,7 +295,7 @@ runExperiment2(const Experiment2Config &config)
     if (!platform.loadDesign(*rented, measure).empty()) {
         util::fatal("runExperiment2: measure design failed DRC");
     }
-    measure->calibrateAll(inst.dieTempK(), inst.rng());
+    measure->calibrateAll(inst.dieTempK(), inst.rng(), config.pool);
 
     SeriesRecorder recorder(setup.specs.size());
     double measure_seconds = 0.0;
@@ -305,8 +307,8 @@ runExperiment2(const Experiment2Config &config)
         // Let the die settle to the Measure design's power before
         // sampling (the paper's measurement takes ~52 s anyway).
         platform.advanceHours(kMeasureSettleHours);
-        const tdc::MeasurementSweep sweep =
-            measure->measureAll(inst.dieTempK(), inst.rng());
+        const tdc::MeasurementSweep sweep = measure->measureAll(
+            inst.dieTempK(), inst.rng(), config.pool);
         recorder.record(hour, sweep);
         measure_seconds += sweep.wall_seconds;
         ++sweeps;
@@ -330,6 +332,8 @@ runExperiment2(const Experiment2Config &config)
         measureNow(hour);
     }
     platform.release(*rented);
+    // The platform (and its devices) may outlive the caller's pool.
+    device.setWorkPool(nullptr);
 
     return assembleResult(setup, recorder, hour, measure_seconds,
                           sweeps);
@@ -348,6 +352,7 @@ runExperiment3(const Experiment3Config &config)
     }
     cloud::FpgaInstance &victim_inst = platform.instance(*victim_id);
     fabric::Device &device = victim_inst.device();
+    device.setWorkPool(config.pool);
 
     RouteSetup setup = allocateRoutes(device, config.groups, rng);
     auto target = std::make_shared<fabric::TargetDesign>(
@@ -397,6 +402,7 @@ runExperiment3(const Experiment3Config &config)
                    "quarantine/mitigation configurations)");
     }
     fabric::Device &att_device = attacker_inst.device();
+    att_device.setWorkPool(config.pool);
 
     // The attacker knows the skeleton (Assumption 1) and builds the
     // Measure design over it; θ_init is consistent across devices of
@@ -407,7 +413,7 @@ runExperiment3(const Experiment3Config &config)
         util::fatal("runExperiment3: measure design failed DRC");
     }
     measure->calibrateAll(attacker_inst.dieTempK(),
-                          attacker_inst.rng());
+                          attacker_inst.rng(), config.pool);
 
     // Park design: every route under test forced to park_value.
     auto park = std::make_shared<fabric::Design>("exp3_attacker_park");
@@ -424,8 +430,9 @@ runExperiment3(const Experiment3Config &config)
             util::fatal("runExperiment3: measure design failed DRC");
         }
         platform.advanceHours(kMeasureSettleHours);
-        const tdc::MeasurementSweep sweep = measure->measureAll(
-            attacker_inst.dieTempK(), attacker_inst.rng());
+        const tdc::MeasurementSweep sweep =
+            measure->measureAll(attacker_inst.dieTempK(),
+                                attacker_inst.rng(), config.pool);
         recorder.record(at_hour, sweep);
         measure_seconds += sweep.wall_seconds;
         ++sweeps;
@@ -446,6 +453,9 @@ runExperiment3(const Experiment3Config &config)
         measureNow(hour + observed);
     }
     platform.release(*attacker_id);
+    // The platform (and its devices) may outlive the caller's pool.
+    device.setWorkPool(nullptr);
+    att_device.setWorkPool(nullptr);
 
     return assembleResult(setup, recorder, hour + observed,
                           measure_seconds, sweeps);

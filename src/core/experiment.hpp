@@ -34,6 +34,7 @@
 #include "fabric/device.hpp"
 #include "mitigation/strategy.hpp"
 #include "tdc/measure_design.hpp"
+#include "util/parallel.hpp"
 
 namespace pentimento::core {
 
@@ -103,6 +104,12 @@ struct Experiment1Config
     std::uint64_t seed = 2023;
     /** Optional user mitigation applied during the burn (ablations). */
     mitigation::MitigationStrategy *strategy = nullptr;
+    /**
+     * Optional work pool: element aging and measurement sweeps fan
+     * out across its workers. Same seed produces bit-identical
+     * results for any worker count (nullptr = serial).
+     */
+    util::ThreadPool *pool = nullptr;
 };
 
 /** Run Experiment 1 on a local device. */
@@ -119,6 +126,8 @@ struct Experiment2Config
     tdc::TdcConfig tdc{};
     std::uint64_t seed = 2023;
     mitigation::MitigationStrategy *strategy = nullptr;
+    /** Work pool (see Experiment1Config::pool). */
+    util::ThreadPool *pool = nullptr;
 };
 
 /** Run Experiment 2 against a cloud platform. */
@@ -147,6 +156,8 @@ struct Experiment3Config
     std::uint64_t seed = 2023;
     /** Optional victim-side mitigation (incl. its epilogue). */
     mitigation::MitigationStrategy *strategy = nullptr;
+    /** Work pool (see Experiment1Config::pool). */
+    util::ThreadPool *pool = nullptr;
 };
 
 /** Run Experiment 3 against a cloud platform. */

@@ -48,11 +48,19 @@ Device::makeElement(ResourceId id) const
 RoutingElement &
 Device::element(ResourceId id)
 {
-    const auto it = elements_.find(id.key());
-    if (it != elements_.end()) {
-        return it->second;
+    {
+        std::shared_lock<std::shared_mutex> lock(elements_mutex_);
+        const auto it = elements_.find(id.key());
+        if (it != elements_.end()) {
+            return it->second;
+        }
     }
-    auto [ins, ok] = elements_.emplace(id.key(), makeElement(id));
+    // Build the element outside the exclusive section (variation
+    // sampling is the expensive part), then insert under the lock;
+    // emplace is a no-op if another thread won the race.
+    RoutingElement fresh = makeElement(id);
+    std::unique_lock<std::shared_mutex> lock(elements_mutex_);
+    auto [ins, ok] = elements_.emplace(id.key(), std::move(fresh));
     (void)ok;
     return ins->second;
 }
@@ -60,6 +68,7 @@ Device::element(ResourceId id)
 const RoutingElement *
 Device::findElement(ResourceId id) const
 {
+    std::shared_lock<std::shared_mutex> lock(elements_mutex_);
     const auto it = elements_.find(id.key());
     return it == elements_.end() ? nullptr : &it->second;
 }
@@ -146,6 +155,7 @@ Device::allocateLutPath(const std::string &name, std::size_t cells)
 std::vector<ResourceId>
 Device::materializedIds() const
 {
+    std::shared_lock<std::shared_mutex> lock(elements_mutex_);
     std::vector<ResourceId> ids;
     ids.reserve(elements_.size());
     for (const auto &[key, elem] : elements_) {
@@ -185,6 +195,31 @@ Device::wipe()
 }
 
 void
+Device::forEachElement(
+    const std::function<void(std::uint64_t, RoutingElement &)> &fn)
+{
+    if (pool_ == nullptr || pool_->workerCount() == 0) {
+        for (auto &[key, elem] : elements_) {
+            fn(key, elem);
+        }
+        return;
+    }
+    // Snapshot the nodes so workers index disjoint elements. Aging is
+    // RNG-free and element-local, so the fan-out is bit-identical to
+    // the serial loop for any worker count. No design may be loaded
+    // concurrently (experiment phases alternate serially), so the map
+    // structure is stable for the duration.
+    std::vector<std::pair<std::uint64_t, RoutingElement *>> nodes;
+    nodes.reserve(elements_.size());
+    for (auto &[key, elem] : elements_) {
+        nodes.emplace_back(key, &elem);
+    }
+    pool_->parallelFor(0, nodes.size(), [&](std::size_t i) {
+        fn(nodes[i].first, *nodes[i].second);
+    });
+}
+
+void
 Device::advance(double dt_h, phys::ThermalEnvironment &thermal)
 {
     if (dt_h < 0.0) {
@@ -192,12 +227,12 @@ Device::advance(double dt_h, phys::ThermalEnvironment &thermal)
     }
     const double power = design_ ? design_->powerW() : 0.0;
     const double temp_k = thermal.step(power, dt_h);
-    for (auto &[key, elem] : elements_) {
+    forEachElement([&](std::uint64_t key, RoutingElement &elem) {
         const ElementActivity activity =
             design_ ? design_->activityFor(ResourceId::fromKey(key))
                     : ElementActivity{};
         elem.age(config_.bti, activity, temp_k, dt_h);
-    }
+    });
     elapsed_h_ += dt_h;
 }
 
@@ -210,11 +245,11 @@ Device::applyServiceWear(double hours, double duty_one)
     if (hours == 0.0) {
         return;
     }
-    for (auto &[key, elem] : elements_) {
+    forEachElement([&](std::uint64_t key, RoutingElement &elem) {
         (void)key;
         elem.aging().holdToggling(config_.bti, duty_one,
                                   config_.bti.reference_temp_k, hours);
-    }
+    });
 }
 
 } // namespace pentimento::fabric

@@ -16,7 +16,9 @@
 #define PENTIMENTO_FABRIC_DEVICE_HPP
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -27,6 +29,7 @@
 #include "phys/bti.hpp"
 #include "phys/thermal.hpp"
 #include "phys/variation.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace pentimento::fabric {
@@ -139,7 +142,9 @@ class Device
     /**
      * Advance simulated time: steps the thermal environment with the
      * loaded design's power and ages every materialised element
-     * according to its activity.
+     * according to its activity. Element updates are independent and
+     * RNG-free, so when a work pool is attached they fan out across
+     * workers with bit-identical results.
      */
     void advance(double dt_h, phys::ThermalEnvironment &thermal);
 
@@ -149,8 +154,23 @@ class Device
      */
     void applyServiceWear(double hours, double duty_one = 0.5);
 
+    /**
+     * Attach a work pool used by advance()/applyServiceWear() to age
+     * elements in parallel (nullptr = serial). The pool must outlive
+     * the device or be detached before destruction; results do not
+     * depend on the pool's worker count.
+     */
+    void setWorkPool(util::ThreadPool *pool) { pool_ = pool; }
+
+    /** The attached work pool, or nullptr. */
+    util::ThreadPool *workPool() const { return pool_; }
+
   private:
     RoutingElement makeElement(ResourceId id) const;
+
+    /** Age every materialised element under the loaded design. */
+    void forEachElement(const std::function<void(std::uint64_t,
+                                                 RoutingElement &)> &fn);
 
     DeviceConfig config_;
     double fresh_scale_;
@@ -159,7 +179,13 @@ class Device
     std::uint64_t carry_cursor_ = 0;
     std::uint64_t lut_cursor_ = 0;
     std::unordered_map<std::uint64_t, RoutingElement> elements_;
+    /** Guards materialisation: parallel measurement sweeps call
+     *  element() concurrently. References stay valid across inserts
+     *  (unordered_map never relocates nodes), so only the map's
+     *  structure needs the lock. */
+    mutable std::shared_mutex elements_mutex_;
     std::shared_ptr<const Design> design_;
+    util::ThreadPool *pool_ = nullptr;
 };
 
 } // namespace pentimento::fabric

@@ -52,12 +52,24 @@ MeasureDesign::sensor(std::size_t i) const
 }
 
 std::vector<double>
-MeasureDesign::calibrateAll(double temp_k, util::Rng &rng)
+MeasureDesign::calibrateAll(double temp_k, util::Rng &rng,
+                            util::ThreadPool *pool)
 {
-    std::vector<double> thetas;
-    thetas.reserve(sensors_.size());
-    for (Tdc &sensor : sensors_) {
-        thetas.push_back(sensor.calibrate(temp_k, rng));
+    // Streams are split serially, in index order, before any fan-out:
+    // sensor i's draws depend only on (rng state, i), never on how
+    // the loop below is scheduled.
+    std::vector<util::Rng> streams =
+        util::splitStreams(rng, sensors_.size(), "calibrate");
+    std::vector<double> thetas(sensors_.size());
+    const auto tune = [&](std::size_t i) {
+        thetas[i] = sensors_[i].calibrate(temp_k, streams[i]);
+    };
+    if (pool != nullptr) {
+        pool->parallelFor(0, sensors_.size(), tune);
+    } else {
+        for (std::size_t i = 0; i < sensors_.size(); ++i) {
+            tune(i);
+        }
     }
     return thetas;
 }
@@ -74,14 +86,27 @@ MeasureDesign::adoptThetaInits(const std::vector<double> &thetas)
 }
 
 MeasurementSweep
-MeasureDesign::measureAll(double temp_k, util::Rng &rng) const
+MeasureDesign::measureAll(double temp_k, util::Rng &rng,
+                          util::ThreadPool *pool) const
 {
+    std::vector<util::Rng> streams =
+        util::splitStreams(rng, sensors_.size(), "measure");
     MeasurementSweep sweep;
-    sweep.per_route.reserve(sensors_.size());
-    for (const Tdc &sensor : sensors_) {
-        Measurement m = sensor.measure(temp_k, rng);
+    sweep.per_route.resize(sensors_.size());
+    const auto probe = [&](std::size_t i) {
+        sweep.per_route[i] = sensors_[i].measure(temp_k, streams[i]);
+    };
+    if (pool != nullptr) {
+        pool->parallelFor(0, sensors_.size(), probe);
+    } else {
+        for (std::size_t i = 0; i < sensors_.size(); ++i) {
+            probe(i);
+        }
+    }
+    // Reduce serially, in index order, so the float sum never depends
+    // on completion order.
+    for (const Measurement &m : sweep.per_route) {
         sweep.wall_seconds += m.wall_seconds;
-        sweep.per_route.push_back(m);
     }
     return sweep;
 }

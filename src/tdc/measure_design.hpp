@@ -18,6 +18,7 @@
 #include "fabric/design.hpp"
 #include "fabric/device.hpp"
 #include "tdc/tdc.hpp"
+#include "util/parallel.hpp"
 
 namespace pentimento::tdc {
 
@@ -54,14 +55,27 @@ class MeasureDesign : public fabric::Design
     Tdc &sensor(std::size_t i);
     const Tdc &sensor(std::size_t i) const;
 
-    /** Calibration phase: tune every sensor, return each θ_init. */
-    std::vector<double> calibrateAll(double temp_k, util::Rng &rng);
+    /**
+     * Calibration phase: tune every sensor, return each θ_init.
+     *
+     * Each sensor draws from its own stream split serially off `rng`
+     * (one split per sensor, always, in index order), so the result —
+     * and the state `rng` is left in — is identical whether the
+     * sensors are tuned serially or fanned out across `pool`.
+     */
+    std::vector<double> calibrateAll(double temp_k, util::Rng &rng,
+                                     util::ThreadPool *pool = nullptr);
 
     /** Adopt θ_init values captured on another device of this type. */
     void adoptThetaInits(const std::vector<double> &thetas);
 
-    /** Measurement phase over every sensor. */
-    MeasurementSweep measureAll(double temp_k, util::Rng &rng) const;
+    /**
+     * Measurement phase over every sensor. Same per-sensor stream
+     * discipline as calibrateAll: sweeps are bit-identical for any
+     * worker count, including the serial `pool == nullptr` case.
+     */
+    MeasurementSweep measureAll(double temp_k, util::Rng &rng,
+                                util::ThreadPool *pool = nullptr) const;
 
   private:
     std::vector<Tdc> sensors_;

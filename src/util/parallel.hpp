@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Work-stealing thread pool and deterministic parallel primitives.
+ *
+ * Route-scale campaigns (ablation grids, measurement sweeps over
+ * thousands of routes, route-group fan-out) are embarrassingly
+ * parallel, but the simulator's contract is bit-for-bit
+ * reproducibility from a single seed. The primitives here keep that
+ * contract:
+ *
+ *  - every parallel unit draws from an Rng stream pre-split *serially*
+ *    from the parent seed (Rng::split), so the draw sequence seen by
+ *    unit i never depends on scheduling;
+ *  - results land in index-order slots, so output ordering never
+ *    depends on completion order;
+ *  - therefore the same seed produces identical output for 1 worker,
+ *    N workers, or the serial fallback.
+ *
+ * The pool itself is a classic work-stealing design: one deque per
+ * worker, LIFO at the owner's end for cache locality, FIFO steals
+ * from victims when a worker runs dry. parallelFor callers
+ * participate in execution, so nested parallel sections and
+ * zero-worker pools degrade to serial execution instead of
+ * deadlocking.
+ */
+
+#ifndef PENTIMENTO_UTIL_PARALLEL_HPP
+#define PENTIMENTO_UTIL_PARALLEL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pentimento::util {
+
+/**
+ * Work-stealing thread pool.
+ *
+ * `workers` is the number of *extra* threads; parallelFor callers
+ * execute work too, so a pool with W workers runs loops at W+1-way
+ * parallelism. A pool with zero workers is valid and runs everything
+ * inline in the caller — the degenerate case every determinism test
+ * compares against.
+ */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @param workers extra threads; kAutoWorkers picks from the env. */
+    static constexpr std::size_t kAutoWorkers =
+        static_cast<std::size_t>(-1);
+
+    explicit ThreadPool(std::size_t workers = kAutoWorkers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of pool-owned threads (not counting callers). */
+    std::size_t workerCount() const { return threads_.size(); }
+
+    /** Total lanes a parallelFor fans out to (workers + caller). */
+    std::size_t concurrency() const { return threads_.size() + 1; }
+
+    /** Enqueue a fire-and-forget task onto the least-loaded deque. */
+    void submit(Task task);
+
+    /**
+     * Run body(i) for every i in [begin, end), blocking until all
+     * iterations finish. The caller participates. Iterations are
+     * claimed in contiguous chunks; any exception is captured and the
+     * first one rethrown in the caller after the loop drains (the
+     * remaining chunks still run, keeping the pool reusable).
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Total lanes requested via PENTIMENTO_WORKERS, if set and valid
+     * (>= 1). The single parser of that variable: defaultWorkers()
+     * and the bench `--workers` fallback both consume it, so the
+     * lanes convention can't drift between library and benches.
+     */
+    static std::optional<std::size_t> lanesFromEnv();
+
+    /**
+     * Default worker count: lanesFromEnv() - 1 when the environment
+     * names a lane count (the caller is one lane), otherwise
+     * hardware_concurrency() - 1.
+     */
+    static std::size_t defaultWorkers();
+
+    /** Process-wide shared pool, created on first use. */
+    static ThreadPool &shared();
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<Task> tasks;
+    };
+
+    void workerLoop(std::size_t self);
+    bool popLocal(std::size_t self, Task &out);
+    bool stealFrom(std::size_t self, Task &out);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> threads_;
+    std::mutex wake_mutex_;
+    std::condition_variable wake_cv_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::size_t> next_queue_{0};
+};
+
+/**
+ * Run body(i) for i in [0, n) on a pool (the shared pool when null),
+ * preserving the determinism contract described in the file header.
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &body,
+                 ThreadPool *pool = nullptr);
+
+/**
+ * Map i in [0, n) to results[i] = fn(i) in parallel. Output order is
+ * index order regardless of scheduling.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+parallelMap(std::size_t n, Fn &&fn, ThreadPool *pool = nullptr)
+{
+    std::vector<T> results(n);
+    parallelFor(
+        n, [&](std::size_t i) { results[i] = fn(i); }, pool);
+    return results;
+}
+
+/**
+ * Serially derive n independent child streams from a parent Rng.
+ *
+ * Splitting happens on the calling thread *before* any fan-out, so
+ * stream i's state is a pure function of (parent state, tag, i) and
+ * never of thread count or scheduling. The parent advances by exactly
+ * n draws regardless of how the children are later consumed.
+ */
+std::vector<Rng> splitStreams(Rng &parent, std::size_t n,
+                              std::uint64_t tag = 0);
+
+/** Tagged variant so distinct consumers can't collide. */
+std::vector<Rng> splitStreams(Rng &parent, std::size_t n,
+                              std::string_view tag);
+
+} // namespace pentimento::util
+
+#endif // PENTIMENTO_UTIL_PARALLEL_HPP

@@ -9,10 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "cloud/fingerprint.hpp"
 #include "cloud/platform.hpp"
 #include "core/classifier.hpp"
+#include "core/delta_series.hpp"
 #include "core/presets.hpp"
 #include "fabric/design.hpp"
 #include "fabric/device.hpp"
@@ -293,3 +296,91 @@ TEST(AmbientProperty, PackageNeverLeavesPhysicalRange)
         EXPECT_LT(die, 400.0);  // below silicon limits
     }
 }
+
+// ------------------------------ series insertion-order invariance
+
+class SeriesInsertionOrder
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+/**
+ * Slope (and every other point-set statistic) must not depend on the
+ * order points were inserted: parallel campaigns merge per-worker
+ * partial series in completion order, which the estimates must not
+ * see. Hours are kept distinct so the sorted series is unique and the
+ * comparison is exact, not approximate.
+ */
+TEST_P(SeriesInsertionOrder, SlopeInvariantUnderInsertionOrder)
+{
+    pu::Rng rng(GetParam());
+    const std::size_t n = 16 + rng.uniformInt(0, 48);
+
+    // Distinct, strictly increasing hours with random gaps.
+    std::vector<double> hours(n);
+    std::vector<double> values(n);
+    double h = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        h += rng.uniform(0.1, 4.0);
+        hours[i] = h;
+        values[i] = rng.gaussian(0.0, 3.0) + 0.05 * h;
+    }
+
+    // Baseline: chronological append.
+    pc::DeltaSeries chronological;
+    for (std::size_t i = 0; i < n; ++i) {
+        chronological.addPoint(hours[i], values[i]);
+    }
+
+    // Shuffled insertion via insertPoint (Fisher-Yates on indices).
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        order[i] = i;
+    }
+    for (std::size_t i = n - 1; i > 0; --i) {
+        const std::size_t j = rng.uniformInt(0, i);
+        std::swap(order[i], order[j]);
+    }
+    pc::DeltaSeries shuffled;
+    for (const std::size_t i : order) {
+        shuffled.insertPoint(hours[i], values[i]);
+    }
+
+    // The reassembled series is the same array, so every estimate is
+    // bit-identical — not merely close.
+    ASSERT_EQ(shuffled.size(), chronological.size());
+    EXPECT_EQ(shuffled.hours(), chronological.hours());
+    EXPECT_EQ(shuffled.values(), chronological.values());
+    EXPECT_DOUBLE_EQ(shuffled.slopePerHour(),
+                     chronological.slopePerHour());
+    EXPECT_DOUBLE_EQ(shuffled.slopeStdErrorPerHour(),
+                     chronological.slopeStdErrorPerHour());
+    EXPECT_DOUBLE_EQ(shuffled.netDriftPs(),
+                     chronological.netDriftPs());
+    EXPECT_DOUBLE_EQ(shuffled.meanBetweenHours(hours.front(),
+                                               hours.back()),
+                     chronological.meanBetweenHours(hours.front(),
+                                                    hours.back()));
+}
+
+/** Equal-hour ties keep arrival order (stable), like addPoint. */
+TEST(SeriesInsertionOrder, TiesAreStable)
+{
+    pc::DeltaSeries a;
+    a.addPoint(1.0, 10.0);
+    a.addPoint(2.0, 20.0);
+    a.addPoint(2.0, 21.0);
+    a.addPoint(3.0, 30.0);
+
+    pc::DeltaSeries b;
+    b.insertPoint(1.0, 10.0);
+    b.insertPoint(2.0, 20.0);
+    b.insertPoint(2.0, 21.0);
+    b.insertPoint(3.0, 30.0);
+    EXPECT_EQ(a.hours(), b.hours());
+    EXPECT_EQ(a.values(), b.values());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeriesInsertionOrder,
+                         ::testing::Values(1u, 7u, 99u, 1234u,
+                                           0xfeedu, 0xdeadbeefu));
