@@ -70,6 +70,16 @@ main(int argc, char **argv)
                     row.contrast_ps, 100.0 * row.accuracy);
     }
 
+    std::vector<std::vector<std::string>> csv_rows;
+    for (const BurnRow &row : rows) {
+        csv_rows.push_back(std::vector<std::string>{
+            std::to_string(row.hours), std::to_string(row.contrast_ps),
+            std::to_string(row.accuracy)});
+    }
+    bench::dumpGridCsv(argc, argv,
+                       {"burn_h", "contrast_ps", "tm1_accuracy"},
+                       csv_rows);
+
     std::printf("\nBTI's sublinear (t^n) kinetics mean the first tens "
                 "of hours do most of the\nimprinting — long-running "
                 "designs gain little extra protection from brevity\n"

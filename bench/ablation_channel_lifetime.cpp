@@ -108,6 +108,18 @@ main(int argc, char **argv)
                     readouts[i].bti_signal_ps);
     }
 
+    std::vector<std::vector<std::string>> csv_rows;
+    for (std::size_t i = 0; i < gaps.size(); ++i) {
+        csv_rows.push_back(std::vector<std::string>{
+            gaps[i].label, std::to_string(gaps[i].hours),
+            std::to_string(readouts[i].thermal_signal_k),
+            std::to_string(readouts[i].bti_signal_ps)});
+    }
+    bench::dumpGridCsv(argc, argv,
+                       {"gap", "gap_hours", "thermal_residue_k",
+                        "bti_contrast_ps"},
+                       csv_rows);
+
     std::printf("\nthe thermal channel decays with the package time "
                 "constant (seconds-minutes);\nthe pentimento outlives "
                 "it by orders of magnitude — the paper's 'more\n"

@@ -90,6 +90,17 @@ main(int argc, char **argv)
                     contrasts[i], contrasts[i] / fresh);
     }
 
+    std::vector<std::vector<std::string>> csv_rows;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        csv_rows.push_back(std::vector<std::string>{
+            points[i].label, std::to_string(points[i].hours),
+            std::to_string(contrasts[i]),
+            std::to_string(contrasts[i] / fresh)});
+    }
+    bench::dumpGridCsv(
+        argc, argv, {"age", "age_hours", "contrast_ps", "vs_new"},
+        csv_rows);
+
     std::printf("\nfresh-trap depletion on worn silicon shrinks new "
                 "imprints — the Figure 6 vs\nFigure 7 amplitude gap. "
                 "Older fleets leak less, but not nothing.\n");

@@ -130,6 +130,16 @@ main(int argc, char **argv)
         }
     }
 
+    std::vector<std::vector<std::string>> csv_rows;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        csv_rows.push_back(std::vector<std::string>{
+            grid[i].model == Tm::One ? "1" : "2", grid[i].label,
+            std::to_string(acc[i])});
+    }
+    bench::dumpGridCsv(argc, argv,
+                       {"threat_model", "mitigation", "accuracy"},
+                       csv_rows);
+
     std::printf("\n50%% = coin flip. Data transformations defeat TM1 "
                 "by equalising the stress;\nhold-and-recover bleeds "
                 "the TM2 signal at rental cost; quarantine denies "

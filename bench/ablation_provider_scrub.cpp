@@ -80,6 +80,16 @@ main(int argc, char **argv)
         std::printf("  %-34s %9.1f%%\n", label, 100.0 * acc[i]);
     }
 
+    std::vector<std::vector<std::string>> csv_rows;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        csv_rows.push_back(std::vector<std::string>{
+            std::to_string(grid[i].quarantine_h),
+            grid[i].scrub ? "1" : "0", std::to_string(acc[i])});
+    }
+    bench::dumpGridCsv(argc, argv,
+                       {"quarantine_h", "active_scrub", "accuracy"},
+                       csv_rows);
+
     std::printf("\nidle waiting barely helps — the imprint outlives a "
                 "week in the pool, matching\nthe paper's 'hundreds of "
                 "hours' persistence. Active toggling scrub works (it\n"

@@ -16,13 +16,11 @@
  */
 
 #include <cstdio>
-#include <cstring>
 
 #include "bench_common.hpp"
 #include "core/classifier.hpp"
 #include "core/experiment.hpp"
 #include "opentitan/vulnerability.hpp"
-#include "util/csv.hpp"
 #include "util/stats.hpp"
 
 using namespace pentimento;
@@ -99,28 +97,23 @@ main(int argc, char **argv)
                     100.0 * row.accuracy);
     }
 
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0) {
-            util::CsvWriter csv(argv[i + 1]);
-            csv.writeRow(std::vector<std::string>{
-                "length_ps", "route", "burn_value", "contrast_ps",
-                "group_contrast_ps", "predicted_ps", "tm1_accuracy"});
-            for (const LengthRow &row : rows) {
-                for (std::size_t r = 0; r < row.route_names.size();
-                     ++r) {
-                    csv.writeRow(std::vector<std::string>{
-                        std::to_string(row.length_ps),
-                        row.route_names[r],
-                        row.route_burn[r] ? "1" : "0",
-                        std::to_string(row.route_contrast_ps[r]),
-                        std::to_string(row.contrast_ps),
-                        std::to_string(row.predicted_ps),
-                        std::to_string(row.accuracy)});
-                }
-            }
-            std::printf("\nraw grid written to %s\n", argv[i + 1]);
+    std::vector<std::vector<std::string>> csv_rows;
+    for (const LengthRow &row : rows) {
+        for (std::size_t r = 0; r < row.route_names.size(); ++r) {
+            csv_rows.push_back(std::vector<std::string>{
+                std::to_string(row.length_ps), row.route_names[r],
+                row.route_burn[r] ? "1" : "0",
+                std::to_string(row.route_contrast_ps[r]),
+                std::to_string(row.contrast_ps),
+                std::to_string(row.predicted_ps),
+                std::to_string(row.accuracy)});
         }
     }
+    bench::dumpGridCsv(argc, argv,
+                       {"length_ps", "route", "burn_value",
+                        "contrast_ps", "group_contrast_ps",
+                        "predicted_ps", "tm1_accuracy"},
+                       csv_rows);
 
     std::printf("\ncontrast scales linearly with route length "
                 "(more stressed transistors);\nshort routes are the "

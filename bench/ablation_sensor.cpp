@@ -160,6 +160,19 @@ main(int argc, char **argv)
     if (!ro_violations.empty()) {
         std::printf(" (%s)", ro_violations[0].rule.c_str());
     }
+    std::vector<std::vector<std::string>> csv_rows;
+    for (std::size_t i = 0; i < sigmas.size(); ++i) {
+        csv_rows.push_back(std::vector<std::string>{
+            std::to_string(sigmas[i]),
+            std::to_string(runs[i].tdc_correct),
+            std::to_string(runs[i].ro_correct),
+            std::to_string(runs[i].total)});
+    }
+    bench::dumpGridCsv(argc, argv,
+                       {"ambient_sigma_k", "tdc_correct", "ro_correct",
+                        "total"},
+                       csv_rows);
+
     std::printf("\n\nthe TDC separates NBTI from PBTI by polarity and "
                 "passes DRC; the RO loses the\nsign, loses its margin "
                 "to ambient drift, and never loads on AWS at all.\n");

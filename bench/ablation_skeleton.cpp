@@ -120,6 +120,17 @@ main(int argc, char **argv)
         std::printf("  %9.0f%%  %9.1f%%\n", 100.0 * levels[level],
                     100.0 * sum / trials);
     }
+    std::vector<std::vector<std::string>> csv_rows;
+    for (std::size_t level = 0; level < levels.size(); ++level) {
+        for (int t = 0; t < trials; ++t) {
+            csv_rows.push_back(std::vector<std::string>{
+                std::to_string(levels[level]), std::to_string(t),
+                std::to_string(acc[level * trials + t])});
+        }
+    }
+    bench::dumpGridCsv(argc, argv, {"knowledge", "trial", "accuracy"},
+                       csv_rows);
+
     std::printf("\naccuracy interpolates from coin-flip to complete "
                 "recovery: Assumption 1 is\nnecessary, and every "
                 "partially-leaked placement is already a partial key "

@@ -102,6 +102,14 @@ main(int argc, char **argv)
         std::printf("  %7.0f%%  %20.3f\n", 100.0 * dwells[i],
                     contrasts[i]);
     }
+    std::vector<std::vector<std::string>> csv_rows;
+    for (std::size_t i = 0; i < dwells.size(); ++i) {
+        csv_rows.push_back(std::vector<std::string>{
+            std::to_string(dwells[i]), std::to_string(contrasts[i])});
+    }
+    bench::dumpGridCsv(argc, argv, {"dwell", "signed_contrast_ps"},
+                       csv_rows);
+
     std::printf("\nthe imprint scales with the dwell *imbalance* and "
                 "dies at 50/50 — periodic\ninversion and balanced "
                 "encodings (paper 8.1) work by driving exactly this\n"

@@ -125,6 +125,19 @@ main(int argc, char **argv)
     std::printf("  %-22s %14.3f %14.3f %6d/%d\n", "LUT config SRAM",
                 lut.contrast_ps, lut.noise_ps, lut.correct, lut.total);
 
+    const auto resourceRow = [](const char *name,
+                                const ResourceResult &r) {
+        return std::vector<std::string>{
+            name, std::to_string(r.contrast_ps),
+            std::to_string(r.noise_ps), std::to_string(r.correct),
+            std::to_string(r.total)};
+    };
+    bench::dumpGridCsv(argc, argv,
+                       {"resource", "contrast_ps", "noise_ps",
+                        "correct", "total"},
+                       {resourceRow("routing", route),
+                        resourceRow("lut_sram", lut)});
+
     std::printf("\nLUT burn-in couples ~%.0fx more weakly into timing; "
                 "reading it would need\n~%.0f fs resolution "
                 "(Zick et al. used off-chip femtosecond "

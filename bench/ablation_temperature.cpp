@@ -83,6 +83,15 @@ main(int argc, char **argv)
                     contrasts[i], contrasts[i] / room);
     }
 
+    std::vector<std::vector<std::string>> csv_rows;
+    for (std::size_t i = 0; i < temps.size(); ++i) {
+        csv_rows.push_back(std::vector<std::string>{
+            std::to_string(temps[i]), std::to_string(contrasts[i]),
+            std::to_string(contrasts[i] / room)});
+    }
+    bench::dumpGridCsv(argc, argv,
+                       {"temp_c", "contrast_ps", "vs_25c"}, csv_rows);
+
     std::printf("\nArrhenius acceleration: hotter dies imprint "
                 "faster. An attacker-controlled\nTarget design that "
                 "heats the die (Arithmetic Heavy) buys extra signal; "

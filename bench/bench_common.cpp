@@ -139,18 +139,46 @@ dumpCsv(const core::ExperimentResult &result, const std::string &path)
     }
 }
 
+const char *
+csvPath(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0) {
+            return argv[i + 1];
+        }
+    }
+    return nullptr;
+}
+
 bool
 handleCsvFlag(int argc, char **argv,
               const core::ExperimentResult &result)
 {
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0) {
-            dumpCsv(result, argv[i + 1]);
-            std::printf("raw series written to %s\n", argv[i + 1]);
-            return true;
-        }
+    const char *path = csvPath(argc, argv);
+    if (path == nullptr) {
+        return false;
     }
-    return false;
+    dumpCsv(result, path);
+    std::printf("raw series written to %s\n", path);
+    return true;
+}
+
+bool
+dumpGridCsv(int argc, char **argv,
+            const std::vector<std::string> &header,
+            const std::vector<std::vector<std::string>> &rows)
+{
+    const char *path = csvPath(argc, argv);
+    if (path == nullptr) {
+        return false;
+    }
+    util::CsvWriter csv(path);
+    csv.writeRow(header);
+    for (const auto &row : rows) {
+        csv.writeRow(row);
+    }
+    std::printf("\nraw grid written to %s\n", path);
+    return true;
 }
 
 std::string

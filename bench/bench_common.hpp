@@ -80,6 +80,19 @@ void dumpCsv(const core::ExperimentResult &result,
 bool handleCsvFlag(int argc, char **argv,
                    const core::ExperimentResult &result);
 
+/** `--csv <path>` argument, or nullptr when the flag is absent. */
+const char *csvPath(int argc, char **argv);
+
+/**
+ * The shared ablation `--csv` handler: when the flag is present,
+ * write header + rows to the requested path and report where, so
+ * every sweep is scriptable with the same flag and format
+ * conventions. Returns true when a dump was written.
+ */
+bool dumpGridCsv(int argc, char **argv,
+                 const std::vector<std::string> &header,
+                 const std::vector<std::vector<std::string>> &rows);
+
 } // namespace pentimento::bench
 
 #endif // PENTIMENTO_BENCH_COMMON_HPP

@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Run the kernel microbenchmarks and distill a perf-trajectory
+# snapshot: BENCH_pr2.json maps kernel name -> ns/op (real time).
+#
+# Usage: bench/run_microbench.sh [build_dir] [out_json]
+#
+# Requires a build with google-benchmark available (microbench_kernels
+# present under <build_dir>/bench). Run from the repository root in a
+# Release build for numbers worth recording; CI uploads the JSON as
+# an artifact so the trajectory is visible per commit.
+set -eu
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_pr2.json}
+BIN="$BUILD_DIR/bench/microbench_kernels"
+
+if [ ! -x "$BIN" ]; then
+    echo "run_microbench: $BIN not found (configure with" \
+         "google-benchmark installed)" >&2
+    exit 1
+fi
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+"$BIN" --benchmark_min_time=0.2 \
+       --benchmark_out="$RAW" --benchmark_out_format=json
+
+python3 - "$RAW" "$OUT" <<'EOF'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+kernels = {}
+for bench in raw.get("benchmarks", []):
+    if bench.get("run_type", "iteration") != "iteration":
+        continue
+    assert bench["time_unit"] == "ns", bench
+    kernels[bench["name"]] = round(bench["real_time"], 1)
+
+out = {
+    "schema": "pentimento-microbench-v1",
+    "unit": "ns/op",
+    "kernels": kernels,
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path} ({len(kernels)} kernels)")
+EOF

@@ -1,0 +1,101 @@
+#include "fabric/aging_store.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/logging.hpp"
+
+namespace pentimento::fabric {
+
+AgingStore::~AgingStore()
+{
+    for (std::uint32_t h = 0; h < count_; ++h) {
+        slot(h)->~RoutingElement();
+    }
+}
+
+std::size_t
+AgingStore::size() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return count_;
+}
+
+ElementHandle
+AgingStore::ensure(ResourceId id,
+                   const std::function<RoutingElement(ResourceId)> &make)
+{
+    const std::uint64_t key = id.key();
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+            return it->second;
+        }
+    }
+    RoutingElement fresh = make(id);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        return it->second; // another thread won the race
+    }
+    if (count_ == kInvalidElement) {
+        util::fatal("AgingStore: element capacity exhausted");
+    }
+    if ((count_ >> kChunkShift) == chunks_.size()) {
+        chunks_.push_back(std::make_unique<Chunk>());
+    }
+    const ElementHandle h = count_;
+    new (slot(h)) RoutingElement(std::move(fresh));
+    ++count_;
+    index_.emplace(key, h);
+    return h;
+}
+
+ElementHandle
+AgingStore::find(std::uint64_t key) const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    return it == index_.end() ? kInvalidElement : it->second;
+}
+
+RoutingElement &
+AgingStore::at(ElementHandle h)
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    if (h >= count_) {
+        util::fatal("AgingStore::at: handle out of range");
+    }
+    return *slot(h);
+}
+
+const RoutingElement &
+AgingStore::at(ElementHandle h) const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    if (h >= count_) {
+        util::fatal("AgingStore::at: handle out of range");
+    }
+    return *slot(h);
+}
+
+std::vector<ResourceId>
+AgingStore::sortedIds() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(count_);
+    for (std::uint32_t h = 0; h < count_; ++h) {
+        keys.push_back(slot(h)->id().key());
+    }
+    std::sort(keys.begin(), keys.end());
+    std::vector<ResourceId> ids;
+    ids.reserve(keys.size());
+    for (const std::uint64_t key : keys) {
+        ids.push_back(ResourceId::fromKey(key));
+    }
+    return ids;
+}
+
+} // namespace pentimento::fabric

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Dense slab storage for the device's persistent aging state.
+ *
+ * The store owns every materialised RoutingElement in a chunked slab:
+ * elements are assigned *dense handles* (slab indices) in
+ * materialisation order and are never erased or relocated, so both
+ * handles and element addresses stay valid for the lifetime of the
+ * store. Consumers resolve a ResourceId to a handle (or pointer)
+ * exactly once — at bind time — and every subsequent hot-path access
+ * is a flat array read with no hashing and no lock.
+ *
+ * Thread-safety: ensure()/find()/size()/sortedIds() may be called
+ * concurrently (a shared_mutex guards the key index and slab growth).
+ * sweepAt() is the unlocked dense accessor for exclusive phases
+ * (aging sweeps): callers must guarantee no concurrent
+ * materialisation, which the experiment loop does by construction —
+ * condition and measurement phases alternate serially.
+ */
+
+#ifndef PENTIMENTO_FABRIC_AGING_STORE_HPP
+#define PENTIMENTO_FABRIC_AGING_STORE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/resource.hpp"
+#include "fabric/routing_element.hpp"
+
+namespace pentimento::fabric {
+
+/** Dense index of a materialised element inside an AgingStore. */
+using ElementHandle = std::uint32_t;
+
+/** Sentinel for "not materialised". */
+inline constexpr ElementHandle kInvalidElement =
+    static_cast<ElementHandle>(-1);
+
+/**
+ * Chunked slab of RoutingElements plus a ResourceId-key index.
+ */
+class AgingStore
+{
+  public:
+    AgingStore() = default;
+    ~AgingStore();
+
+    AgingStore(const AgingStore &) = delete;
+    AgingStore &operator=(const AgingStore &) = delete;
+
+    /** Number of materialised elements. */
+    std::size_t size() const;
+
+    /**
+     * Handle for id, materialising via `make` when absent. `make` runs
+     * outside the exclusive section (variation sampling is the
+     * expensive part); when two threads race, one construction wins
+     * and the other is discarded.
+     */
+    ElementHandle ensure(
+        ResourceId id,
+        const std::function<RoutingElement(ResourceId)> &make);
+
+    /** Handle for a packed key, or kInvalidElement. */
+    ElementHandle find(std::uint64_t key) const;
+
+    /** Element behind a handle (shared-locked bounds check). */
+    RoutingElement &at(ElementHandle h);
+    const RoutingElement &at(ElementHandle h) const;
+
+    /**
+     * Unlocked dense access for exclusive-phase sweeps. The handle
+     * must be < size(); no concurrent ensure() may run.
+     */
+    RoutingElement &sweepAt(ElementHandle h)
+    {
+        return *slot(h);
+    }
+    const RoutingElement &sweepAt(ElementHandle h) const
+    {
+        return *slot(h);
+    }
+
+    /**
+     * Ids of every materialised element, sorted by packed key so the
+     * listing is deterministic regardless of materialisation order.
+     */
+    std::vector<ResourceId> sortedIds() const;
+
+  private:
+    /** Elements per chunk; power of two so slot() is shift + mask. */
+    static constexpr std::uint32_t kChunkShift = 10;
+    static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+    static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+
+    struct Chunk
+    {
+        alignas(RoutingElement) std::byte
+            raw[sizeof(RoutingElement) * kChunkSize];
+    };
+
+    RoutingElement *slot(ElementHandle h)
+    {
+        return reinterpret_cast<RoutingElement *>(
+                   chunks_[h >> kChunkShift]->raw) +
+               (h & kChunkMask);
+    }
+    const RoutingElement *slot(ElementHandle h) const
+    {
+        return reinterpret_cast<const RoutingElement *>(
+                   chunks_[h >> kChunkShift]->raw) +
+               (h & kChunkMask);
+    }
+
+    std::vector<std::unique_ptr<Chunk>> chunks_;
+    std::uint32_t count_ = 0;
+    std::unordered_map<std::uint64_t, ElementHandle> index_;
+    mutable std::shared_mutex mutex_;
+};
+
+} // namespace pentimento::fabric
+
+#endif // PENTIMENTO_FABRIC_AGING_STORE_HPP

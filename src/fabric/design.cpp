@@ -23,6 +23,7 @@ Design::setPowerW(double watts)
 void
 Design::setElementActivity(ResourceId id, ElementActivity activity)
 {
+    ++revision_;
     if (activity.kind == Activity::Unused) {
         activity_.erase(id.key());
         return;
@@ -33,6 +34,7 @@ Design::setElementActivity(ResourceId id, ElementActivity activity)
 void
 Design::setRouteValue(const RouteSpec &spec, bool value)
 {
+    ++revision_;
     const ElementActivity a{value ? Activity::Hold1 : Activity::Hold0,
                             0.5};
     for (const ResourceId &id : spec.elements) {
@@ -46,6 +48,7 @@ Design::setRouteToggling(const RouteSpec &spec, double duty_one)
     if (duty_one < 0.0 || duty_one > 1.0) {
         util::fatal("Design::setRouteToggling: duty outside [0,1]");
     }
+    ++revision_;
     const ElementActivity a{Activity::Toggle, duty_one};
     for (const ResourceId &id : spec.elements) {
         activity_[id.key()] = a;
@@ -55,6 +58,7 @@ Design::setRouteToggling(const RouteSpec &spec, double duty_one)
 void
 Design::clearRoute(const RouteSpec &spec)
 {
+    ++revision_;
     for (const ResourceId &id : spec.elements) {
         activity_.erase(id.key());
     }

@@ -68,6 +68,14 @@ class Design
     }
 
     /**
+     * Monotonic counter bumped by every activity mutation. Devices
+     * snapshot it to detect in-place edits (e.g. a mitigation rotating
+     * burn values) and rebuild their dense activity cache only when
+     * the design actually changed.
+     */
+    std::uint64_t revision() const { return revision_; }
+
+    /**
      * Declare a combinational arc between named logic nodes; the DRC
      * scans these for loops (ring-oscillator detection, as AWS does).
      */
@@ -84,6 +92,7 @@ class Design
   private:
     std::string name_;
     double power_w_ = 0.0;
+    std::uint64_t revision_ = 0;
     std::unordered_map<std::uint64_t, ElementActivity> activity_;
     std::vector<std::pair<std::string, std::string>> edges_;
 };

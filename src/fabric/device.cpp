@@ -48,29 +48,16 @@ Device::makeElement(ResourceId id) const
 RoutingElement &
 Device::element(ResourceId id)
 {
-    {
-        std::shared_lock<std::shared_mutex> lock(elements_mutex_);
-        const auto it = elements_.find(id.key());
-        if (it != elements_.end()) {
-            return it->second;
-        }
-    }
-    // Build the element outside the exclusive section (variation
-    // sampling is the expensive part), then insert under the lock;
-    // emplace is a no-op if another thread won the race.
-    RoutingElement fresh = makeElement(id);
-    std::unique_lock<std::shared_mutex> lock(elements_mutex_);
-    auto [ins, ok] = elements_.emplace(id.key(), std::move(fresh));
-    (void)ok;
-    return ins->second;
+    const ElementHandle h = store_.ensure(
+        id, [this](ResourceId rid) { return makeElement(rid); });
+    return store_.at(h);
 }
 
 const RoutingElement *
 Device::findElement(ResourceId id) const
 {
-    std::shared_lock<std::shared_mutex> lock(elements_mutex_);
-    const auto it = elements_.find(id.key());
-    return it == elements_.end() ? nullptr : &it->second;
+    const ElementHandle h = store_.find(id.key());
+    return h == kInvalidElement ? nullptr : &store_.at(h);
 }
 
 RouteSpec
@@ -155,14 +142,7 @@ Device::allocateLutPath(const std::string &name, std::size_t cells)
 std::vector<ResourceId>
 Device::materializedIds() const
 {
-    std::shared_lock<std::shared_mutex> lock(elements_mutex_);
-    std::vector<ResourceId> ids;
-    ids.reserve(elements_.size());
-    for (const auto &[key, elem] : elements_) {
-        (void)elem;
-        ids.push_back(ResourceId::fromKey(key));
-    }
-    return ids;
+    return store_.sortedIds();
 }
 
 Route
@@ -185,6 +165,7 @@ Device::loadDesign(std::shared_ptr<const Design> design)
         element(ResourceId::fromKey(key));
     }
     design_ = std::move(design);
+    ++state_epoch_;
 }
 
 void
@@ -192,31 +173,51 @@ Device::wipe()
 {
     // Clears the configuration only. Aging — the pentimento — stays.
     design_.reset();
+    ++state_epoch_;
 }
 
 void
-Device::forEachElement(
-    const std::function<void(std::uint64_t, RoutingElement &)> &fn)
+Device::refreshActivityCache()
+{
+    if (design_ == nullptr) {
+        activity_design_.reset();
+        activity_dense_.clear();
+        return;
+    }
+    if (activity_design_ == design_ &&
+        activity_revision_ == design_->revision() &&
+        activity_dense_.size() == store_.size()) {
+        return;
+    }
+    activity_dense_.assign(store_.size(), ElementActivity{});
+    for (const auto &[key, activity] : design_->activityMap()) {
+        const ElementHandle h = store_.find(key);
+        // Configured-but-unmaterialised elements (a design mutated in
+        // place after loading) carry no aging state yet; once they
+        // materialise, the slab-growth check above folds them in.
+        if (h != kInvalidElement && h < activity_dense_.size()) {
+            activity_dense_[h] = activity;
+        }
+    }
+    activity_design_ = design_;
+    activity_revision_ = design_->revision();
+}
+
+void
+Device::sweepElements(std::size_t count,
+                      const std::function<void(std::size_t)> &body)
 {
     if (pool_ == nullptr || pool_->workerCount() == 0) {
-        for (auto &[key, elem] : elements_) {
-            fn(key, elem);
+        for (std::size_t i = 0; i < count; ++i) {
+            body(i);
         }
         return;
     }
-    // Snapshot the nodes so workers index disjoint elements. Aging is
-    // RNG-free and element-local, so the fan-out is bit-identical to
-    // the serial loop for any worker count. No design may be loaded
-    // concurrently (experiment phases alternate serially), so the map
-    // structure is stable for the duration.
-    std::vector<std::pair<std::uint64_t, RoutingElement *>> nodes;
-    nodes.reserve(elements_.size());
-    for (auto &[key, elem] : elements_) {
-        nodes.emplace_back(key, &elem);
-    }
-    pool_->parallelFor(0, nodes.size(), [&](std::size_t i) {
-        fn(nodes[i].first, *nodes[i].second);
-    });
+    // Aging is RNG-free and element-local, so the fan-out is
+    // bit-identical to the serial loop for any worker count. No
+    // design may be loaded concurrently (experiment phases alternate
+    // serially), so the slab is stable for the duration.
+    pool_->parallelFor(0, count, body);
 }
 
 void
@@ -227,13 +228,22 @@ Device::advance(double dt_h, phys::ThermalEnvironment &thermal)
     }
     const double power = design_ ? design_->powerW() : 0.0;
     const double temp_k = thermal.step(power, dt_h);
-    forEachElement([&](std::uint64_t key, RoutingElement &elem) {
-        const ElementActivity activity =
-            design_ ? design_->activityFor(ResourceId::fromKey(key))
-                    : ElementActivity{};
-        elem.age(config_.bti, activity, temp_k, dt_h);
+    refreshActivityCache();
+    // Arrhenius factors depend only on (params, temp): one context
+    // per step instead of two exp() calls per element.
+    const phys::AgingStepContext ctx(config_.bti, temp_k);
+    const ElementActivity kUnused{};
+    const std::size_t count = store_.size();
+    const std::size_t configured =
+        std::min(count, activity_dense_.size());
+    sweepElements(count, [&](std::size_t i) {
+        const ElementActivity &activity =
+            i < configured ? activity_dense_[i] : kUnused;
+        store_.sweepAt(static_cast<ElementHandle>(i))
+            .age(config_.bti, ctx, activity, dt_h);
     });
     elapsed_h_ += dt_h;
+    ++state_epoch_;
 }
 
 void
@@ -245,11 +255,15 @@ Device::applyServiceWear(double hours, double duty_one)
     if (hours == 0.0) {
         return;
     }
-    forEachElement([&](std::uint64_t key, RoutingElement &elem) {
-        (void)key;
-        elem.aging().holdToggling(config_.bti, duty_one,
-                                  config_.bti.reference_temp_k, hours);
+    const phys::AgingStepContext ctx(config_.bti,
+                                     config_.bti.reference_temp_k);
+    const std::size_t count = store_.size();
+    sweepElements(count, [&](std::size_t i) {
+        store_.sweepAt(static_cast<ElementHandle>(i))
+            .aging()
+            .holdToggling(config_.bti, ctx, duty_one, hours);
     });
+    ++state_epoch_;
 }
 
 } // namespace pentimento::fabric

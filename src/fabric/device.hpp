@@ -3,25 +3,33 @@
  * The simulated FPGA device.
  *
  * A Device owns the persistent physical state: every materialised
- * element's process variation and BTI aging. Designs come and go —
- * loadDesign()/wipe() change only the logical configuration — while
- * aging keyed by ResourceId survives, which is exactly the data
- * remanence the paper exploits. Element variation is a pure function
- * of (device seed, resource id), so materialisation order never
- * changes behaviour and two rentals of the same board see the same
- * silicon.
+ * element's process variation and BTI aging, held in a dense
+ * AgingStore slab. Designs come and go — loadDesign()/wipe() change
+ * only the logical configuration — while aging keyed by ResourceId
+ * survives, which is exactly the data remanence the paper exploits.
+ * Element variation is a pure function of (device seed, resource id),
+ * so materialisation order never changes behaviour and two rentals of
+ * the same board see the same silicon.
+ *
+ * Hot-path structure: consumers (Route, Tdc) resolve ResourceIds to
+ * dense element pointers once, at bind time, so measurement sweeps
+ * never hash or lock; advance() sweeps the slab densely against a
+ * design-aligned activity vector with the Arrhenius factors hoisted
+ * into one per-step context. A monotonically increasing *state epoch*
+ * (bumped by advance/loadDesign/wipe/applyServiceWear) lets consumers
+ * cache anything derived from aged delays and invalidate exactly when
+ * the physical state may have moved.
  */
 
 #ifndef PENTIMENTO_FABRIC_DEVICE_HPP
 #define PENTIMENTO_FABRIC_DEVICE_HPP
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
+#include "fabric/aging_store.hpp"
 #include "fabric/design.hpp"
 #include "fabric/resource.hpp"
 #include "fabric/route.hpp"
@@ -89,7 +97,8 @@ class Device
 
     /**
      * Materialise (if needed) and return an element. Variation is
-     * deterministic per (seed, id).
+     * deterministic per (seed, id). The reference stays valid for the
+     * device's lifetime (the slab never relocates elements).
      */
     RoutingElement &element(ResourceId id);
 
@@ -97,7 +106,15 @@ class Device
     const RoutingElement *findElement(ResourceId id) const;
 
     /** Number of materialised elements. */
-    std::size_t materializedCount() const { return elements_.size(); }
+    std::size_t materializedCount() const { return store_.size(); }
+
+    /**
+     * Monotonic counter bumped whenever aged delays may have changed:
+     * advance(), applyServiceWear(), loadDesign() and wipe(). Caches
+     * keyed on (epoch, temperature, polarity) — e.g. a Tdc's tap
+     * arrival times — stay valid exactly as long as the epoch does.
+     */
+    std::uint64_t stateEpoch() const { return state_epoch_; }
 
     /**
      * Allocate a route of roughly the requested delay out of
@@ -121,7 +138,11 @@ class Device
     RouteSpec allocateLutPath(const std::string &name,
                               std::size_t cells);
 
-    /** Ids of every materialised element (provider scrub support). */
+    /**
+     * Ids of every materialised element (provider scrub support),
+     * sorted by packed key so the listing is deterministic regardless
+     * of materialisation order.
+     */
     std::vector<ResourceId> materializedIds() const;
 
     /** Bind a skeleton to this device. */
@@ -142,9 +163,11 @@ class Device
     /**
      * Advance simulated time: steps the thermal environment with the
      * loaded design's power and ages every materialised element
-     * according to its activity. Element updates are independent and
-     * RNG-free, so when a work pool is attached they fan out across
-     * workers with bit-identical results.
+     * according to its activity. The sweep is a flat pass over the
+     * dense slab with a design-aligned activity vector — no hashing —
+     * and element updates are independent and RNG-free, so when a
+     * work pool is attached they fan out across workers with
+     * bit-identical results.
      */
     void advance(double dt_h, phys::ThermalEnvironment &thermal);
 
@@ -168,23 +191,36 @@ class Device
   private:
     RoutingElement makeElement(ResourceId id) const;
 
-    /** Age every materialised element under the loaded design. */
-    void forEachElement(const std::function<void(std::uint64_t,
-                                                 RoutingElement &)> &fn);
+    /**
+     * Rebuild the dense activity vector (slab-index aligned) when the
+     * loaded design changed — by identity, by in-place revision, or
+     * because the slab grew (an element configured by an in-place
+     * mutation may only materialise later). The cache retains the
+     * design it was built from, so a recycled allocation address can
+     * never alias a stale cache.
+     */
+    void refreshActivityCache();
+
+    /** Run body(i) over the slab, on the pool when attached. */
+    void sweepElements(std::size_t count,
+                       const std::function<void(std::size_t)> &body);
 
     DeviceConfig config_;
     double fresh_scale_;
     double elapsed_h_ = 0.0;
+    std::uint64_t state_epoch_ = 0;
     std::uint64_t alloc_cursor_ = 0;
     std::uint64_t carry_cursor_ = 0;
     std::uint64_t lut_cursor_ = 0;
-    std::unordered_map<std::uint64_t, RoutingElement> elements_;
-    /** Guards materialisation: parallel measurement sweeps call
-     *  element() concurrently. References stay valid across inserts
-     *  (unordered_map never relocates nodes), so only the map's
-     *  structure needs the lock. */
-    mutable std::shared_mutex elements_mutex_;
+    AgingStore store_;
     std::shared_ptr<const Design> design_;
+    /** Dense activity cache: activity_dense_[handle] for the loaded
+     *  design, rebuilt when (design identity, revision, slab size)
+     *  changes. Holding the shared_ptr keeps the source design alive
+     *  so identity comparison is sound. */
+    std::shared_ptr<const Design> activity_design_;
+    std::uint64_t activity_revision_ = 0;
+    std::vector<ElementActivity> activity_dense_;
     util::ThreadPool *pool_ = nullptr;
 };
 

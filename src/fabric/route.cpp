@@ -11,14 +11,20 @@ Route::Route(Device &device, RouteSpec spec)
     if (spec_.elements.empty()) {
         util::fatal("Route: spec '" + spec_.name + "' has no elements");
     }
+    // Resolve every id to its dense element once: delay queries on
+    // the measurement path then never touch the id index again.
+    elements_.reserve(spec_.elements.size());
+    for (const ResourceId &id : spec_.elements) {
+        elements_.push_back(&device_->element(id));
+    }
 }
 
 double
 Route::baseDelayPs(phys::Transition t) const
 {
     double total = 0.0;
-    for (const ResourceId &id : spec_.elements) {
-        total += device_->element(id).basePs(t);
+    for (const RoutingElement *elem : elements_) {
+        total += elem->basePs(t);
     }
     return total;
 }
@@ -27,10 +33,11 @@ double
 Route::delayPs(phys::Transition t, double temp_k) const
 {
     const auto &cfg = device_->config();
+    const double temp_factor = cfg.delay.temperatureFactor(t, temp_k);
     double total = 0.0;
-    for (const ResourceId &id : spec_.elements) {
-        total += device_->element(id).delayPs(cfg.bti, cfg.delay, t,
-                                              temp_k);
+    for (const RoutingElement *elem : elements_) {
+        total += elem->delayPsFactored(cfg.bti, cfg.delay, t,
+                                       temp_factor);
     }
     return total;
 }

@@ -39,10 +39,14 @@ struct RouteSpec
     std::size_t size() const { return elements.size(); }
 };
 
+class RoutingElement;
+
 /**
  * A RouteSpec bound to a Device.
  *
  * Routes are cheap value types; the aging state lives in the Device.
+ * Binding resolves every ResourceId to its dense element once, so
+ * delay queries are flat pointer walks with no hashing or locking.
  */
 class Route
 {
@@ -78,6 +82,9 @@ class Route
   private:
     Device *device_;
     RouteSpec spec_;
+    /** Dense element pointers resolved at bind time (stable: the
+     *  device's slab never relocates elements). */
+    std::vector<RoutingElement *> elements_;
 };
 
 } // namespace pentimento::fabric

@@ -28,9 +28,18 @@ RoutingElement::delayPs(const phys::BtiParams &bti,
                         const phys::DelayParams &dp, phys::Transition t,
                         double temp_k) const
 {
+    return delayPsFactored(bti, dp, t, dp.temperatureFactor(t, temp_k));
+}
+
+double
+RoutingElement::delayPsFactored(const phys::BtiParams &bti,
+                                const phys::DelayParams &dp,
+                                phys::Transition t,
+                                double temp_factor) const
+{
     const phys::TransistorType limiter = phys::limitingTransistor(t);
     const double dvth = aging_.deltaVth(bti, limiter);
-    return phys::agedDelayPs(dp, t, basePs(t), dvth, temp_k);
+    return phys::agedDelayPsFactored(dp, basePs(t), dvth, temp_factor);
 }
 
 void
@@ -38,18 +47,26 @@ RoutingElement::age(const phys::BtiParams &bti,
                     const ElementActivity &activity, double temp_k,
                     double dt_h)
 {
+    age(bti, phys::AgingStepContext(bti, temp_k), activity, dt_h);
+}
+
+void
+RoutingElement::age(const phys::BtiParams &bti,
+                    const phys::AgingStepContext &ctx,
+                    const ElementActivity &activity, double dt_h)
+{
     switch (activity.kind) {
       case Activity::Hold0:
-        aging_.holdStatic(bti, false, temp_k, dt_h);
+        aging_.holdStatic(bti, ctx, false, dt_h);
         break;
       case Activity::Hold1:
-        aging_.holdStatic(bti, true, temp_k, dt_h);
+        aging_.holdStatic(bti, ctx, true, dt_h);
         break;
       case Activity::Toggle:
-        aging_.holdToggling(bti, activity.duty_one, temp_k, dt_h);
+        aging_.holdToggling(bti, ctx, activity.duty_one, dt_h);
         break;
       case Activity::Unused:
-        aging_.release(bti, temp_k, dt_h);
+        aging_.release(bti, ctx, dt_h);
         break;
     }
 }

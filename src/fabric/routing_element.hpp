@@ -66,9 +66,24 @@ class RoutingElement
     double delayPs(const phys::BtiParams &bti, const phys::DelayParams &dp,
                    phys::Transition t, double temp_k) const;
 
+    /**
+     * delayPs with the polarity's temperature factor precomputed (the
+     * per-element form of a route sweep at one temperature).
+     */
+    double delayPsFactored(const phys::BtiParams &bti,
+                           const phys::DelayParams &dp,
+                           phys::Transition t, double temp_factor) const;
+
     /** Advance aging for dt hours under the given activity. */
     void age(const phys::BtiParams &bti, const ElementActivity &activity,
              double temp_k, double dt_h);
+
+    /**
+     * age() with the per-step kinetics context precomputed — the form
+     * the device's dense aging sweep uses.
+     */
+    void age(const phys::BtiParams &bti, const phys::AgingStepContext &ctx,
+             const ElementActivity &activity, double dt_h);
 
     /** Threshold shift of one transistor (volts). */
     double deltaVth(const phys::BtiParams &bti,

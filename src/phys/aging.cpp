@@ -8,18 +8,21 @@ void
 ElementAging::holdStatic(const BtiParams &p, bool value, double temp_k,
                          double dt_h)
 {
-    const double s_acc =
-        arrheniusAccel(p.stress_activation_ev, temp_k, p.reference_temp_k);
-    const double r_acc = arrheniusAccel(p.recovery_activation_ev, temp_k,
-                                        p.reference_temp_k);
+    holdStatic(p, AgingStepContext(p, temp_k), value, dt_h);
+}
+
+void
+ElementAging::holdStatic(const BtiParams &p, const AgingStepContext &ctx,
+                         bool value, double dt_h)
+{
     if (value) {
         // Logic 1 stresses NMOS pass devices (PBTI); the PMOS side
         // recovers.
-        nmos_.applyStress(p.pbti, scale_, dt_h * s_acc);
-        pmos_.applyRecovery(p.nbti, dt_h * r_acc);
+        nmos_.applyStress(p.pbti, scale_, dt_h * ctx.stress_accel);
+        pmos_.applyRecovery(p.nbti, dt_h * ctx.recovery_accel);
     } else {
-        pmos_.applyStress(p.nbti, scale_, dt_h * s_acc);
-        nmos_.applyRecovery(p.pbti, dt_h * r_acc);
+        pmos_.applyStress(p.nbti, scale_, dt_h * ctx.stress_accel);
+        nmos_.applyRecovery(p.pbti, dt_h * ctx.recovery_accel);
     }
 }
 
@@ -27,26 +30,39 @@ void
 ElementAging::holdToggling(const BtiParams &p, double duty_one,
                            double temp_k, double dt_h)
 {
+    holdToggling(p, AgingStepContext(p, temp_k), duty_one, dt_h);
+}
+
+void
+ElementAging::holdToggling(const BtiParams &p,
+                           const AgingStepContext &ctx, double duty_one,
+                           double dt_h)
+{
     if (duty_one < 0.0 || duty_one > 1.0) {
         util::fatal("ElementAging::holdToggling: duty outside [0,1]");
     }
-    const double s_acc =
-        arrheniusAccel(p.stress_activation_ev, temp_k, p.reference_temp_k);
     // A toggling node spends duty_one of the interval stressing the
     // NMOS and the rest stressing the PMOS. Interleaved micro-recovery
     // during the opposite half-cycles is folded into the effective
     // stress times (AC stress factor).
-    nmos_.applyStress(p.pbti, scale_, dt_h * s_acc * duty_one);
-    pmos_.applyStress(p.nbti, scale_, dt_h * s_acc * (1.0 - duty_one));
+    nmos_.applyStress(p.pbti, scale_,
+                      dt_h * ctx.stress_accel * duty_one);
+    pmos_.applyStress(p.nbti, scale_,
+                      dt_h * ctx.stress_accel * (1.0 - duty_one));
 }
 
 void
 ElementAging::release(const BtiParams &p, double temp_k, double dt_h)
 {
-    const double r_acc = arrheniusAccel(p.recovery_activation_ev, temp_k,
-                                        p.reference_temp_k);
-    nmos_.applyRecovery(p.pbti, dt_h * r_acc);
-    pmos_.applyRecovery(p.nbti, dt_h * r_acc);
+    release(p, AgingStepContext(p, temp_k), dt_h);
+}
+
+void
+ElementAging::release(const BtiParams &p, const AgingStepContext &ctx,
+                      double dt_h)
+{
+    nmos_.applyRecovery(p.pbti, dt_h * ctx.recovery_accel);
+    pmos_.applyRecovery(p.nbti, dt_h * ctx.recovery_accel);
 }
 
 double

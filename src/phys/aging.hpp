@@ -39,6 +39,14 @@ class ElementAging
                     double dt_h);
 
     /**
+     * holdStatic with the Arrhenius factors precomputed — the form
+     * aging sweeps use so the exp() calls are paid once per step, not
+     * once per element.
+     */
+    void holdStatic(const BtiParams &p, const AgingStepContext &ctx,
+                    bool value, double dt_h);
+
+    /**
      * Carry a toggling signal for dt hours.
      *
      * @param duty_one fraction of time the signal is at logic 1
@@ -46,11 +54,19 @@ class ElementAging
     void holdToggling(const BtiParams &p, double duty_one, double temp_k,
                       double dt_h);
 
+    /** holdToggling with the Arrhenius factors precomputed. */
+    void holdToggling(const BtiParams &p, const AgingStepContext &ctx,
+                      double duty_one, double dt_h);
+
     /**
      * Element unconfigured (design wiped / slice left empty): both
      * transistors recover.
      */
     void release(const BtiParams &p, double temp_k, double dt_h);
+
+    /** release with the Arrhenius factors precomputed. */
+    void release(const BtiParams &p, const AgingStepContext &ctx,
+                 double dt_h);
 
     /** Threshold shift of the chosen transistor, in volts. */
     double deltaVth(const BtiParams &p, TransistorType type) const;

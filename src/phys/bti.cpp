@@ -55,6 +55,17 @@ arrheniusAccel(double activation_ev, double temp_k, double ref_k)
                     (1.0 / ref_k - 1.0 / temp_k));
 }
 
+AgingStepContext::AgingStepContext(const BtiParams &params,
+                                   double temperature_k)
+    : stress_accel(arrheniusAccel(params.stress_activation_ev,
+                                  temperature_k,
+                                  params.reference_temp_k)),
+      recovery_accel(arrheniusAccel(params.recovery_activation_ev,
+                                    temperature_k,
+                                    params.reference_temp_k))
+{
+}
+
 void
 BtiState::applyStress(const MechanismParams &p, double scale,
                       double dt_eff_h)

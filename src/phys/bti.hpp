@@ -130,6 +130,25 @@ struct BtiParams
 double arrheniusAccel(double activation_ev, double temp_k, double ref_k);
 
 /**
+ * Per-step kinetics context.
+ *
+ * The Arrhenius acceleration factors depend only on (params, temp_k),
+ * never on the element, so an aging sweep computes them once and
+ * shares the context across every element instead of paying two
+ * exp() calls per element per step.
+ */
+struct AgingStepContext
+{
+    /** Effective-hours multiplier for stress accrual. */
+    double stress_accel = 1.0;
+    /** Effective-hours multiplier for recovery accrual. */
+    double recovery_accel = 1.0;
+
+    AgingStepContext() = default;
+    AgingStepContext(const BtiParams &params, double temperature_k);
+};
+
+/**
  * Aging state of a single transistor.
  *
  * The state is intentionally tiny (two doubles) because a simulated

@@ -26,8 +26,16 @@ double
 agedDelayPs(const DelayParams &p, Transition t, double base_ps,
             double delta_vth_v, double temp_k)
 {
+    return agedDelayPsFactored(p, base_ps, delta_vth_v,
+                               p.temperatureFactor(t, temp_k));
+}
+
+double
+agedDelayPsFactored(const DelayParams &p, double base_ps,
+                    double delta_vth_v, double temp_factor)
+{
     const double bti = 1.0 + p.delayShiftFraction(delta_vth_v);
-    return base_ps * bti * p.temperatureFactor(t, temp_k);
+    return base_ps * bti * temp_factor;
 }
 
 } // namespace pentimento::phys

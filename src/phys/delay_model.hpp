@@ -67,6 +67,15 @@ struct DelayParams
 double agedDelayPs(const DelayParams &p, Transition t, double base_ps,
                    double delta_vth_v, double temp_k);
 
+/**
+ * agedDelayPs with the temperature factor precomputed. Route sweeps
+ * evaluate thousands of elements at one (polarity, temperature), so
+ * they hoist temperatureFactor() out of the per-element loop; the
+ * product order matches agedDelayPs bit for bit.
+ */
+double agedDelayPsFactored(const DelayParams &p, double base_ps,
+                           double delta_vth_v, double temp_factor);
+
 } // namespace pentimento::phys
 
 #endif // PENTIMENTO_PHYS_DELAY_MODEL_HPP

@@ -32,6 +32,12 @@ struct MeasurementSweep
 
 /**
  * A loadable design wrapping an array of TDCs.
+ *
+ * Construction binds every sensor to the device's dense aging store
+ * (one id resolution per element, ever); measurement sweeps are then
+ * pure flat reads plus per-sensor RNG, and each sensor memoizes its
+ * tap arrivals on the device's state epoch, so the per-trace cost is
+ * dominated by sampling, not route walking.
  */
 class MeasureDesign : public fabric::Design
 {

@@ -43,25 +43,52 @@ Tdc::Tdc(fabric::Device &device, fabric::RouteSpec route,
     if (route_.elements.empty()) {
         util::fatal("Tdc: empty route under test");
     }
+    // Bind once: resolve every id to its dense element so the
+    // measurement path never hashes or locks.
+    route_elems_.reserve(route_.elements.size());
+    for (const fabric::ResourceId &id : route_.elements) {
+        route_elems_.push_back(&device_->element(id));
+    }
+    chain_elems_.reserve(chain_.elements.size());
+    for (const fabric::ResourceId &id : chain_.elements) {
+        chain_elems_.push_back(&device_->element(id));
+    }
 }
 
 std::vector<double>
 Tdc::tapArrivalsPs(phys::Transition polarity, double temp_k) const
 {
     const auto &cfg = device_->config();
+    const double temp_factor =
+        cfg.delay.temperatureFactor(polarity, temp_k);
     double t = 0.0;
-    for (const fabric::ResourceId &id : route_.elements) {
-        t += device_->element(id).delayPs(cfg.bti, cfg.delay, polarity,
-                                          temp_k);
+    for (const fabric::RoutingElement *elem : route_elems_) {
+        t += elem->delayPsFactored(cfg.bti, cfg.delay, polarity,
+                                   temp_factor);
     }
     std::vector<double> arrivals;
-    arrivals.reserve(chain_.elements.size());
-    for (const fabric::ResourceId &id : chain_.elements) {
-        t += device_->element(id).delayPs(cfg.bti, cfg.delay, polarity,
-                                          temp_k);
+    arrivals.reserve(chain_elems_.size());
+    for (const fabric::RoutingElement *elem : chain_elems_) {
+        t += elem->delayPsFactored(cfg.bti, cfg.delay, polarity,
+                                   temp_factor);
         arrivals.push_back(t);
     }
     return arrivals;
+}
+
+const std::vector<double> &
+Tdc::cachedArrivalsPs(phys::Transition polarity, double temp_k) const
+{
+    ArrivalCache &cache =
+        arrival_cache_[polarity == phys::Transition::Falling ? 1 : 0];
+    const std::uint64_t epoch = device_->stateEpoch();
+    if (cache.arrivals.empty() || cache.epoch != epoch ||
+        cache.temp_k != temp_k) {
+        cache.arrivals = tapArrivalsPs(polarity, temp_k);
+        cache.epoch = epoch;
+        cache.temp_k = temp_k;
+    }
+    return cache.arrivals;
 }
 
 Capture
@@ -97,12 +124,47 @@ Tdc::captureFromArrivals(const std::vector<double> &arrivals,
     return cap;
 }
 
+std::size_t
+Tdc::sampleHamming(const std::vector<double> &arrivals, double theta_ps,
+                   util::Rng &rng) const
+{
+    const double theta_eff =
+        theta_ps + rng.gaussian(0.0, config_.jitter_sigma_ps);
+    const double w = config_.metastable_window_ps;
+    // The per-tap predicate x = (theta_eff - arrival) / w is weakly
+    // decreasing along the (strictly increasing) arrivals, so the
+    // chain splits into a passed prefix (x >= 0.5), a metastable
+    // aperture, and a missed suffix (x <= -0.5). Both boundaries use
+    // the exact same predicate as captureFromArrivals, so the
+    // bernoulli draw sequence — and thus every downstream random
+    // number — is identical.
+    const auto x = [&](double arrival) {
+        return (theta_eff - arrival) / w;
+    };
+    const auto first_unpassed = std::partition_point(
+        arrivals.begin(), arrivals.end(),
+        [&](double arrival) { return x(arrival) >= 0.5; });
+    const auto first_missed = std::partition_point(
+        first_unpassed, arrivals.end(),
+        [&](double arrival) { return x(arrival) > -0.5; });
+    std::size_t passed =
+        static_cast<std::size_t>(first_unpassed - arrivals.begin());
+    for (auto it = first_unpassed; it != first_missed; ++it) {
+        if (rng.bernoulli(x(*it) + 0.5)) {
+            ++passed;
+        }
+    }
+    // Both polarities read out as the number of passed taps: rising
+    // counts ones from all-zeros, falling counts zeros from all-ones.
+    return passed;
+}
+
 Capture
 Tdc::capture(phys::Transition polarity, double theta_ps, double temp_k,
              util::Rng &rng) const
 {
-    return captureFromArrivals(tapArrivalsPs(polarity, temp_k), polarity,
-                               theta_ps, rng);
+    return captureFromArrivals(cachedArrivalsPs(polarity, temp_k),
+                               polarity, theta_ps, rng);
 }
 
 Trace
@@ -110,9 +172,11 @@ Tdc::takeTrace(phys::Transition polarity, double theta_ps, double temp_k,
                util::Rng &rng) const
 {
     // Arrival times are deterministic for a fixed device state and
-    // temperature; compute them once and reuse across the trace's
-    // samples (only jitter and metastability vary per sample).
-    const std::vector<double> arrivals = tapArrivalsPs(polarity, temp_k);
+    // temperature; the epoch-keyed cache shares them across traces
+    // and calibration iterations (only jitter and metastability vary
+    // per sample).
+    const std::vector<double> &arrivals =
+        cachedArrivalsPs(polarity, temp_k);
     Trace trace;
     trace.polarity = polarity;
     trace.theta_ps = theta_ps;
@@ -120,8 +184,7 @@ Tdc::takeTrace(phys::Transition polarity, double theta_ps, double temp_k,
         static_cast<std::size_t>(config_.samples_per_trace));
     for (int s = 0; s < config_.samples_per_trace; ++s) {
         trace.hamming.push_back(static_cast<double>(
-            captureFromArrivals(arrivals, polarity, theta_ps, rng)
-                .hammingDistance()));
+            sampleHamming(arrivals, theta_ps, rng)));
     }
     return trace;
 }

@@ -182,16 +182,49 @@ class Tdc
     std::vector<double> tapArrivalsPs(phys::Transition polarity,
                                       double temp_k) const;
 
+    /**
+     * Arrival times memoized on the device's state epoch: the 24
+     * samples x 10 traces x ~80 calibration iterations at one device
+     * state and temperature share one route walk per polarity instead
+     * of recomputing identical arrivals every trace.
+     */
+    const std::vector<double> &cachedArrivalsPs(
+        phys::Transition polarity, double temp_k) const;
+
     /** Capture with precomputed arrivals (hot path of takeTrace). */
     Capture captureFromArrivals(const std::vector<double> &arrivals,
                                 phys::Transition polarity,
                                 double theta_ps, util::Rng &rng) const;
+
+    /**
+     * Hamming distance of one launch/capture without materialising
+     * the bit vector. Arrivals increase monotonically along the
+     * chain, so the taps deterministically passed (and missed) by the
+     * capture edge are found by partition point; only the metastable
+     * aperture draws randomness — the same draws, in the same order,
+     * as captureFromArrivals.
+     */
+    std::size_t sampleHamming(const std::vector<double> &arrivals,
+                              double theta_ps, util::Rng &rng) const;
 
     fabric::Device *device_;
     fabric::RouteSpec route_;
     fabric::RouteSpec chain_;
     TdcConfig config_;
     double theta_init_ = 0.0;
+    /** Dense element pointers resolved at construction (bind time). */
+    std::vector<fabric::RoutingElement *> route_elems_;
+    std::vector<fabric::RoutingElement *> chain_elems_;
+    /** Per-polarity arrival cache, keyed on (state epoch, temp). Each
+     *  sensor is driven by one lane at a time (per-sensor fan-out),
+     *  so the mutable cache needs no lock. */
+    struct ArrivalCache
+    {
+        std::uint64_t epoch = 0;
+        double temp_k = 0.0;
+        std::vector<double> arrivals;
+    };
+    mutable ArrivalCache arrival_cache_[2];
 };
 
 } // namespace pentimento::tdc
