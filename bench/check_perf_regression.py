@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""CI perf gate: compare two microbench snapshots.
+
+Usage: check_perf_regression.py BASELINE.json NEW.json
+           [--max-regress 0.10] [--noise-floor-ns 100]
+
+Fails (exit 1) when any kernel present in BOTH snapshots is slower in
+NEW by more than --max-regress (fractional). Kernels faster than the
+noise floor in the baseline are reported but never fail the gate:
+at tens of nanoseconds per op, run-to-run and machine-to-machine
+jitter exceeds the regression threshold. Kernels that exist only in
+NEW (freshly registered benchmarks) are listed as new.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        snap = json.load(f)
+    if snap.get("schema") != "pentimento-microbench-v1":
+        raise SystemExit(f"{path}: unexpected schema {snap.get('schema')!r}")
+    return snap["kernels"]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--max-regress", type=float, default=0.10,
+                    help="max allowed fractional slowdown (default 0.10)")
+    ap.add_argument("--noise-floor-ns", type=float, default=100.0,
+                    help="baseline ns/op below which kernels are "
+                         "advisory only (default 100)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    new = load(args.new)
+
+    failures = []
+    rows = []
+    for name in sorted(set(base) & set(new)):
+        b, n = base[name], new[name]
+        ratio = n / b if b > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.max_regress:
+            if b < args.noise_floor_ns:
+                flag = "  (regressed, sub-noise-floor: advisory)"
+            else:
+                flag = "  << REGRESSION"
+                failures.append(name)
+        elif ratio < 1.0 - args.max_regress:
+            flag = "  (improved)"
+        rows.append(f"  {name:44s} {b:>12.1f} {n:>12.1f} {ratio:>7.2f}x{flag}")
+
+    print(f"perf gate: {args.baseline} -> {args.new} "
+          f"(max regress {args.max_regress:.0%})")
+    print(f"  {'kernel':44s} {'base ns/op':>12s} {'new ns/op':>12s} {'ratio':>8s}")
+    for row in rows:
+        print(row)
+    for name in sorted(set(new) - set(base)):
+        print(f"  {name:44s} {'-':>12s} {new[name]:>12.1f}   (new kernel)")
+    # A kernel that disappears silently loses its gate coverage —
+    # make renames/removals visible in the log even though they do
+    # not fail the gate.
+    for name in sorted(set(base) - set(new)):
+        print(f"  {name:44s} {base[name]:>12.1f} {'-':>12s}   "
+              f"(REMOVED from new snapshot: no longer gated)")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} kernel(s) regressed more than "
+              f"{args.max_regress:.0%}: {', '.join(failures)}")
+        return 1
+    print("\nOK: no kernel regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

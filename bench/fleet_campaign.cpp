@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Fleet-scale persistence campaign (the workload PR 3 unlocks).
+ *
+ * A marketplace region of 112 boards runs a simulated year of
+ * interleaved tenancies: tenants rent boards, burn their secrets for
+ * days at a time, release; the pool idles, is re-rented, idles again.
+ * At the end a TM2 attacker flash-acquires a handful of recently
+ * released boards (≤ 8) and runs the paper's park-and-watch recovery
+ * attack against whatever the last tenant left behind — the
+ * persistence scan across rented boards that "Security Risks Due to
+ * Data Persistence in Cloud FPGA Platforms" (Zhang et al.) performs
+ * on real hardware.
+ *
+ * Under eager per-hour aging this scenario costs
+ * O(board-hours x elements) — a year across 112 boards was
+ * intractable. With the segment timeline every unobserved board-hour
+ * is O(1) bookkeeping and elements only materialise their BTI state
+ * when the attacker's TDC actually binds them, so the campaign is
+ * bounded by the ≤ 8 measured boards and completes in seconds.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cloud/platform.hpp"
+#include "core/classifier.hpp"
+#include "core/experiment.hpp"
+#include "tdc/measure_design.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+using namespace pentimento;
+
+namespace {
+
+constexpr std::size_t kFleet = 112;
+constexpr int kDays = 365;
+constexpr std::size_t kRoutesPerTenant = 8;
+constexpr double kRouteTargetPs = 2000.0;
+constexpr std::size_t kMaxMeasured = 8;
+constexpr double kRecoveryHours = 25.0;
+
+/** One completed tenancy: what the attacker would need to know. */
+struct Tenancy
+{
+    std::string board;
+    std::vector<fabric::RouteSpec> specs;
+    std::vector<bool> bits;
+    double released_at_h = 0.0;
+};
+
+/** Attack result for one measured board. */
+struct BoardScore
+{
+    std::string board;
+    std::size_t bits = 0;
+    std::size_t correct = 0;
+    double accuracy = 0.0;
+};
+
+/**
+ * TM2 park-and-watch on one re-acquired board: calibrate at takeover,
+ * park the victim's routes at 0, record 25 hourly sweeps, classify
+ * the recovery slopes.
+ */
+BoardScore
+attackBoard(cloud::CloudPlatform &platform, const std::string &board_id,
+            const Tenancy &tenancy, util::ThreadPool *pool)
+{
+    cloud::FpgaInstance &inst = platform.instance(board_id);
+    fabric::Device &device = inst.device();
+    device.setWorkPool(pool);
+
+    auto measure = std::make_shared<tdc::MeasureDesign>(
+        device, tenancy.specs, tdc::TdcConfig{});
+    if (!platform.loadDesign(board_id, measure).empty()) {
+        util::fatal("fleet_campaign: measure design failed DRC");
+    }
+    measure->calibrateAll(inst.dieTempK(), inst.rng(), pool);
+
+    auto park = std::make_shared<fabric::Design>("park0_" + board_id);
+    for (const fabric::RouteSpec &spec : tenancy.specs) {
+        park->setRouteValue(spec, false);
+    }
+    park->setPowerW(2.0);
+
+    std::vector<core::RouteRecord> records(tenancy.specs.size());
+    std::vector<core::DeltaSeries> series(tenancy.specs.size());
+    double observed = 0.0;
+    const auto sweepNow = [&](double hour) {
+        if (!platform.loadDesign(board_id, measure).empty()) {
+            util::fatal("fleet_campaign: measure design failed DRC");
+        }
+        platform.advanceHours(core::kMeasureSettleHours);
+        const tdc::MeasurementSweep sweep =
+            measure->measureAll(inst.dieTempK(), inst.rng(), pool);
+        for (std::size_t i = 0; i < series.size(); ++i) {
+            series[i].addPoint(hour, sweep.per_route[i].deltaPs());
+        }
+    };
+    sweepNow(0.0);
+    while (observed < kRecoveryHours - 1e-9) {
+        if (!platform.loadDesign(board_id, park).empty()) {
+            util::fatal("fleet_campaign: park design failed DRC");
+        }
+        platform.advanceHours(1.0 - core::kMeasureSettleHours);
+        observed += 1.0;
+        sweepNow(observed);
+    }
+
+    core::ExperimentResult result;
+    for (std::size_t i = 0; i < tenancy.specs.size(); ++i) {
+        records[i].name = tenancy.specs[i].name;
+        records[i].target_ps = tenancy.specs[i].target_ps;
+        records[i].burn_value = tenancy.bits[i];
+        records[i].series = series[i].centeredAtFirst();
+        result.routes.push_back(records[i]);
+    }
+    const core::ClassificationReport report =
+        core::ThreatModel2Classifier().classify(result);
+
+    platform.release(board_id);
+    device.setWorkPool(nullptr);
+    BoardScore score;
+    score.board = board_id;
+    score.bits = report.bits.size();
+    score.correct = report.correct;
+    score.accuracy = report.accuracy;
+    return score;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::printf("=== Fleet campaign: %zu boards, %d simulated days, "
+                "TM2 scan of <= %zu boards ===\n\n",
+                kFleet, kDays, kMaxMeasured);
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    cloud::PlatformConfig config;
+    config.fleet_size = kFleet;
+    config.region = "fleet-sim";
+    config.policy = cloud::AllocationPolicy::MostRecentlyReleased;
+    config.seed = 90901;
+    cloud::CloudPlatform platform(config);
+
+    util::Rng rng(424261);
+    struct Active
+    {
+        std::string board;
+        double ends_at_h;
+        Tenancy record;
+    };
+    std::vector<Active> active;
+    std::vector<Tenancy> finished;
+
+    // A year of interleaved tenancies in daily ticks: aim for about a
+    // third of the region rented at any time, each tenancy burning a
+    // random word on its own freshly allocated routes for 2-14 days.
+    for (int day = 0; day < kDays; ++day) {
+        const double now = platform.nowHours();
+        for (std::size_t i = active.size(); i-- > 0;) {
+            if (active[i].ends_at_h <= now) {
+                active[i].record.released_at_h = now;
+                platform.release(active[i].board);
+                finished.push_back(std::move(active[i].record));
+                active.erase(active.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+            }
+        }
+        while (active.size() < kFleet / 3 && rng.bernoulli(0.35)) {
+            const auto board = platform.rent();
+            if (!board) {
+                break;
+            }
+            fabric::Device &device =
+                platform.instance(*board).device();
+            Tenancy tenancy;
+            tenancy.board = *board;
+            for (std::size_t r = 0; r < kRoutesPerTenant; ++r) {
+                tenancy.specs.push_back(device.allocateRoute(
+                    *board + "_d" + std::to_string(day) + "_r" +
+                        std::to_string(r),
+                    kRouteTargetPs));
+                tenancy.bits.push_back(rng.bernoulli(0.5));
+            }
+            fabric::ArithmeticHeavyConfig arith;
+            arith.dsp_count = 128;
+            auto target = std::make_shared<fabric::TargetDesign>(
+                "tenant_" + *board + "_d" + std::to_string(day),
+                tenancy.specs, tenancy.bits, arith);
+            if (!platform.loadDesign(*board, target).empty()) {
+                util::fatal("fleet_campaign: tenant design failed DRC");
+            }
+            const double duration_h =
+                24.0 * static_cast<double>(rng.uniformInt(2, 14));
+            active.push_back(Active{*board, now + duration_h,
+                                    std::move(tenancy)});
+        }
+        platform.advanceHours(24.0);
+    }
+    // Wind down: everyone still computing releases now.
+    for (Active &a : active) {
+        a.record.released_at_h = platform.nowHours();
+        platform.release(a.board);
+        finished.push_back(std::move(a.record));
+    }
+    active.clear();
+    const double simulated_h = platform.nowHours();
+
+    // ---- TM2 persistence scan -------------------------------------
+    // Flash-acquire recently released boards (LIFO policy) and attack
+    // the most recent tenancy on each.
+    const auto pool = bench::makePool(argc, argv);
+    std::vector<std::pair<std::string, const Tenancy *>> targets;
+    std::vector<std::string> skipped;
+    while (targets.size() < kMaxMeasured) {
+        // Acquire first, attack later: releasing mid-scan would hand
+        // the LIFO scheduler the same board straight back.
+        const auto board = platform.rent();
+        if (!board) {
+            break;
+        }
+        const Tenancy *last = nullptr;
+        for (const Tenancy &t : finished) {
+            if (t.board == *board &&
+                (last == nullptr ||
+                 t.released_at_h > last->released_at_h)) {
+                last = &t;
+            }
+        }
+        if (last == nullptr) {
+            skipped.push_back(*board); // virgin stock: nothing to scan
+            continue;
+        }
+        targets.emplace_back(*board, last);
+    }
+    std::vector<BoardScore> scores;
+    scores.reserve(targets.size());
+    for (const auto &[board, tenancy] : targets) {
+        scores.push_back(
+            attackBoard(platform, board, *tenancy, pool.get()));
+    }
+    for (const std::string &board : skipped) {
+        platform.release(board);
+    }
+
+    const auto wall_end = std::chrono::steady_clock::now();
+    const double wall_s =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+
+    std::printf("  fleet                 %zu boards\n", kFleet);
+    std::printf("  simulated             %.0f h (%.1f board-years)\n",
+                simulated_h,
+                simulated_h * static_cast<double>(kFleet) / 8760.0);
+    std::printf("  tenancies             %zu\n", finished.size());
+    std::printf("  boards measured       %zu (+%zu virgin skipped)\n\n",
+                scores.size(), skipped.size());
+
+    std::printf("  %-12s %8s %10s\n", "board", "bits", "recovered");
+    std::size_t bits = 0;
+    std::size_t correct = 0;
+    std::vector<std::vector<std::string>> rows;
+    for (const BoardScore &s : scores) {
+        std::printf("  %-12s %8zu %9.1f%%\n", s.board.c_str(), s.bits,
+                    100.0 * s.accuracy);
+        bits += s.bits;
+        correct += s.correct;
+        rows.push_back({s.board, std::to_string(s.bits),
+                        std::to_string(s.correct),
+                        std::to_string(s.accuracy)});
+    }
+    if (bits > 0) {
+        std::printf("  %-12s %8zu %9.1f%%\n", "overall", bits,
+                    100.0 * static_cast<double>(correct) /
+                        static_cast<double>(bits));
+    }
+    std::printf("\n  wall clock            %.2f s (%.0f simulated "
+                "board-hours per ms)\n",
+                wall_s,
+                simulated_h * static_cast<double>(kFleet) /
+                    (1000.0 * wall_s));
+    bench::dumpGridCsv(argc, argv,
+                       {"board", "bits", "correct", "accuracy"}, rows);
+    return 0;
+}

@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "cloud/platform.hpp"
 #include "fabric/design.hpp"
 #include "fabric/device.hpp"
 #include "phys/aging.hpp"
@@ -141,6 +142,52 @@ BENCHMARK(BM_DeviceAdvanceHourParallel)
     ->Args({64, 3})
     ->Args({256, 0})
     ->Args({256, 3});
+
+void
+BM_DeviceAdvanceLongJump(benchmark::State &state)
+{
+    // The paper's Experiment 3 shape: a 256-element design burns X
+    // for 200 h uninterrupted, and only then is anything measured.
+    // Issued as 200 hourly advance() calls — the segment timeline
+    // coalesces them into one O(1)-per-call segment, and the single
+    // query at the end replays it once per element. Compare against
+    // 200x the PR 2 BM_DeviceAdvanceHour cost at the same element
+    // count.
+    fabric::Device device{fabric::DeviceConfig{}};
+    const fabric::RouteSpec spec = device.allocateRoute("r", 6400.0);
+    auto design = std::make_shared<fabric::Design>("burn");
+    design->setRouteValue(spec, true);
+    device.loadDesign(design);
+    fabric::Route route = device.bindRoute(spec);
+    phys::OvenEnvironment oven(333.15);
+    for (auto _ : state) {
+        for (int h = 0; h < 200; ++h) {
+            device.advance(1.0, oven);
+        }
+        benchmark::DoNotOptimize(
+            route.delayPs(phys::Transition::Falling, 333.15));
+    }
+    state.SetLabel("200 h burn, 256 elements, one query");
+}
+BENCHMARK(BM_DeviceAdvanceLongJump);
+
+void
+BM_FleetIdleDay(benchmark::State &state)
+{
+    // One simulated day across a 100-board region with nothing
+    // rented: per board-hour the platform pays the ambient process,
+    // the package model and an O(1) device append — never a slab
+    // sweep. This is the kernel under the fleet_campaign scenario.
+    cloud::PlatformConfig config;
+    config.fleet_size = 100;
+    config.seed = 77;
+    cloud::CloudPlatform platform(config);
+    for (auto _ : state) {
+        platform.advanceHours(24.0);
+    }
+    state.SetLabel("100 boards x 24 h, idle");
+}
+BENCHMARK(BM_FleetIdleDay);
 
 void
 BM_MeasureSweepParallel(benchmark::State &state)

@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Run the kernel microbenchmarks and distill a perf-trajectory
-# snapshot: BENCH_pr2.json maps kernel name -> ns/op (real time).
+# snapshot: BENCH_pr3.json maps kernel name -> ns/op (real time).
 #
 # Usage: bench/run_microbench.sh [build_dir] [out_json]
 #
@@ -11,7 +11,7 @@
 set -eu
 
 BUILD_DIR=${1:-build}
-OUT=${2:-BENCH_pr2.json}
+OUT=${2:-BENCH_pr3.json}
 BIN="$BUILD_DIR/bench/microbench_kernels"
 
 if [ ! -x "$BIN" ]; then
@@ -23,7 +23,7 @@ fi
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-"$BIN" --benchmark_min_time=0.2 \
+"$BIN" --benchmark_min_time=0.4 \
        --benchmark_out="$RAW" --benchmark_out_format=json
 
 python3 - "$RAW" "$OUT" <<'EOF'

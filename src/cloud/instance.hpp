@@ -49,7 +49,10 @@ class FpgaInstance
     /**
      * Advance simulated time in sub-steps: the ambient process is
      * stepped, fed into the package model, and the device ages under
-     * whatever design is loaded.
+     * whatever design is loaded. Each sub-step costs O(1) on the
+     * device (a segment-timeline append); elements materialise their
+     * BTI state only when something later observes them, so idle
+     * pooled cards accrue simulated years at bookkeeping cost.
      */
     void advanceHours(double hours, double step_h = 1.0);
 

@@ -122,7 +122,13 @@ class CloudPlatform
 
     /**
      * Advance the whole region: every card ages under its loaded
-     * design (or recovers when idle).
+     * design (or recovers when idle). Sub-stepping (step_h) drives
+     * each card's ambient process; the device-side cost per card per
+     * sub-step is O(1) segment bookkeeping, so background boards —
+     * pooled stock nobody measures — age for free until they are
+     * rented and actually observed. Fleet-scale campaigns (hundreds
+     * of boards, simulated years, a handful ever measured) are
+     * bounded by the measured boards, not the fleet.
      */
     void advanceHours(double hours, double step_h = 1.0);
 

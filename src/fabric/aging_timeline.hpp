@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The device's segment timeline: deferred aging time.
+ *
+ * Instead of eagerly sweeping every materialised element once per
+ * simulated hour, a Device records *segments* — (duration, Arrhenius
+ * acceleration pair) — and each element replays the segments it has
+ * not yet consumed only when something actually observes or changes
+ * it. This is mathematically exact because BtiState accumulates
+ * *effective hours* additively, and it is numerically exact for any
+ * step partition because consecutive advance() calls at the same
+ * acceleration extend one open segment's duration (compensated
+ * summation) and the duration-times-acceleration multiply happens
+ * once, at replay: 200 hourly steps and one 200-hour jump both hand
+ * an element the identical `duration * accel` effective time.
+ *
+ * Timeline positions are indices into the closed-segment list. The
+ * open segment is closed (made replayable) by the first observation —
+ * an element sync, an activity flip, a service-wear sweep — after
+ * which new time opens a fresh segment. Elements that materialise
+ * mid-timeline may safely start at position 0: a pristine element
+ * replays pre-birth segments as released-recovery, which is a no-op.
+ */
+
+#ifndef PENTIMENTO_FABRIC_AGING_TIMELINE_HPP
+#define PENTIMENTO_FABRIC_AGING_TIMELINE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "phys/bti.hpp"
+#include "util/compensated.hpp"
+
+namespace pentimento::fabric {
+
+/** One closed, replayable span of constant-acceleration time. */
+struct AgingSegment
+{
+    /** Wall-clock duration, hours (compensated sum of the steps). */
+    double duration_h = 0.0;
+    /** Arrhenius stress/recovery factors in effect over the span. */
+    phys::AgingStepContext ctx;
+};
+
+/**
+ * Closed segments plus one open (still-extending) segment.
+ */
+class AgingTimeline
+{
+  public:
+    /**
+     * Record dt hours at the given kinetics. Extends the open segment
+     * when the acceleration pair is unchanged, otherwise closes it
+     * and opens a new one. O(1).
+     */
+    void
+    append(double dt_h, const phys::AgingStepContext &ctx)
+    {
+        if (!open_valid_ || !(open_ctx_ == ctx)) {
+            close();
+            open_ctx_ = ctx;
+            open_valid_ = true;
+        }
+        open_h_.add(dt_h);
+    }
+
+    /**
+     * Close the open segment so its time becomes replayable. Called
+     * by the first observation after time passed; a zero-duration
+     * open segment is dropped.
+     */
+    void
+    close()
+    {
+        if (!open_valid_) {
+            return;
+        }
+        const double d = open_h_.value();
+        if (d > 0.0) {
+            closed_.push_back(AgingSegment{d, open_ctx_});
+        }
+        open_h_.reset();
+        open_valid_ = false;
+    }
+
+    /** True when un-closed time is pending. */
+    bool
+    openPending() const
+    {
+        return open_valid_ && open_h_.value() > 0.0;
+    }
+
+    /** Number of closed segments (== the "current" position). */
+    std::uint32_t
+    position() const
+    {
+        return static_cast<std::uint32_t>(closed_.size());
+    }
+
+    /** Closed segments, oldest first. */
+    const std::vector<AgingSegment> &closed() const { return closed_; }
+
+    /**
+     * Drop the oldest `count` closed segments (every consumer has
+     * replayed them); callers rebase their positions by `count`.
+     */
+    void
+    dropConsumed(std::uint32_t count)
+    {
+        closed_.erase(closed_.begin(),
+                      closed_.begin() + static_cast<std::ptrdiff_t>(
+                                            count));
+    }
+
+  private:
+    std::vector<AgingSegment> closed_;
+    phys::AgingStepContext open_ctx_;
+    util::CompensatedSum open_h_;
+    bool open_valid_ = false;
+};
+
+} // namespace pentimento::fabric
+
+#endif // PENTIMENTO_FABRIC_AGING_TIMELINE_HPP

@@ -1,10 +1,17 @@
 #include "fabric/device.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.hpp"
 
 namespace pentimento::fabric {
+
+namespace {
+
+constexpr ElementActivity kUnusedActivity{};
+
+} // namespace
 
 Device::Device(DeviceConfig config) : config_(std::move(config))
 {
@@ -45,11 +52,30 @@ Device::makeElement(ResourceId id) const
                           fresh_scale_ * coupling);
 }
 
-RoutingElement &
-Device::element(ResourceId id)
+ElementHandle
+Device::bindElement(ResourceId id)
 {
     const ElementHandle h = store_.ensure(
         id, [this](ResourceId rid) { return makeElement(rid); });
+    if (h >= synced_.size()) {
+        // Born now: released activity, and skip the pre-birth closed
+        // segments. (Replaying them would be a no-op anyway — a
+        // pristine, released element only accrues recovery, which
+        // applyRecovery drops — but starting at the present position
+        // avoids the dead loop.) Growth happens only here, in
+        // exclusive phases: concurrent syncs touch bound handles,
+        // which are always already covered.
+        live_.resize(store_.size());
+        synced_.resize(store_.size(), timeline_.position());
+    }
+    return h;
+}
+
+RoutingElement &
+Device::element(ResourceId id)
+{
+    const ElementHandle h = bindElement(id);
+    syncHandles(&h, 1);
     return store_.at(h);
 }
 
@@ -58,6 +84,49 @@ Device::findElement(ResourceId id) const
 {
     const ElementHandle h = store_.find(id.key());
     return h == kInvalidElement ? nullptr : &store_.at(h);
+}
+
+void
+Device::replayHandle(ElementHandle h)
+{
+    const std::uint32_t end = timeline_.position();
+    std::uint32_t pos = synced_[h];
+    if (pos != end) {
+        const auto &closed = timeline_.closed();
+        RoutingElement &elem = store_.sweepAt(h);
+        const ElementActivity &activity = live_[h];
+        for (; pos < end; ++pos) {
+            elem.age(config_.bti, closed[pos].ctx, activity,
+                     closed[pos].duration_h);
+        }
+        synced_[h] = end;
+    }
+}
+
+void
+Device::syncHandles(const ElementHandle *handles, std::size_t count)
+{
+    // Serialises against concurrent syncs from the per-sensor
+    // measurement fan-out (unconditionally: a lock-free pre-check
+    // would race with close()/replay under the lock). The lock is
+    // cold — Route guards delay queries with the state epoch and Tdc
+    // syncs only on an arrival-cache miss, so per-trace hot loops
+    // never get here.
+    const std::lock_guard<std::mutex> lock(sync_mutex_);
+    timeline_.close();
+    for (std::size_t i = 0; i < count; ++i) {
+        replayHandle(handles[i]);
+    }
+    // Steady-state advance+query workloads never reload a design, so
+    // this is their only chance to drop fully-consumed history.
+    maybeCompactTimeline();
+}
+
+std::size_t
+Device::timelineSegments() const
+{
+    return timeline_.closed().size() +
+           (timeline_.openPending() ? 1 : 0);
 }
 
 RouteSpec
@@ -157,50 +226,142 @@ Device::loadDesign(std::shared_ptr<const Design> design)
     if (!design) {
         util::fatal("Device::loadDesign: null design");
     }
+    if (design_ == design && activity_design_ == design &&
+        activity_revision_ == design->revision() &&
+        covered_slab_ == store_.size()) {
+        // Re-loading the resident, unmutated design: nothing physical
+        // changes, so neither the timeline nor the epoch moves.
+        return;
+    }
     // Materialise every element the design configures so that aging
     // accrues from the moment the design starts running — a victim's
     // routes must burn in even if nothing ever reads their delay.
     for (const auto &[key, activity] : design->activityMap()) {
         (void)activity;
-        element(ResourceId::fromKey(key));
+        (void)bindElement(ResourceId::fromKey(key));
     }
     design_ = std::move(design);
+    applyDesignActivity();
+    maybeCompactTimeline();
     ++state_epoch_;
 }
 
 void
 Device::wipe()
 {
-    // Clears the configuration only. Aging — the pentimento — stays.
+    // Clears the configuration only. Aging — the pentimento — stays,
+    // but the configured elements' activity flips to released: their
+    // pending burn time is replayed first, then recovery begins.
+    bool closed = false;
+    for (const std::uint64_t key : configured_keys_) {
+        const ElementHandle h = store_.find(key);
+        if (h == kInvalidElement || live_[h] == kUnusedActivity) {
+            continue;
+        }
+        if (!closed) {
+            timeline_.close();
+            closed = true;
+        }
+        replayHandle(h);
+        live_[h] = kUnusedActivity;
+    }
+    configured_keys_.clear();
     design_.reset();
+    activity_design_.reset();
+    activity_revision_ = 0;
+    covered_slab_ = store_.size();
+    maybeCompactTimeline();
     ++state_epoch_;
 }
 
 void
-Device::refreshActivityCache()
+Device::applyDesignActivity()
 {
-    if (design_ == nullptr) {
-        activity_design_.reset();
-        activity_dense_.clear();
-        return;
+    // Collect the actual flips first so an unchanged (or merely
+    // revision-bumped) design never splits a timeline segment.
+    std::vector<std::pair<ElementHandle, ElementActivity>> changes;
+    const auto &map = design_->activityMap();
+    for (const std::uint64_t key : configured_keys_) {
+        if (map.find(key) != map.end()) {
+            continue; // still configured; handled below
+        }
+        const ElementHandle h = store_.find(key);
+        if (h == kInvalidElement || live_[h] == kUnusedActivity) {
+            continue;
+        }
+        changes.emplace_back(h, kUnusedActivity);
     }
-    if (activity_design_ == design_ &&
-        activity_revision_ == design_->revision() &&
-        activity_dense_.size() == store_.size()) {
-        return;
-    }
-    activity_dense_.assign(store_.size(), ElementActivity{});
-    for (const auto &[key, activity] : design_->activityMap()) {
+    for (const auto &[key, activity] : map) {
         const ElementHandle h = store_.find(key);
         // Configured-but-unmaterialised elements (a design mutated in
         // place after loading) carry no aging state yet; once they
-        // materialise, the slab-growth check above folds them in.
-        if (h != kInvalidElement && h < activity_dense_.size()) {
-            activity_dense_[h] = activity;
+        // materialise, the slab-growth check folds them in.
+        if (h == kInvalidElement) {
+            continue;
         }
+        if (!(live_[h] == activity)) {
+            changes.emplace_back(h, activity);
+        }
+    }
+    if (!changes.empty()) {
+        timeline_.close();
+        for (const auto &[h, activity] : changes) {
+            replayHandle(h);
+            live_[h] = activity;
+        }
+    }
+    configured_keys_.clear();
+    configured_keys_.reserve(map.size());
+    for (const auto &[key, activity] : map) {
+        (void)activity;
+        configured_keys_.push_back(key);
     }
     activity_design_ = design_;
     activity_revision_ = design_->revision();
+    covered_slab_ = store_.size();
+}
+
+void
+Device::syncActivityWithDesign()
+{
+    if (design_ == nullptr) {
+        return; // wipe already released every configured element
+    }
+    if (activity_design_ == design_ &&
+        activity_revision_ == design_->revision() &&
+        covered_slab_ == store_.size()) {
+        return;
+    }
+    applyDesignActivity();
+}
+
+void
+Device::maybeCompactTimeline()
+{
+    if (timeline_.closed().size() < compact_watermark_) {
+        return;
+    }
+    // Prefix trim: drop every segment the *least*-synced element has
+    // already consumed, so one long-stale element (a past tenancy's
+    // routes nobody measures again) only pins its own unreplayed
+    // suffix, not the whole history.
+    std::uint32_t min_pos = timeline_.position();
+    for (const std::uint32_t pos : synced_) {
+        min_pos = std::min(min_pos, pos);
+        if (min_pos == 0) {
+            break;
+        }
+    }
+    if (min_pos > 0) {
+        timeline_.dropConsumed(min_pos);
+        for (std::uint32_t &pos : synced_) {
+            pos -= min_pos;
+        }
+    }
+    // Back off geometrically when little was reclaimable so a pinned
+    // element does not turn every sync into an O(elements) scan.
+    compact_watermark_ = std::max<std::size_t>(
+        kCompactThreshold, 2 * timeline_.closed().size());
 }
 
 void
@@ -213,8 +374,8 @@ Device::sweepElements(std::size_t count,
         }
         return;
     }
-    // Aging is RNG-free and element-local, so the fan-out is
-    // bit-identical to the serial loop for any worker count. No
+    // Element updates are RNG-free and element-local, so the fan-out
+    // is bit-identical to the serial loop for any worker count. No
     // design may be loaded concurrently (experiment phases alternate
     // serially), so the slab is stable for the duration.
     pool_->parallelFor(0, count, body);
@@ -228,21 +389,19 @@ Device::advance(double dt_h, phys::ThermalEnvironment &thermal)
     }
     const double power = design_ ? design_->powerW() : 0.0;
     const double temp_k = thermal.step(power, dt_h);
-    refreshActivityCache();
-    // Arrhenius factors depend only on (params, temp): one context
-    // per step instead of two exp() calls per element.
-    const phys::AgingStepContext ctx(config_.bti, temp_k);
-    const ElementActivity kUnused{};
-    const std::size_t count = store_.size();
-    const std::size_t configured =
-        std::min(count, activity_dense_.size());
-    sweepElements(count, [&](std::size_t i) {
-        const ElementActivity &activity =
-            i < configured ? activity_dense_[i] : kUnused;
-        store_.sweepAt(static_cast<ElementHandle>(i))
-            .age(config_.bti, ctx, activity, dt_h);
-    });
-    elapsed_h_ += dt_h;
+    // In-place design mutations since the last call flip their
+    // elements' activity *before* the new span accrues.
+    syncActivityWithDesign();
+    if (store_.size() != 0) {
+        timeline_.append(dt_h, ctx_cache_.get(config_.bti, temp_k));
+        // Long-idle boards (cloud ambient drift opens ~one segment
+        // per hour) trim their fully-consumed prefix here; the
+        // watermark keeps this O(1) between amortised scans.
+        maybeCompactTimeline();
+    }
+    // (An empty fabric records nothing: elements materialised later
+    // are pristine and released, so the skipped spans are no-ops.)
+    elapsed_h_.add(dt_h);
     ++state_epoch_;
 }
 
@@ -255,14 +414,17 @@ Device::applyServiceWear(double hours, double duty_one)
     if (hours == 0.0) {
         return;
     }
-    const phys::AgingStepContext ctx(config_.bti,
-                                     config_.bti.reference_temp_k);
+    timeline_.close();
+    const phys::AgingStepContext &ctx =
+        ctx_cache_.get(config_.bti, config_.bti.reference_temp_k);
     const std::size_t count = store_.size();
     sweepElements(count, [&](std::size_t i) {
-        store_.sweepAt(static_cast<ElementHandle>(i))
-            .aging()
-            .holdToggling(config_.bti, ctx, duty_one, hours);
+        const auto h = static_cast<ElementHandle>(i);
+        replayHandle(h);
+        store_.sweepAt(h).aging().holdToggling(config_.bti, ctx,
+                                               duty_one, hours);
     });
+    maybeCompactTimeline();
     ++state_epoch_;
 }
 

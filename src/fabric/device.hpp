@@ -11,14 +11,29 @@
  * so materialisation order never changes behaviour and two rentals of
  * the same board see the same silicon.
  *
- * Hot-path structure: consumers (Route, Tdc) resolve ResourceIds to
- * dense element pointers once, at bind time, so measurement sweeps
- * never hash or lock; advance() sweeps the slab densely against a
- * design-aligned activity vector with the Arrhenius factors hoisted
- * into one per-step context. A monotonically increasing *state epoch*
- * (bumped by advance/loadDesign/wipe/applyServiceWear) lets consumers
- * cache anything derived from aged delays and invalidate exactly when
- * the physical state may have moved.
+ * Hot-path structure (PR 3, segment-timeline aging): advance() is
+ * O(1) — it appends a (duration, Arrhenius-context) segment to the
+ * device's AgingTimeline instead of sweeping the slab. Each element
+ * carries the activity in effect since its last sync and materialises
+ * its BTI state lazily, replaying pending segments only when
+ *
+ *  - its aged delay is actually queried (a Route/Tdc read),
+ *  - its activity flips (loadDesign / wipe / a mitigation mutating
+ *    the resident design), or
+ *  - a whole-fabric operation needs fresh state (applyServiceWear).
+ *
+ * Consecutive same-temperature steps coalesce into one segment whose
+ * duration is a compensated sum, and the duration × acceleration
+ * multiply happens once at replay — so a 200-hour uninterrupted burn
+ * costs 200 O(1) appends plus one per-element replay at the first
+ * measurement, and any partition of the same span (hourly, random,
+ * single jump) produces bit-identical aged delays. Boards that are
+ * never observed (idle fleet stock) age for free.
+ *
+ * Consumers (Route, Tdc) still resolve ResourceIds to dense element
+ * pointers once, at bind time; the monotone *state epoch* (bumped by
+ * advance/loadDesign/wipe/applyServiceWear) keys their derived-value
+ * caches exactly as before.
  */
 
 #ifndef PENTIMENTO_FABRIC_DEVICE_HPP
@@ -26,10 +41,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "fabric/aging_store.hpp"
+#include "fabric/aging_timeline.hpp"
 #include "fabric/design.hpp"
 #include "fabric/resource.hpp"
 #include "fabric/route.hpp"
@@ -37,6 +54,7 @@
 #include "phys/bti.hpp"
 #include "phys/thermal.hpp"
 #include "phys/variation.hpp"
+#include "util/compensated.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -92,17 +110,25 @@ class Device
     /** Fresh-BTI derating from the device's service age. */
     double freshScale() const { return fresh_scale_; }
 
-    /** Simulated hours elapsed since construction. */
-    double elapsedHours() const { return elapsed_h_; }
+    /** Simulated hours elapsed since construction (compensated). */
+    double elapsedHours() const { return elapsed_h_.value(); }
 
     /**
-     * Materialise (if needed) and return an element. Variation is
-     * deterministic per (seed, id). The reference stays valid for the
-     * device's lifetime (the slab never relocates elements).
+     * Materialise (if needed), sync with the segment timeline, and
+     * return an element. Variation is deterministic per (seed, id).
+     * The reference stays valid for the device's lifetime (the slab
+     * never relocates elements). Syncing makes direct aging()
+     * reads/writes safe; note that a sync is a timeline observation
+     * (it closes the open segment).
      */
     RoutingElement &element(ResourceId id);
 
-    /** Look up an element without materialising it. */
+    /**
+     * Look up an element without materialising it. The element is NOT
+     * synced with the timeline: its aging state reflects the last
+     * observation, not pending idle time (use element() for current
+     * state).
+     */
     const RoutingElement *findElement(ResourceId id) const;
 
     /** Number of materialised elements. */
@@ -115,6 +141,34 @@ class Device
      * arrival times — stay valid exactly as long as the epoch does.
      */
     std::uint64_t stateEpoch() const { return state_epoch_; }
+
+    /**
+     * Materialise (if needed) an element and return its dense handle
+     * WITHOUT syncing it — the bind-time form Route/Tdc use. Pair
+     * with elementAt() for the pointer and syncHandles() before
+     * reading aged state.
+     */
+    ElementHandle bindElement(ResourceId id);
+
+    /** Element behind a bind-time handle. */
+    RoutingElement &elementAt(ElementHandle h) { return store_.at(h); }
+
+    /**
+     * Replay any pending timeline segments into the given elements
+     * (the read-path hook: Route/Tdc call this before walking their
+     * bound element pointers). Thread-safe for concurrent calls on
+     * disjoint or overlapping handle sets — every call takes the
+     * sync mutex, so callers must keep it off per-trace hot loops by
+     * guarding with the state epoch / arrival caches, as Route and
+     * Tdc do.
+     */
+    void syncHandles(const ElementHandle *handles, std::size_t count);
+
+    /**
+     * Closed-plus-open segment count currently pending replay for at
+     * least one element (diagnostics / tests of the lazy model).
+     */
+    std::size_t timelineSegments() const;
 
     /**
      * Allocate a route of roughly the requested delay out of
@@ -148,7 +202,13 @@ class Device
     /** Bind a skeleton to this device. */
     Route bindRoute(const RouteSpec &spec);
 
-    /** Program a design (replaces any currently loaded design). */
+    /**
+     * Program a design (replaces any currently loaded design).
+     * Elements whose activity flips are flushed — their pending
+     * timeline time is replayed under the outgoing activity — so the
+     * flip is a segment boundary. Re-loading the resident design at
+     * an unchanged revision is a no-op.
+     */
     void loadDesign(std::shared_ptr<const Design> design);
 
     /**
@@ -162,12 +222,12 @@ class Device
 
     /**
      * Advance simulated time: steps the thermal environment with the
-     * loaded design's power and ages every materialised element
-     * according to its activity. The sweep is a flat pass over the
-     * dense slab with a design-aligned activity vector — no hashing —
-     * and element updates are independent and RNG-free, so when a
-     * work pool is attached they fan out across workers with
-     * bit-identical results.
+     * loaded design's power and records the span on the segment
+     * timeline. O(changed-elements) — usually O(1): per-element work
+     * happens only if the resident design mutated since the last call
+     * (those elements flush), never per hour. Same-temperature spans
+     * coalesce, so the cost of a multi-hour uninterrupted burn is
+     * independent of how it is partitioned into advance() calls.
      */
     void advance(double dt_h, phys::ThermalEnvironment &thermal);
 
@@ -178,9 +238,9 @@ class Device
     void applyServiceWear(double hours, double duty_one = 0.5);
 
     /**
-     * Attach a work pool used by advance()/applyServiceWear() to age
-     * elements in parallel (nullptr = serial). The pool must outlive
-     * the device or be detached before destruction; results do not
+     * Attach a work pool used by applyServiceWear() to age elements
+     * in parallel (nullptr = serial). The pool must outlive the
+     * device or be detached before destruction; results do not
      * depend on the pool's worker count.
      */
     void setWorkPool(util::ThreadPool *pool) { pool_ = pool; }
@@ -192,14 +252,23 @@ class Device
     RoutingElement makeElement(ResourceId id) const;
 
     /**
-     * Rebuild the dense activity vector (slab-index aligned) when the
-     * loaded design changed — by identity, by in-place revision, or
-     * because the slab grew (an element configured by an in-place
-     * mutation may only materialise later). The cache retains the
-     * design it was built from, so a recycled allocation address can
-     * never alias a stale cache.
+     * Fold the resident design's activity map into the elements' live
+     * activities. Runs when the design is (re)loaded, when its
+     * mutation revision changes, or when the slab grew (an element
+     * configured by an in-place mutation may only materialise later).
+     * Elements whose activity actually flips are flushed first; an
+     * unchanged design never splits a segment.
      */
-    void refreshActivityCache();
+    void applyDesignActivity();
+
+    /** applyDesignActivity only if design/revision/slab changed. */
+    void syncActivityWithDesign();
+
+    /** Replay closed segments into one element (lock held/exclusive). */
+    void replayHandle(ElementHandle h);
+
+    /** Drop fully-consumed closed segments (bounds timeline memory). */
+    void maybeCompactTimeline();
 
     /** Run body(i) over the slab, on the pool when attached. */
     void sweepElements(std::size_t count,
@@ -207,20 +276,43 @@ class Device
 
     DeviceConfig config_;
     double fresh_scale_;
-    double elapsed_h_ = 0.0;
+    util::CompensatedSum elapsed_h_;
     std::uint64_t state_epoch_ = 0;
     std::uint64_t alloc_cursor_ = 0;
     std::uint64_t carry_cursor_ = 0;
     std::uint64_t lut_cursor_ = 0;
     AgingStore store_;
+    AgingTimeline timeline_;
+    phys::StepContextCache ctx_cache_;
+    /** Handle-indexed lazy-aging bookkeeping, kept OUT of the element
+     *  slab so a RoutingElement stays one cache line on the dense
+     *  measurement walks: the activity in effect since the element's
+     *  last sync (constant between syncs — flips flush), and the
+     *  closed timeline segments already folded into its aging. Grown
+     *  only at materialisation points (exclusive phases). */
+    std::vector<ElementActivity> live_;
+    std::vector<std::uint32_t> synced_;
+    /** Closed-segment count at which compaction first runs. */
+    static constexpr std::size_t kCompactThreshold = 64;
+    /** Closed-segment count that re-arms compaction (geometric
+     *  back-off so a pinned stale element cannot make every sync pay
+     *  an O(elements) min-position scan). */
+    std::size_t compact_watermark_ = kCompactThreshold;
     std::shared_ptr<const Design> design_;
-    /** Dense activity cache: activity_dense_[handle] for the loaded
-     *  design, rebuilt when (design identity, revision, slab size)
-     *  changes. Holding the shared_ptr keeps the source design alive
-     *  so identity comparison is sound. */
+    /** Design whose activity map the elements' live activities
+     *  reflect, plus the revision and slab size they were synced at.
+     *  Holding the shared_ptr keeps the source design alive so
+     *  identity comparison is sound (a recycled allocation address
+     *  can never alias). */
     std::shared_ptr<const Design> activity_design_;
     std::uint64_t activity_revision_ = 0;
-    std::vector<ElementActivity> activity_dense_;
+    std::size_t covered_slab_ = 0;
+    /** Keys configured by the resident design at the last activity
+     *  sync — the set that must flip to Unused on wipe/replace. */
+    std::vector<std::uint64_t> configured_keys_;
+    /** Serialises timeline closes + element replays triggered from
+     *  concurrent read paths (measurement fan-out). */
+    std::mutex sync_mutex_;
     util::ThreadPool *pool_ = nullptr;
 };
 

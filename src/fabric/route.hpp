@@ -13,9 +13,11 @@
 #ifndef PENTIMENTO_FABRIC_ROUTE_HPP
 #define PENTIMENTO_FABRIC_ROUTE_HPP
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "fabric/aging_store.hpp"
 #include "fabric/resource.hpp"
 #include "phys/delay_model.hpp"
 
@@ -80,11 +82,20 @@ class Route
     const Device &device() const { return *device_; }
 
   private:
+    /** Replay pending aging segments before reading delays. */
+    void syncForRead() const;
+
     Device *device_;
     RouteSpec spec_;
     /** Dense element pointers resolved at bind time (stable: the
      *  device's slab never relocates elements). */
     std::vector<RoutingElement *> elements_;
+    /** Matching dense handles (for the pre-read lazy-aging sync). */
+    std::vector<ElementHandle> handles_;
+    /** Device state epoch the elements were last synced at: delay
+     *  queries skip the per-element sync scan entirely while the
+     *  device has not moved. */
+    mutable std::uint64_t synced_epoch_;
 };
 
 } // namespace pentimento::fabric

@@ -31,17 +31,6 @@ RoutingElement::delayPs(const phys::BtiParams &bti,
     return delayPsFactored(bti, dp, t, dp.temperatureFactor(t, temp_k));
 }
 
-double
-RoutingElement::delayPsFactored(const phys::BtiParams &bti,
-                                const phys::DelayParams &dp,
-                                phys::Transition t,
-                                double temp_factor) const
-{
-    const phys::TransistorType limiter = phys::limitingTransistor(t);
-    const double dvth = aging_.deltaVth(bti, limiter);
-    return phys::agedDelayPsFactored(dp, basePs(t), dvth, temp_factor);
-}
-
 void
 RoutingElement::age(const phys::BtiParams &bti,
                     const ElementActivity &activity, double temp_k,

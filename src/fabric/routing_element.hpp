@@ -12,6 +12,8 @@
 #ifndef PENTIMENTO_FABRIC_ROUTING_ELEMENT_HPP
 #define PENTIMENTO_FABRIC_ROUTING_ELEMENT_HPP
 
+#include <cstdint>
+
 #include "fabric/resource.hpp"
 #include "phys/aging.hpp"
 #include "phys/delay_model.hpp"
@@ -34,6 +36,12 @@ struct ElementActivity
     Activity kind = Activity::Unused;
     /** For Toggle: fraction of time at logic 1. */
     double duty_one = 0.5;
+
+    bool
+    operator==(const ElementActivity &other) const
+    {
+        return kind == other.kind && duty_one == other.duty_one;
+    }
 };
 
 /**
@@ -69,10 +77,20 @@ class RoutingElement
     /**
      * delayPs with the polarity's temperature factor precomputed (the
      * per-element form of a route sweep at one temperature).
+     * Header-inline: this is THE per-element operation of every route
+     * walk and TDC arrival recompute.
      */
-    double delayPsFactored(const phys::BtiParams &bti,
-                           const phys::DelayParams &dp,
-                           phys::Transition t, double temp_factor) const;
+    double
+    delayPsFactored(const phys::BtiParams &bti,
+                    const phys::DelayParams &dp, phys::Transition t,
+                    double temp_factor) const
+    {
+        const phys::TransistorType limiter =
+            phys::limitingTransistor(t);
+        const double dvth = aging_.deltaVth(bti, limiter);
+        return phys::agedDelayPsFactored(dp, basePs(t), dvth,
+                                         temp_factor);
+    }
 
     /** Advance aging for dt hours under the given activity. */
     void age(const phys::BtiParams &bti, const ElementActivity &activity,
@@ -96,6 +114,9 @@ class RoutingElement
     const phys::ElementAging &aging() const { return aging_; }
 
   private:
+    // Deliberately no lazy-timeline bookkeeping here: the device
+    // keeps it in handle-indexed side arrays so the element stays a
+    // single cache line for the dense measurement walks.
     ResourceId id_;
     double base_rise_ps_;
     double base_fall_ps_;

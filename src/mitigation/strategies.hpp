@@ -111,6 +111,9 @@ class HoldRecoveryMitigation : public MitigationStrategy
                double hour) override;
     Epilogue epilogue() const override;
 
+    /** apply() is a value passthrough: intervals may long-jump. */
+    double cadenceHours() const override { return 0.0; }
+
   private:
     Epilogue epilogue_;
 };

@@ -64,6 +64,18 @@ class MitigationStrategy
 
     /** Pre-release behaviour; default: none. */
     virtual Epilogue epilogue() const { return {}; }
+
+    /**
+     * Hours between apply() invocations inside one condition
+     * interval. Strategies with a schedule (inversion, shuffle,
+     * wear-leveling) keep the historical 1 h stepping; a strategy
+     * that returns 0 declares apply() idempotent over the interval,
+     * letting the experiment engine collapse an uninterrupted
+     * multi-hour burn into a single Device::advance jump — which the
+     * segment-timeline aging model makes O(1) and bit-identical to
+     * the stepped equivalent.
+     */
+    virtual double cadenceHours() const { return 1.0; }
 };
 
 /**
@@ -85,6 +97,9 @@ class NoMitigation : public MitigationStrategy
             design.setBurnValue(i, logical_values[i]);
         }
     }
+
+    /** The values never change: condition intervals may long-jump. */
+    double cadenceHours() const override { return 0.0; }
 };
 
 } // namespace pentimento::mitigation

@@ -65,15 +65,6 @@ ElementAging::release(const BtiParams &p, const AgingStepContext &ctx,
     pmos_.applyRecovery(p.nbti, dt_h * ctx.recovery_accel);
 }
 
-double
-ElementAging::deltaVth(const BtiParams &p, TransistorType type) const
-{
-    if (type == TransistorType::Nmos) {
-        return nmos_.deltaVth(p.pbti, scale_);
-    }
-    return pmos_.deltaVth(p.nbti, scale_);
-}
-
 const BtiState &
 ElementAging::state(TransistorType type) const
 {

@@ -68,8 +68,16 @@ class ElementAging
     void release(const BtiParams &p, const AgingStepContext &ctx,
                  double dt_h);
 
-    /** Threshold shift of the chosen transistor, in volts. */
-    double deltaVth(const BtiParams &p, TransistorType type) const;
+    /** Threshold shift of the chosen transistor, in volts.
+     *  Header-inline: innermost call of every aged-delay read. */
+    double
+    deltaVth(const BtiParams &p, TransistorType type) const
+    {
+        if (type == TransistorType::Nmos) {
+            return nmos_.deltaVth(p.pbti, scale_);
+        }
+        return pmos_.deltaVth(p.nbti, scale_);
+    }
 
     /** Direct access for tests and persistence. */
     const BtiState &state(TransistorType type) const;

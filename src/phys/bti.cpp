@@ -66,6 +66,18 @@ AgingStepContext::AgingStepContext(const BtiParams &params,
 {
 }
 
+const AgingStepContext &
+StepContextCache::get(const BtiParams &params, double temp_k)
+{
+    if (params_ != &params || temp_k_ != temp_k) {
+        ctx_ = AgingStepContext(params, temp_k);
+        params_ = &params;
+        temp_k_ = temp_k;
+        ++misses_;
+    }
+    return ctx_;
+}
+
 void
 BtiState::applyStress(const MechanismParams &p, double scale,
                       double dt_eff_h)
@@ -106,11 +118,8 @@ BtiState::applyRecovery(const MechanismParams &p, double dt_eff_h)
 }
 
 double
-BtiState::deltaVth(const MechanismParams &p, double scale) const
+BtiState::deltaVthStressed(const MechanismParams &p, double scale) const
 {
-    if (stress_eff_h_ <= 0.0) {
-        return 0.0;
-    }
     const double raw =
         scale * p.prefactor_v * std::pow(stress_eff_h_, p.time_exponent);
     if (recovery_eff_h_ <= 0.0) {

@@ -39,6 +39,8 @@
 #ifndef PENTIMENTO_PHYS_BTI_HPP
 #define PENTIMENTO_PHYS_BTI_HPP
 
+#include <cstdint>
+
 namespace pentimento::phys {
 
 /** The two transistor types in a CMOS pair. */
@@ -146,6 +148,41 @@ struct AgingStepContext
 
     AgingStepContext() = default;
     AgingStepContext(const BtiParams &params, double temperature_k);
+
+    /** Same acceleration pair (used to coalesce timeline segments). */
+    bool
+    operator==(const AgingStepContext &other) const
+    {
+        return stress_accel == other.stress_accel &&
+               recovery_accel == other.recovery_accel;
+    }
+};
+
+/**
+ * Memo of the last AgingStepContext by (params identity, temperature).
+ *
+ * A device steps at one temperature for hours at a time (ovens pin it
+ * outright; the package model changes it only when the ambient or the
+ * dissipated power moves), so consecutive advance() calls would
+ * otherwise recompute the same two exp() factors. The cache compares
+ * the parameter block by address and the temperature bitwise, which
+ * is exact: a hit returns the identical context a fresh construction
+ * would produce.
+ */
+class StepContextCache
+{
+  public:
+    /** Context for (params, temp_k), recomputed only on change. */
+    const AgingStepContext &get(const BtiParams &params, double temp_k);
+
+    /** Number of cache misses so far (tests / diagnostics). */
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    const BtiParams *params_ = nullptr;
+    double temp_k_ = 0.0;
+    AgingStepContext ctx_;
+    std::uint64_t misses_ = 0;
 };
 
 /**
@@ -179,8 +216,18 @@ class BtiState
      */
     void applyRecovery(const MechanismParams &p, double dt_eff_h);
 
-    /** Present threshold shift in volts. */
-    double deltaVth(const MechanismParams &p, double scale) const;
+    /**
+     * Present threshold shift in volts. Header-inline: the pristine
+     * early-out makes un-aged elements nearly free on route walks.
+     */
+    double
+    deltaVth(const MechanismParams &p, double scale) const
+    {
+        if (stress_eff_h_ <= 0.0) {
+            return 0.0;
+        }
+        return deltaVthStressed(p, scale);
+    }
 
     /** Accumulated effective stress hours. */
     double stressHours() const { return stress_eff_h_; }
@@ -192,6 +239,10 @@ class BtiState
     bool pristine() const { return stress_eff_h_ == 0.0; }
 
   private:
+    /** deltaVth's slow path (pow + recovery window). */
+    double deltaVthStressed(const MechanismParams &p,
+                            double scale) const;
+
     double stress_eff_h_ = 0.0;
     double recovery_eff_h_ = 0.0;
 };

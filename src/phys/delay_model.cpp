@@ -1,26 +1,6 @@
 #include "phys/delay_model.hpp"
 
-#include "util/logging.hpp"
-
 namespace pentimento::phys {
-
-double
-DelayParams::delayShiftFraction(double delta_vth_v) const
-{
-    const double headroom = vdd_v - vth0_v;
-    if (headroom <= 0.0) {
-        util::fatal("DelayParams: Vdd must exceed Vth0");
-    }
-    return alpha * delta_vth_v / headroom;
-}
-
-double
-DelayParams::temperatureFactor(Transition t, double temp_k) const
-{
-    const double tc = (t == Transition::Rising) ? temp_coeff_rise_per_k
-                                                : temp_coeff_fall_per_k;
-    return 1.0 + tc * (temp_k - ref_temp_k);
-}
 
 double
 agedDelayPs(const DelayParams &p, Transition t, double base_ps,
@@ -28,14 +8,6 @@ agedDelayPs(const DelayParams &p, Transition t, double base_ps,
 {
     return agedDelayPsFactored(p, base_ps, delta_vth_v,
                                p.temperatureFactor(t, temp_k));
-}
-
-double
-agedDelayPsFactored(const DelayParams &p, double base_ps,
-                    double delta_vth_v, double temp_factor)
-{
-    const double bti = 1.0 + p.delayShiftFraction(delta_vth_v);
-    return base_ps * bti * temp_factor;
 }
 
 } // namespace pentimento::phys

@@ -19,6 +19,7 @@
 #define PENTIMENTO_PHYS_DELAY_MODEL_HPP
 
 #include "phys/bti.hpp"
+#include "util/logging.hpp"
 
 namespace pentimento::phys {
 
@@ -53,11 +54,30 @@ struct DelayParams
     /** Temperature at which base delays are quoted. */
     double ref_temp_k = 333.15;
 
-    /** Fractional delay increase caused by a threshold shift. */
-    double delayShiftFraction(double delta_vth_v) const;
+    /**
+     * Fractional delay increase caused by a threshold shift.
+     * Header-inline: this sits in the innermost loop of every route
+     * walk (thousands of elements per arrival recompute).
+     */
+    double
+    delayShiftFraction(double delta_vth_v) const
+    {
+        const double headroom = vdd_v - vth0_v;
+        if (headroom <= 0.0) {
+            util::fatal("DelayParams: Vdd must exceed Vth0");
+        }
+        return alpha * delta_vth_v / headroom;
+    }
 
     /** Temperature multiplier for the given transition polarity. */
-    double temperatureFactor(Transition t, double temp_k) const;
+    double
+    temperatureFactor(Transition t, double temp_k) const
+    {
+        const double tc = (t == Transition::Rising)
+                              ? temp_coeff_rise_per_k
+                              : temp_coeff_fall_per_k;
+        return 1.0 + tc * (temp_k - ref_temp_k);
+    }
 };
 
 /**
@@ -73,8 +93,13 @@ double agedDelayPs(const DelayParams &p, Transition t, double base_ps,
  * they hoist temperatureFactor() out of the per-element loop; the
  * product order matches agedDelayPs bit for bit.
  */
-double agedDelayPsFactored(const DelayParams &p, double base_ps,
-                           double delta_vth_v, double temp_factor);
+inline double
+agedDelayPsFactored(const DelayParams &p, double base_ps,
+                    double delta_vth_v, double temp_factor)
+{
+    const double bti = 1.0 + p.delayShiftFraction(delta_vth_v);
+    return base_ps * bti * temp_factor;
+}
 
 } // namespace pentimento::phys
 

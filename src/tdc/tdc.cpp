@@ -46,18 +46,28 @@ Tdc::Tdc(fabric::Device &device, fabric::RouteSpec route,
     // Bind once: resolve every id to its dense element so the
     // measurement path never hashes or locks.
     route_elems_.reserve(route_.elements.size());
-    for (const fabric::ResourceId &id : route_.elements) {
-        route_elems_.push_back(&device_->element(id));
-    }
     chain_elems_.reserve(chain_.elements.size());
+    bound_handles_.reserve(route_.elements.size() +
+                           chain_.elements.size());
+    for (const fabric::ResourceId &id : route_.elements) {
+        const fabric::ElementHandle h = device_->bindElement(id);
+        bound_handles_.push_back(h);
+        route_elems_.push_back(&device_->elementAt(h));
+    }
     for (const fabric::ResourceId &id : chain_.elements) {
-        chain_elems_.push_back(&device_->element(id));
+        const fabric::ElementHandle h = device_->bindElement(id);
+        bound_handles_.push_back(h);
+        chain_elems_.push_back(&device_->elementAt(h));
     }
 }
 
 std::vector<double>
 Tdc::tapArrivalsPs(phys::Transition polarity, double temp_k) const
 {
+    // Fold pending aging segments into the bound elements before the
+    // walk. This runs only on an arrival-cache miss (state epoch or
+    // temperature changed), so the per-trace hot path never syncs.
+    device_->syncHandles(bound_handles_.data(), bound_handles_.size());
     const auto &cfg = device_->config();
     const double temp_factor =
         cfg.delay.temperatureFactor(polarity, temp_k);

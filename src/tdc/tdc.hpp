@@ -215,6 +215,8 @@ class Tdc
     /** Dense element pointers resolved at construction (bind time). */
     std::vector<fabric::RoutingElement *> route_elems_;
     std::vector<fabric::RoutingElement *> chain_elems_;
+    /** Route + chain handles, for the pre-walk lazy-aging sync. */
+    std::vector<fabric::ElementHandle> bound_handles_;
     /** Per-polarity arrival cache, keyed on (state epoch, temp). Each
      *  sensor is driven by one lane at a time (per-sensor fan-out),
      *  so the mutable cache needs no lock. */

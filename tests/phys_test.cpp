@@ -584,3 +584,50 @@ TEST_P(TemperatureSweep, HotterMeansMoreShift)
 
 INSTANTIATE_TEST_SUITE_P(TwentyFiveToEighty, TemperatureSweep,
                          ::testing::Values(25.0, 40.0, 55.0, 70.0));
+
+// ------------------------------------------------ step-context cache
+
+TEST(StepContextCache, HitsAreEquivalentToFreshConstruction)
+{
+    const pp::BtiParams p = pp::BtiParams::ultrascalePlus();
+    pp::StepContextCache cache;
+
+    const pp::AgingStepContext &warm = cache.get(p, 333.15);
+    const pp::AgingStepContext fresh_warm(p, 333.15);
+    EXPECT_EQ(warm.stress_accel, fresh_warm.stress_accel);
+    EXPECT_EQ(warm.recovery_accel, fresh_warm.recovery_accel);
+    EXPECT_EQ(cache.misses(), 1u);
+
+    // Same (params, temperature): a hit, and bitwise the same values.
+    const pp::AgingStepContext &again = cache.get(p, 333.15);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(again.stress_accel, fresh_warm.stress_accel);
+    EXPECT_EQ(again.recovery_accel, fresh_warm.recovery_accel);
+
+    // Temperature change: recomputed, and again bit-equal to fresh.
+    const pp::AgingStepContext &hot = cache.get(p, 363.15);
+    const pp::AgingStepContext fresh_hot(p, 363.15);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(hot.stress_accel, fresh_hot.stress_accel);
+    EXPECT_EQ(hot.recovery_accel, fresh_hot.recovery_accel);
+
+    // Different parameter block (same temperature): must not hit.
+    pp::BtiParams other = pp::BtiParams::ultrascalePlus();
+    other.stress_activation_ev = 0.5;
+    const pp::AgingStepContext &alt = cache.get(other, 363.15);
+    const pp::AgingStepContext fresh_alt(other, 363.15);
+    EXPECT_EQ(cache.misses(), 3u);
+    EXPECT_EQ(alt.stress_accel, fresh_alt.stress_accel);
+}
+
+TEST(StepContextCache, DeviceAdvanceSharesOneContextPerTemperature)
+{
+    // An aging sweep at a pinned temperature must pay the two exp()
+    // calls once, not once per advance call.
+    pp::StepContextCache cache;
+    const pp::BtiParams p = pp::BtiParams::ultrascalePlus();
+    for (int i = 0; i < 100; ++i) {
+        (void)cache.get(p, 318.15);
+    }
+    EXPECT_EQ(cache.misses(), 1u);
+}

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Locks for the segment-timeline aging model (PR 3).
+ *
+ *  - Partition invariance: advancing a constant-condition span as
+ *    hourly steps, as one jump, or as a random dyadic partition
+ *    produces bit-identical aged delays — including across activity
+ *    flips (stress -> recover -> re-stress), mid-span mitigation-style
+ *    value toggles, and 1-vs-N worker pools. This is the property
+ *    that lets the experiment engine collapse uninterrupted burns
+ *    into single jumps without perturbing a single output bit.
+ *  - Laziness: advance() is O(1) bookkeeping — unobserved elements
+ *    hold no aged state until a query forces a replay, same-condition
+ *    steps coalesce into one segment, and an empty fabric records
+ *    nothing at all (idle fleet stock ages for free).
+ *  - Compensated time accumulation: a million irregular steps land on
+ *    the closed-form total instead of drifting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fabric/design.hpp"
+#include "fabric/device.hpp"
+#include "phys/thermal.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace pf = pentimento::fabric;
+namespace pp = pentimento::phys;
+namespace pu = pentimento::util;
+
+namespace {
+
+pf::DeviceConfig
+tinyConfig()
+{
+    pf::DeviceConfig config;
+    config.tiles_x = 8;
+    config.tiles_y = 8;
+    config.nodes_per_tile = 32;
+    return config;
+}
+
+/** Split total hours into random multiples of 1/64 h (sums exactly). */
+std::vector<double>
+dyadicPartition(double total_h, std::uint64_t seed)
+{
+    pu::Rng rng(seed);
+    auto ticks = static_cast<std::uint64_t>(total_h * 64.0);
+    std::vector<double> parts;
+    while (ticks > 0) {
+        const std::uint64_t take =
+            rng.uniformInt(1, std::min<std::uint64_t>(ticks, 192));
+        parts.push_back(static_cast<double>(take) / 64.0);
+        ticks -= take;
+    }
+    return parts;
+}
+
+using Stepper = std::function<void(pf::Device &,
+                                   pp::ThermalEnvironment &, double)>;
+
+const Stepper kSingleJump = [](pf::Device &device,
+                               pp::ThermalEnvironment &thermal,
+                               double hours) {
+    device.advance(hours, thermal);
+};
+
+const Stepper kHourly = [](pf::Device &device,
+                           pp::ThermalEnvironment &thermal,
+                           double hours) {
+    double advanced = 0.0;
+    while (advanced < hours - 1e-12) {
+        const double dt = std::min(1.0, hours - advanced);
+        device.advance(dt, thermal);
+        advanced += dt;
+    }
+};
+
+Stepper
+randomStepper(std::uint64_t seed)
+{
+    return [seed](pf::Device &device, pp::ThermalEnvironment &thermal,
+                  double hours) {
+        for (const double dt : dyadicPartition(hours, seed)) {
+            device.advance(dt, thermal);
+        }
+    };
+}
+
+/**
+ * The stress -> recover -> re-stress scenario, with a mid-burn value
+ * toggle (an inversion-mitigation-style flip) at a fixed hour. All
+ * queries happen at the very end: queries are timeline observations,
+ * so mid-run reads would themselves be segment boundaries.
+ */
+std::vector<double>
+runScenario(const Stepper &step, pu::ThreadPool *pool)
+{
+    pf::Device device(tinyConfig());
+    device.setWorkPool(pool);
+    // 75 C: the Arrhenius pair is far from 1, so coalescing must
+    // defer the duration x acceleration multiply to stay exact.
+    pp::OvenEnvironment oven(pu::celsiusToKelvin(75.0));
+    const pf::RouteSpec burn_route = device.allocateRoute("b", 500.0);
+    const pf::RouteSpec idle_route = device.allocateRoute("i", 500.0);
+
+    auto design = std::make_shared<pf::Design>("d");
+    design->setRouteValue(burn_route, true);
+    design->setRouteToggling(idle_route, 0.3);
+    device.loadDesign(design);
+    step(device, oven, 37.0); // burn 1
+    design->setRouteValue(burn_route, false);
+    device.loadDesign(design);
+    step(device, oven, 25.0); // mid-tenancy toggle: burn 0
+    device.wipe();
+    step(device, oven, 16.0); // released: recovery
+    auto again = std::make_shared<pf::Design>("d2");
+    again->setRouteValue(burn_route, true);
+    device.loadDesign(again);
+    step(device, oven, 9.0); // re-stress after recovery
+    device.applyServiceWear(5.0, 0.25); // pool-exercised dense sweep
+    step(device, oven, 3.0);
+
+    std::vector<double> out;
+    for (const pf::RouteSpec &spec : {burn_route, idle_route}) {
+        pf::Route route = device.bindRoute(spec);
+        out.push_back(route.delayPs(pp::Transition::Rising, 333.15));
+        out.push_back(route.delayPs(pp::Transition::Falling, 333.15));
+    }
+    out.push_back(device.elapsedHours());
+    device.setWorkPool(nullptr);
+    return out;
+}
+
+TEST(SegmentTimeline, PartitionInvariantAgedDelays)
+{
+    const std::vector<double> jump = runScenario(kSingleJump, nullptr);
+    const std::vector<double> hourly = runScenario(kHourly, nullptr);
+    EXPECT_EQ(jump, hourly);
+    for (const std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+        EXPECT_EQ(jump, runScenario(randomStepper(seed), nullptr))
+            << "random partition seed " << seed;
+    }
+}
+
+TEST(SegmentTimeline, PartitionInvarianceHoldsAcrossWorkerCounts)
+{
+    pu::ThreadPool pool(3);
+    const std::vector<double> serial = runScenario(kSingleJump, nullptr);
+    EXPECT_EQ(serial, runScenario(kSingleJump, &pool));
+    EXPECT_EQ(serial, runScenario(kHourly, &pool));
+    EXPECT_EQ(serial, runScenario(randomStepper(21), &pool));
+}
+
+TEST(SegmentTimeline, ConstantConditionHoursCoalesceIntoOneSegment)
+{
+    pf::Device device(tinyConfig());
+    pp::OvenEnvironment oven(333.15);
+    const pf::RouteSpec spec = device.allocateRoute("r", 500.0);
+    auto design = std::make_shared<pf::Design>("d");
+    design->setRouteValue(spec, true);
+    device.loadDesign(design);
+    for (int h = 0; h < 200; ++h) {
+        device.advance(1.0, oven);
+    }
+    EXPECT_EQ(device.timelineSegments(), 1u);
+    // Nothing observed yet: the elements still hold no stress.
+    const pf::RoutingElement *elem =
+        device.findElement(spec.elements[0]);
+    ASSERT_NE(elem, nullptr);
+    EXPECT_EQ(elem->aging()
+                  .state(pp::TransistorType::Nmos)
+                  .stressHours(),
+              0.0);
+    // The first query replays the single 200 h segment.
+    pf::Route route = device.bindRoute(spec);
+    EXPECT_GT(route.btiShiftPs(pp::Transition::Falling), 0.5);
+    EXPECT_EQ(elem->aging()
+                  .state(pp::TransistorType::Nmos)
+                  .stressHours(),
+              200.0);
+}
+
+TEST(SegmentTimeline, EmptyFabricRecordsNoSegments)
+{
+    pf::Device device(tinyConfig());
+    pp::OvenEnvironment oven(333.15);
+    for (int h = 0; h < 1000; ++h) {
+        device.advance(1.0, oven);
+    }
+    EXPECT_EQ(device.timelineSegments(), 0u);
+    EXPECT_DOUBLE_EQ(device.elapsedHours(), 1000.0);
+    // A later tenancy starts from pristine silicon regardless.
+    pf::Route route =
+        device.bindRoute(device.allocateRoute("r", 500.0));
+    EXPECT_NEAR(route.btiShiftPs(pp::Transition::Falling), 0.0, 1e-12);
+}
+
+TEST(SegmentTimeline, TemperatureChangeOpensNewSegment)
+{
+    pf::Device device(tinyConfig());
+    const pf::RouteSpec spec = device.allocateRoute("r", 250.0);
+    auto design = std::make_shared<pf::Design>("d");
+    design->setRouteValue(spec, true);
+    device.loadDesign(design);
+    pp::OvenEnvironment warm(333.15);
+    pp::OvenEnvironment hot(353.15);
+    device.advance(5.0, warm);
+    device.advance(5.0, warm);
+    EXPECT_EQ(device.timelineSegments(), 1u);
+    device.advance(5.0, hot);
+    EXPECT_EQ(device.timelineSegments(), 2u);
+    device.advance(5.0, hot);
+    EXPECT_EQ(device.timelineSegments(), 2u);
+}
+
+TEST(SegmentTimeline, WipeIsAnActivityBoundaryNotAnEraser)
+{
+    // The core paper invariant survives laziness: wiping flips the
+    // configured elements to released (their pending burn is replayed
+    // first), and the imprint remains queryable afterwards.
+    pf::Device device(tinyConfig());
+    pp::OvenEnvironment oven(333.15);
+    const pf::RouteSpec spec = device.allocateRoute("r", 1000.0);
+    auto design = std::make_shared<pf::Design>("d");
+    design->setRouteValue(spec, true);
+    device.loadDesign(design);
+    device.advance(150.0, oven);
+    device.wipe(); // flush happens here, before any query
+    pf::Route route = device.bindRoute(spec);
+    const double imprint = route.btiShiftPs(pp::Transition::Falling);
+    EXPECT_GT(imprint, 0.5);
+    device.advance(50.0, oven); // released time: recovery
+    EXPECT_LT(route.btiShiftPs(pp::Transition::Falling), imprint);
+}
+
+TEST(CompensatedTime, MillionIrregularStepsMatchClosedForm)
+{
+    pf::Device device(tinyConfig());
+    pp::OvenEnvironment oven(333.15);
+    long double expected = 0.0L;
+    for (int i = 0; i < 1000000; ++i) {
+        const double dt = static_cast<double>(i % 9 + 1) * 0.1;
+        device.advance(dt, oven);
+        expected += static_cast<long double>(dt);
+    }
+    // Compensated accumulation holds the closed-form total to within
+    // a few ulp (~6e-11 at this magnitude); naive summation drifts
+    // orders of magnitude further after 10^6 irregular steps.
+    EXPECT_NEAR(device.elapsedHours(),
+                static_cast<double>(expected), 1e-9);
+}
+
+} // namespace

@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "util/ascii_chart.hpp"
+#include "util/compensated.hpp"
 #include "util/csv.hpp"
 #include "util/kernel_regression.hpp"
 #include "util/logging.hpp"
@@ -616,4 +617,40 @@ TEST(Logging, FatalMessagePreserved)
     } catch (const pu::FatalError &e) {
         EXPECT_STREQ(e.what(), "specific message");
     }
+}
+
+TEST(CompensatedSum, MillionIrregularStepsMatchClosedForm)
+{
+    // The classic drift case: a million 0.1-hour steps. fl(0.1) is
+    // not dyadic, so naive accumulation walks away from the closed
+    // form by ~1e-6 while the compensated sum stays within an ulp.
+    pu::CompensatedSum sum;
+    double naive = 0.0;
+    long double exact = 0.0L;
+    for (int i = 0; i < 1000000; ++i) {
+        const double dt = static_cast<double>(i % 7 + 1) * 0.1;
+        sum.add(dt);
+        naive += dt;
+        exact += static_cast<long double>(dt);
+    }
+    const double reference = static_cast<double>(exact);
+    EXPECT_NEAR(sum.value(), reference, 1e-9);
+    EXPECT_GT(std::abs(naive - reference),
+              10.0 * std::abs(sum.value() - reference));
+}
+
+TEST(CompensatedSum, ExactStepsStayBitExact)
+{
+    // Hourly experiment steps sum exactly in plain doubles; the
+    // compensation term must stay zero so golden outputs that
+    // depended on plain accumulation are unchanged bit for bit.
+    pu::CompensatedSum sum;
+    for (int i = 0; i < 200; ++i) {
+        sum.add(1.0);
+    }
+    EXPECT_EQ(sum.value(), 200.0);
+    sum.reset();
+    sum.add(2.5);
+    sum.add(1.5);
+    EXPECT_EQ(sum.value(), 4.0);
 }
