@@ -8,6 +8,7 @@
 
 #include "util/ascii_chart.hpp"
 #include "util/csv.hpp"
+#include "util/logging.hpp"
 #include "util/stats.hpp"
 
 namespace pentimento::bench {
@@ -32,6 +33,28 @@ parseWorkers(int argc, char **argv)
         return static_cast<int>(*lanes);
     }
     return 1;
+}
+
+long
+parseLongFlag(int argc, char **argv, const char *flag, long fallback,
+              long min_value)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) != 0) {
+            continue;
+        }
+        if (i + 1 >= argc) {
+            util::fatal(std::string("bench: missing value for ") +
+                        flag);
+        }
+        char *end = nullptr;
+        const long value = std::strtol(argv[i + 1], &end, 10);
+        if (end == argv[i + 1] || *end != '\0' || value < min_value) {
+            util::fatal(std::string("bench: bad value for ") + flag);
+        }
+        return value;
+    }
+    return fallback;
 }
 
 std::unique_ptr<util::ThreadPool>

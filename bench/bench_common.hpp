@@ -24,6 +24,15 @@ namespace pentimento::bench {
 int parseWorkers(int argc, char **argv);
 
 /**
+ * `--flag N` integer argument, or `fallback` when the flag is absent.
+ * Fatals on a missing, malformed, or below-minimum value — a scaling
+ * flag silently falling back would misattribute the resulting
+ * numbers.
+ */
+long parseLongFlag(int argc, char **argv, const char *flag,
+                   long fallback, long min_value = 1);
+
+/**
  * Build the bench's work pool from the command line: a pool with
  * parseWorkers() - 1 extra threads (the caller is the final lane).
  * With --workers 1 the pool has zero workers and every

@@ -3,6 +3,7 @@
 
 Usage: check_perf_regression.py BASELINE.json NEW.json
            [--max-regress 0.10] [--noise-floor-ns 100]
+           [--min-speedup NAME=FACTOR ...]
 
 Fails (exit 1) when any kernel present in BOTH snapshots is slower in
 NEW by more than --max-regress (fractional). Kernels faster than the
@@ -10,6 +11,11 @@ noise floor in the baseline are reported but never fail the gate:
 at tens of nanoseconds per op, run-to-run and machine-to-machine
 jitter exceeds the regression threshold. Kernels that exist only in
 NEW (freshly registered benchmarks) are listed as new.
+
+--min-speedup locks a claimed optimisation in: the named kernel must
+be at least FACTOR times faster in NEW than in BASELINE (e.g.
+`--min-speedup BM_FleetIdleDay=5` gates the event-driven ambient
+fast path against the committed PR 3 snapshot).
 """
 
 import argparse
@@ -34,10 +40,21 @@ def main():
     ap.add_argument("--noise-floor-ns", type=float, default=100.0,
                     help="baseline ns/op below which kernels are "
                          "advisory only (default 100)")
+    ap.add_argument("--min-speedup", action="append", default=[],
+                    metavar="NAME=FACTOR",
+                    help="require kernel NAME to be at least FACTOR "
+                         "times faster than the baseline")
     args = ap.parse_args()
 
     base = load(args.baseline)
     new = load(args.new)
+
+    required = {}
+    for spec in args.min_speedup:
+        name, _, factor = spec.partition("=")
+        if not factor:
+            raise SystemExit(f"--min-speedup {spec!r}: expected NAME=FACTOR")
+        required[name] = float(factor)
 
     failures = []
     rows = []
@@ -69,11 +86,31 @@ def main():
         print(f"  {name:44s} {base[name]:>12.1f} {'-':>12s}   "
               f"(REMOVED from new snapshot: no longer gated)")
 
-    if failures:
-        print(f"\nFAIL: {len(failures)} kernel(s) regressed more than "
-              f"{args.max_regress:.0%}: {', '.join(failures)}")
+    speedup_failures = []
+    for name, factor in sorted(required.items()):
+        if name not in base or name not in new:
+            print(f"  {name:44s} required >= {factor:.1f}x speedup but "
+                  f"kernel is missing from a snapshot")
+            speedup_failures.append(name)
+            continue
+        achieved = base[name] / new[name] if new[name] > 0 else float("inf")
+        verdict = "ok" if achieved >= factor else "<< TOO SLOW"
+        print(f"  {name:44s} speedup {achieved:>7.2f}x "
+              f"(required {factor:.1f}x)  {verdict}")
+        if achieved < factor:
+            speedup_failures.append(name)
+
+    if failures or speedup_failures:
+        parts = []
+        if failures:
+            parts.append(f"{len(failures)} kernel(s) regressed more than "
+                         f"{args.max_regress:.0%}: {', '.join(failures)}")
+        if speedup_failures:
+            parts.append(f"{len(speedup_failures)} kernel(s) missed their "
+                         f"required speedup: {', '.join(speedup_failures)}")
+        print(f"\nFAIL: {'; '.join(parts)}")
         return 1
-    print("\nOK: no kernel regressed beyond the threshold")
+    print("\nOK: all perf gates passed")
     return 0
 
 

@@ -16,8 +16,18 @@
  * O(board-hours x elements) — a year across 112 boards was
  * intractable. With the segment timeline every unobserved board-hour
  * is O(1) bookkeeping and elements only materialise their BTI state
- * when the attacker's TDC actually binds them, so the campaign is
- * bounded by the ≤ 8 measured boards and completes in seconds.
+ * when the attacker's TDC actually binds them; the event-driven
+ * ambient (PR 4) defers even the idle boards' temperature walk, so
+ * the campaign is bounded by the ≤ 8 measured boards and completes in
+ * a fraction of a second.
+ *
+ * `--fleet N` and `--years Y` rescale the region and the simulated
+ * horizon so the scaling claims are reproducible at other sizes;
+ * `--seed S` re-rolls the tenancy/ambient sample paths. The recovery
+ * rate is a high-variance statistic at these deliberately marginal
+ * conditions (service-aged silicon, short tenancies, 25 h of
+ * observation): across nearby seeds it spans roughly 50-85%, and the
+ * default seed is chosen to sit near the middle of that range.
  */
 
 #include <chrono>
@@ -38,8 +48,9 @@ using namespace pentimento;
 
 namespace {
 
-constexpr std::size_t kFleet = 112;
-constexpr int kDays = 365;
+constexpr std::size_t kDefaultFleet = 112;
+constexpr int kDefaultYears = 1;
+constexpr std::uint64_t kDefaultSeed = 90902;
 constexpr std::size_t kRoutesPerTenant = 8;
 constexpr double kRouteTargetPs = 2000.0;
 constexpr std::size_t kMaxMeasured = 8;
@@ -139,6 +150,15 @@ attackBoard(cloud::CloudPlatform &platform, const std::string &board_id,
 int
 main(int argc, char **argv)
 {
+    const auto kFleet = static_cast<std::size_t>(
+        bench::parseLongFlag(argc, argv, "--fleet", kDefaultFleet));
+    const int kDays =
+        365 * static_cast<int>(bench::parseLongFlag(argc, argv,
+                                                    "--years",
+                                                    kDefaultYears));
+    // Seed 0 is a legal Rng seed, so the floor is 0 here.
+    const auto seed = static_cast<std::uint64_t>(bench::parseLongFlag(
+        argc, argv, "--seed", static_cast<long>(kDefaultSeed), 0));
     std::printf("=== Fleet campaign: %zu boards, %d simulated days, "
                 "TM2 scan of <= %zu boards ===\n\n",
                 kFleet, kDays, kMaxMeasured);
@@ -148,7 +168,7 @@ main(int argc, char **argv)
     config.fleet_size = kFleet;
     config.region = "fleet-sim";
     config.policy = cloud::AllocationPolicy::MostRecentlyReleased;
-    config.seed = 90901;
+    config.seed = seed;
     cloud::CloudPlatform platform(config);
 
     util::Rng rng(424261);

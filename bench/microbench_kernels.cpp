@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "cloud/ambient.hpp"
 #include "cloud/platform.hpp"
 #include "fabric/design.hpp"
 #include "fabric/device.hpp"
@@ -175,9 +176,10 @@ void
 BM_FleetIdleDay(benchmark::State &state)
 {
     // One simulated day across a 100-board region with nothing
-    // rented: per board-hour the platform pays the ambient process,
-    // the package model and an O(1) device append — never a slab
-    // sweep. This is the kernel under the fleet_campaign scenario.
+    // rented: unconfigured boards defer their whole ambient walk, so
+    // per board-day the platform pays O(1) bookkeeping — no draws, no
+    // package relaxation, no segments — until something observes a
+    // board. This is the kernel under the fleet_campaign scenario.
     cloud::PlatformConfig config;
     config.fleet_size = 100;
     config.seed = 77;
@@ -188,6 +190,49 @@ BM_FleetIdleDay(benchmark::State &state)
     state.SetLabel("100 boards x 24 h, idle");
 }
 BENCHMARK(BM_FleetIdleDay);
+
+void
+BM_AmbientEventTrace(benchmark::State &state)
+{
+    // The event-driven ambient kernel: account a whole idle day in
+    // O(1), then observe — the observation replays the day's 24
+    // event draws with the exact per-event OU transition. Bounds the
+    // cost of re-observing long-idle pooled stock.
+    cloud::AmbientModel model({}, util::Rng(7));
+    for (auto _ : state) {
+        model.advance(24.0);
+        benchmark::DoNotOptimize(model.ambientK());
+    }
+    state.SetLabel("24 h jump + observe (24 event draws)");
+}
+BENCHMARK(BM_AmbientEventTrace);
+
+void
+BM_FleetRentedDay(benchmark::State &state)
+{
+    // The eager counterpart of BM_FleetIdleDay: 16 of the boards run
+    // a tenant design, so their walk sub-steps between ambient events
+    // — one draw, one closed-form package relaxation and one O(1)
+    // timeline segment per board-hour.
+    cloud::PlatformConfig config;
+    config.fleet_size = 16;
+    config.seed = 77;
+    cloud::CloudPlatform platform(config);
+    const auto ids = platform.rentAll();
+    for (const std::string &id : ids) {
+        fabric::Device &device = platform.instance(id).device();
+        const fabric::RouteSpec spec = device.allocateRoute("r", 2000.0);
+        auto design = std::make_shared<fabric::Design>("d_" + id);
+        design->setRouteValue(spec, true);
+        design->setPowerW(40.0);
+        platform.loadDesign(id, design);
+    }
+    for (auto _ : state) {
+        platform.advanceHours(24.0);
+    }
+    state.SetLabel("16 boards x 24 h, rented");
+}
+BENCHMARK(BM_FleetRentedDay);
 
 void
 BM_MeasureSweepParallel(benchmark::State &state)

@@ -15,25 +15,84 @@ AmbientModel::AmbientModel(AmbientParams params, util::Rng rng)
     if (params_.reversion_per_h < 0.0 || params_.sigma_k < 0.0) {
         util::fatal("AmbientModel: negative process parameter");
     }
+    if (!(params_.event_every_h > 0.0) ||
+        !std::isfinite(params_.event_every_h)) {
+        util::fatal("AmbientModel: event cadence must be positive");
+    }
+    // Exact OU discretisation over one event interval: the stationary
+    // sd equals sigma_k regardless of cadence. Same expressions the
+    // per-step walk evaluated per call, hoisted to construction.
+    decay_ = std::exp(-params_.reversion_per_h * params_.event_every_h);
+    noise_sd_ = params_.sigma_k * std::sqrt(1.0 - decay_ * decay_);
+}
+
+std::uint64_t
+AmbientModel::targetEvents() const
+{
+    const double t = clock_h_.value();
+    if (t <= 0.0) {
+        return 0;
+    }
+    // Event k covers the cell ((k-1)e, ke]: entering a cell commits
+    // its draw, so at clock t every event with boundary strictly
+    // below t plus the one covering t itself has fired.
+    return static_cast<std::uint64_t>(
+        std::ceil(t / params_.event_every_h));
+}
+
+double
+AmbientModel::hoursUntilBoundary() const
+{
+    const double e = params_.event_every_h;
+    const double t = clock_h_.value();
+    const double cells = std::floor(t / e);
+    double span = (cells + 1.0) * e - t;
+    // Guard the cell arithmetic against rounding at huge clock/cadence
+    // ratios: never report a non-positive or over-long span.
+    if (span <= 0.0) {
+        span = e;
+    }
+    return span < e ? span : e;
+}
+
+void
+AmbientModel::advance(double dt_h)
+{
+    if (!(dt_h >= 0.0)) {
+        util::fatal("AmbientModel::advance: negative time step");
+    }
+    clock_h_.add(dt_h);
+}
+
+void
+AmbientModel::materialize()
+{
+    const std::uint64_t target = targetEvents();
+    // Draws are consumed from the private stream strictly in event
+    // order, so the value of draw k depends only on (seed, k): any
+    // partition of the advanced span replays the same sequence.
+    while (committed_ < target) {
+        temp_k_ = params_.mean_k + (temp_k_ - params_.mean_k) * decay_ +
+                  rng_.gaussian(0.0, noise_sd_);
+        ++committed_;
+    }
+}
+
+double
+AmbientModel::ambientK()
+{
+    materialize();
+    return temp_k_;
 }
 
 double
 AmbientModel::step(double dt_h)
 {
-    if (dt_h < 0.0) {
+    if (!(dt_h >= 0.0)) {
         util::fatal("AmbientModel::step: negative time step");
     }
-    if (dt_h == 0.0) {
-        return temp_k_;
-    }
-    // Exact OU discretisation: the stationary sd equals sigma_k
-    // regardless of step size.
-    const double a = std::exp(-params_.reversion_per_h * dt_h);
-    const double noise_sd =
-        params_.sigma_k * std::sqrt(1.0 - a * a);
-    temp_k_ = params_.mean_k + (temp_k_ - params_.mean_k) * a +
-              rng_.gaussian(0.0, noise_sd);
-    return temp_k_;
+    advance(dt_h);
+    return ambientK();
 }
 
 } // namespace pentimento::cloud

@@ -1,6 +1,8 @@
 #include "cloud/instance.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "util/logging.hpp"
 
@@ -16,21 +18,72 @@ FpgaInstance::FpgaInstance(std::string id,
     if (id_.empty()) {
         util::fatal("FpgaInstance: empty id");
     }
+    // Any read or flip of element aging state (a bound Route or TDC
+    // walking the device directly, a design load, a wipe) replays the
+    // deferred idle backlog first, so laziness is unobservable.
+    device_.setPreObservationHook([this] { materializeDeferred(); });
+}
+
+void
+FpgaInstance::walkSpans(double hours, double step_h,
+                        bool credit_elapsed) const
+{
+    // One iteration per span over which everything is constant: the
+    // ambient (between events), the dissipated power, and therefore
+    // the segment's Arrhenius context. Under the default hourly
+    // cadence and hourly stepping this reproduces the historical
+    // per-hour walk bit for bit — same draw per hour, same package
+    // relaxation, same per-hour segment.
+    const fabric::Design *design = device_.currentDesign();
+    const double power = design != nullptr ? design->powerW() : 0.0;
+    double remaining = hours;
+    while (remaining > 1e-12) {
+        const double dt =
+            std::min({remaining, step_h, ambient_.hoursUntilBoundary()});
+        ambient_.advance(dt);
+        thermal_.setAmbientK(ambient_.ambientK());
+        const double die_k = thermal_.step(power, dt);
+        if (credit_elapsed) {
+            device_.advanceAt(dt, die_k);
+        } else {
+            device_.ingestSegment(dt, die_k);
+        }
+        remaining -= dt;
+    }
+}
+
+void
+FpgaInstance::materializeDeferred() const
+{
+    const double backlog = deferred_h_.value();
+    if (backlog <= 0.0) {
+        return;
+    }
+    deferred_h_.reset();
+    // Deferred spans are design-free by construction, so the walk is
+    // bounded only by ambient events: one relaxation + one ingested
+    // segment per event cell, regardless of how the idle time was
+    // split across advanceHours calls.
+    walkSpans(backlog, std::numeric_limits<double>::infinity(), false);
 }
 
 void
 FpgaInstance::advanceHours(double hours, double step_h)
 {
-    if (hours < 0.0 || step_h <= 0.0) {
+    if (!(hours >= 0.0) || !(step_h > 0.0) || !std::isfinite(hours)) {
         util::fatal("FpgaInstance::advanceHours: bad time step");
     }
-    double remaining = hours;
-    while (remaining > 1e-12) {
-        const double dt = std::min(step_h, remaining);
-        thermal_.setAmbientK(ambient_.step(dt));
-        device_.advance(dt, thermal_);
-        remaining -= dt;
+    if (device_.currentDesign() == nullptr) {
+        // Unconfigured card: nothing dissipates power and nothing is
+        // being observed — credit the hours now (O(1)) and walk the
+        // ambient events when (if ever) someone looks. Idle pooled
+        // stock accrues simulated years at bookkeeping cost.
+        deferred_h_.add(hours);
+        device_.creditIdleHours(hours);
+        return;
     }
+    materializeDeferred();
+    walkSpans(hours, step_h, true);
 }
 
 } // namespace pentimento::cloud

@@ -6,6 +6,19 @@
  * model driven by the OU ambient) and rental bookkeeping. The
  * provider wipes the design on release; the silicon keeps its aging —
  * the whole point of the paper.
+ *
+ * Event-driven advancement (PR 4): advanceHours() walks whole spans
+ * between ambient events — one package-model relaxation and one
+ * aging-timeline segment per event instead of one per sub-step — and,
+ * while the card is unconfigured (pooled stock with no design
+ * loaded), defers the walk entirely: time is credited to the device
+ * in O(1) and the ambient draws, thermal relaxations and timeline
+ * segments materialise only when something observes the card again
+ * (device access, die-temperature query, or any element read via the
+ * device's pre-observation hook). A board that idles for a simulated
+ * year and is never measured costs a few arithmetic operations per
+ * advance call; a board that is re-rented replays its backlog
+ * bit-identically to an eagerly stepped one.
  */
 
 #ifndef PENTIMENTO_CLOUD_INSTANCE_HPP
@@ -17,6 +30,7 @@
 #include "cloud/ambient.hpp"
 #include "fabric/device.hpp"
 #include "phys/thermal.hpp"
+#include "util/compensated.hpp"
 #include "util/rng.hpp"
 
 namespace pentimento::cloud {
@@ -36,23 +50,50 @@ class FpgaInstance
     FpgaInstance(std::string id, fabric::DeviceConfig device_config,
                  AmbientParams ambient, util::Rng rng);
 
+    FpgaInstance(const FpgaInstance &) = delete;
+    FpgaInstance &operator=(const FpgaInstance &) = delete;
+
     /** Provider-assigned identifier. */
     const std::string &id() const { return id_; }
 
-    /** The silicon. */
-    fabric::Device &device() { return device_; }
-    const fabric::Device &device() const { return device_; }
-
-    /** Present die temperature (kelvin). */
-    double dieTempK() const { return thermal_.dieTempK(); }
+    /**
+     * The silicon. Materialises any deferred idle time first, so a
+     * caller holding the reference always sees fully-aged state.
+     */
+    fabric::Device &
+    device()
+    {
+        materializeDeferred();
+        return device_;
+    }
+    const fabric::Device &
+    device() const
+    {
+        materializeDeferred();
+        return device_;
+    }
 
     /**
-     * Advance simulated time in sub-steps: the ambient process is
-     * stepped, fed into the package model, and the device ages under
-     * whatever design is loaded. Each sub-step costs O(1) on the
-     * device (a segment-timeline append); elements materialise their
-     * BTI state only when something later observes them, so idle
-     * pooled cards accrue simulated years at bookkeeping cost.
+     * Present die temperature (kelvin). Logically const: replays any
+     * deferred ambient events and thermal relaxation first.
+     */
+    double
+    dieTempK() const
+    {
+        materializeDeferred();
+        return thermal_.dieTempK();
+    }
+
+    /**
+     * Advance simulated time. The walk is bounded by ambient events
+     * (and by step_h, for callers that want finer thermal relaxation
+     * while a design is loaded): per span, the ambient is constant,
+     * the package model relaxes once, and the device records a single
+     * timeline segment. Unconfigured cards defer the walk entirely
+     * and replay it — at event granularity — on next observation.
+     * Partition-invariant: any split of a span into advanceHours
+     * calls crosses the same ambient events and yields bit-identical
+     * temperatures and aged delays.
      */
     void advanceHours(double hours, double step_h = 1.0);
 
@@ -72,10 +113,32 @@ class FpgaInstance
     void setReleasedAtHour(double hour) { released_at_h_ = hour; }
 
   private:
+    /**
+     * Replay deferred idle time: walk the backlog at ambient-event
+     * granularity, feeding each span's settled die temperature to the
+     * device as one ingested segment. Const because deferral is an
+     * internal representation choice — observable state is identical
+     * before and after (single-threaded by construction: deferral
+     * only accrues while the card is unobserved).
+     */
+    void materializeDeferred() const;
+
+    /**
+     * Walk spans bounded by ambient events and step_h; when
+     * credit_elapsed is false the device hours were already credited
+     * at deferral time.
+     */
+    void walkSpans(double hours, double step_h,
+                   bool credit_elapsed) const;
+
     std::string id_;
-    fabric::Device device_;
-    AmbientModel ambient_;
-    phys::PackageThermalModel thermal_;
+    /** Lazily-materialised members are mutable so const observers
+     *  (dieTempK, const device()) can flush the deferred backlog. */
+    mutable fabric::Device device_;
+    mutable AmbientModel ambient_;
+    mutable phys::PackageThermalModel thermal_;
+    /** Idle hours advanced but not yet walked (design-free spans). */
+    mutable util::CompensatedSum deferred_h_;
     util::Rng rng_;
     bool rented_ = false;
     double released_at_h_ = -1.0e18;

@@ -1,6 +1,7 @@
 #include "cloud/platform.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.hpp"
 
@@ -173,6 +174,18 @@ CloudPlatform::loadDesign(const std::string &instance_id,
 void
 CloudPlatform::advanceHours(double hours, double step_h)
 {
+    // Validate here, not just per instance: a bad span would
+    // otherwise fatal mid-fleet with some boards already advanced.
+    if (!(hours >= 0.0) || !std::isfinite(hours)) {
+        util::fatal("CloudPlatform::advanceHours: bad hours");
+    }
+    if (!(step_h > 0.0)) {
+        util::fatal("CloudPlatform::advanceHours: bad step");
+    }
+    // Idle pooled stock advances in O(1) per board (deferred ambient
+    // walk); rented/configured boards sub-step between ambient
+    // events. Fleet-scale campaigns are bounded by the boards a
+    // tenant or attacker actually touches, not the fleet.
     for (const auto &inst : fleet_) {
         inst->advanceHours(hours, step_h);
     }

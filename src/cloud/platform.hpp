@@ -122,13 +122,17 @@ class CloudPlatform
 
     /**
      * Advance the whole region: every card ages under its loaded
-     * design (or recovers when idle). Sub-stepping (step_h) drives
-     * each card's ambient process; the device-side cost per card per
-     * sub-step is O(1) segment bookkeeping, so background boards —
-     * pooled stock nobody measures — age for free until they are
-     * rented and actually observed. Fleet-scale campaigns (hundreds
-     * of boards, simulated years, a handful ever measured) are
-     * bounded by the measured boards, not the fleet.
+     * design (or recovers when idle). The per-card walk is event-
+     * driven: ambient events (hourly by default) bound the spans, and
+     * each span costs one package-model relaxation plus one O(1)
+     * timeline segment. Idle pooled stock skips even that — the walk
+     * is deferred in O(1) per call and replayed only when a board is
+     * next observed — so fleet-scale campaigns (hundreds of boards,
+     * simulated years, a handful ever measured) are bounded by the
+     * boards tenants and attackers actually touch. step_h further
+     * caps span length for configured boards that want finer thermal
+     * relaxation. Fatals on negative/non-finite hours or
+     * non-positive step_h before any board advances.
      */
     void advanceHours(double hours, double step_h = 1.0);
 

@@ -337,7 +337,9 @@ runExperiment2(const Experiment2Config &config)
                     util::fatal(
                         "runExperiment2: target design failed DRC");
                 }
-                platform.advanceHours(step);
+                // Span-level advance: ambient events bound the walk,
+                // so no sub-step cap is needed.
+                platform.advanceHours(step, step);
             });
         hour += dt;
         measureNow(hour);
@@ -384,7 +386,7 @@ runExperiment3(const Experiment3Config &config)
                                   util::fatal("runExperiment3: victim "
                                               "design failed DRC");
                               }
-                              platform.advanceHours(dt);
+                              platform.advanceHours(dt, dt);
                           });
     double hour = config.burn_hours;
     runEpilogue(strategy.epilogue(), target, setup.burn_values,
@@ -393,7 +395,7 @@ runExperiment3(const Experiment3Config &config)
                              .empty()) {
                         util::fatal("runExperiment3: epilogue DRC");
                     }
-                    platform.advanceHours(hours);
+                    platform.advanceHours(hours, hours);
                     hour += hours;
                 });
     platform.release(*victim_id); // provider wipes the configuration
@@ -402,7 +404,10 @@ runExperiment3(const Experiment3Config &config)
     if (config.attacker_wait_h > 0.0) {
         // Waiting out a quarantine: the board recovers (or gets
         // scrubbed) in the pool meanwhile.
-        platform.advanceHours(config.attacker_wait_h);
+        // Whole-quarantine jump: pooled boards defer the span and
+        // replay it only if observed again.
+        platform.advanceHours(config.attacker_wait_h,
+                              config.attacker_wait_h);
         hour += config.attacker_wait_h;
     }
     const auto attacker_id = platform.rent();
@@ -462,8 +467,10 @@ runExperiment3(const Experiment3Config &config)
         if (!platform.loadDesign(*attacker_id, park).empty()) {
             util::fatal("runExperiment3: park design failed DRC");
         }
-        platform.advanceHours(
-            std::max(0.0, dt - kMeasureSettleHours));
+        const double park_h = std::max(0.0, dt - kMeasureSettleHours);
+        if (park_h > 0.0) {
+            platform.advanceHours(park_h, park_h);
+        }
         observed += dt;
         measureNow(hour + observed);
     }

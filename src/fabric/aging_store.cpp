@@ -9,16 +9,60 @@ namespace pentimento::fabric {
 
 AgingStore::~AgingStore()
 {
-    for (std::uint32_t h = 0; h < count_; ++h) {
+    const std::uint32_t count = count_.load(std::memory_order_relaxed);
+    for (std::uint32_t h = 0; h < count; ++h) {
         slot(h)->~RoutingElement();
     }
 }
 
-std::size_t
-AgingStore::size() const
+ElementHandle
+AgingStore::lookup(std::uint64_t key) const
 {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    return count_;
+    if (index_.empty()) {
+        return kInvalidElement;
+    }
+    const std::size_t mask = index_.size() - 1;
+    std::size_t i = hashKey(key) & mask;
+    while (true) {
+        const IndexSlot &slot = index_[i];
+        if (slot.handle == kInvalidElement) {
+            return kInvalidElement;
+        }
+        if (slot.key == key) {
+            return slot.handle;
+        }
+        i = (i + 1) & mask;
+    }
+}
+
+void
+AgingStore::indexInsert(std::uint64_t key, ElementHandle h)
+{
+    // Keep the load factor under 1/2 so probe runs stay short.
+    if (2 * (index_used_ + 1) > index_.size()) {
+        const std::size_t grown =
+            index_.empty() ? 1024 : index_.size() * 2;
+        std::vector<IndexSlot> rehashed(grown);
+        const std::size_t mask = grown - 1;
+        for (const IndexSlot &slot : index_) {
+            if (slot.handle == kInvalidElement) {
+                continue;
+            }
+            std::size_t i = hashKey(slot.key) & mask;
+            while (rehashed[i].handle != kInvalidElement) {
+                i = (i + 1) & mask;
+            }
+            rehashed[i] = slot;
+        }
+        index_ = std::move(rehashed);
+    }
+    const std::size_t mask = index_.size() - 1;
+    std::size_t i = hashKey(key) & mask;
+    while (index_[i].handle != kInvalidElement) {
+        i = (i + 1) & mask;
+    }
+    index_[i] = IndexSlot{key, h};
+    ++index_used_;
 }
 
 ElementHandle
@@ -28,27 +72,29 @@ AgingStore::ensure(ResourceId id,
     const std::uint64_t key = id.key();
     {
         std::shared_lock<std::shared_mutex> lock(mutex_);
-        const auto it = index_.find(key);
-        if (it != index_.end()) {
-            return it->second;
+        const ElementHandle h = lookup(key);
+        if (h != kInvalidElement) {
+            return h;
         }
     }
     RoutingElement fresh = make(id);
     std::unique_lock<std::shared_mutex> lock(mutex_);
-    const auto it = index_.find(key);
-    if (it != index_.end()) {
-        return it->second; // another thread won the race
+    const ElementHandle existing = lookup(key);
+    if (existing != kInvalidElement) {
+        return existing; // another thread won the race
     }
-    if (count_ == kInvalidElement) {
+    const std::uint32_t count = count_.load(std::memory_order_relaxed);
+    if (count == kInvalidElement) {
         util::fatal("AgingStore: element capacity exhausted");
     }
-    if ((count_ >> kChunkShift) == chunks_.size()) {
+    if ((count >> kChunkShift) == chunks_.size()) {
         chunks_.push_back(std::make_unique<Chunk>());
     }
-    const ElementHandle h = count_;
+    const ElementHandle h = count;
     new (slot(h)) RoutingElement(std::move(fresh));
-    ++count_;
-    index_.emplace(key, h);
+    // Publish only after the element is constructed (see size()).
+    count_.store(count + 1, std::memory_order_release);
+    indexInsert(key, h);
     return h;
 }
 
@@ -56,15 +102,14 @@ ElementHandle
 AgingStore::find(std::uint64_t key) const
 {
     std::shared_lock<std::shared_mutex> lock(mutex_);
-    const auto it = index_.find(key);
-    return it == index_.end() ? kInvalidElement : it->second;
+    return lookup(key);
 }
 
 RoutingElement &
 AgingStore::at(ElementHandle h)
 {
     std::shared_lock<std::shared_mutex> lock(mutex_);
-    if (h >= count_) {
+    if (h >= size()) {
         util::fatal("AgingStore::at: handle out of range");
     }
     return *slot(h);
@@ -74,7 +119,7 @@ const RoutingElement &
 AgingStore::at(ElementHandle h) const
 {
     std::shared_lock<std::shared_mutex> lock(mutex_);
-    if (h >= count_) {
+    if (h >= size()) {
         util::fatal("AgingStore::at: handle out of range");
     }
     return *slot(h);
@@ -84,9 +129,10 @@ std::vector<ResourceId>
 AgingStore::sortedIds() const
 {
     std::shared_lock<std::shared_mutex> lock(mutex_);
+    const std::uint32_t count = count_.load(std::memory_order_relaxed);
     std::vector<std::uint64_t> keys;
-    keys.reserve(count_);
-    for (std::uint32_t h = 0; h < count_; ++h) {
+    keys.reserve(count);
+    for (std::uint32_t h = 0; h < count; ++h) {
         keys.push_back(slot(h)->id().key());
     }
     std::sort(keys.begin(), keys.end());

@@ -21,11 +21,11 @@
 #ifndef PENTIMENTO_FABRIC_AGING_STORE_HPP
 #define PENTIMENTO_FABRIC_AGING_STORE_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <shared_mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "fabric/resource.hpp"
@@ -52,8 +52,15 @@ class AgingStore
     AgingStore(const AgingStore &) = delete;
     AgingStore &operator=(const AgingStore &) = delete;
 
-    /** Number of materialised elements. */
-    std::size_t size() const;
+    /** Number of materialised elements. Lock-free: the count only
+     *  grows, and it is published (release) after the element is
+     *  constructed, so a reader that observes handle h < size() can
+     *  always dereference it. Called once per recorded aging span. */
+    std::size_t
+    size() const
+    {
+        return count_.load(std::memory_order_acquire);
+    }
 
     /**
      * Handle for id, materialising via `make` when absent. `make` runs
@@ -116,9 +123,40 @@ class AgingStore
                (h & kChunkMask);
     }
 
+    /**
+     * Open-addressing key index: a power-of-two probe table of
+     * (key, handle) with handle == kInvalidElement marking empty
+     * slots. Keys are never erased, so linear probing needs no
+     * tombstones; the flat layout keeps the bind/materialise paths —
+     * a hash probe per configured element per design load — off the
+     * node-allocating std::unordered_map.
+     */
+    struct IndexSlot
+    {
+        std::uint64_t key = 0;
+        ElementHandle handle = kInvalidElement;
+    };
+
+    static std::uint64_t
+    hashKey(std::uint64_t key)
+    {
+        // splitmix64 finaliser: full-avalanche mix of the packed id.
+        key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        key = (key ^ (key >> 27)) * 0x94d049bb133111ebULL;
+        return key ^ (key >> 31);
+    }
+
+    /** Probe for key (caller holds a lock). */
+    ElementHandle lookup(std::uint64_t key) const;
+
+    /** Insert key -> h, growing as needed (caller holds the unique
+     *  lock). */
+    void indexInsert(std::uint64_t key, ElementHandle h);
+
     std::vector<std::unique_ptr<Chunk>> chunks_;
-    std::uint32_t count_ = 0;
-    std::unordered_map<std::uint64_t, ElementHandle> index_;
+    std::atomic<std::uint32_t> count_ = 0;
+    std::vector<IndexSlot> index_;
+    std::uint32_t index_used_ = 0;
     mutable std::shared_mutex mutex_;
 };
 

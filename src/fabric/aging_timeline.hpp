@@ -26,6 +26,7 @@
 #define PENTIMENTO_FABRIC_AGING_TIMELINE_HPP
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "phys/bti.hpp"
@@ -40,6 +41,27 @@ struct AgingSegment
     double duration_h = 0.0;
     /** Arrhenius stress/recovery factors in effect over the span. */
     phys::AgingStepContext ctx;
+};
+
+/**
+ * Pre-reduced effective hours of a run of closed segments.
+ *
+ * BtiState accrues *effective hours* additively, and between two
+ * activity flips an element's activity is constant, so a run of n
+ * segments collapses into one pair of totals: Σ duration·stress_accel
+ * and Σ duration·recovery_accel. Applying the totals once replaces n
+ * per-segment updates — this is what makes replaying months of
+ * varying-ambient cloud segments O(1) per element. The totals are a
+ * pure function of the segment contents (plain left-to-right sums),
+ * so they are partition-invariant exactly like the segments
+ * themselves; relative to one-update-per-segment replay they
+ * re-associate the floating-point sums, which long-run callers accept
+ * (short runs replay per segment so bit-exact goldens are untouched).
+ */
+struct RunTotals
+{
+    double stress_eff_h = 0.0;
+    double recovery_eff_h = 0.0;
 };
 
 /**
@@ -110,6 +132,42 @@ class AgingTimeline
         closed_.erase(closed_.begin(),
                       closed_.begin() + static_cast<std::ptrdiff_t>(
                                             count));
+        ++revision_;
+    }
+
+    /**
+     * Effective-hour totals of closed segments [from, to).
+     *
+     * O(run length) on the first request for a range, O(1) for every
+     * element that shares it afterwards — flips and measurement syncs
+     * replay whole route/design cohorts whose elements share their
+     * last-sync position, so the memo turns an
+     * O(elements × segments) flush into O(elements + segments).
+     * Thread-safe: concurrent replays (parallel service-wear sweeps)
+     * hit the memo under its own mutex.
+     */
+    RunTotals
+    runTotals(std::uint32_t from, std::uint32_t to) const
+    {
+        const std::lock_guard<std::mutex> lock(memo_mutex_);
+        if (memo_valid_ && memo_revision_ == revision_ &&
+            memo_from_ == from && memo_to_ == to) {
+            return memo_totals_;
+        }
+        RunTotals totals;
+        for (std::uint32_t k = from; k < to; ++k) {
+            const AgingSegment &seg = closed_[k];
+            totals.stress_eff_h +=
+                seg.duration_h * seg.ctx.stress_accel;
+            totals.recovery_eff_h +=
+                seg.duration_h * seg.ctx.recovery_accel;
+        }
+        memo_totals_ = totals;
+        memo_from_ = from;
+        memo_to_ = to;
+        memo_revision_ = revision_;
+        memo_valid_ = true;
+        return totals;
     }
 
   private:
@@ -117,6 +175,15 @@ class AgingTimeline
     phys::AgingStepContext open_ctx_;
     util::CompensatedSum open_h_;
     bool open_valid_ = false;
+    /** Bumped whenever closed-segment indices shift (compaction). */
+    std::uint64_t revision_ = 0;
+    /** Single-range memo for runTotals (guarded by memo_mutex_). */
+    mutable std::mutex memo_mutex_;
+    mutable RunTotals memo_totals_;
+    mutable std::uint32_t memo_from_ = 0;
+    mutable std::uint32_t memo_to_ = 0;
+    mutable std::uint64_t memo_revision_ = 0;
+    mutable bool memo_valid_ = false;
 };
 
 } // namespace pentimento::fabric

@@ -92,12 +92,24 @@ Device::replayHandle(ElementHandle h)
     const std::uint32_t end = timeline_.position();
     std::uint32_t pos = synced_[h];
     if (pos != end) {
-        const auto &closed = timeline_.closed();
         RoutingElement &elem = store_.sweepAt(h);
         const ElementActivity &activity = live_[h];
-        for (; pos < end; ++pos) {
-            elem.age(config_.bti, closed[pos].ctx, activity,
-                     closed[pos].duration_h);
+        if (end - pos >= kReduceRunThreshold) {
+            // Long constant-activity run: one update from the
+            // timeline's pre-reduced effective-hour totals. The memo
+            // makes this O(elements + segments) per flush instead of
+            // O(elements x segments) — the difference between a
+            // fleet-year wipe costing milliseconds and seconds.
+            const RunTotals totals = timeline_.runTotals(pos, end);
+            elem.ageEffective(config_.bti, activity,
+                              totals.stress_eff_h,
+                              totals.recovery_eff_h);
+        } else {
+            const auto &closed = timeline_.closed();
+            for (; pos < end; ++pos) {
+                elem.age(config_.bti, closed[pos].ctx, activity,
+                         closed[pos].duration_h);
+            }
         }
         synced_[h] = end;
     }
@@ -106,6 +118,11 @@ Device::replayHandle(ElementHandle h)
 void
 Device::syncHandles(const ElementHandle *handles, std::size_t count)
 {
+    // Deferred idle time (cloud instances) must land on the timeline
+    // before any element state is replayed. No-op outside deferral,
+    // and deferral never coexists with the concurrent measurement
+    // fan-out (a loaded design forces eager advancement).
+    flushExternalTime();
     // Serialises against concurrent syncs from the per-sensor
     // measurement fan-out (unconditionally: a lock-free pre-check
     // would race with close()/replay under the lock). The lock is
@@ -114,8 +131,14 @@ Device::syncHandles(const ElementHandle *handles, std::size_t count)
     // never get here.
     const std::lock_guard<std::mutex> lock(sync_mutex_);
     timeline_.close();
+    // Hoisted already-synced guard: the second polarity's arrival
+    // walk of a measurement sweep re-syncs the same handles, so half
+    // of all calls see every element current.
+    const std::uint32_t end = timeline_.position();
     for (std::size_t i = 0; i < count; ++i) {
-        replayHandle(handles[i]);
+        if (synced_[handles[i]] != end) {
+            replayHandle(handles[i]);
+        }
     }
     // Steady-state advance+query workloads never reload a design, so
     // this is their only chance to drop fully-consumed history.
@@ -226,6 +249,9 @@ Device::loadDesign(std::shared_ptr<const Design> design)
     if (!design) {
         util::fatal("Device::loadDesign: null design");
     }
+    // Activity flips are segment boundaries: deferred idle spans must
+    // precede them on the timeline.
+    flushExternalTime();
     if (design_ == design && activity_design_ == design &&
         activity_revision_ == design->revision() &&
         covered_slab_ == store_.size()) {
@@ -233,13 +259,10 @@ Device::loadDesign(std::shared_ptr<const Design> design)
         // changes, so neither the timeline nor the epoch moves.
         return;
     }
-    // Materialise every element the design configures so that aging
-    // accrues from the moment the design starts running — a victim's
-    // routes must burn in even if nothing ever reads their delay.
-    for (const auto &[key, activity] : design->activityMap()) {
-        (void)activity;
-        (void)bindElement(ResourceId::fromKey(key));
-    }
+    // applyDesignActivity resolves (and thereby materialises) every
+    // element the design configures, so aging accrues from the moment
+    // the design starts running — a victim's routes must burn in even
+    // if nothing ever reads their delay.
     design_ = std::move(design);
     applyDesignActivity();
     maybeCompactTimeline();
@@ -249,23 +272,25 @@ Device::loadDesign(std::shared_ptr<const Design> design)
 void
 Device::wipe()
 {
+    flushExternalTime();
     // Clears the configuration only. Aging — the pentimento — stays,
     // but the configured elements' activity flips to released: their
     // pending burn time is replayed first, then recovery begins.
     bool closed = false;
-    for (const std::uint64_t key : configured_keys_) {
-        const ElementHandle h = store_.find(key);
-        if (h == kInvalidElement || live_[h] == kUnusedActivity) {
-            continue;
+    if (configured_ != nullptr) {
+        for (const ElementHandle h : configured_->handles) {
+            if (live_[h] == kUnusedActivity) {
+                continue;
+            }
+            if (!closed) {
+                timeline_.close();
+                closed = true;
+            }
+            replayHandle(h);
+            live_[h] = kUnusedActivity;
         }
-        if (!closed) {
-            timeline_.close();
-            closed = true;
-        }
-        replayHandle(h);
-        live_[h] = kUnusedActivity;
     }
-    configured_keys_.clear();
+    configured_.reset();
     design_.reset();
     activity_design_.reset();
     activity_revision_ = 0;
@@ -274,48 +299,78 @@ Device::wipe()
     ++state_epoch_;
 }
 
+std::shared_ptr<const Device::ResolvedDesign>
+Device::resolveResidentDesign()
+{
+    // Resolution materialises every configured element — including
+    // ones a design acquired by in-place mutation after loading.
+    // (Under PR 3 such elements materialised only when first bound;
+    // binding them at the next activity sync instead means they burn
+    // from the moment the mutated design runs, which is loadDesign's
+    // documented contract. Aging for already-materialised elements is
+    // unchanged.)
+    for (const auto &entry : resolved_designs_) {
+        if (entry != nullptr && entry->design == design_ &&
+            entry->revision == design_->revision() &&
+            entry->slab == store_.size()) {
+            return entry;
+        }
+    }
+    auto entry = std::make_shared<ResolvedDesign>();
+    entry->design = design_;
+    entry->revision = design_->revision();
+    const auto &map = design_->activityMap();
+    entry->handles.reserve(map.size());
+    entry->activities.reserve(map.size());
+    for (const auto &[key, activity] : map) {
+        entry->activities.push_back(activity);
+        entry->handles.push_back(bindElement(ResourceId::fromKey(key)));
+    }
+    // Slab size after binding: a hit means nothing materialised since.
+    entry->slab = store_.size();
+    resolved_designs_[resolved_lru_] = entry;
+    resolved_lru_ ^= 1;
+    return entry;
+}
+
 void
 Device::applyDesignActivity()
 {
+    const std::shared_ptr<const ResolvedDesign> resolved =
+        resolveResidentDesign();
     // Collect the actual flips first so an unchanged (or merely
-    // revision-bumped) design never splits a timeline segment.
-    std::vector<std::pair<ElementHandle, ElementActivity>> changes;
-    const auto &map = design_->activityMap();
-    for (const std::uint64_t key : configured_keys_) {
-        if (map.find(key) != map.end()) {
-            continue; // still configured; handled below
-        }
-        const ElementHandle h = store_.find(key);
-        if (h == kInvalidElement || live_[h] == kUnusedActivity) {
-            continue;
-        }
-        changes.emplace_back(h, kUnusedActivity);
+    // revision-bumped) design never splits a timeline segment. The
+    // mark scratch implements "still configured by the new design"
+    // without a hash lookup per outgoing key.
+    flip_scratch_.clear();
+    ++mark_stamp_;
+    mark_scratch_.resize(store_.size(), 0);
+    for (const ElementHandle h : resolved->handles) {
+        mark_scratch_[h] = mark_stamp_;
     }
-    for (const auto &[key, activity] : map) {
-        const ElementHandle h = store_.find(key);
-        // Configured-but-unmaterialised elements (a design mutated in
-        // place after loading) carry no aging state yet; once they
-        // materialise, the slab-growth check folds them in.
-        if (h == kInvalidElement) {
-            continue;
-        }
-        if (!(live_[h] == activity)) {
-            changes.emplace_back(h, activity);
+    if (configured_ != nullptr) {
+        for (const ElementHandle h : configured_->handles) {
+            if (mark_scratch_[h] == mark_stamp_ ||
+                live_[h] == kUnusedActivity) {
+                continue;
+            }
+            flip_scratch_.emplace_back(h, kUnusedActivity);
         }
     }
-    if (!changes.empty()) {
+    for (std::size_t i = 0; i < resolved->handles.size(); ++i) {
+        const ElementHandle h = resolved->handles[i];
+        if (!(live_[h] == resolved->activities[i])) {
+            flip_scratch_.emplace_back(h, resolved->activities[i]);
+        }
+    }
+    if (!flip_scratch_.empty()) {
         timeline_.close();
-        for (const auto &[h, activity] : changes) {
+        for (const auto &[h, activity] : flip_scratch_) {
             replayHandle(h);
             live_[h] = activity;
         }
     }
-    configured_keys_.clear();
-    configured_keys_.reserve(map.size());
-    for (const auto &[key, activity] : map) {
-        (void)activity;
-        configured_keys_.push_back(key);
-    }
+    configured_ = resolved;
     activity_design_ = design_;
     activity_revision_ = design_->revision();
     covered_slab_ = store_.size();
@@ -382,18 +437,13 @@ Device::sweepElements(std::size_t count,
 }
 
 void
-Device::advance(double dt_h, phys::ThermalEnvironment &thermal)
+Device::recordSpan(double dt_h, double die_temp_k, bool credit_elapsed)
 {
-    if (dt_h < 0.0) {
-        util::fatal("Device::advance: negative time step");
-    }
-    const double power = design_ ? design_->powerW() : 0.0;
-    const double temp_k = thermal.step(power, dt_h);
     // In-place design mutations since the last call flip their
     // elements' activity *before* the new span accrues.
     syncActivityWithDesign();
     if (store_.size() != 0) {
-        timeline_.append(dt_h, ctx_cache_.get(config_.bti, temp_k));
+        timeline_.append(dt_h, ctx_cache_.get(config_.bti, die_temp_k));
         // Long-idle boards (cloud ambient drift opens ~one segment
         // per hour) trim their fully-consumed prefix here; the
         // watermark keeps this O(1) between amortised scans.
@@ -401,8 +451,59 @@ Device::advance(double dt_h, phys::ThermalEnvironment &thermal)
     }
     // (An empty fabric records nothing: elements materialised later
     // are pristine and released, so the skipped spans are no-ops.)
+    if (credit_elapsed) {
+        elapsed_h_.add(dt_h);
+    }
+    ++state_epoch_;
+}
+
+void
+Device::advance(double dt_h, phys::ThermalEnvironment &thermal)
+{
+    if (!(dt_h >= 0.0)) {
+        util::fatal("Device::advance: negative time step");
+    }
+    flushExternalTime();
+    const double power = design_ ? design_->powerW() : 0.0;
+    recordSpan(dt_h, thermal.step(power, dt_h), true);
+}
+
+void
+Device::advanceAt(double dt_h, double die_temp_k)
+{
+    if (!(dt_h >= 0.0)) {
+        util::fatal("Device::advanceAt: negative time step");
+    }
+    if (!(die_temp_k > 0.0) || !std::isfinite(die_temp_k)) {
+        util::fatal("Device::advanceAt: bad die temperature");
+    }
+    // Deferred idle spans must precede this span on the timeline
+    // (no-op re-entrancy: the flush resets its backlog before
+    // walking, and its own spans arrive via ingestSegment).
+    flushExternalTime();
+    recordSpan(dt_h, die_temp_k, true);
+}
+
+void
+Device::creditIdleHours(double dt_h)
+{
+    if (!(dt_h >= 0.0)) {
+        util::fatal("Device::creditIdleHours: negative time step");
+    }
     elapsed_h_.add(dt_h);
     ++state_epoch_;
+}
+
+void
+Device::ingestSegment(double dt_h, double die_temp_k)
+{
+    if (!(dt_h >= 0.0)) {
+        util::fatal("Device::ingestSegment: negative time step");
+    }
+    if (!(die_temp_k > 0.0) || !std::isfinite(die_temp_k)) {
+        util::fatal("Device::ingestSegment: bad die temperature");
+    }
+    recordSpan(dt_h, die_temp_k, false);
 }
 
 void
@@ -414,6 +515,7 @@ Device::applyServiceWear(double hours, double duty_one)
     if (hours == 0.0) {
         return;
     }
+    flushExternalTime();
     timeline_.close();
     const phys::AgingStepContext &ctx =
         ctx_cache_.get(config_.bti, config_.bti.reference_temp_k);

@@ -40,6 +40,7 @@
 #define PENTIMENTO_FABRIC_DEVICE_HPP
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -232,6 +233,49 @@ class Device
     void advance(double dt_h, phys::ThermalEnvironment &thermal);
 
     /**
+     * advance() with the die temperature already computed by the
+     * caller — the segment-ingestion form the cloud instance's
+     * event-driven walk uses: one externally-coalesced span between
+     * ambient events becomes one timeline segment, with no
+     * ThermalEnvironment virtual dispatch on the walk.
+     */
+    void advanceAt(double dt_h, double die_temp_k);
+
+    /**
+     * Credit simulated hours without recording aging segments — the
+     * first half of the deferred-time protocol. The caller owes the
+     * timeline matching ingestSegment() spans totalling dt_h before
+     * anything observes an element (the cloud instance flushes via
+     * the pre-observation hook). Bumps the state epoch so derived-
+     * value caches can never serve results that predate the credit.
+     */
+    void creditIdleHours(double dt_h);
+
+    /**
+     * Record one externally-coalesced aging span whose wall-clock
+     * hours were already credited with creditIdleHours() — the second
+     * half of the deferred-time protocol. Identical timeline effect
+     * to advanceAt(), without double-counting elapsed time. This IS
+     * the pre-observation flush's delivery channel (deliberately not
+     * hooked); all other span producers should use advanceAt().
+     */
+    void ingestSegment(double dt_h, double die_temp_k);
+
+    /**
+     * Install a hook invoked before any observation that reads or
+     * flips element aging state (element sync, design load, wipe,
+     * service wear, advance). The cloud instance uses it to
+     * materialise deferred idle time, so direct Device consumers
+     * (bound Routes, TDCs) can never read state that is missing
+     * deferred spans. Pass nullptr to detach.
+     */
+    void
+    setPreObservationHook(std::function<void()> hook)
+    {
+        pre_observation_hook_ = std::move(hook);
+    }
+
+    /**
      * Pre-age the whole allocated fabric (used to model years of
      * anonymous prior service; complements the fresh-scale derating).
      */
@@ -251,6 +295,19 @@ class Device
   private:
     RoutingElement makeElement(ResourceId id) const;
 
+    /** Run the pre-observation hook (deferred-time flush), if any. */
+    void
+    flushExternalTime()
+    {
+        if (pre_observation_hook_) {
+            pre_observation_hook_();
+        }
+    }
+
+    /** Shared body of advance/advanceAt/ingestSegment. */
+    void recordSpan(double dt_h, double die_temp_k,
+                    bool credit_elapsed);
+
     /**
      * Fold the resident design's activity map into the elements' live
      * activities. Runs when the design is (re)loaded, when its
@@ -263,6 +320,28 @@ class Device
 
     /** applyDesignActivity only if design/revision/slab changed. */
     void syncActivityWithDesign();
+
+    /**
+     * A design's activity map resolved to dense element handles (and
+     * materialised in the process). Cached per (design identity,
+     * revision, slab size) so the attack-phase measure/park
+     * alternation — the same two designs swapped every sweep — never
+     * re-hashes a thousand resource keys per load. Holding the
+     * shared_ptr keeps identity comparison sound.
+     */
+    struct ResolvedDesign
+    {
+        std::shared_ptr<const Design> design;
+        std::uint64_t revision = 0;
+        std::size_t slab = 0;
+        std::vector<ElementHandle> handles;
+        std::vector<ElementActivity> activities;
+    };
+
+    /** Resolution for the resident design (cache hit or rebuild).
+     *  Shared ownership: the applied-configuration snapshot
+     *  (configured_) aliases the cache entry, surviving eviction. */
+    std::shared_ptr<const ResolvedDesign> resolveResidentDesign();
 
     /** Replay closed segments into one element (lock held/exclusive). */
     void replayHandle(ElementHandle h);
@@ -294,6 +373,15 @@ class Device
     std::vector<std::uint32_t> synced_;
     /** Closed-segment count at which compaction first runs. */
     static constexpr std::size_t kCompactThreshold = 64;
+    /**
+     * Run length (segments) above which replayHandle applies the
+     * timeline's pre-reduced effective-hour totals instead of one
+     * update per segment. Short runs — everything the bit-exact
+     * regression goldens exercise — keep the historical per-segment
+     * arithmetic; long runs (months of varying-ambient cloud
+     * segments) collapse to one update per element.
+     */
+    static constexpr std::uint32_t kReduceRunThreshold = 16;
     /** Closed-segment count that re-arms compaction (geometric
      *  back-off so a pinned stale element cannot make every sync pay
      *  an O(elements) min-position scan). */
@@ -307,12 +395,29 @@ class Device
     std::shared_ptr<const Design> activity_design_;
     std::uint64_t activity_revision_ = 0;
     std::size_t covered_slab_ = 0;
-    /** Keys configured by the resident design at the last activity
-     *  sync — the set that must flip to Unused on wipe/replace. */
-    std::vector<std::uint64_t> configured_keys_;
+    /** Resolution applied at the last activity sync — the element
+     *  set that must flip to Unused on wipe/replace. Null when no
+     *  configuration has been applied. */
+    std::shared_ptr<const ResolvedDesign> configured_;
+    /** Two-slot LRU of resolved designs (see ResolvedDesign). */
+    std::shared_ptr<const ResolvedDesign> resolved_designs_[2];
+    std::uint8_t resolved_lru_ = 0;
+    /** Handle-indexed mark scratch for set differences in
+     *  applyDesignActivity (stamp = mark_stamp_). */
+    std::vector<std::uint64_t> mark_scratch_;
+    std::uint64_t mark_stamp_ = 0;
+    /** Reused flip-collection scratch (applyDesignActivity). */
+    std::vector<std::pair<ElementHandle, ElementActivity>>
+        flip_scratch_;
     /** Serialises timeline closes + element replays triggered from
      *  concurrent read paths (measurement fan-out). */
     std::mutex sync_mutex_;
+    /** Deferred-time flush, installed by the owning cloud instance.
+     *  Invoked single-threaded by construction: deferral only happens
+     *  while a board is idle and unobserved, and the concurrent
+     *  measurement fan-out only runs on boards whose deferral was
+     *  flushed when their design loaded. */
+    std::function<void()> pre_observation_hook_;
     util::ThreadPool *pool_ = nullptr;
 };
 

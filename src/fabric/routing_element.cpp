@@ -60,6 +60,30 @@ RoutingElement::age(const phys::BtiParams &bti,
     }
 }
 
+void
+RoutingElement::ageEffective(const phys::BtiParams &bti,
+                             const ElementActivity &activity,
+                             double stress_eff_h, double recovery_eff_h)
+{
+    switch (activity.kind) {
+      case Activity::Hold0:
+        aging_.holdStaticEffective(bti, false, stress_eff_h,
+                                   recovery_eff_h);
+        break;
+      case Activity::Hold1:
+        aging_.holdStaticEffective(bti, true, stress_eff_h,
+                                   recovery_eff_h);
+        break;
+      case Activity::Toggle:
+        aging_.holdTogglingEffective(bti, activity.duty_one,
+                                     stress_eff_h);
+        break;
+      case Activity::Unused:
+        aging_.releaseEffective(bti, recovery_eff_h);
+        break;
+    }
+}
+
 double
 RoutingElement::deltaVth(const phys::BtiParams &bti,
                          phys::TransistorType type) const

@@ -103,6 +103,17 @@ class RoutingElement
     void age(const phys::BtiParams &bti, const phys::AgingStepContext &ctx,
              const ElementActivity &activity, double dt_h);
 
+    /**
+     * Apply a whole run of constant-activity segments in one update,
+     * given the run's pre-reduced effective stress/recovery hours
+     * (Σ duration·accel over the run). The segment-timeline replay
+     * uses this for long runs so a flip after months of hourly cloud
+     * segments costs O(1) per element instead of O(segments).
+     */
+    void ageEffective(const phys::BtiParams &bti,
+                      const ElementActivity &activity,
+                      double stress_eff_h, double recovery_eff_h);
+
     /** Threshold shift of one transistor (volts). */
     double deltaVth(const phys::BtiParams &bti,
                     phys::TransistorType type) const;

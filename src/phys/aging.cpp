@@ -65,6 +65,39 @@ ElementAging::release(const BtiParams &p, const AgingStepContext &ctx,
     pmos_.applyRecovery(p.nbti, dt_h * ctx.recovery_accel);
 }
 
+void
+ElementAging::holdStaticEffective(const BtiParams &p, bool value,
+                                  double stress_eff_h,
+                                  double recovery_eff_h)
+{
+    if (value) {
+        nmos_.applyStress(p.pbti, scale_, stress_eff_h);
+        pmos_.applyRecovery(p.nbti, recovery_eff_h);
+    } else {
+        pmos_.applyStress(p.nbti, scale_, stress_eff_h);
+        nmos_.applyRecovery(p.pbti, recovery_eff_h);
+    }
+}
+
+void
+ElementAging::holdTogglingEffective(const BtiParams &p, double duty_one,
+                                    double stress_eff_h)
+{
+    if (duty_one < 0.0 || duty_one > 1.0) {
+        util::fatal(
+            "ElementAging::holdTogglingEffective: duty outside [0,1]");
+    }
+    nmos_.applyStress(p.pbti, scale_, stress_eff_h * duty_one);
+    pmos_.applyStress(p.nbti, scale_, stress_eff_h * (1.0 - duty_one));
+}
+
+void
+ElementAging::releaseEffective(const BtiParams &p, double recovery_eff_h)
+{
+    nmos_.applyRecovery(p.pbti, recovery_eff_h);
+    pmos_.applyRecovery(p.nbti, recovery_eff_h);
+}
+
 const BtiState &
 ElementAging::state(TransistorType type) const
 {

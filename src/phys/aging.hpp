@@ -68,6 +68,20 @@ class ElementAging
     void release(const BtiParams &p, const AgingStepContext &ctx,
                  double dt_h);
 
+    /**
+     * Pre-reduced forms: the caller supplies the *effective* stress
+     * and recovery hours already summed over a run of constant-
+     * activity segments (Σ duration·accel), so a run of any length is
+     * one state update. Identical state-machine transitions to the
+     * per-segment forms — the single difference is the association of
+     * the effective-hour sums.
+     */
+    void holdStaticEffective(const BtiParams &p, bool value,
+                             double stress_eff_h, double recovery_eff_h);
+    void holdTogglingEffective(const BtiParams &p, double duty_one,
+                               double stress_eff_h);
+    void releaseEffective(const BtiParams &p, double recovery_eff_h);
+
     /** Threshold shift of the chosen transistor, in volts.
      *  Header-inline: innermost call of every aged-delay read. */
     double

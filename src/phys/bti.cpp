@@ -60,9 +60,16 @@ AgingStepContext::AgingStepContext(const BtiParams &params,
     : stress_accel(arrheniusAccel(params.stress_activation_ev,
                                   temperature_k,
                                   params.reference_temp_k)),
-      recovery_accel(arrheniusAccel(params.recovery_activation_ev,
-                                    temperature_k,
-                                    params.reference_temp_k))
+      // Equal activation energies (the calibrated default) make the
+      // two factors the same exp(): reuse it instead of recomputing —
+      // bit-identical, and the cloud walk constructs one context per
+      // ambient event per board.
+      recovery_accel(
+          params.recovery_activation_ev == params.stress_activation_ev
+              ? stress_accel
+              : arrheniusAccel(params.recovery_activation_ev,
+                               temperature_k,
+                               params.reference_temp_k))
 {
 }
 

@@ -81,6 +81,27 @@ class PackageThermalModel : public ThermalEnvironment
     /** Current ambient temperature. */
     double ambientK() const { return ambient_k_; }
 
+    /** Steady-state die temperature at the given dissipated power. */
+    double
+    settleK(double power_w) const
+    {
+        return ambient_k_ + r_thermal_ * power_w;
+    }
+
+    /**
+     * True when a span of dt hours fully relaxes the die: the
+     * first-order decay term underflows below half an ulp of any
+     * kelvin-scale target, so step() lands bit-exactly on settleK()
+     * without evaluating the exponential. The event-driven cloud walk
+     * passes whole ambient cells (hours) through here with a thermal
+     * time constant of seconds, so this is the common case.
+     */
+    bool
+    fullyRelaxes(double dt_h) const
+    {
+        return dt_h >= 64.0 * tau_h_;
+    }
+
   private:
     double ambient_k_;
     double r_thermal_;

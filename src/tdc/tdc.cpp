@@ -151,12 +151,36 @@ Tdc::sampleHamming(const std::vector<double> &arrivals, double theta_ps,
     const auto x = [&](double arrival) {
         return (theta_eff - arrival) / w;
     };
-    const auto first_unpassed = std::partition_point(
+    // The division in x() dominates a binary search (one divide per
+    // probe), so locate each boundary with division-free approximate
+    // predicates first and then fix up with the exact predicate: the
+    // two forms can only disagree within an ulp of the aperture
+    // edges, so the fixup loops run 0-1 iterations and the result —
+    // including which taps consume bernoulli draws — is bit-identical
+    // to probing with x() directly.
+    const double hi_cut = theta_eff - 0.5 * w; // x >= 0.5 ~ a <= hi
+    const double lo_cut = theta_eff + 0.5 * w; // x > -0.5 ~ a < lo
+    auto first_unpassed = std::partition_point(
         arrivals.begin(), arrivals.end(),
-        [&](double arrival) { return x(arrival) >= 0.5; });
-    const auto first_missed = std::partition_point(
+        [&](double arrival) { return arrival <= hi_cut; });
+    while (first_unpassed != arrivals.begin() &&
+           !(x(*(first_unpassed - 1)) >= 0.5)) {
+        --first_unpassed;
+    }
+    while (first_unpassed != arrivals.end() &&
+           x(*first_unpassed) >= 0.5) {
+        ++first_unpassed;
+    }
+    auto first_missed = std::partition_point(
         first_unpassed, arrivals.end(),
-        [&](double arrival) { return x(arrival) > -0.5; });
+        [&](double arrival) { return arrival < lo_cut; });
+    while (first_missed != first_unpassed &&
+           !(x(*(first_missed - 1)) > -0.5)) {
+        --first_missed;
+    }
+    while (first_missed != arrivals.end() && x(*first_missed) > -0.5) {
+        ++first_missed;
+    }
     std::size_t passed =
         static_cast<std::size_t>(first_unpassed - arrivals.begin());
     for (auto it = first_unpassed; it != first_missed; ++it) {
@@ -200,6 +224,22 @@ Tdc::takeTrace(phys::Transition polarity, double theta_ps, double temp_k,
 }
 
 double
+Tdc::meanTraceHamming(phys::Transition polarity, double theta_ps,
+                      double temp_k, util::Rng &rng) const
+{
+    const std::vector<double> &arrivals =
+        cachedArrivalsPs(polarity, temp_k);
+    // Identical accumulation to util::mean over the trace vector
+    // (Welford, samples in draw order) — bit-for-bit the same mean.
+    util::RunningStats stats;
+    for (int s = 0; s < config_.samples_per_trace; ++s) {
+        stats.add(static_cast<double>(
+            sampleHamming(arrivals, theta_ps, rng)));
+    }
+    return stats.mean();
+}
+
+double
 Tdc::calibrate(double temp_k, util::Rng &rng)
 {
     // The physical procedure iteratively reduces θ until the fronts
@@ -213,8 +253,8 @@ Tdc::calibrate(double temp_k, util::Rng &rng)
     double hi = route_.target_ps * 2.0 + span + 2000.0;
 
     const auto meanHdAt = [&](double theta) {
-        return takeTrace(phys::Transition::Rising, theta, temp_k, rng)
-            .meanHamming();
+        return meanTraceHamming(phys::Transition::Rising, theta, temp_k,
+                                rng);
     };
 
     for (int iter = 0; iter < 48 && hi - lo > 0.25; ++iter) {
@@ -232,9 +272,8 @@ Tdc::calibrate(double temp_k, util::Rng &rng)
     const double hi_taps =
         static_cast<double>(config_.taps - config_.calibration_margin);
     for (int iter = 0; iter < 32; ++iter) {
-        const double fall =
-            takeTrace(phys::Transition::Falling, theta, temp_k, rng)
-                .meanHamming();
+        const double fall = meanTraceHamming(phys::Transition::Falling,
+                                             theta, temp_k, rng);
         if (fall < lo_taps) {
             theta += config_.ps_per_bit;
         } else if (fall > hi_taps) {
@@ -260,12 +299,10 @@ Tdc::measure(double temp_k, util::Rng &rng) const
         const double theta =
             theta_init_ -
             static_cast<double>(t) * config_.trace_theta_step_ps;
-        rise_traces.add(
-            takeTrace(phys::Transition::Rising, theta, temp_k, rng)
-                .meanHamming());
-        fall_traces.add(
-            takeTrace(phys::Transition::Falling, theta, temp_k, rng)
-                .meanHamming());
+        rise_traces.add(meanTraceHamming(phys::Transition::Rising,
+                                         theta, temp_k, rng));
+        fall_traces.add(meanTraceHamming(phys::Transition::Falling,
+                                         theta, temp_k, rng));
         seconds +=
             config_.retune_seconds +
             2.0 * config_.samples_per_trace * config_.sample_seconds;

@@ -207,6 +207,15 @@ class Tdc
     std::size_t sampleHamming(const std::vector<double> &arrivals,
                               double theta_ps, util::Rng &rng) const;
 
+    /**
+     * takeTrace(...).meanHamming() without materialising the Trace:
+     * same samples, same draws, same Welford accumulation — the form
+     * calibration and measurement loops use (tens of thousands of
+     * traces per fleet scan, none of which need the raw vector).
+     */
+    double meanTraceHamming(phys::Transition polarity, double theta_ps,
+                            double temp_k, util::Rng &rng) const;
+
     fabric::Device *device_;
     fabric::RouteSpec route_;
     fabric::RouteSpec chain_;

@@ -37,6 +37,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -85,6 +86,33 @@ class ThreadPool
      */
     void parallelFor(std::size_t begin, std::size_t end,
                      const std::function<void(std::size_t)> &body);
+
+    /**
+     * parallelFor for a callable that is not already a std::function:
+     * the serial path (no workers, or a single iteration) calls the
+     * body directly — fully inlinable, no type-erasure dispatch per
+     * iteration — and only the pooled fan-out pays the erasure. Same
+     * iteration order and semantics as the erased overload.
+     */
+    template <typename Body,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::decay_t<Body>, std::function<void(std::size_t)>>>>
+    void
+    parallelFor(std::size_t begin, std::size_t end, Body &&body)
+    {
+        if (begin >= end) {
+            return;
+        }
+        if (workerCount() == 0 || end - begin == 1) {
+            for (std::size_t i = begin; i < end; ++i) {
+                body(i);
+            }
+            return;
+        }
+        const std::function<void(std::size_t)> erased(
+            std::forward<Body>(body));
+        parallelFor(begin, end, erased);
+    }
 
     /**
      * Total lanes requested via PENTIMENTO_WORKERS, if set and valid

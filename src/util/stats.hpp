@@ -11,6 +11,7 @@
 #ifndef PENTIMENTO_UTIL_STATS_HPP
 #define PENTIMENTO_UTIL_STATS_HPP
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -23,8 +24,24 @@ namespace pentimento::util {
 class RunningStats
 {
   public:
-    /** Add one observation. */
-    void add(double x);
+    /** Add one observation. Header-inline: this is the innermost
+     *  accumulation of every TDC trace (millions of samples per
+     *  fleet scan). */
+    void
+    add(double x)
+    {
+        if (n_ == 0) {
+            min_ = x;
+            max_ = x;
+        } else {
+            min_ = std::min(min_, x);
+            max_ = std::max(max_, x);
+        }
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+    }
 
     /** Merge another accumulator into this one. */
     void merge(const RunningStats &other);

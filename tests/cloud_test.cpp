@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <memory>
+#include <vector>
 
 #include "cloud/ambient.hpp"
 #include "cloud/fingerprint.hpp"
@@ -86,6 +89,103 @@ TEST(Ambient, BadParamsFatal)
     params = {};
     params.sigma_k = -0.5;
     EXPECT_THROW(pc::AmbientModel(params, pu::Rng(1)), pu::FatalError);
+    params = {};
+    params.event_every_h = 0.0;
+    EXPECT_THROW(pc::AmbientModel(params, pu::Rng(1)), pu::FatalError);
+}
+
+// ------------------------------------------- event-driven ambient
+
+/** Split total hours into random multiples of 1/4 h (sums exactly). */
+std::vector<double>
+dyadicSpanPartition(double total_h, std::uint64_t seed)
+{
+    pu::Rng rng(seed);
+    auto ticks = static_cast<std::uint64_t>(total_h * 4.0);
+    std::vector<double> parts;
+    while (ticks > 0) {
+        const std::uint64_t take =
+            rng.uniformInt(1, std::min<std::uint64_t>(ticks, 96));
+        parts.push_back(static_cast<double>(take) / 4.0);
+        ticks -= take;
+    }
+    return parts;
+}
+
+TEST(Ambient, AdvanceIsLazyUntilObserved)
+{
+    pc::AmbientModel model({}, pu::Rng(5));
+    model.advance(1000.0);
+    EXPECT_EQ(model.committedEvents(), 0u);
+    EXPECT_EQ(model.pendingEvents(), 1000u);
+    model.ambientK();
+    EXPECT_EQ(model.committedEvents(), 1000u);
+    EXPECT_EQ(model.pendingEvents(), 0u);
+}
+
+TEST(Ambient, JumpMatchesHourlyStepsBitExactly)
+{
+    // The tentpole property: a 24 h jump produces the same
+    // temperature as 24 x 1 h observed steps — the draws are keyed to
+    // absolute event indices, not to the call pattern.
+    pc::AmbientModel hourly({}, pu::Rng(9));
+    pc::AmbientModel jump({}, pu::Rng(9));
+    double last = 0.0;
+    for (int h = 0; h < 24; ++h) {
+        last = hourly.step(1.0);
+    }
+    EXPECT_EQ(jump.step(24.0), last);
+    EXPECT_EQ(jump.committedEvents(), hourly.committedEvents());
+}
+
+TEST(Ambient, EventTracePartitionInvariant)
+{
+    // Random dyadic splits of a 30-day span: after any prefix, the
+    // temperature is bit-identical to a fresh model jumped straight
+    // to the same clock — the trace depends only on absolute time.
+    for (const std::uint64_t seed : {3u, 4u, 5u}) {
+        pc::AmbientModel split({}, pu::Rng(77));
+        double t = 0.0;
+        for (const double dt : dyadicSpanPartition(720.0, seed)) {
+            split.advance(dt);
+            t += dt;
+            pc::AmbientModel direct({}, pu::Rng(77));
+            direct.advance(t);
+            ASSERT_EQ(split.ambientK(), direct.ambientK())
+                << "prefix ending at t=" << t << " (seed " << seed
+                << ")";
+        }
+        EXPECT_DOUBLE_EQ(t, 720.0);
+    }
+}
+
+TEST(Ambient, StationaryMomentsOverManyEvents)
+{
+    // 1e5 events at the default hourly cadence: the exact transition
+    // must hold the stationary moments.
+    pc::AmbientParams params;
+    pc::AmbientModel model(params, pu::Rng(11));
+    pu::RunningStats stats;
+    for (int i = 0; i < 100000; ++i) {
+        stats.add(model.step(1.0));
+    }
+    EXPECT_NEAR(stats.mean(), params.mean_k, 0.05);
+    EXPECT_NEAR(stats.stddev(), params.sigma_k, 0.1);
+}
+
+TEST(Ambient, CoarseCadenceKeepsStationaryMoments)
+{
+    // A day-long event cadence (whole idle days coalesced into one
+    // draw) is still the exact OU transition: same stationary law.
+    pc::AmbientParams params;
+    params.event_every_h = 24.0;
+    pc::AmbientModel model(params, pu::Rng(13));
+    pu::RunningStats stats;
+    for (int i = 0; i < 100000; ++i) {
+        stats.add(model.step(24.0));
+    }
+    EXPECT_NEAR(stats.mean(), params.mean_k, 0.05);
+    EXPECT_NEAR(stats.stddev(), params.sigma_k, 0.1);
 }
 
 // ----------------------------------------------------------- instance
@@ -124,6 +224,80 @@ TEST(Instance, BadStepFatal)
                           pu::Rng(1));
     EXPECT_THROW(inst.advanceHours(-1.0), pu::FatalError);
     EXPECT_THROW(inst.advanceHours(1.0, 0.0), pu::FatalError);
+}
+
+TEST(Instance, DeferredIdleMatchesHourlyObservation)
+{
+    // An idle card advanced in one 240 h jump and observed once must
+    // be bit-identical to a twin advanced hour by hour with the die
+    // temperature read every hour: laziness is unobservable.
+    const auto config = smallRegion().device_template;
+    pc::FpgaInstance lazy("fpga-a", config, {}, pu::Rng(21));
+    pc::FpgaInstance eager("fpga-a", config, {}, pu::Rng(21));
+    double last = 0.0;
+    for (int h = 0; h < 240; ++h) {
+        eager.advanceHours(1.0);
+        last = eager.dieTempK();
+    }
+    lazy.advanceHours(240.0);
+    EXPECT_EQ(lazy.dieTempK(), last);
+    EXPECT_DOUBLE_EQ(lazy.device().elapsedHours(), 240.0);
+    EXPECT_DOUBLE_EQ(eager.device().elapsedHours(), 240.0);
+}
+
+/**
+ * The paper-shaped fleet scenario: burn a route for 72 h, provider
+ * wipe, idle in the pool for 30 days, then measure. The burn and the
+ * idle span are partitioned differently per run; the aged delay must
+ * not depend on the partition. Dyadic quarter-hour splits stay above
+ * the package model's full-relaxation horizon (~0.2 h at tau = 18 s),
+ * below which sub-partitioning a span changes the die temperature in
+ * the last ulp.
+ */
+double
+agedDelayAfterFleetScenario(const std::vector<double> &burn_parts,
+                            const std::vector<double> &idle_parts)
+{
+    pc::FpgaInstance inst("fpga-x", smallRegion().device_template, {},
+                          pu::Rng(31));
+    pf::Device &device = inst.device();
+    const pf::RouteSpec spec = device.allocateRoute("r", 1000.0);
+    auto design = std::make_shared<pf::Design>("burn");
+    design->setRouteValue(spec, true);
+    design->setPowerW(30.0);
+    device.loadDesign(design);
+    for (const double dt : burn_parts) {
+        inst.advanceHours(dt);
+    }
+    device.wipe();
+    for (const double dt : idle_parts) {
+        inst.advanceHours(dt);
+    }
+    // Read through a directly-bound Route: the device's
+    // pre-observation hook must flush the deferred idle backlog.
+    pf::Route route = device.bindRoute(spec);
+    return route.delayPs(pentimento::phys::Transition::Falling, 333.15);
+}
+
+TEST(Instance, PartitionInvariantAgedDelays)
+{
+    const std::vector<double> burn_jump{72.0};
+    const std::vector<double> idle_jump{720.0};
+    const double golden =
+        agedDelayAfterFleetScenario(burn_jump, idle_jump);
+    // Hourly burn + daily idle.
+    std::vector<double> burn_hourly(72, 1.0);
+    std::vector<double> idle_daily(30, 24.0);
+    EXPECT_EQ(agedDelayAfterFleetScenario(burn_hourly, idle_daily),
+              golden);
+    // Random dyadic splits of both spans.
+    for (const std::uint64_t seed : {41u, 42u, 43u}) {
+        EXPECT_EQ(agedDelayAfterFleetScenario(
+                      dyadicSpanPartition(72.0, seed),
+                      dyadicSpanPartition(720.0, seed + 100)),
+                  golden)
+            << "dyadic partition seed " << seed;
+    }
 }
 
 // -------------------------------------------------------- marketplace
@@ -325,6 +499,26 @@ TEST(Platform, AdvanceMovesClock)
     pc::CloudPlatform platform(smallRegion(2));
     platform.advanceHours(5.0);
     EXPECT_DOUBLE_EQ(platform.nowHours(), 5.0);
+}
+
+TEST(Platform, AdvanceBadArgsFatal)
+{
+    pc::CloudPlatform platform(smallRegion(2));
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(platform.advanceHours(-1.0), pu::FatalError);
+    EXPECT_THROW(platform.advanceHours(nan), pu::FatalError);
+    EXPECT_THROW(platform.advanceHours(inf), pu::FatalError);
+    EXPECT_THROW(platform.advanceHours(1.0, 0.0), pu::FatalError);
+    EXPECT_THROW(platform.advanceHours(1.0, -0.5), pu::FatalError);
+    EXPECT_THROW(platform.advanceHours(1.0, nan), pu::FatalError);
+    // Validation happens before any board advances: the clock (and
+    // the fleet) are untouched by the failed calls.
+    EXPECT_DOUBLE_EQ(platform.nowHours(), 0.0);
+    for (const auto &id : platform.allInstanceIds()) {
+        EXPECT_DOUBLE_EQ(
+            platform.instance(id).device().elapsedHours(), 0.0);
+    }
 }
 
 TEST(Platform, FleetAgesDifferently)

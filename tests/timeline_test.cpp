@@ -240,6 +240,66 @@ TEST(SegmentTimeline, WipeIsAnActivityBoundaryNotAnEraser)
     EXPECT_LT(route.btiShiftPs(pp::Transition::Falling), imprint);
 }
 
+TEST(SegmentTimeline, IngestedSpansMatchAdvance)
+{
+    // The externally-coalesced ingestion API (credit the hours now,
+    // hand the segments over later) must be indistinguishable from
+    // eager advance() at the same temperatures.
+    const auto run = [](bool ingested) {
+        pf::Device device(tinyConfig());
+        const pf::RouteSpec spec = device.allocateRoute("r", 500.0);
+        auto design = std::make_shared<pf::Design>("d");
+        design->setRouteValue(spec, true);
+        device.loadDesign(design);
+        const double temps[] = {333.15, 335.4, 331.9};
+        if (ingested) {
+            device.creditIdleHours(15.0);
+            for (const double t : temps) {
+                device.ingestSegment(5.0, t);
+            }
+        } else {
+            for (const double t : temps) {
+                pp::OvenEnvironment oven(t);
+                device.advance(5.0, oven);
+            }
+        }
+        pf::Route route = device.bindRoute(spec);
+        return std::pair(device.elapsedHours(),
+                         route.delayPs(pp::Transition::Falling, 333.15));
+    };
+    EXPECT_EQ(run(true), run(false));
+}
+
+TEST(SegmentTimeline, LongRunReductionIsPartitionInvariant)
+{
+    // A run long enough for the pre-reduced replay path (hundreds of
+    // distinct-temperature segments) must still be independent of how
+    // the span was partitioned into advance() calls.
+    const auto run = [](double step_h) {
+        pf::Device device(tinyConfig());
+        const pf::RouteSpec spec = device.allocateRoute("r", 500.0);
+        auto design = std::make_shared<pf::Design>("d");
+        design->setRouteValue(spec, true);
+        device.loadDesign(design);
+        for (int seg = 0; seg < 200; ++seg) {
+            // One distinct temperature per hour, like the cloud
+            // ambient: no two segments coalesce.
+            pp::OvenEnvironment oven(330.0 + 0.01 * seg);
+            double remaining = 1.0;
+            while (remaining > 1e-12) {
+                const double dt = std::min(step_h, remaining);
+                device.advance(dt, oven);
+                remaining -= dt;
+            }
+        }
+        pf::Route route = device.bindRoute(spec);
+        return route.delayPs(pp::Transition::Falling, 333.15);
+    };
+    const double jump = run(1.0);
+    EXPECT_EQ(run(0.5), jump);
+    EXPECT_EQ(run(0.25), jump);
+}
+
 TEST(CompensatedTime, MillionIrregularStepsMatchClosedForm)
 {
     pf::Device device(tinyConfig());
