@@ -57,6 +57,17 @@ parseLongFlag(int argc, char **argv, const char *flag, long fallback,
     return fallback;
 }
 
+bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
 std::unique_ptr<util::ThreadPool>
 makePool(int argc, char **argv)
 {

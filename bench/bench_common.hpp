@@ -32,6 +32,10 @@ int parseWorkers(int argc, char **argv);
 long parseLongFlag(int argc, char **argv, const char *flag,
                    long fallback, long min_value = 1);
 
+/** True when a bare boolean flag (e.g. `--journal-stress`) is
+ *  present. */
+bool hasFlag(int argc, char **argv, const char *flag);
+
 /**
  * Build the bench's work pool from the command line: a pool with
  * parseWorkers() - 1 extra threads (the caller is the final lane).

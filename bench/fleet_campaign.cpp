@@ -159,6 +159,15 @@ main(int argc, char **argv)
     // Seed 0 is a legal Rng seed, so the floor is 0 here.
     const auto seed = static_cast<std::uint64_t>(bench::parseLongFlag(
         argc, argv, "--seed", static_cast<long>(kDefaultSeed), 0));
+    // --journal-stress exercises the activity journal at fleet scale:
+    // every active tenancy rotates its burn values daily (in-place
+    // design mutations, journaled as O(1) flips on unobserved
+    // boards), and after the scan the unmeasured boards' deferred
+    // populations are force-materialised and cross-checked against
+    // the imprinted listing. Perturbs the aging histories, so the
+    // committed CSV golden only applies without the flag.
+    const bool journal_stress =
+        bench::hasFlag(argc, argv, "--journal-stress");
     std::printf("=== Fleet campaign: %zu boards, %d simulated days, "
                 "TM2 scan of <= %zu boards ===\n\n",
                 kFleet, kDays, kMaxMeasured);
@@ -177,6 +186,9 @@ main(int argc, char **argv)
         std::string board;
         double ends_at_h;
         Tenancy record;
+        /** Kept only under --journal-stress, for daily burn-value
+         *  rotations. */
+        std::shared_ptr<fabric::TargetDesign> target;
     };
     std::vector<Active> active;
     std::vector<Tenancy> finished;
@@ -222,7 +234,20 @@ main(int argc, char **argv)
             const double duration_h =
                 24.0 * static_cast<double>(rng.uniformInt(2, 14));
             active.push_back(Active{*board, now + duration_h,
-                                    std::move(tenancy)});
+                                    std::move(tenancy),
+                                    journal_stress ? target : nullptr});
+        }
+        if (journal_stress) {
+            // Daily inversion-mitigation-style rotation on every
+            // active tenancy: in-place mutations the devices fold in
+            // as journal flips at the next advance.
+            for (Active &a : active) {
+                for (std::size_t i = 0; i < a.record.bits.size();
+                     ++i) {
+                    a.target->setBurnValue(
+                        i, (day % 2 == 0) == a.record.bits[i]);
+                }
+            }
         }
         platform.advanceHours(24.0);
     }
@@ -272,6 +297,43 @@ main(int argc, char **argv)
         platform.release(board);
     }
 
+    // ---- journal coverage check (--journal-stress) ----------------
+    // Force-materialise every board's deferred population and verify
+    // it converges exactly to the imprinted listing: a year of
+    // journaled tenancies (with daily mitigation flips) must replay
+    // without losing or inventing a single element.
+    std::size_t stress_boards = 0;
+    std::size_t stress_elements = 0;
+    if (journal_stress) {
+        for (const std::string &id : platform.allInstanceIds()) {
+            fabric::Device &device = platform.instance(id).device();
+            const std::size_t deferred = device.journaledKeyCount();
+            if (deferred == 0) {
+                continue;
+            }
+            const std::vector<fabric::ResourceId> imprinted =
+                device.imprintedIds();
+            for (const fabric::ResourceId &rid : imprinted) {
+                (void)device.element(rid); // materialise + replay
+            }
+            const std::vector<fabric::ResourceId> materialized =
+                device.materializedIds();
+            bool converged =
+                device.journaledKeyCount() == 0 &&
+                materialized.size() == imprinted.size();
+            for (std::size_t i = 0; converged && i < imprinted.size();
+                 ++i) {
+                converged = materialized[i].key() == imprinted[i].key();
+            }
+            if (!converged) {
+                util::fatal("fleet_campaign: journal coverage check "
+                            "failed on " + id);
+            }
+            ++stress_boards;
+            stress_elements += deferred;
+        }
+    }
+
     const auto wall_end = std::chrono::steady_clock::now();
     const double wall_s =
         std::chrono::duration<double>(wall_end - wall_start).count();
@@ -301,6 +363,11 @@ main(int argc, char **argv)
         std::printf("  %-12s %8zu %9.1f%%\n", "overall", bits,
                     100.0 * static_cast<double>(correct) /
                         static_cast<double>(bits));
+    }
+    if (journal_stress) {
+        std::printf("\n  journal stress        %zu deferred elements "
+                    "replayed across %zu boards, coverage exact\n",
+                    stress_elements, stress_boards);
     }
     std::printf("\n  wall clock            %.2f s (%.0f simulated "
                 "board-hours per ms)\n",

@@ -192,6 +192,73 @@ BM_FleetIdleDay(benchmark::State &state)
 BENCHMARK(BM_FleetIdleDay);
 
 void
+runTenancyTurnover(benchmark::State &state, bool eager)
+{
+    // The fleet-campaign tenancy-churn kernel: a board cycles through
+    // tenancies that load a design, burn, wipe and idle — and nobody
+    // ever measures. The tenant designs are built once outside the
+    // loop (design construction is the tenant's bitstream, not the
+    // board's turnover cost); the kernel times the DEVICE side. With
+    // the activity journal every load/wipe is one O(1) run append per
+    // key; the eager variant pays variation sampling, a slab insert
+    // and flip replays for every configured element of every tenancy.
+    // Tenancy shape matches bench/fleet_campaign.cpp: 8 routes of
+    // 2000 ps (80 elements each) plus a 128-DSP filler = 768
+    // configured keys per tenant.
+    fabric::DeviceConfig config;
+    config.eager_materialisation = eager;
+    constexpr int kTenancies = 16;
+    constexpr int kRoutes = 8;
+    fabric::Device planner(config); // allocates the shared route plan
+    util::Rng rng(1234);
+    fabric::ArithmeticHeavyConfig arith;
+    arith.dsp_count = 128;
+    std::vector<std::shared_ptr<const fabric::TargetDesign>> targets;
+    for (int t = 0; t < kTenancies; ++t) {
+        std::vector<fabric::RouteSpec> specs;
+        std::vector<bool> bits;
+        for (int r = 0; r < kRoutes; ++r) {
+            specs.push_back(planner.allocateRoute(
+                "t" + std::to_string(t) + "_r" + std::to_string(r),
+                2000.0));
+            bits.push_back(rng.bernoulli(0.5));
+        }
+        targets.push_back(std::make_shared<fabric::TargetDesign>(
+            "tenant_" + std::to_string(t), specs, bits, arith));
+    }
+    for (auto _ : state) {
+        fabric::Device device(config);
+        int t = 0;
+        for (const auto &target : targets) {
+            device.loadDesign(target);
+            device.advanceAt(18.0, 333.0 + 0.25 * t);
+            device.wipe();
+            device.advanceAt(24.0, 318.15);
+            ++t;
+        }
+        benchmark::DoNotOptimize(device.materializedCount());
+    }
+    state.SetLabel("16 tenancies x (8 routes + filler), unobserved");
+}
+
+void
+BM_TenancyTurnover(benchmark::State &state)
+{
+    runTenancyTurnover(state, false);
+}
+BENCHMARK(BM_TenancyTurnover);
+
+void
+BM_TenancyTurnoverEager(benchmark::State &state)
+{
+    // The pre-journal behaviour, kept in-tree so the >= 3x claim is
+    // reproducible on any machine from a single snapshot (compare
+    // with BM_TenancyTurnover) rather than only across snapshots.
+    runTenancyTurnover(state, true);
+}
+BENCHMARK(BM_TenancyTurnoverEager);
+
+void
 BM_AmbientEventTrace(benchmark::State &state)
 {
     // The event-driven ambient kernel: account a whole idle day in

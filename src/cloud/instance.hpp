@@ -100,6 +100,17 @@ class FpgaInstance
     /** Per-instance measurement-noise stream. */
     util::Rng &rng() { return rng_; }
 
+    /**
+     * Idle hours advanced but not yet walked (diagnostic for the
+     * deferred-walk tests). The backlog composes with the device's
+     * activity journal: an idle board accrues hours here in O(1), the
+     * walk materialises ambient events and timeline segments at first
+     * observation, and only then can journal-deferred elements replay
+     * against those segments — the pre-observation hook orders the
+     * two.
+     */
+    double deferredIdleHours() const { return deferred_h_.value(); }
+
     /** Rental bookkeeping (maintained by the platform). */
     bool rented() const { return rented_; }
     void setRented(bool rented) { rented_ = rented; }

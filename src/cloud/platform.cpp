@@ -125,10 +125,13 @@ CloudPlatform::release(const std::string &instance_id)
         // Best-effort analog scrub: toggle everything that was ever
         // configured while the board waits in the pool. This stresses
         // both transistor polarities equally — it can shrink but not
-        // invert or erase the differential imprint.
+        // invert or erase the differential imprint. imprintedIds (not
+        // materializedIds): a tenancy nobody measured leaves its
+        // elements journal-deferred, and the scrub must drive those
+        // too — it is erasing what it cannot see.
         auto scrub = std::make_shared<fabric::Design>("provider_scrub");
         for (const fabric::ResourceId &id :
-             inst->device().materializedIds()) {
+             inst->device().imprintedIds()) {
             scrub->setElementActivity(
                 id, fabric::ElementActivity{fabric::Activity::Toggle,
                                             0.5});

@@ -483,4 +483,85 @@ runExperiment3(const Experiment3Config &config)
                           measure_seconds, sweeps);
 }
 
+TenancyChurnResult
+runTenancyChurn(const TenancyChurnConfig &config)
+{
+    if (config.tenancies == 0 || config.routes_per_tenant == 0) {
+        util::fatal("runTenancyChurn: empty scenario");
+    }
+    if (config.burn_hours_min <= 0.0 ||
+        config.burn_hours_max < config.burn_hours_min) {
+        util::fatal("runTenancyChurn: bad burn-hour range");
+    }
+    util::Rng rng(config.seed);
+    fabric::Device device(config.device);
+    fabric::ArithmeticHeavyConfig arith;
+    arith.dsp_count = config.dsp_count;
+
+    struct TenancyRoutes
+    {
+        std::vector<fabric::RouteSpec> specs;
+    };
+    std::vector<TenancyRoutes> history;
+    history.reserve(config.tenancies);
+    double elapsed = 0.0;
+
+    for (std::size_t t = 0; t < config.tenancies; ++t) {
+        TenancyRoutes tenancy;
+        std::vector<bool> bits;
+        for (std::size_t r = 0; r < config.routes_per_tenant; ++r) {
+            tenancy.specs.push_back(device.allocateRoute(
+                "churn_t" + std::to_string(t) + "_r" +
+                    std::to_string(r),
+                config.route_target_ps));
+            bits.push_back(rng.bernoulli(0.5));
+        }
+        auto target = std::make_shared<fabric::TargetDesign>(
+            "churn_tenant_" + std::to_string(t), tenancy.specs, bits,
+            arith);
+        device.loadDesign(target);
+        const double burn_h = static_cast<double>(rng.uniformInt(
+            static_cast<std::uint64_t>(config.burn_hours_min),
+            static_cast<std::uint64_t>(config.burn_hours_max)));
+        // Distinct die temperature per tenancy: no two tenancies'
+        // segments coalesce, so deferred replay walks a realistic
+        // multi-segment history.
+        const double temp_k =
+            config.busy_temp_k +
+            0.25 * static_cast<double>(rng.uniformInt(0, 8));
+        device.advanceAt(burn_h / 2.0, temp_k);
+        if (config.midflip) {
+            // In-place mutation of the resident design — the flip is
+            // folded in at the start of the next recorded span, like
+            // an inversion mitigation firing mid-tenancy.
+            for (std::size_t i = 0; i < bits.size(); ++i) {
+                target->setBurnValue(i, !bits[i]);
+            }
+        }
+        device.advanceAt(burn_h / 2.0, temp_k);
+        device.wipe();
+        device.advanceAt(config.idle_hours, config.idle_temp_k);
+        elapsed += burn_h + config.idle_hours;
+        history.push_back(std::move(tenancy));
+    }
+
+    TenancyChurnResult result;
+    const std::size_t observe = std::min(config.observe_last,
+                                         history.size());
+    for (std::size_t i = history.size() - observe;
+         i < history.size(); ++i) {
+        for (const fabric::RouteSpec &spec : history[i].specs) {
+            fabric::Route route = device.bindRoute(spec);
+            result.observed_delays_ps.push_back(route.delayPs(
+                phys::Transition::Rising, config.busy_temp_k));
+            result.observed_delays_ps.push_back(route.delayPs(
+                phys::Transition::Falling, config.busy_temp_k));
+        }
+    }
+    result.materialized = device.materializedCount();
+    result.journaled = device.journaledKeyCount();
+    result.elapsed_h = elapsed;
+    return result;
+}
+
 } // namespace pentimento::core

@@ -163,6 +163,61 @@ struct Experiment3Config
 /** Run Experiment 3 against a cloud platform. */
 ExperimentResult runExperiment3(const Experiment3Config &config);
 
+/**
+ * Deterministic single-board tenancy churn: the workload the activity
+ * journal exists for. A sequence of tenancies each allocates fresh
+ * routes, burns a random word (with an optional in-place burn-value
+ * rotation mid-tenancy, mitigation-style), releases, and lets the
+ * board idle — and nobody measures anything until the very end, when
+ * the last `observe_last` tenancies' routes are bound and read. The
+ * run is a pure function of the config (every draw comes from `seed`),
+ * so its outputs serve as regression goldens, as the eager-vs-lazy
+ * equivalence fixture (set device.eager_materialisation and compare
+ * bitwise), and as the BM_TenancyTurnover microbench body.
+ */
+struct TenancyChurnConfig
+{
+    /** Completed tenancies. */
+    std::size_t tenancies = 16;
+    std::size_t routes_per_tenant = 4;
+    double route_target_ps = 1000.0;
+    /** Arithmetic-heavy filler DSPs per tenant design. */
+    int dsp_count = 32;
+    /** Tenancy length is uniform in [min, max] whole hours. */
+    double burn_hours_min = 24.0;
+    double burn_hours_max = 96.0;
+    /** Pool idle time between tenancies (recovery), hours. */
+    double idle_hours = 24.0;
+    /** Rotate every burn value halfway through each tenancy (an
+     *  in-place design mutation, exercising mid-tenancy flips). */
+    bool midflip = true;
+    /** Die temperature while a tenant computes / while idle (K). */
+    double busy_temp_k = 333.15;
+    double idle_temp_k = 318.15;
+    /** Bind and read the routes of the last N tenancies at the end
+     *  (0 = never observe anything: the pure-churn benchmark form). */
+    std::size_t observe_last = 2;
+    std::uint64_t seed = 7321;
+    fabric::DeviceConfig device{};
+};
+
+/** Output of a tenancy-churn run. */
+struct TenancyChurnResult
+{
+    /** Rising/falling aged delay (ps) per observed route, tenancy
+     *  order then route order. */
+    std::vector<double> observed_delays_ps;
+    /** Materialised elements after the final observation. */
+    std::size_t materialized = 0;
+    /** Configured-but-unobserved elements still journal-deferred. */
+    std::size_t journaled = 0;
+    /** Simulated hours elapsed. */
+    double elapsed_h = 0.0;
+};
+
+/** Run the tenancy-churn scenario. */
+TenancyChurnResult runTenancyChurn(const TenancyChurnConfig &config);
+
 } // namespace pentimento::core
 
 #endif // PENTIMENTO_CORE_EXPERIMENT_HPP

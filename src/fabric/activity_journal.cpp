@@ -1,0 +1,188 @@
+#include "fabric/activity_journal.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace pentimento::fabric {
+
+void
+ActivityJournal::grow()
+{
+    growFor(used_ + 1);
+}
+
+void
+ActivityJournal::growFor(std::size_t total)
+{
+    std::size_t grown = slots_.empty() ? 256 : slots_.size();
+    while (2 * total > grown) {
+        grown *= 2;
+    }
+    if (grown == slots_.size()) {
+        return;
+    }
+    // Slot is trivial, so this is one memset-cheap allocation plus a
+    // re-insert sweep — not 10^5 run constructors.
+    std::vector<Slot> rehashed(grown);
+    const std::size_t mask = grown - 1;
+    for (const Slot &slot : slots_) {
+        if (slot.count == 0) {
+            continue;
+        }
+        std::size_t i = hashKey(slot.key) & mask;
+        while (rehashed[i].count != 0) {
+            i = (i + 1) & mask;
+        }
+        rehashed[i] = slot;
+    }
+    slots_ = std::move(rehashed);
+}
+
+void
+ActivityJournal::reserve(std::size_t expected_keys)
+{
+    growFor(used_ + expected_keys);
+}
+
+const ActivityJournal::RawRun &
+ActivityJournal::lastRun(const Slot &slot) const
+{
+    if (slot.count <= 2) {
+        return slot.runs[slot.count - 1];
+    }
+    return arena_[slot.tail].run;
+}
+
+ElementActivity
+ActivityJournal::current(std::uint64_t key) const
+{
+    if (slots_.empty()) {
+        return ElementActivity{};
+    }
+    const Slot &slot = slots_[probe(key)];
+    if (slot.count == 0 || slot.count == kSpent) {
+        return ElementActivity{};
+    }
+    const RawRun &last = lastRun(slot);
+    return ElementActivity{last.kind, last.duty_one};
+}
+
+bool
+ActivityJournal::recordOverflow(Slot &slot,
+                                const ElementActivity &activity,
+                                std::uint32_t pos)
+{
+    if (slot.count == kSpent) {
+        util::fatal("ActivityJournal: flip recorded for a consumed "
+                    "(materialised) key");
+    }
+    if (slot.count > 2 && sameActivity(arena_[slot.tail].run, activity)) {
+        return false;
+    }
+    const auto node = static_cast<std::uint32_t>(arena_.size());
+    arena_.push_back(Node{pack(pos, activity), kNpos});
+    if (slot.count > 2) {
+        arena_[slot.tail].next = node;
+    } else {
+        slot.head = node;
+    }
+    slot.tail = node;
+    ++slot.count;
+    return true;
+}
+
+std::vector<JournalRun>
+ActivityJournal::consume(std::uint64_t key)
+{
+    std::vector<JournalRun> runs;
+    if (slots_.empty()) {
+        return runs;
+    }
+    Slot &slot = slots_[probe(key)];
+    if (slot.count == 0 || slot.count == kSpent) {
+        return runs;
+    }
+    runs.reserve(slot.count);
+    runs.push_back(unpack(slot.runs[0]));
+    if (slot.count >= 2) {
+        runs.push_back(unpack(slot.runs[1]));
+    }
+    if (slot.count > 2) {
+        for (std::uint32_t i = slot.head; i != kNpos;
+             i = arena_[i].next) {
+            runs.push_back(unpack(arena_[i].run));
+        }
+    }
+    // Invalidate the memoised min only when this key attained it
+    // (its first-run position is still intact here) — an observation
+    // burst consuming thousands of non-pin keys must not force an
+    // O(table) rescan per subsequent compaction query.
+    if (slot.runs[0].from == cached_min_) {
+        cached_min_ = kNpos;
+    }
+    slot.count = kSpent;
+    slot.head = 0;
+    slot.tail = 0;
+    --active_;
+    return runs;
+}
+
+std::vector<std::uint64_t>
+ActivityJournal::activeKeys() const
+{
+    std::vector<std::uint64_t> keys;
+    keys.reserve(active_);
+    for (const Slot &slot : slots_) {
+        if (slot.count != 0 && slot.count != kSpent) {
+            keys.push_back(slot.key);
+        }
+    }
+    return keys;
+}
+
+std::uint32_t
+ActivityJournal::minActivePosition(std::uint32_t fallback) const
+{
+    if (active_ == 0) {
+        return fallback;
+    }
+    if (cached_min_ == kNpos) {
+        std::uint32_t min_pos = static_cast<std::uint32_t>(-2);
+        for (const Slot &slot : slots_) {
+            if (slot.count != 0 && slot.count != kSpent) {
+                min_pos = std::min(min_pos, slot.runs[0].from);
+            }
+        }
+        cached_min_ = min_pos;
+    }
+    return std::min(cached_min_, fallback);
+}
+
+void
+ActivityJournal::rebase(std::uint32_t delta)
+{
+    if (delta == 0) {
+        return;
+    }
+    if (cached_min_ != kNpos) {
+        cached_min_ -= delta;
+    }
+    for (Slot &slot : slots_) {
+        if (slot.count == 0 || slot.count == kSpent) {
+            continue;
+        }
+        slot.runs[0].from -= delta;
+        if (slot.count >= 2) {
+            slot.runs[1].from -= delta;
+        }
+        if (slot.count > 2) {
+            for (std::uint32_t i = slot.head; i != kNpos;
+                 i = arena_[i].next) {
+                arena_[i].run.from -= delta;
+            }
+        }
+    }
+}
+
+} // namespace pentimento::fabric

@@ -38,8 +38,13 @@ AgingStore::lookup(std::uint64_t key) const
 void
 AgingStore::indexInsert(std::uint64_t key, ElementHandle h)
 {
-    // Keep the load factor under 1/2 so probe runs stay short.
-    if (2 * (index_used_ + 1) > index_.size()) {
+    // Keep the load factor under 1/2 so probe runs stay short. The
+    // arithmetic must run at std::size_t width: at uint32 width the
+    // doubling overflows once index_used_ crosses 2^31, the grow
+    // check goes false forever, and the table silently overfills
+    // until lookup()'s probe loop can no longer terminate.
+    if (2 * (static_cast<std::size_t>(index_used_) + 1) >
+        index_.size()) {
         const std::size_t grown =
             index_.empty() ? 1024 : index_.size() * 2;
         std::vector<IndexSlot> rehashed(grown);

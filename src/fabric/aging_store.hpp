@@ -75,6 +75,18 @@ class AgingStore
     /** Handle for a packed key, or kInvalidElement. */
     ElementHandle find(std::uint64_t key) const;
 
+    /**
+     * find() without the shared lock, for exclusive phases (design
+     * load/wipe resolution — the tenancy-turnover hot path, which
+     * probes once per configured key). Same contract as sweepAt():
+     * the caller must guarantee no concurrent ensure().
+     */
+    ElementHandle
+    findExclusive(std::uint64_t key) const
+    {
+        return lookup(key);
+    }
+
     /** Element behind a handle (shared-locked bounds check). */
     RoutingElement &at(ElementHandle h);
     const RoutingElement &at(ElementHandle h) const;

@@ -25,10 +25,27 @@ Design::setElementActivity(ResourceId id, ElementActivity activity)
 {
     ++revision_;
     if (activity.kind == Activity::Unused) {
-        activity_.erase(id.key());
+        if (activity_.erase(id.key()) != 0) {
+            ++keyset_revision_;
+        }
         return;
     }
+    const std::size_t before = activity_.size();
     activity_[id.key()] = activity;
+    if (activity_.size() != before) {
+        ++keyset_revision_;
+    }
+}
+
+void
+Design::reserveActivity(std::size_t n)
+{
+    // A reserve can rehash and permute the map's iteration order, so
+    // it invalidates cached resolutions exactly like a key-set edit —
+    // the values-only refresh walk pairs activities positionally and
+    // must never see a reordered map.
+    ++keyset_revision_;
+    activity_.reserve(n);
 }
 
 void
@@ -37,8 +54,12 @@ Design::setRouteValue(const RouteSpec &spec, bool value)
     ++revision_;
     const ElementActivity a{value ? Activity::Hold1 : Activity::Hold0,
                             0.5};
+    const std::size_t before = activity_.size();
     for (const ResourceId &id : spec.elements) {
         activity_[id.key()] = a;
+    }
+    if (activity_.size() != before) {
+        ++keyset_revision_;
     }
 }
 
@@ -50,8 +71,12 @@ Design::setRouteToggling(const RouteSpec &spec, double duty_one)
     }
     ++revision_;
     const ElementActivity a{Activity::Toggle, duty_one};
+    const std::size_t before = activity_.size();
     for (const ResourceId &id : spec.elements) {
         activity_[id.key()] = a;
+    }
+    if (activity_.size() != before) {
+        ++keyset_revision_;
     }
 }
 
@@ -59,8 +84,12 @@ void
 Design::clearRoute(const RouteSpec &spec)
 {
     ++revision_;
+    const std::size_t before = activity_.size();
     for (const ResourceId &id : spec.elements) {
         activity_.erase(id.key());
+    }
+    if (activity_.size() != before) {
+        ++keyset_revision_;
     }
 }
 
@@ -91,6 +120,12 @@ TargetDesign::TargetDesign(std::string name,
     if (routes_.size() != burn_values_.size()) {
         util::fatal("TargetDesign: routes/burn value count mismatch");
     }
+    std::size_t budget = static_cast<std::size_t>(
+        arith_.dsp_count < 0 ? 0 : arith_.dsp_count);
+    for (const RouteSpec &route : routes_) {
+        budget += route.size();
+    }
+    reserveActivity(budget);
     for (std::size_t i = 0; i < routes_.size(); ++i) {
         setRouteValue(routes_[i], burn_values_[i]);
     }

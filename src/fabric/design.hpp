@@ -45,6 +45,14 @@ class Design
     /** Configure a single element's activity. */
     void setElementActivity(ResourceId id, ElementActivity activity);
 
+    /**
+     * Pre-size the activity map for n configured elements. Builders
+     * that know their element budget (TargetDesign does) avoid the
+     * incremental rehashes, which dominate construction of
+     * tenancy-sized designs.
+     */
+    void reserveActivity(std::size_t n);
+
     /** Pin every element of a route to a static burn value. */
     void setRouteValue(const RouteSpec &spec, bool value);
 
@@ -76,6 +84,18 @@ class Design
     std::uint64_t revision() const { return revision_; }
 
     /**
+     * Monotonic counter bumped only when the *set* of configured
+     * elements may have changed (an element added or removed), not
+     * when values merely rotate in place. While it holds still, the
+     * activity map's iteration order holds still too (no insert, no
+     * erase, no rehash), so a device may refresh a cached resolution's
+     * activities by a single in-order walk instead of rebuilding it —
+     * the difference between a mitigation flip costing a map walk and
+     * costing a full re-resolution.
+     */
+    std::uint64_t keysetRevision() const { return keyset_revision_; }
+
+    /**
      * Declare a combinational arc between named logic nodes; the DRC
      * scans these for loops (ring-oscillator detection, as AWS does).
      */
@@ -93,6 +113,7 @@ class Design
     std::string name_;
     double power_w_ = 0.0;
     std::uint64_t revision_ = 0;
+    std::uint64_t keyset_revision_ = 0;
     std::unordered_map<std::uint64_t, ElementActivity> activity_;
     std::vector<std::pair<std::string, std::string>> edges_;
 };

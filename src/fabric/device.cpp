@@ -67,6 +67,13 @@ Device::bindElement(ResourceId id)
         // which are always already covered.
         live_.resize(store_.size());
         synced_.resize(store_.size(), timeline_.position());
+        // First observation of a journal-deferred element: replay the
+        // activity runs its tenancies recorded, leaving it exactly
+        // where eager materialisation would have after the last flip.
+        const std::vector<JournalRun> runs = journal_.consume(id.key());
+        if (!runs.empty()) {
+            replayJournalRuns(h, runs);
+        }
     }
     return h;
 }
@@ -87,31 +94,66 @@ Device::findElement(ResourceId id) const
 }
 
 void
+Device::replaySpan(RoutingElement &elem,
+                   const ElementActivity &activity, std::uint32_t from,
+                   std::uint32_t to)
+{
+    if (to - from >= kReduceRunThreshold) {
+        // Long constant-activity run: one update from the timeline's
+        // pre-reduced effective-hour totals. The memo makes this
+        // O(elements + segments) per flush instead of
+        // O(elements x segments) — the difference between a
+        // fleet-year wipe costing milliseconds and seconds.
+        const RunTotals totals = timeline_.runTotals(from, to);
+        elem.ageEffective(config_.bti, activity, totals.stress_eff_h,
+                          totals.recovery_eff_h);
+    } else {
+        const auto &closed = timeline_.closed();
+        for (std::uint32_t pos = from; pos < to; ++pos) {
+            elem.age(config_.bti, closed[pos].ctx, activity,
+                     closed[pos].duration_h);
+        }
+    }
+}
+
+void
 Device::replayHandle(ElementHandle h)
 {
     const std::uint32_t end = timeline_.position();
-    std::uint32_t pos = synced_[h];
+    const std::uint32_t pos = synced_[h];
     if (pos != end) {
-        RoutingElement &elem = store_.sweepAt(h);
-        const ElementActivity &activity = live_[h];
-        if (end - pos >= kReduceRunThreshold) {
-            // Long constant-activity run: one update from the
-            // timeline's pre-reduced effective-hour totals. The memo
-            // makes this O(elements + segments) per flush instead of
-            // O(elements x segments) — the difference between a
-            // fleet-year wipe costing milliseconds and seconds.
-            const RunTotals totals = timeline_.runTotals(pos, end);
-            elem.ageEffective(config_.bti, activity,
-                              totals.stress_eff_h,
-                              totals.recovery_eff_h);
-        } else {
-            const auto &closed = timeline_.closed();
-            for (; pos < end; ++pos) {
-                elem.age(config_.bti, closed[pos].ctx, activity,
-                         closed[pos].duration_h);
-            }
-        }
+        replaySpan(store_.sweepAt(h), live_[h], pos, end);
         synced_[h] = end;
+    }
+}
+
+void
+Device::replayJournalRuns(ElementHandle h,
+                          const std::vector<JournalRun> &runs)
+{
+    // Each run [from_i, from_i+1) is the span an eager element would
+    // have replayed at flip i+1, so both paths take the identical
+    // per-segment vs pre-reduced decisions and the aging state is
+    // bit-identical. The final run stays pending: live activity +
+    // synced position land exactly where the eager element stood
+    // after its last flip, and the next sync picks up the tail.
+    RoutingElement &elem = store_.sweepAt(h);
+    for (std::size_t i = 0; i + 1 < runs.size(); ++i) {
+        replaySpan(elem, runs[i].activity, runs[i].from,
+                   runs[i + 1].from);
+    }
+    live_[h] = runs.back().activity;
+    synced_[h] = runs.back().from;
+}
+
+void
+Device::materializeJournal()
+{
+    // consume() happens inside bindElement, so snapshot the key set
+    // first. Materialisation order is irrelevant: variation is a pure
+    // function of (seed, id) and replay is element-local.
+    for (const std::uint64_t key : journal_.activeKeys()) {
+        bindElement(ResourceId::fromKey(key));
     }
 }
 
@@ -237,6 +279,25 @@ Device::materializedIds() const
     return store_.sortedIds();
 }
 
+std::vector<ResourceId>
+Device::imprintedIds() const
+{
+    // Materialised and journal-deferred keys are disjoint by the
+    // journal invariant, so a concatenate-and-sort yields the eager
+    // materialised set in its canonical (packed-key-sorted) order.
+    std::vector<ResourceId> ids = store_.sortedIds();
+    const std::vector<std::uint64_t> deferred = journal_.activeKeys();
+    ids.reserve(ids.size() + deferred.size());
+    for (const std::uint64_t key : deferred) {
+        ids.push_back(ResourceId::fromKey(key));
+    }
+    std::sort(ids.begin(), ids.end(),
+              [](const ResourceId &a, const ResourceId &b) {
+                  return a.key() < b.key();
+              });
+    return ids;
+}
+
 Route
 Device::bindRoute(const RouteSpec &spec)
 {
@@ -276,18 +337,56 @@ Device::wipe()
     // Clears the configuration only. Aging — the pentimento — stays,
     // but the configured elements' activity flips to released: their
     // pending burn time is replayed first, then recovery begins.
+    // Journal-deferred elements just get the released run recorded —
+    // the wipe touches no element state at all for them.
     bool closed = false;
+    const auto closeOnce = [&] {
+        if (!closed) {
+            timeline_.close();
+            closed = true;
+        }
+    };
     if (configured_ != nullptr) {
+        // Journal flips are recorded at the position the boundary
+        // will have once the segment closes (single probe per key);
+        // the close happens iff anything — journaled or live —
+        // actually flips, as in the eager path.
+        const std::uint32_t flip_pos =
+            timeline_.position() +
+            (timeline_.openPending() ? 1u : 0u);
         for (const ElementHandle h : configured_->handles) {
             if (live_[h] == kUnusedActivity) {
                 continue;
             }
-            if (!closed) {
-                timeline_.close();
-                closed = true;
-            }
+            closeOnce();
             replayHandle(h);
             live_[h] = kUnusedActivity;
+        }
+        // With the slab unchanged since the design was applied, the
+        // cohort split is still exact: no deferred key can have
+        // materialised, so the per-key store probe is skipped.
+        const bool cohorts_exact = configured_->slab == store_.size();
+        for (const std::uint64_t key : configured_->keys) {
+            // A key deferred when the design was applied may have
+            // materialised since (a Route/Tdc bound it mid-tenancy);
+            // it then flips through its live activity like any other
+            // element. (Anticipated-position journal records and
+            // post-close replays may interleave freely: the recorded
+            // position equals the post-close position either way.)
+            const ElementHandle h = cohorts_exact
+                                        ? kInvalidElement
+                                        : store_.findExclusive(key);
+            if (h != kInvalidElement) {
+                if (live_[h] == kUnusedActivity) {
+                    continue;
+                }
+                closeOnce();
+                replayHandle(h);
+                live_[h] = kUnusedActivity;
+            } else if (journal_.recordIfChanged(key, kUnusedActivity,
+                                                flip_pos)) {
+                closeOnce();
+            }
         }
     }
     configured_.reset();
@@ -300,48 +399,129 @@ Device::wipe()
 }
 
 std::shared_ptr<const Device::ResolvedDesign>
-Device::resolveResidentDesign()
+Device::resolveResidentDesign(std::uint32_t flip_pos,
+                              std::size_t *journal_flips,
+                              bool *records_applied)
 {
-    // Resolution materialises every configured element — including
-    // ones a design acquired by in-place mutation after loading.
-    // (Under PR 3 such elements materialised only when first bound;
-    // binding them at the next activity sync instead means they burn
-    // from the moment the mutated design runs, which is loadDesign's
-    // documented contract. Aging for already-materialised elements is
-    // unchanged.)
+    // Resolution splits the configured keys into cohorts: elements
+    // already in the slab resolve to handles, the rest stay packed
+    // keys for the journal. Under eager_materialisation every key is
+    // bound here instead (the pre-journal behaviour), so the deferred
+    // cohort is empty and nothing downstream ever journals.
+    *records_applied = false;
     for (const auto &entry : resolved_designs_) {
-        if (entry != nullptr && entry->design == design_ &&
-            entry->revision == design_->revision() &&
-            entry->slab == store_.size()) {
-            return entry;
+        if (entry == nullptr || entry->design != design_ ||
+            entry->slab != store_.size() ||
+            entry->keyset_revision != design_->keysetRevision()) {
+            continue;
         }
+        if (entry->revision != design_->revision()) {
+            // Values rotated in place (mitigation flips, churn
+            // midflips): the key set — and with it the map's
+            // iteration order and the cohort split — is unchanged,
+            // so one in-order walk refreshes both activity vectors
+            // (and journals the deferred flips) with no hashing into
+            // the map and no allocation.
+            std::size_t hi = 0;
+            std::size_t ki = 0;
+            std::size_t i = 0;
+            for (const auto &[key, activity] :
+                 design_->activityMap()) {
+                (void)key;
+                if (entry->deferred_order[i++]) {
+                    entry->key_activities[ki] = activity;
+                    if (journal_.recordIfChanged(entry->keys[ki],
+                                                 activity,
+                                                 flip_pos)) {
+                        ++*journal_flips;
+                    }
+                    ++ki;
+                } else {
+                    entry->activities[hi++] = activity;
+                }
+            }
+            entry->revision = design_->revision();
+            *records_applied = true;
+        }
+        return entry;
     }
-    auto entry = std::make_shared<ResolvedDesign>();
+    // Recycle the eviction victim when nothing else aliases it
+    // (tenancy churn evicts one entry per load; reusing it keeps the
+    // five cohort vectors' capacity and spares the allocator).
+    std::shared_ptr<ResolvedDesign> entry =
+        std::move(resolved_designs_[resolved_lru_]);
+    if (entry != nullptr && entry.use_count() == 1) {
+        entry->design.reset();
+        entry->handles.clear();
+        entry->activities.clear();
+        entry->keys.clear();
+        entry->key_activities.clear();
+        entry->deferred_order.clear();
+    } else {
+        entry = std::make_shared<ResolvedDesign>();
+    }
     entry->design = design_;
     entry->revision = design_->revision();
+    entry->keyset_revision = design_->keysetRevision();
     const auto &map = design_->activityMap();
     entry->handles.reserve(map.size());
     entry->activities.reserve(map.size());
-    for (const auto &[key, activity] : map) {
-        entry->activities.push_back(activity);
-        entry->handles.push_back(bindElement(ResourceId::fromKey(key)));
+    entry->deferred_order.reserve(map.size());
+    if (!config_.eager_materialisation) {
+        // One up-front growth instead of doubling mid-walk.
+        journal_.reserve(map.size());
     }
-    // Slab size after binding: a hit means nothing materialised since.
+    for (const auto &[key, activity] : map) {
+        if (config_.eager_materialisation) {
+            entry->activities.push_back(activity);
+            entry->handles.push_back(
+                bindElement(ResourceId::fromKey(key)));
+            entry->deferred_order.push_back(false);
+            continue;
+        }
+        const ElementHandle h = store_.findExclusive(key);
+        if (h != kInvalidElement) {
+            entry->activities.push_back(activity);
+            entry->handles.push_back(h);
+            entry->deferred_order.push_back(false);
+        } else {
+            entry->key_activities.push_back(activity);
+            entry->keys.push_back(key);
+            entry->deferred_order.push_back(true);
+            if (journal_.recordIfChanged(key, activity, flip_pos)) {
+                ++*journal_flips;
+            }
+        }
+    }
+    // Slab size after resolving: a hit means nothing materialised
+    // since, so the cohort split is still accurate.
     entry->slab = store_.size();
     resolved_designs_[resolved_lru_] = entry;
     resolved_lru_ ^= 1;
+    *records_applied = true;
     return entry;
 }
 
 void
 Device::applyDesignActivity()
 {
+    // Deferred-cohort flips are journaled in a single probe per key
+    // at the position the boundary WILL have once the segment closes
+    // (so: computed before anything closes); the close itself happens
+    // iff anything flipped — the identical condition and boundary the
+    // eager path produces, which is what keeps the compensated
+    // duration sums (and so every aged delay) bit-exact.
+    const std::uint32_t flip_pos =
+        timeline_.position() + (timeline_.openPending() ? 1u : 0u);
+    std::size_t journal_flips = 0;
+    bool records_applied = false;
     const std::shared_ptr<const ResolvedDesign> resolved =
-        resolveResidentDesign();
-    // Collect the actual flips first so an unchanged (or merely
+        resolveResidentDesign(flip_pos, &journal_flips,
+                              &records_applied);
+    // Collect the materialised flips so an unchanged (or merely
     // revision-bumped) design never splits a timeline segment. The
     // mark scratch implements "still configured by the new design"
-    // without a hash lookup per outgoing key.
+    // without a hash lookup per outgoing handle.
     flip_scratch_.clear();
     ++mark_stamp_;
     mark_scratch_.resize(store_.size(), 0);
@@ -349,12 +529,37 @@ Device::applyDesignActivity()
         mark_scratch_[h] = mark_stamp_;
     }
     if (configured_ != nullptr) {
+        const auto &incoming = design_->activityMap();
         for (const ElementHandle h : configured_->handles) {
             if (mark_scratch_[h] == mark_stamp_ ||
                 live_[h] == kUnusedActivity) {
                 continue;
             }
             flip_scratch_.emplace_back(h, kUnusedActivity);
+        }
+        // Slab unchanged since apply => the outgoing cohort split is
+        // still exact and the per-key store probe can be skipped.
+        const bool cohorts_exact = configured_->slab == store_.size();
+        for (const std::uint64_t key : configured_->keys) {
+            // Deferred when applied, but possibly materialised since
+            // (a mid-tenancy bind consumed its journal runs).
+            const ElementHandle h = cohorts_exact
+                                        ? kInvalidElement
+                                        : store_.findExclusive(key);
+            if (h != kInvalidElement) {
+                if (mark_scratch_[h] == mark_stamp_ ||
+                    live_[h] == kUnusedActivity) {
+                    continue;
+                }
+                flip_scratch_.emplace_back(h, kUnusedActivity);
+            } else if (incoming.find(key) == incoming.end() &&
+                       journal_.recordIfChanged(key, kUnusedActivity,
+                                                flip_pos)) {
+                // Not configured by the new design: released. (Keys
+                // the new design keeps are handled below, so their
+                // single journal probe sees the new activity.)
+                ++journal_flips;
+            }
         }
     }
     for (std::size_t i = 0; i < resolved->handles.size(); ++i) {
@@ -363,7 +568,19 @@ Device::applyDesignActivity()
             flip_scratch_.emplace_back(h, resolved->activities[i]);
         }
     }
-    if (!flip_scratch_.empty()) {
+    if (!records_applied) {
+        // Pure cache hit (the attack-phase measure/park alternation):
+        // the resolution pass didn't run, so journal the deferred
+        // cohort's flips here.
+        for (std::size_t i = 0; i < resolved->keys.size(); ++i) {
+            if (journal_.recordIfChanged(resolved->keys[i],
+                                         resolved->key_activities[i],
+                                         flip_pos)) {
+                ++journal_flips;
+            }
+        }
+    }
+    if (!flip_scratch_.empty() || journal_flips != 0) {
         timeline_.close();
         for (const auto &[h, activity] : flip_scratch_) {
             replayHandle(h);
@@ -399,8 +616,11 @@ Device::maybeCompactTimeline()
     // Prefix trim: drop every segment the *least*-synced element has
     // already consumed, so one long-stale element (a past tenancy's
     // routes nobody measures again) only pins its own unreplayed
-    // suffix, not the whole history.
-    std::uint32_t min_pos = timeline_.position();
+    // suffix, not the whole history. Journal-deferred elements pin
+    // from their first recorded run — their replay is still owed the
+    // history.
+    std::uint32_t min_pos =
+        journal_.minActivePosition(timeline_.position());
     for (const std::uint32_t pos : synced_) {
         min_pos = std::min(min_pos, pos);
         if (min_pos == 0) {
@@ -412,6 +632,7 @@ Device::maybeCompactTimeline()
         for (std::uint32_t &pos : synced_) {
             pos -= min_pos;
         }
+        journal_.rebase(min_pos);
     }
     // Back off geometrically when little was reclaimable so a pinned
     // element does not turn every sync into an O(elements) scan.
@@ -442,15 +663,19 @@ Device::recordSpan(double dt_h, double die_temp_k, bool credit_elapsed)
     // In-place design mutations since the last call flip their
     // elements' activity *before* the new span accrues.
     syncActivityWithDesign();
-    if (store_.size() != 0) {
+    if (store_.size() != 0 || journal_.activeKeyCount() != 0) {
         timeline_.append(dt_h, ctx_cache_.get(config_.bti, die_temp_k));
         // Long-idle boards (cloud ambient drift opens ~one segment
         // per hour) trim their fully-consumed prefix here; the
         // watermark keeps this O(1) between amortised scans.
         maybeCompactTimeline();
     }
-    // (An empty fabric records nothing: elements materialised later
-    // are pristine and released, so the skipped spans are no-ops.)
+    // (A fabric with no materialised elements AND no journaled keys
+    // records nothing: elements materialised later are pristine and
+    // released, so the skipped spans are no-ops. Journaled keys are
+    // NOT pristine — their deferred replay needs these segments — so
+    // the guard matches the eager path, where they would be in the
+    // slab already.)
     if (credit_elapsed) {
         elapsed_h_.add(dt_h);
     }
@@ -516,6 +741,10 @@ Device::applyServiceWear(double hours, double duty_one)
         return;
     }
     flushExternalTime();
+    // Whole-fabric sweep: the deferred population must exist (and
+    // have replayed its journal) before the wear lands, exactly as
+    // the eager slab would.
+    materializeJournal();
     timeline_.close();
     const phys::AgingStepContext &ctx =
         ctx_cache_.get(config_.bti, config_.bti.reference_temp_k);

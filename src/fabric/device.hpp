@@ -34,6 +34,24 @@
  * pointers once, at bind time; the monotone *state epoch* (bumped by
  * advance/loadDesign/wipe/applyServiceWear) keys their derived-value
  * caches exactly as before.
+ *
+ * Tenancy structure (PR 5, activity journal): loadDesign()/wipe()
+ * no longer materialise anything. A configured key whose element is
+ * not yet in the slab gets its activity flips recorded in the
+ * ActivityJournal — one O(1) run append per flip, no variation
+ * sampling, no slab insert, no replay — and the element materialises
+ * only at first observation (bindElement), replaying its journal runs
+ * against the timeline with exactly the per-segment / pre-reduced
+ * arithmetic the eager path would have used at each flip. Aged delays
+ * are bit-identical to eager materialisation (locked by journal_test
+ * and the regression goldens); only materialisation diagnostics
+ * (materializedCount, findElement before observation) can tell the
+ * difference. Whole-tenancy turnover on never-measured boards is
+ * thereby O(configured keys) of hash appends instead of
+ * O(configured keys) of element construction + replay — and a board
+ * is only charged for silicon someone actually looks at.
+ * DeviceConfig::eager_materialisation restores the eager path (the
+ * equivalence tests run both and compare bitwise).
  */
 
 #ifndef PENTIMENTO_FABRIC_DEVICE_HPP
@@ -46,6 +64,7 @@
 #include <string>
 #include <vector>
 
+#include "fabric/activity_journal.hpp"
 #include "fabric/aging_store.hpp"
 #include "fabric/aging_timeline.hpp"
 #include "fabric/design.hpp"
@@ -95,6 +114,15 @@ struct DeviceConfig
     double service_age_h = 0.0;
     /** Per-device silicon seed (process variation identity). */
     std::uint64_t seed = 1;
+    /**
+     * Materialise every configured element at design load (the
+     * pre-journal behaviour) instead of deferring to first
+     * observation. Aged delays are bit-identical either way — the
+     * equivalence test battery runs both and compares — so this
+     * exists for those tests and for eager-vs-lazy benchmarking, not
+     * for correctness. Fixed at construction.
+     */
+    bool eager_materialisation = false;
 };
 
 /**
@@ -125,15 +153,24 @@ class Device
     RoutingElement &element(ResourceId id);
 
     /**
-     * Look up an element without materialising it. The element is NOT
-     * synced with the timeline: its aging state reflects the last
-     * observation, not pending idle time (use element() for current
-     * state).
+     * Look up an element without materialising it. Journal-deferred
+     * elements (configured but never observed) return nullptr — they
+     * do not exist yet. A found element is NOT synced with the
+     * timeline: its aging state reflects the last observation, not
+     * pending idle time (use element() for current state).
      */
     const RoutingElement *findElement(ResourceId id) const;
 
-    /** Number of materialised elements. */
+    /** Number of materialised elements (journal-deferred ones are
+     *  configured but not yet materialised, so they don't count). */
     std::size_t materializedCount() const { return store_.size(); }
+
+    /** Number of configured-but-unmaterialised (journal-deferred)
+     *  elements. Always 0 under eager_materialisation. */
+    std::size_t journaledKeyCount() const
+    {
+        return journal_.activeKeyCount();
+    }
 
     /**
      * Monotonic counter bumped whenever aged delays may have changed:
@@ -194,27 +231,42 @@ class Device
                               std::size_t cells);
 
     /**
-     * Ids of every materialised element (provider scrub support),
-     * sorted by packed key so the listing is deterministic regardless
-     * of materialisation order.
+     * Ids of every materialised element, sorted by packed key so the
+     * listing is deterministic regardless of materialisation order.
+     * Journal-deferred elements are not listed until first observed;
+     * after full observation the listing equals the eager set.
      */
     std::vector<ResourceId> materializedIds() const;
+
+    /**
+     * Ids of every element that carries (or is still owed) an analog
+     * imprint: the materialised set plus the journal-deferred set,
+     * sorted by packed key. This is what a provider-side scrub must
+     * drive — materializedIds() alone would miss elements whose
+     * tenancies were never measured. Identical to materializedIds()
+     * under eager_materialisation.
+     */
+    std::vector<ResourceId> imprintedIds() const;
 
     /** Bind a skeleton to this device. */
     Route bindRoute(const RouteSpec &spec);
 
     /**
      * Program a design (replaces any currently loaded design).
-     * Elements whose activity flips are flushed — their pending
-     * timeline time is replayed under the outgoing activity — so the
-     * flip is a segment boundary. Re-loading the resident design at
-     * an unchanged revision is a no-op.
+     * Materialised elements whose activity flips are flushed — their
+     * pending timeline time is replayed under the outgoing activity —
+     * so the flip is a segment boundary; configured elements not yet
+     * materialised only get the flip journaled (O(1) per key) and
+     * materialise at first observation. Re-loading the resident
+     * design at an unchanged revision is a no-op.
      */
     void loadDesign(std::shared_ptr<const Design> design);
 
     /**
      * Provider-style wipe: clears the logical configuration. The
      * physical aging state is untouched — that is the vulnerability.
+     * Journal-deferred elements get a released run journaled instead
+     * of being materialised; their imprint stays owed.
      */
     void wipe();
 
@@ -278,6 +330,9 @@ class Device
     /**
      * Pre-age the whole allocated fabric (used to model years of
      * anonymous prior service; complements the fresh-scale derating).
+     * A whole-fabric observation: journal-deferred elements
+     * materialise first so the wear lands on the same population the
+     * eager path would have swept.
      */
     void applyServiceWear(double hours, double duty_one = 0.5);
 
@@ -322,29 +377,81 @@ class Device
     void syncActivityWithDesign();
 
     /**
-     * A design's activity map resolved to dense element handles (and
-     * materialised in the process). Cached per (design identity,
-     * revision, slab size) so the attack-phase measure/park
-     * alternation — the same two designs swapped every sweep — never
-     * re-hashes a thousand resource keys per load. Holding the
-     * shared_ptr keeps identity comparison sound.
+     * A design's activity map split into cohorts: keys whose elements
+     * are materialised resolve to dense handles; the rest stay packed
+     * keys destined for the journal (under eager_materialisation the
+     * deferred cohort is always empty — resolution materialises).
+     * Cached per (design identity, revision, slab size) so the
+     * attack-phase measure/park alternation — the same two designs
+     * swapped every sweep — never re-hashes a thousand resource keys
+     * per load; any materialisation grows the slab and so invalidates
+     * entries whose cohort split went stale. Holding the shared_ptr
+     * keeps identity comparison sound.
      */
     struct ResolvedDesign
     {
         std::shared_ptr<const Design> design;
         std::uint64_t revision = 0;
+        std::uint64_t keyset_revision = 0;
         std::size_t slab = 0;
         std::vector<ElementHandle> handles;
         std::vector<ElementActivity> activities;
+        /** Deferred cohort: not in the slab at resolution time. */
+        std::vector<std::uint64_t> keys;
+        std::vector<ElementActivity> key_activities;
+        /** Cohort of each key in activity-map iteration order (true =
+         *  deferred), so a values-only refresh can rewrite both
+         *  activity vectors with one in-order walk and no hashing. */
+        std::vector<bool> deferred_order;
     };
 
-    /** Resolution for the resident design (cache hit or rebuild).
-     *  Shared ownership: the applied-configuration snapshot
-     *  (configured_) aliases the cache entry, surviving eviction. */
-    std::shared_ptr<const ResolvedDesign> resolveResidentDesign();
+    /** Resolution for the resident design: cache hit, values-only
+     *  refresh (same design, same key set and slab, rotated burn
+     *  values — the mitigation-flip shape), or full rebuild. Shared
+     *  ownership: the applied-configuration snapshot (configured_)
+     *  aliases the cache entry, surviving eviction; a refresh may
+     *  rewrite the aliased activities in place, which is safe because
+     *  outgoing-flip processing reads only the handle/key lists.
+     *
+     *  Rebuild and refresh walk the activity map anyway, so they fold
+     *  the deferred cohort's journal recording into the same pass
+     *  (one probe per key per design load): flips recorded at
+     *  flip_pos are counted into *journal_flips and *records_applied
+     *  is set true. A pure cache hit leaves recording to the caller
+     *  (*records_applied false). */
+    std::shared_ptr<const ResolvedDesign>
+    resolveResidentDesign(std::uint32_t flip_pos,
+                          std::size_t *journal_flips,
+                          bool *records_applied);
 
     /** Replay closed segments into one element (lock held/exclusive). */
     void replayHandle(ElementHandle h);
+
+    /**
+     * Apply closed segments [from, to) to one element under a fixed
+     * activity — the shared replay chunk of replayHandle and journal
+     * materialisation. Chunk boundaries are flip/observation points
+     * in BOTH the eager and the lazy path, so the per-segment vs
+     * pre-reduced decision (and with it every rounding step) is
+     * identical whichever path runs.
+     */
+    void replaySpan(RoutingElement &elem,
+                    const ElementActivity &activity, std::uint32_t from,
+                    std::uint32_t to);
+
+    /**
+     * Fold a freshly materialised element's journal runs into its
+     * aging state. Leaves the element exactly where the eager path
+     * would have had it after the last recorded flip: live activity =
+     * final run, synced position = final run start, the tail pending
+     * for the next sync.
+     */
+    void replayJournalRuns(ElementHandle h,
+                           const std::vector<JournalRun> &runs);
+
+    /** Materialise every journal-deferred element (whole-fabric
+     *  operations — service wear — need the full population). */
+    void materializeJournal();
 
     /** Drop fully-consumed closed segments (bounds timeline memory). */
     void maybeCompactTimeline();
@@ -362,6 +469,10 @@ class Device
     std::uint64_t lut_cursor_ = 0;
     AgingStore store_;
     AgingTimeline timeline_;
+    /** Flip log for configured-but-unmaterialised elements. Invariant:
+     *  a key is EITHER active here OR materialised (bindElement
+     *  consumes its runs), never both. */
+    ActivityJournal journal_;
     phys::StepContextCache ctx_cache_;
     /** Handle-indexed lazy-aging bookkeeping, kept OUT of the element
      *  slab so a RoutingElement stays one cache line on the dense
@@ -399,8 +510,9 @@ class Device
      *  set that must flip to Unused on wipe/replace. Null when no
      *  configuration has been applied. */
     std::shared_ptr<const ResolvedDesign> configured_;
-    /** Two-slot LRU of resolved designs (see ResolvedDesign). */
-    std::shared_ptr<const ResolvedDesign> resolved_designs_[2];
+    /** Two-slot LRU of resolved designs (see ResolvedDesign);
+     *  non-const so values-only refreshes can rewrite in place. */
+    std::shared_ptr<ResolvedDesign> resolved_designs_[2];
     std::uint8_t resolved_lru_ = 0;
     /** Handle-indexed mark scratch for set differences in
      *  applyDesignActivity (stamp = mark_stamp_). */

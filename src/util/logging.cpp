@@ -45,7 +45,22 @@ fatal(const std::string &message)
 }
 
 void
+fatal(const char *message)
+{
+    // The std::string for the exception is built HERE, behind the
+    // call, so throwing call sites stay allocation-free until they
+    // actually throw.
+    throw FatalError(message);
+}
+
+void
 panic(const std::string &message)
+{
+    throw PanicError(message);
+}
+
+void
+panic(const char *message)
 {
     throw PanicError(message);
 }

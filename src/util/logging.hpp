@@ -57,10 +57,23 @@ class PanicError : public std::logic_error
 [[noreturn]] void fatal(const std::string &message);
 
 /**
+ * fatal() for string literals. Without this overload every call site
+ * in a hot function materialises a std::string temporary for the
+ * implicit conversion — a heap allocation the optimiser hoists into
+ * the *success* path of small inlined functions, which cost the
+ * journal's O(1) record path a third of its budget before any message
+ * was ever printed.
+ */
+[[noreturn]] void fatal(const char *message);
+
+/**
  * Abort due to a broken internal invariant (a simulator bug).
  * Throws PanicError.
  */
 [[noreturn]] void panic(const std::string &message);
+
+/** panic() for string literals (see the fatal(const char*) note). */
+[[noreturn]] void panic(const char *message);
 
 } // namespace pentimento::util
 

@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
+#include "fabric/aging_store.hpp"
 #include "fabric/design.hpp"
 #include "fabric/device.hpp"
 #include "fabric/drc.hpp"
@@ -211,6 +214,59 @@ TEST(Device, FindElementDoesNotMaterialize)
     device.element(nodeId(0, 0, 0));
     EXPECT_NE(device.findElement(nodeId(0, 0, 0)), nullptr);
     EXPECT_EQ(device.materializedCount(), 1u);
+}
+
+// -------------------------------------- aging-store index growth
+
+TEST(AgingStoreIndex, GrowthAndRehashBeyondChunkCapacity)
+{
+    // 3000 insertions cross two chunk boundaries (1024 elements per
+    // chunk) and several open-addressing rehashes (the index doubles
+    // whenever its load factor would exceed 1/2). Handles must stay
+    // dense in insertion order, element addresses must never move,
+    // and every key must stay findable through all of it.
+    pf::AgingStore store;
+    constexpr std::uint32_t kCount = 3000;
+    const pp::ElementVariation variation{};
+    const auto make = [&](pf::ResourceId rid) {
+        return pf::RoutingElement(rid, 25.0, 25.0, variation, 1.0);
+    };
+    std::vector<const pf::RoutingElement *> addresses;
+    std::vector<std::uint64_t> keys;
+    for (std::uint32_t i = 0; i < kCount; ++i) {
+        const pf::ResourceId id =
+            nodeId(static_cast<std::uint16_t>(i & 0x3f),
+                   static_cast<std::uint16_t>((i >> 6) & 0x3f),
+                   static_cast<std::uint16_t>(i >> 12));
+        const pf::ElementHandle h = store.ensure(id, make);
+        ASSERT_EQ(h, i); // dense, insertion-ordered
+        addresses.push_back(&store.sweepAt(h));
+        keys.push_back(id.key());
+    }
+    EXPECT_EQ(store.size(), kCount);
+    for (std::uint32_t i = 0; i < kCount; ++i) {
+        // Lookup survives every intervening rehash...
+        EXPECT_EQ(store.find(keys[i]), i);
+        // ...the chunked slab never relocated anything...
+        EXPECT_EQ(&store.sweepAt(i), addresses[i]);
+        // ...and the slot still holds the element it was built for.
+        EXPECT_EQ(store.sweepAt(i).id().key(), keys[i]);
+    }
+    // Re-ensuring an existing key is a pure lookup.
+    const pf::ResourceId again = nodeId(1, 0, 0);
+    EXPECT_LT(store.ensure(again, make), kCount);
+    EXPECT_EQ(store.size(), kCount);
+    // Absent keys miss cleanly even at high occupancy.
+    EXPECT_EQ(store.find(nodeId(63, 63, 63).key()),
+              pf::kInvalidElement);
+    // The deterministic listing covers the whole population.
+    const std::vector<pf::ResourceId> ids = store.sortedIds();
+    ASSERT_EQ(ids.size(), kCount);
+    EXPECT_TRUE(std::is_sorted(
+        ids.begin(), ids.end(),
+        [](const pf::ResourceId &a, const pf::ResourceId &b) {
+            return a.key() < b.key();
+        }));
 }
 
 TEST(Device, AllocateRouteElementCount)
@@ -452,7 +508,7 @@ TEST(TargetDesign, IndexOutOfRangeFatal)
 
 // ------------------------------------------------- design lifecycle
 
-TEST(DeviceLifecycle, LoadDesignMaterializesConfiguredElements)
+TEST(DeviceLifecycle, LoadDesignDefersMaterialisationToObservation)
 {
     pf::Device device(smallConfig());
     const pf::RouteSpec spec = device.allocateRoute("r", 500.0);
@@ -460,7 +516,28 @@ TEST(DeviceLifecycle, LoadDesignMaterializesConfiguredElements)
     design->setRouteValue(spec, true);
     EXPECT_EQ(device.materializedCount(), 0u);
     device.loadDesign(design);
+    // The load journals the configuration instead of touching the
+    // slab; the elements are still owed their imprint.
+    EXPECT_EQ(device.materializedCount(), 0u);
+    EXPECT_EQ(device.journaledKeyCount(), spec.size());
+    EXPECT_EQ(device.imprintedIds().size(), spec.size());
+    // First observation materialises.
+    pf::Route route = device.bindRoute(spec);
     EXPECT_EQ(device.materializedCount(), spec.size());
+    EXPECT_EQ(device.journaledKeyCount(), 0u);
+}
+
+TEST(DeviceLifecycle, EagerConfigMaterializesAtLoad)
+{
+    pf::DeviceConfig config = smallConfig();
+    config.eager_materialisation = true;
+    pf::Device device(config);
+    const pf::RouteSpec spec = device.allocateRoute("r", 500.0);
+    auto design = std::make_shared<pf::Design>("d");
+    design->setRouteValue(spec, true);
+    device.loadDesign(design);
+    EXPECT_EQ(device.materializedCount(), spec.size());
+    EXPECT_EQ(device.journaledKeyCount(), 0u);
 }
 
 TEST(DeviceLifecycle, NullDesignIsFatal)

@@ -168,15 +168,23 @@ TEST(LutPath, CouplingSuppressesObservableShift)
     EXPECT_GT(lut_shift, 0.0); // the imprint exists, just tiny
 }
 
-TEST(LutPath, MaterializedIdsReportsEverything)
+TEST(LutPath, ImprintedIdsReportsEverything)
 {
+    // The provider-scrub support listing: configured-but-unobserved
+    // (journal-deferred) elements must show up even though they are
+    // not materialised yet — the scrub has to drive them too.
     pf::Device device{pf::DeviceConfig{}};
-    EXPECT_TRUE(device.materializedIds().empty());
+    EXPECT_TRUE(device.imprintedIds().empty());
     const pf::RouteSpec net = device.allocateRoute("net", 250.0);
     auto design = std::make_shared<pf::Design>("d");
     design->setRouteValue(net, true);
     device.loadDesign(design);
+    EXPECT_TRUE(device.materializedIds().empty());
+    EXPECT_EQ(device.imprintedIds().size(), net.size());
+    // Full observation converges the two listings.
+    pf::Route route = device.bindRoute(net);
     EXPECT_EQ(device.materializedIds().size(), net.size());
+    EXPECT_EQ(device.imprintedIds().size(), net.size());
 }
 
 // ------------------------------------------------- provider scrub

@@ -384,3 +384,160 @@ TEST(SeriesInsertionOrder, TiesAreStable)
 INSTANTIATE_TEST_SUITE_P(Seeds, SeriesInsertionOrder,
                          ::testing::Values(1u, 7u, 99u, 1234u,
                                            0xfeedu, 0xdeadbeefu));
+
+// ----------------------- journal interleaving / observation order
+
+class JournalInterleaving
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    static pf::DeviceConfig
+    deviceConfig(bool eager)
+    {
+        pf::DeviceConfig config;
+        config.tiles_x = 8;
+        config.tiles_y = 8;
+        config.nodes_per_tile = 32;
+        config.eager_materialisation = eager;
+        return config;
+    }
+
+    /**
+     * Drive a device through a random-but-reproducible tenancy
+     * interleaving: design loads over random route subsets, wipes,
+     * in-place mutations of the resident design, and irregular
+     * advances at random temperatures. The op sequence is a pure
+     * function of the seed, so an eager and a lazy device fed the
+     * same seed experience identical physical histories.
+     */
+    static std::vector<pf::RouteSpec>
+    drive(pf::Device &device, std::uint64_t seed)
+    {
+        pu::Rng rng(seed);
+        std::vector<pf::RouteSpec> routes;
+        for (int r = 0; r < 6; ++r) {
+            routes.push_back(device.allocateRoute(
+                "pool" + std::to_string(r), 400.0));
+        }
+        std::shared_ptr<pf::Design> resident;
+        for (int step = 0; step < 60; ++step) {
+            const auto action =
+                static_cast<int>(rng.uniformInt(0, 3));
+            if (action == 0) {
+                auto design = std::make_shared<pf::Design>(
+                    "d" + std::to_string(step));
+                for (const pf::RouteSpec &route : routes) {
+                    if (!rng.bernoulli(0.5)) {
+                        continue;
+                    }
+                    if (rng.bernoulli(0.3)) {
+                        design->setRouteToggling(
+                            route,
+                            0.125 * static_cast<double>(
+                                        rng.uniformInt(1, 7)));
+                    } else {
+                        design->setRouteValue(route,
+                                              rng.bernoulli(0.5));
+                    }
+                }
+                if (design->configuredElements() == 0) {
+                    design->setRouteValue(routes[0], true);
+                }
+                device.loadDesign(design);
+                resident = std::move(design);
+            } else if (action == 1) {
+                device.wipe();
+                resident.reset();
+            } else if (action == 2 && resident != nullptr) {
+                const std::size_t pick =
+                    rng.uniformInt(0, routes.size() - 1);
+                resident->setRouteValue(routes[pick],
+                                        rng.bernoulli(0.5));
+            } else {
+                const double dt =
+                    0.25 * static_cast<double>(rng.uniformInt(1, 16));
+                const double temp =
+                    320.0 +
+                    static_cast<double>(rng.uniformInt(0, 40));
+                device.advanceAt(dt, temp);
+            }
+        }
+        return routes;
+    }
+
+    static std::vector<double>
+    observe(pf::Device &device, const pf::RouteSpec &spec)
+    {
+        pf::Route route = device.bindRoute(spec);
+        return {route.delayPs(pp::Transition::Rising, 333.15),
+                route.delayPs(pp::Transition::Falling, 333.15)};
+    }
+};
+
+TEST_P(JournalInterleaving, FullObservationConvergesToEagerSet)
+{
+    pf::Device eager(deviceConfig(true));
+    pf::Device lazy(deviceConfig(false));
+    const std::vector<pf::RouteSpec> routes_e =
+        drive(eager, GetParam());
+    const std::vector<pf::RouteSpec> routes_l =
+        drive(lazy, GetParam());
+
+    // Full observation: bind and read every pool route on both.
+    std::vector<double> delays_e;
+    std::vector<double> delays_l;
+    for (std::size_t r = 0; r < routes_e.size(); ++r) {
+        for (const double d : observe(eager, routes_e[r])) {
+            delays_e.push_back(d);
+        }
+        for (const double d : observe(lazy, routes_l[r])) {
+            delays_l.push_back(d);
+        }
+    }
+    EXPECT_EQ(delays_e, delays_l);
+    EXPECT_EQ(lazy.journaledKeyCount(), 0u);
+
+    // The materialised populations converge to the same sorted set.
+    const std::vector<pf::ResourceId> ids_e = eager.materializedIds();
+    const std::vector<pf::ResourceId> ids_l = lazy.materializedIds();
+    ASSERT_EQ(ids_e.size(), ids_l.size());
+    for (std::size_t i = 0; i < ids_e.size(); ++i) {
+        EXPECT_EQ(ids_e[i].key(), ids_l[i].key());
+    }
+}
+
+TEST_P(JournalInterleaving, ObservationOrderNeverChangesAnyDelay)
+{
+    // Replay the same interleaving several times, observing the pool
+    // in different seeded shuffle orders; each route's delays must be
+    // bit-identical however late (or early) its journal is consumed.
+    const auto runWithOrder = [&](std::uint64_t shuffle_seed) {
+        pf::Device device(deviceConfig(false));
+        const std::vector<pf::RouteSpec> routes =
+            drive(device, GetParam());
+        std::vector<std::size_t> order(routes.size());
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            order[i] = i;
+        }
+        if (shuffle_seed != 0) {
+            pu::Rng shuffle(shuffle_seed);
+            for (std::size_t i = order.size() - 1; i > 0; --i) {
+                const std::size_t j = shuffle.uniformInt(0, i);
+                std::swap(order[i], order[j]);
+            }
+        }
+        std::vector<std::vector<double>> per_route(routes.size());
+        for (const std::size_t r : order) {
+            per_route[r] = observe(device, routes[r]);
+        }
+        return per_route;
+    };
+    const auto reference = runWithOrder(0);
+    for (const std::uint64_t shuffle_seed : {11u, 12u, 13u, 14u}) {
+        EXPECT_EQ(reference, runWithOrder(shuffle_seed))
+            << "shuffle seed " << shuffle_seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JournalInterleaving,
+                         ::testing::Values(5u, 29u, 4242u));

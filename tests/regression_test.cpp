@@ -356,6 +356,60 @@ TEST(DenseSweep, WorkerCountInvariantMeasurement)
     EXPECT_EQ(serial, parallel);
 }
 
+// ---------------------------------------- tenancy-churn golden
+
+/**
+ * Multi-tenant golden: 16 journal-backed tenancies (mid-tenancy
+ * mitigation flips, fresh routes each, idle recovery between), with
+ * only the last two tenancies' routes observed. Recorded from the
+ * PR 5 implementation, which is bit-identical to eager
+ * materialisation (journal_test locks that equivalence; this golden
+ * pins the absolute values so a future PR cannot silently perturb
+ * the variation/tenancy draw streams or the replay arithmetic).
+ */
+const std::vector<double> kChurnGolden = {
+    0x1.f43518bc3cc1fp+9, 0x1.f511461078846p+9,
+    0x1.f4255cef75926p+9, 0x1.f4101631150a4p+9,
+    0x1.f49153a7bc7fp+9,  0x1.f2f8a24502bd6p+9,
+    0x1.f3681bae805edp+9, 0x1.f2f3a1c61ad86p+9,
+    0x1.f2dbfca84afb4p+9, 0x1.ef52fc1ee34afp+9,
+    0x1.f5f416203389ep+9, 0x1.f43ff8d492b4fp+9,
+    0x1.f4e28b69e0397p+9, 0x1.f0ee594ab659ep+9,
+    0x1.f5685bdfbe82cp+9, 0x1.f654550b4683ep+9,
+};
+
+TEST(GoldenRegression, TenancyChurnIsBitIdentical)
+{
+    const pc::TenancyChurnResult result =
+        pc::runTenancyChurn(pc::TenancyChurnConfig{});
+    ASSERT_EQ(result.observed_delays_ps.size(), kChurnGolden.size());
+    for (std::size_t i = 0; i < kChurnGolden.size(); ++i) {
+        EXPECT_EQ(result.observed_delays_ps[i], kChurnGolden[i])
+            << "churn delay " << i;
+    }
+    // Only the two observed tenancies' routes materialised; the other
+    // fourteen (plus the arithmetic-heavy filler) stay journaled.
+    EXPECT_EQ(result.materialized, 320u);
+    EXPECT_EQ(result.journaled, 2272u);
+    EXPECT_EQ(result.elapsed_h, 0x1.36cp+10);
+}
+
+TEST(GoldenRegression, TenancyChurnEagerMatchesSameGolden)
+{
+    // The eager path must land on the identical doubles — this is the
+    // regression-level statement of eager/lazy equivalence.
+    pc::TenancyChurnConfig config;
+    config.device.eager_materialisation = true;
+    const pc::TenancyChurnResult result = pc::runTenancyChurn(config);
+    ASSERT_EQ(result.observed_delays_ps.size(), kChurnGolden.size());
+    for (std::size_t i = 0; i < kChurnGolden.size(); ++i) {
+        EXPECT_EQ(result.observed_delays_ps[i], kChurnGolden[i])
+            << "eager churn delay " << i;
+    }
+    EXPECT_EQ(result.materialized, 2592u);
+    EXPECT_EQ(result.journaled, 0u);
+}
+
 // ------------------------------------------- deterministic ids
 
 TEST(MaterializedIds, SortedByPackedKey)

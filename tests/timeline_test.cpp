@@ -170,17 +170,17 @@ TEST(SegmentTimeline, ConstantConditionHoursCoalesceIntoOneSegment)
         device.advance(1.0, oven);
     }
     EXPECT_EQ(device.timelineSegments(), 1u);
-    // Nothing observed yet: the elements still hold no stress.
+    // Nothing observed yet: the elements are not even materialised —
+    // the design load only journaled their activity.
+    EXPECT_EQ(device.findElement(spec.elements[0]), nullptr);
+    EXPECT_EQ(device.materializedCount(), 0u);
+    // The first query materialises and replays the single 200 h
+    // segment in one update.
+    pf::Route route = device.bindRoute(spec);
+    EXPECT_GT(route.btiShiftPs(pp::Transition::Falling), 0.5);
     const pf::RoutingElement *elem =
         device.findElement(spec.elements[0]);
     ASSERT_NE(elem, nullptr);
-    EXPECT_EQ(elem->aging()
-                  .state(pp::TransistorType::Nmos)
-                  .stressHours(),
-              0.0);
-    // The first query replays the single 200 h segment.
-    pf::Route route = device.bindRoute(spec);
-    EXPECT_GT(route.btiShiftPs(pp::Transition::Falling), 0.5);
     EXPECT_EQ(elem->aging()
                   .state(pp::TransistorType::Nmos)
                   .stressHours(),
