@@ -10,7 +10,10 @@ NEW by more than --max-regress (fractional). Kernels faster than the
 noise floor in the baseline are reported but never fail the gate:
 at tens of nanoseconds per op, run-to-run and machine-to-machine
 jitter exceeds the regression threshold. Kernels that exist only in
-NEW (freshly registered benchmarks) are listed as new.
+NEW (freshly registered benchmarks) are listed as new. A baseline
+kernel that is MISSING from NEW fails the gate by name (a rename or
+accidental deregistration would otherwise silently drop coverage);
+waive deliberate removals with --allow-removed NAME.
 
 --min-speedup locks a claimed optimisation in: the named kernel must
 be at least FACTOR times faster in NEW than in BASELINE (e.g.
@@ -44,6 +47,16 @@ def main():
                     metavar="NAME=FACTOR",
                     help="require kernel NAME to be at least FACTOR "
                          "times faster than the baseline")
+    ap.add_argument("--allow-removed", action="append", default=[],
+                    metavar="NAME",
+                    help="baseline kernel NAME may be absent from the "
+                         "new snapshot (deliberate rename/retirement); "
+                         "any other disappearance fails the gate")
+    ap.add_argument("--advisory", action="append", default=[],
+                    metavar="NAME",
+                    help="report kernel NAME but never fail on it — "
+                         "for microkernels whose committed history "
+                         "proves multi-x swings across host machines")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -65,6 +78,8 @@ def main():
         if ratio > 1.0 + args.max_regress:
             if b < args.noise_floor_ns:
                 flag = "  (regressed, sub-noise-floor: advisory)"
+            elif name in args.advisory:
+                flag = "  (regressed, advisory by flag)"
             else:
                 flag = "  << REGRESSION"
                 failures.append(name)
@@ -79,12 +94,19 @@ def main():
         print(row)
     for name in sorted(set(new) - set(base)):
         print(f"  {name:44s} {'-':>12s} {new[name]:>12.1f}   (new kernel)")
-    # A kernel that disappears silently loses its gate coverage —
-    # make renames/removals visible in the log even though they do
-    # not fail the gate.
+    # A kernel that disappears silently loses its gate coverage — a
+    # rename or accidental deregistration must fail loudly, naming the
+    # kernel, unless explicitly waived with --allow-removed.
+    removed_failures = []
+    allowed_removed = set(args.allow_removed)
     for name in sorted(set(base) - set(new)):
-        print(f"  {name:44s} {base[name]:>12.1f} {'-':>12s}   "
-              f"(REMOVED from new snapshot: no longer gated)")
+        if name in allowed_removed:
+            print(f"  {name:44s} {base[name]:>12.1f} {'-':>12s}   "
+                  f"(removed: waived by --allow-removed)")
+        else:
+            print(f"  {name:44s} {base[name]:>12.1f} {'-':>12s}   "
+                  f"<< MISSING from new snapshot")
+            removed_failures.append(name)
 
     speedup_failures = []
     for name, factor in sorted(required.items()):
@@ -100,7 +122,7 @@ def main():
         if achieved < factor:
             speedup_failures.append(name)
 
-    if failures or speedup_failures:
+    if failures or speedup_failures or removed_failures:
         parts = []
         if failures:
             parts.append(f"{len(failures)} kernel(s) regressed more than "
@@ -108,6 +130,10 @@ def main():
         if speedup_failures:
             parts.append(f"{len(speedup_failures)} kernel(s) missed their "
                          f"required speedup: {', '.join(speedup_failures)}")
+        if removed_failures:
+            parts.append(f"{len(removed_failures)} baseline kernel(s) "
+                         f"missing from the new snapshot: "
+                         f"{', '.join(removed_failures)}")
         print(f"\nFAIL: {'; '.join(parts)}")
         return 1
     print("\nOK: all perf gates passed")

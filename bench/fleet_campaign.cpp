@@ -87,8 +87,15 @@ attackBoard(cloud::CloudPlatform &platform, const std::string &board_id,
     fabric::Device &device = inst.device();
     device.setWorkPool(pool);
 
+    // Fast sampling: the campaign is measurement-bound, and its
+    // accuracy statistics are seed-sweep-equivalent between the exact
+    // and fast sampling paths (see tdc_test's FastSampling battery).
+    // Deliberate sample-path re-roll, PR-4 style: the committed golden
+    // CSV is recorded from this configuration.
+    tdc::TdcConfig sensor_config;
+    sensor_config.fast_sampling = true;
     auto measure = std::make_shared<tdc::MeasureDesign>(
-        device, tenancy.specs, tdc::TdcConfig{});
+        device, tenancy.specs, sensor_config);
     if (!platform.loadDesign(board_id, measure).empty()) {
         util::fatal("fleet_campaign: measure design failed DRC");
     }

@@ -302,7 +302,7 @@ BM_FleetRentedDay(benchmark::State &state)
 BENCHMARK(BM_FleetRentedDay);
 
 void
-BM_MeasureSweepParallel(benchmark::State &state)
+runMeasureSweepParallel(benchmark::State &state, bool fast_sampling)
 {
     util::ThreadPool pool(static_cast<std::size_t>(state.range(1)));
     util::ThreadPool *handle =
@@ -313,7 +313,9 @@ BM_MeasureSweepParallel(benchmark::State &state)
         routes.push_back(
             device.allocateRoute("r" + std::to_string(r), 5000.0));
     }
-    tdc::MeasureDesign design(device, routes);
+    tdc::TdcConfig config;
+    config.fast_sampling = fast_sampling;
+    tdc::MeasureDesign design(device, routes, config);
     util::Rng rng(1);
     design.calibrateAll(333.15, rng, handle);
     for (auto _ : state) {
@@ -321,13 +323,34 @@ BM_MeasureSweepParallel(benchmark::State &state)
             design.measureAll(333.15, rng, handle));
     }
     state.SetLabel(std::to_string(state.range(0)) + " sensors, " +
-                   std::to_string(state.range(1) + 1) + " lanes");
+                   std::to_string(state.range(1) + 1) + " lanes" +
+                   (fast_sampling ? ", fast sampling" : ", exact"));
+}
+
+void
+BM_MeasureSweepParallel(benchmark::State &state)
+{
+    // The attack-phase kernel as the fleet campaign runs it: fast
+    // sampling (ziggurat jitter blocks + fused integer-sum traces) on
+    // top of the ΔVth epoch cache and dual-polarity arrival walk.
+    runMeasureSweepParallel(state, true);
 }
 BENCHMARK(BM_MeasureSweepParallel)
     ->Args({64, 0})
     ->Args({64, 3})
     ->Args({256, 0})
     ->Args({256, 3});
+
+void
+BM_MeasureSweepExact(benchmark::State &state)
+{
+    // The bit-exact default path (polar-method jitter per sample,
+    // Welford trace means), kept measurable in-snapshot so the fast
+    // path's speedup is reproducible anywhere (the
+    // BM_TenancyTurnoverEager precedent).
+    runMeasureSweepParallel(state, false);
+}
+BENCHMARK(BM_MeasureSweepExact)->Args({256, 0})->Args({256, 3});
 
 void
 BM_ThreadPoolOverhead(benchmark::State &state)

@@ -94,6 +94,7 @@ AgingStore::ensure(ResourceId id,
     }
     if ((count >> kChunkShift) == chunks_.size()) {
         chunks_.push_back(std::make_unique<Chunk>());
+        dvth_chunks_.push_back(std::make_unique<DvthChunk>());
     }
     const ElementHandle h = count;
     new (slot(h)) RoutingElement(std::move(fresh));

@@ -40,6 +40,30 @@ using ElementHandle = std::uint32_t;
 inline constexpr ElementHandle kInvalidElement =
     static_cast<ElementHandle>(-1);
 
+/** Epoch value meaning "this ΔVth entry has never been filled". The
+ *  device's state epoch counts up from zero, so ~0 is unreachable. */
+inline constexpr std::uint64_t kDvthNeverCached = ~0ULL;
+
+/**
+ * Epoch-keyed ΔVth memo for one element.
+ *
+ * deltaVth is a pure function of the element's aging state — it never
+ * depends on temperature or polarity — so it is constant between
+ * state-epoch bumps. Caching both transistors' shifts per element
+ * collapses the two pow() calls of BtiState::deltaVthStressed to once
+ * per (element, epoch) instead of once per arrival recompute: a TDC
+ * probing 10 temperatures at one device state pays the power law once.
+ */
+struct DvthCacheEntry
+{
+    /** State epoch the shifts were computed at. */
+    std::uint64_t epoch = kDvthNeverCached;
+    /** NMOS threshold shift (limits falling transitions), volts. */
+    double nmos_v = 0.0;
+    /** PMOS threshold shift (limits rising transitions), volts. */
+    double pmos_v = 0.0;
+};
+
 /**
  * Chunked slab of RoutingElements plus a ResourceId-key index.
  */
@@ -105,6 +129,23 @@ class AgingStore
     }
 
     /**
+     * ΔVth cache entry of an element, unlocked like sweepAt(). The
+     * handle must be < size(). Concurrency contract: entries may be
+     * read/written during measurement fan-out, but (a) the state
+     * epoch is constant throughout any measurement phase (reads never
+     * bump it), and (b) concurrent lanes own disjoint element sets
+     * (each sensor walks its own route + chain), so no two lanes
+     * touch one entry — the same ownership discipline as a Tdc's
+     * arrival caches.
+     */
+    DvthCacheEntry &
+    dvthSlot(ElementHandle h)
+    {
+        return dvth_chunks_[h >> kChunkShift]
+            ->entries[h & kChunkMask];
+    }
+
+    /**
      * Ids of every materialised element, sorted by packed key so the
      * listing is deterministic regardless of materialisation order.
      */
@@ -120,6 +161,13 @@ class AgingStore
     {
         alignas(RoutingElement) std::byte
             raw[sizeof(RoutingElement) * kChunkSize];
+    };
+
+    /** ΔVth memo chunk mirroring one element chunk, kept out of the
+     *  element slab so a RoutingElement stays one cache line. */
+    struct DvthChunk
+    {
+        DvthCacheEntry entries[kChunkSize];
     };
 
     RoutingElement *slot(ElementHandle h)
@@ -166,6 +214,8 @@ class AgingStore
     void indexInsert(std::uint64_t key, ElementHandle h);
 
     std::vector<std::unique_ptr<Chunk>> chunks_;
+    /** Grown in lockstep with chunks_ (see ensure()). */
+    std::vector<std::unique_ptr<DvthChunk>> dvth_chunks_;
     std::atomic<std::uint32_t> count_ = 0;
     std::vector<IndexSlot> index_;
     std::uint32_t index_used_ = 0;

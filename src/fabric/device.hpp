@@ -192,6 +192,18 @@ class Device
     RoutingElement &elementAt(ElementHandle h) { return store_.at(h); }
 
     /**
+     * Epoch-keyed ΔVth memo of a bound element (see DvthCacheEntry
+     * and AgingStore::dvthSlot for the fill and concurrency
+     * contracts). Walks check entry.epoch against stateEpoch() and
+     * refill via RoutingElement::deltaVthPair on a miss.
+     */
+    DvthCacheEntry &
+    dvthCacheAt(ElementHandle h)
+    {
+        return store_.dvthSlot(h);
+    }
+
+    /**
      * Replay any pending timeline segments into the given elements
      * (the read-path hook: Route/Tdc call this before walking their
      * bound element pointers). Thread-safe for concurrent calls on

@@ -92,6 +92,28 @@ class RoutingElement
                                          temp_factor);
     }
 
+    /**
+     * delayPsFactored with the limiting transistor's ΔVth already
+     * known — the form walks take when the ΔVth epoch cache hits, so
+     * the BTI power law is skipped entirely. Bit-identical to
+     * delayPsFactored when dvth_v is the cached deltaVth value.
+     */
+    double
+    delayPsCached(const phys::DelayParams &dp, phys::Transition t,
+                  double dvth_v, double temp_factor) const
+    {
+        return phys::agedDelayPsFactored(dp, basePs(t), dvth_v,
+                                         temp_factor);
+    }
+
+    /** Both transistors' ΔVth (fills one ΔVth cache entry). */
+    void
+    deltaVthPair(const phys::BtiParams &bti, double &nmos_v,
+                 double &pmos_v) const
+    {
+        aging_.deltaVthPair(bti, nmos_v, pmos_v);
+    }
+
     /** Advance aging for dt hours under the given activity. */
     void age(const phys::BtiParams &bti, const ElementActivity &activity,
              double temp_k, double dt_h);

@@ -93,6 +93,18 @@ class ElementAging
         return pmos_.deltaVth(p.nbti, scale_);
     }
 
+    /**
+     * Both transistors' threshold shifts in one call — the form the
+     * ΔVth epoch cache fills. Each value is bit-identical to the
+     * corresponding deltaVth(p, type) call.
+     */
+    void
+    deltaVthPair(const BtiParams &p, double &nmos_v, double &pmos_v) const
+    {
+        nmos_v = nmos_.deltaVth(p.pbti, scale_);
+        pmos_v = pmos_.deltaVth(p.nbti, scale_);
+    }
+
     /** Direct access for tests and persistence. */
     const BtiState &state(TransistorType type) const;
 

@@ -61,6 +61,17 @@ struct TdcConfig
     double sample_seconds = 0.0012;
     /** Margin (taps) required from the chain ends at calibration. */
     std::size_t calibration_margin = 8;
+    /**
+     * Opt-in fast sampling: calibrate/measure traces draw jitter from
+     * the ziggurat generator in per-trace blocks and accumulate
+     * Hamming sums as integers, fused over the trace. ~3x faster
+     * measurement, statistically equivalent (locked by the tdc_test
+     * seed-sweep battery) but NOT draw-compatible with the default
+     * path — sample paths re-roll, so leave this off wherever a
+     * recorded golden must stay bit-identical. Mirrors the PR-4
+     * precedent of opt-in re-rolled fast paths.
+     */
+    bool fast_sampling = false;
 };
 
 /** One raw capture: the register snapshot for one polarity. */
@@ -177,21 +188,20 @@ class Tdc
     /** Device access (e.g. to co-locate further sensors). */
     fabric::Device &device() { return *device_; }
 
-  private:
-    /** Arrival time of the transition front at each chain tap. */
-    std::vector<double> tapArrivalsPs(phys::Transition polarity,
-                                      double temp_k) const;
-
     /**
-     * Arrival times memoized on the device's state epoch: the 24
-     * samples x 10 traces x ~80 calibration iterations at one device
-     * state and temperature share one route walk per polarity instead
-     * of recomputing identical arrivals every trace.
+     * Cached tap arrival times for one polarity at one temperature
+     * (exposed for lockstep verification; capture()/takeTrace() feed
+     * themselves).
      */
-    const std::vector<double> &cachedArrivalsPs(
-        phys::Transition polarity, double temp_k) const;
+    const std::vector<double> &
+    arrivals(phys::Transition polarity, double temp_k) const
+    {
+        return cachedArrivalsPs(polarity, temp_k);
+    }
 
-    /** Capture with precomputed arrivals (hot path of takeTrace). */
+    /** Capture with precomputed arrivals (hot path of takeTrace).
+     *  Public so tests can lock its draw sequence against
+     *  sampleHamming. */
     Capture captureFromArrivals(const std::vector<double> &arrivals,
                                 phys::Transition polarity,
                                 double theta_ps, util::Rng &rng) const;
@@ -202,10 +212,43 @@ class Tdc
      * chain, so the taps deterministically passed (and missed) by the
      * capture edge are found by partition point; only the metastable
      * aperture draws randomness — the same draws, in the same order,
-     * as captureFromArrivals.
+     * as captureFromArrivals (property-tested lockstep).
      */
     std::size_t sampleHamming(const std::vector<double> &arrivals,
                               double theta_ps, util::Rng &rng) const;
+
+  private:
+    /**
+     * Refill BOTH polarity caches with one handle sync and one walk
+     * over the bound elements. calibrate/measure always probe both
+     * polarities at the same (state, temperature), so pairing the
+     * walks halves the sync + traversal work; the ΔVth epoch cache
+     * supplies each element's two threshold shifts without re-running
+     * the BTI power law. Per-polarity sums accumulate in the original
+     * element order, so each cache is bit-identical to what a
+     * single-polarity walk would produce (locked by the regression
+     * goldens).
+     */
+    void fillArrivalCaches(double temp_k) const;
+
+    /**
+     * Arrival times memoized on the device's state epoch: the 24
+     * samples x 10 traces x ~80 calibration iterations at one device
+     * state and temperature share one route walk per polarity instead
+     * of recomputing identical arrivals every trace.
+     */
+    const std::vector<double> &cachedArrivalsPs(
+        phys::Transition polarity, double temp_k) const;
+
+    /**
+     * Fast-mode trace (TdcConfig::fast_sampling): block of ziggurat
+     * jitter, per-trace fixed window of jitter-reachable taps with
+     * branch-predictable fixed-trip aperture draws, integer Hamming
+     * sum. Statistically matches meanTraceHamming's default path but
+     * draws differently.
+     */
+    double fastTraceMeanHamming(const std::vector<double> &arrivals,
+                                double theta_ps, util::Rng &rng) const;
 
     /**
      * takeTrace(...).meanHamming() without materialising the Trace:
@@ -236,6 +279,9 @@ class Tdc
         std::vector<double> arrivals;
     };
     mutable ArrivalCache arrival_cache_[2];
+    /** Per-trace jitter block for the fast sampling path (scratch,
+     *  same single-lane contract as the arrival caches). */
+    mutable std::vector<double> jitter_scratch_;
 };
 
 } // namespace pentimento::tdc

@@ -14,6 +14,7 @@
 #define PENTIMENTO_UTIL_RNG_HPP
 
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <string_view>
@@ -112,6 +113,107 @@ class Rng
         return mean + sd * gaussian();
     }
 
+    /**
+     * Fill out[0..n) with normal variates, bit-identical to n
+     * sequential gaussian(mean, sd) calls — including the polar
+     * method's cached second variate, which is honoured on entry and
+     * re-cached on exit when n is odd. Batching lets hot loops (TDC
+     * jitter per trace) hoist the per-call branch without perturbing
+     * any draw sequence.
+     */
+    void
+    gaussianBlock(double mean, double sd, double *out, std::size_t n)
+    {
+        std::size_t i = 0;
+        if (have_cached_ && i < n) {
+            have_cached_ = false;
+            out[i++] = mean + sd * cached_;
+        }
+        while (i < n) {
+            double u, v, s;
+            do {
+                u = uniform(-1.0, 1.0);
+                v = uniform(-1.0, 1.0);
+                s = u * u + v * v;
+            } while (s >= 1.0 || s == 0.0);
+            const double m = std::sqrt(-2.0 * std::log(s) / s);
+            out[i++] = mean + sd * (u * m);
+            if (i < n) {
+                out[i++] = mean + sd * (v * m);
+            } else {
+                cached_ = v * m;
+                have_cached_ = true;
+            }
+        }
+    }
+
+    /**
+     * Standard normal variate via a 256-layer Marsaglia-Tsang
+     * ziggurat: ~1 raw draw and zero transcendental calls for ~99% of
+     * variates, vs ~2.5 draws plus sqrt+log for the polar method.
+     *
+     * NOT draw-compatible with gaussian(): it consumes the underlying
+     * stream in a different order, so it is reserved for opt-in fast
+     * paths (TdcConfig::fast_sampling) that deliberately re-roll their
+     * sample paths. Does not touch the polar method's cached variate.
+     */
+    double
+    gaussianFast()
+    {
+        return gaussianFastFrom(zigguratTables());
+    }
+
+    /** Block of ziggurat normals with given mean and deviation. */
+    void
+    gaussianFastBlock(double mean, double sd, double *out, std::size_t n)
+    {
+        // Resolve the magic-static guard once for the whole block
+        // instead of per variate — the tight trace loops draw tens of
+        // samples per call.
+        const ZigguratTables &z = zigguratTables();
+        for (std::size_t i = 0; i < n; ++i) {
+            out[i] = mean + sd * gaussianFastFrom(z);
+        }
+    }
+
+  private:
+    struct ZigguratTables;
+
+    /** Ziggurat sampling loop against an already-resolved table. */
+    double
+    gaussianFastFrom(const ZigguratTables &z)
+    {
+        while (true) {
+            const std::uint64_t bits = (*this)();
+            // Bit-disjoint fields of one draw: 53-bit magnitude
+            // (bits 11-63), layer index (bits 0-7), sign (bit 8).
+            const std::uint64_t j = bits >> 11;
+            const unsigned idx = static_cast<unsigned>(bits & 255u);
+            const double sign = (bits & 256u) != 0 ? -1.0 : 1.0;
+            if (j < z.kn[idx]) {
+                // Fully inside the layer: accept with no float test.
+                return sign * (static_cast<double>(j) * z.wn[idx]);
+            }
+            if (idx == 0) {
+                // Tail beyond r: Marsaglia's exponential wedge. The
+                // 1 - uniform() keeps log()'s argument in (0, 1].
+                double x, y;
+                do {
+                    x = -std::log(1.0 - uniform()) * z.inv_r;
+                    y = -std::log(1.0 - uniform());
+                } while (y + y < x * x);
+                return sign * (z.r + x);
+            }
+            const double x = static_cast<double>(j) * z.wn[idx];
+            if (z.fn[idx] +
+                    uniform() * (z.fn[idx - 1] - z.fn[idx]) <
+                std::exp(-0.5 * x * x)) {
+                return sign * x;
+            }
+        }
+    }
+
+  public:
     /** Lognormal variate parameterised by the underlying normal. */
     double
     lognormal(double mu, double sigma)
@@ -151,6 +253,56 @@ class Rng
     }
 
   private:
+    /**
+     * Precomputed ziggurat layers for the standard normal. kn[i] is
+     * the largest 53-bit magnitude certainly inside layer i, wn[i]
+     * scales a 53-bit magnitude to an abscissa, fn[i] is the density
+     * at the layer boundary. Built once (thread-safe magic static)
+     * with the classic Marsaglia-Tsang recurrence for 256 layers.
+     */
+    struct ZigguratTables
+    {
+        std::uint64_t kn[256];
+        double wn[256];
+        double fn[256];
+        double r;
+        double inv_r;
+
+        ZigguratTables()
+        {
+            // Rightmost layer abscissa and common layer area for a
+            // 256-layer normal ziggurat.
+            const double m = 0x1.0p53;
+            double dn = 3.6541528853610088;
+            double tn = dn;
+            const double vn = 0.00492867323399;
+            r = dn;
+            inv_r = 1.0 / dn;
+            const double q = vn / std::exp(-0.5 * dn * dn);
+            kn[0] = static_cast<std::uint64_t>((dn / q) * m);
+            kn[1] = 0;
+            wn[0] = q / m;
+            wn[255] = dn / m;
+            fn[0] = 1.0;
+            fn[255] = std::exp(-0.5 * dn * dn);
+            for (int i = 254; i >= 1; --i) {
+                dn = std::sqrt(-2.0 * std::log(vn / dn +
+                                               std::exp(-0.5 * dn * dn)));
+                kn[i + 1] = static_cast<std::uint64_t>((dn / tn) * m);
+                tn = dn;
+                fn[i] = std::exp(-0.5 * dn * dn);
+                wn[i] = dn / m;
+            }
+        }
+    };
+
+    static const ZigguratTables &
+    zigguratTables()
+    {
+        static const ZigguratTables tables;
+        return tables;
+    }
+
     static std::uint64_t
     splitmix64(std::uint64_t &x)
     {

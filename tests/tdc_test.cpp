@@ -7,15 +7,20 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <memory>
 
 #include "fabric/device.hpp"
 #include "fabric/drc.hpp"
+#include "phys/aging.hpp"
+#include "phys/bti.hpp"
 #include "phys/thermal.hpp"
 #include "tdc/measure_design.hpp"
 #include "tdc/ro_sensor.hpp"
 #include "tdc/tdc.hpp"
 #include "util/logging.hpp"
+#include "util/stats.hpp"
 
 namespace pf = pentimento::fabric;
 namespace pp = pentimento::phys;
@@ -335,6 +340,238 @@ TEST_P(BurnContrastSweep, ContrastScalesWithRouteLength)
 INSTANTIATE_TEST_SUITE_P(PaperLengths, BurnContrastSweep,
                          ::testing::Values(1000.0, 2000.0, 5000.0,
                                            10000.0));
+
+// ------------------------------------------------ TdcConfig validation
+
+namespace {
+
+/** Expect the Tdc constructor to reject the mutated config. */
+template <typename Mutate>
+void
+expectConfigRejected(Mutate mutate)
+{
+    pf::Device device(deviceConfig());
+    const pf::RouteSpec route = device.allocateRoute("r", 500.0);
+    const pf::RouteSpec chain = device.allocateCarryChain("c", 64);
+    pt::TdcConfig config;
+    mutate(config);
+    EXPECT_THROW(pt::Tdc(device, route, chain, config), pu::FatalError);
+}
+
+} // namespace
+
+TEST(TdcConfigValidation, RejectsZeroWindow)
+{
+    // A zero/negative aperture would divide the per-tap predicate by
+    // zero and emit NaN hamming with no diagnostic.
+    expectConfigRejected(
+        [](pt::TdcConfig &c) { c.metastable_window_ps = 0.0; });
+    expectConfigRejected(
+        [](pt::TdcConfig &c) { c.metastable_window_ps = -4.0; });
+}
+
+TEST(TdcConfigValidation, RejectsZeroTaps)
+{
+    expectConfigRejected([](pt::TdcConfig &c) { c.taps = 0; });
+}
+
+TEST(TdcConfigValidation, RejectsNonPositiveSamplesPerTrace)
+{
+    expectConfigRejected(
+        [](pt::TdcConfig &c) { c.samples_per_trace = 0; });
+    expectConfigRejected(
+        [](pt::TdcConfig &c) { c.samples_per_trace = -3; });
+}
+
+TEST(TdcConfigValidation, RejectsNonPositiveTracesPerMeasurement)
+{
+    expectConfigRejected(
+        [](pt::TdcConfig &c) { c.traces_per_measurement = 0; });
+}
+
+TEST(TdcConfigValidation, RejectsNegativeOrNonFiniteJitter)
+{
+    expectConfigRejected(
+        [](pt::TdcConfig &c) { c.jitter_sigma_ps = -0.1; });
+    expectConfigRejected([](pt::TdcConfig &c) {
+        c.jitter_sigma_ps = std::numeric_limits<double>::quiet_NaN();
+    });
+}
+
+TEST(TdcConfigValidation, RejectsNonPositivePsPerBit)
+{
+    expectConfigRejected([](pt::TdcConfig &c) { c.ps_per_bit = 0.0; });
+}
+
+TEST(TdcConfigValidation, ZeroJitterStaysLegal)
+{
+    // The quiet (noiseless) sensors used throughout these tests must
+    // keep constructing.
+    pf::Device device(deviceConfig());
+    const pf::RouteSpec route = device.allocateRoute("r", 500.0);
+    const pf::RouteSpec chain = device.allocateCarryChain("c", 64);
+    EXPECT_NO_THROW(pt::Tdc(device, route, chain, quietTdc()));
+}
+
+// ------------------------------------------- calibration bracketing
+
+namespace {
+
+/**
+ * Age every route element far beyond its target delay, with the AC
+ * duty chosen so NBTI's stronger prefactor is offset by less stress
+ * time — both polarities slow by the same factor, which is what keeps
+ * the falling front inside the chain once the rising front is tuned
+ * mid-chain. (duty/(1-duty))^n == (nbti/pbti prefactor ratio) with
+ * n = 0.25.
+ */
+void
+injectExtremeAging(pf::Device &device, const pf::RouteSpec &route,
+                   double scale)
+{
+    const pp::BtiParams params = pp::BtiParams::ultrascalePlus();
+    const double ratio = std::pow(
+        params.nbti.prefactor_v / params.pbti.prefactor_v,
+        1.0 / params.pbti.time_exponent);
+    const double duty = ratio / (1.0 + ratio);
+    for (const pf::ResourceId &id : route.elements) {
+        pf::RoutingElement &elem = device.element(id);
+        elem.aging().setScale(scale);
+        elem.aging().holdToggling(params, duty, 333.15, 100.0);
+    }
+}
+
+} // namespace
+
+TEST(Tdc, CalibrateWidensBracketForExtremeAgedRoute)
+{
+    // A route aged ~9x past its target exceeds the nominal θ search
+    // bracket; the old fixed bracket silently saturated and returned
+    // a θ below the route transit, biasing every measurement.
+    Bench bench(1000.0);
+    injectExtremeAging(bench.device, bench.route, 1e4);
+    const double nominal_hi = 1000.0 * 2.0 + 64 * 2.8 + 2000.0;
+    const double theta = bench.sensor.calibrate(333.15, bench.rng);
+    EXPECT_GT(theta, nominal_hi);
+    const pt::Trace rise = bench.sensor.takeTrace(
+        pp::Transition::Rising, theta, 333.15, bench.rng);
+    EXPECT_GT(rise.meanHamming(), 4.0);
+    EXPECT_LT(rise.meanHamming(), 60.0);
+}
+
+TEST(Tdc, CalibrateFatalWhenRouteExceedsMaxBracket)
+{
+    // Beyond the bounded geometric widening the sensor must fail
+    // loudly instead of returning a saturated θ.
+    Bench bench(1000.0);
+    injectExtremeAging(bench.device, bench.route, 1e8);
+    EXPECT_THROW(bench.sensor.calibrate(333.15, bench.rng),
+                 pu::FatalError);
+}
+
+// --------------------------------------- capture/sample lockstep
+
+TEST(Tdc, SampleHammingMatchesCaptureLockstep)
+{
+    // sampleHamming duplicates captureFromArrivals' aperture
+    // predicate without materialising bits; the two must agree on the
+    // Hamming distance AND consume the identical draw sequence for
+    // random θ, temperature and aging states.
+    const pp::BtiParams params = pp::BtiParams::ultrascalePlus();
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        Bench bench(1500.0, pt::TdcConfig{}, seed + 10);
+        pu::Rng setup(seed * 77 + 5);
+        for (const pf::ResourceId &id : bench.route.elements) {
+            if (setup.bernoulli(0.7)) {
+                bench.device.element(id).aging().holdStatic(
+                    params, setup.bernoulli(0.5),
+                    setup.uniform(300.0, 360.0),
+                    setup.uniform(0.0, 300.0));
+            }
+        }
+        for (int trial = 0; trial < 30; ++trial) {
+            const double temp = setup.uniform(300.0, 370.0);
+            const pp::Transition polarity = setup.bernoulli(0.5)
+                                                ? pp::Transition::Rising
+                                                : pp::Transition::Falling;
+            const auto &arrivals =
+                bench.sensor.arrivals(polarity, temp);
+            const double theta = setup.uniform(
+                arrivals.front() - 50.0, arrivals.back() + 50.0);
+            pu::Rng rng_cap(seed * 1000 + trial);
+            pu::Rng rng_fast(seed * 1000 + trial);
+            const std::size_t cap_hd =
+                bench.sensor
+                    .captureFromArrivals(arrivals, polarity, theta,
+                                         rng_cap)
+                    .hammingDistance();
+            const std::size_t fast_hd = bench.sensor.sampleHamming(
+                arrivals, theta, rng_fast);
+            EXPECT_EQ(cap_hd, fast_hd)
+                << "seed " << seed << " trial " << trial;
+            // Lockstep: both paths must have consumed the same draws.
+            EXPECT_EQ(rng_cap(), rng_fast())
+                << "seed " << seed << " trial " << trial;
+        }
+    }
+}
+
+// -------------------------------------------- fast sampling mode
+
+TEST(FastSampling, StatisticallyEquivalentAcrossSeeds)
+{
+    // fast_sampling deliberately re-rolls sample paths (ziggurat
+    // jitter, fused integer traces), so per-seed values differ; the
+    // distribution of the measured observable must not move. Same
+    // devices, same aging, same burn in both arms — only the sampling
+    // draws differ.
+    pu::RunningStats exact_stats;
+    pu::RunningStats fast_stats;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        for (int fast = 0; fast < 2; ++fast) {
+            pt::TdcConfig config;
+            config.fast_sampling = fast == 1;
+            Bench bench(2000.0, config, seed);
+            bench.sensor.calibrate(333.15, bench.rng);
+            auto design = std::make_shared<pf::Design>("burn");
+            design->setRouteValue(bench.route, true);
+            bench.device.loadDesign(design);
+            pp::OvenEnvironment oven(333.15);
+            bench.device.advance(200.0, oven);
+            bench.device.wipe();
+            const double delta =
+                bench.sensor.measure(333.15, bench.rng).deltaPs();
+            (fast == 1 ? fast_stats : exact_stats).add(delta);
+        }
+    }
+    // Burn 1 drives ∆ps positive in both modes…
+    EXPECT_GT(exact_stats.mean(), 1.0);
+    EXPECT_GT(fast_stats.mean(), 1.0);
+    // …and the seed-sweep means and spreads agree within sampling
+    // noise (tolerances ~3x the empirical SEM of the 10-seed means).
+    EXPECT_NEAR(fast_stats.mean(), exact_stats.mean(), 0.4);
+    EXPECT_LT(std::abs(fast_stats.stddev() - exact_stats.stddev()),
+              0.5);
+}
+
+TEST(FastSampling, CalibratesToSameThetaNeighbourhood)
+{
+    // Calibration is a statistic of many traces; fast and exact modes
+    // must land θ_init within a few taps of each other.
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        pt::TdcConfig exact_config;
+        pt::TdcConfig fast_config;
+        fast_config.fast_sampling = true;
+        Bench exact_bench(2000.0, exact_config, seed);
+        Bench fast_bench(2000.0, fast_config, seed);
+        const double exact_theta =
+            exact_bench.sensor.calibrate(333.15, exact_bench.rng);
+        const double fast_theta =
+            fast_bench.sensor.calibrate(333.15, fast_bench.rng);
+        EXPECT_NEAR(fast_theta, exact_theta, 4.0 * 2.8)
+            << "seed " << seed;
+    }
+}
 
 // -------------------------------------------------------MeasureDesign
 

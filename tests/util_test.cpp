@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
 #include "util/ascii_chart.hpp"
 #include "util/compensated.hpp"
@@ -152,6 +155,76 @@ TEST(Rng, SplitByTagIsDeterministic)
     for (int i = 0; i < 16; ++i) {
         EXPECT_EQ(a(), b());
     }
+}
+
+TEST(Rng, GaussianBlockMatchesSequentialDraws)
+{
+    for (const std::size_t n : {1u, 2u, 7u, 8u, 33u}) {
+        pu::Rng seq(41), blk(41);
+        std::vector<double> expected(n), got(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            expected[i] = seq.gaussian(3.0, 0.7);
+        }
+        blk.gaussianBlock(3.0, 0.7, got.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(expected[i], got[i]) << "n=" << n << " i=" << i;
+        }
+        // The polar method caches its second variate; the block must
+        // leave the generator in the same cached state as the loop.
+        EXPECT_EQ(seq.gaussian(), blk.gaussian());
+        EXPECT_EQ(seq(), blk());
+    }
+}
+
+TEST(Rng, GaussianBlockHonoursPreCachedVariate)
+{
+    pu::Rng seq(43), blk(43);
+    // Prime both generators with one draw so a cached second variate
+    // is pending when the block starts.
+    EXPECT_EQ(seq.gaussian(), blk.gaussian());
+    std::vector<double> expected(5), got(5);
+    for (auto &v : expected) {
+        v = seq.gaussian(-1.0, 2.5);
+    }
+    blk.gaussianBlock(-1.0, 2.5, got.data(), got.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(expected[i], got[i]);
+    }
+    EXPECT_EQ(seq(), blk());
+}
+
+TEST(Rng, GaussianFastMoments)
+{
+    pu::Rng rng(47);
+    pu::RunningStats stats;
+    const int n = 1000000;
+    int beyond_3sigma = 0;
+    double sum_x4 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.gaussianFast();
+        stats.add(x);
+        sum_x4 += x * x * x * x;
+        beyond_3sigma += std::abs(x) > 3.0 ? 1 : 0;
+    }
+    EXPECT_NEAR(stats.mean(), 0.0, 0.005);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.005);
+    // Excess-free kurtosis and the 3-sigma tail mass check the ziggurat
+    // layer table and its tail sampler, not just the bulk.
+    EXPECT_NEAR(sum_x4 / n, 3.0, 0.1);
+    EXPECT_NEAR(static_cast<double>(beyond_3sigma) / n, 0.0027, 0.0006);
+}
+
+TEST(Rng, GaussianFastBlockShiftedMoments)
+{
+    pu::Rng rng(53);
+    std::vector<double> block(200000);
+    rng.gaussianFastBlock(10.0, 2.0, block.data(), block.size());
+    pu::RunningStats stats;
+    for (const double v : block) {
+        stats.add(v);
+    }
+    EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
 }
 
 // ------------------------------------------------------ RunningStats
