@@ -28,10 +28,19 @@
  * conditions (service-aged silicon, short tenancies, 25 h of
  * observation): across nearby seeds it spans roughly 50-85%, and the
  * default seed is chosen to sit near the middle of that range.
+ *
+ * Crash-safe checkpointing (PR 7): `--checkpoint-every N` writes a
+ * rotating two-generation snapshot of the entire campaign — fleet
+ * board state plus the driver's tenancy ledger and RNG cursor — after
+ * every N simulated days; `--resume` continues from the latest good
+ * generation, and a resumed run's CSV is byte-identical to an
+ * uninterrupted one. `--halt-at-day D` exits cleanly after day D (the
+ * kill half of the CI kill-and-resume stress).
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,8 +50,10 @@
 #include "core/classifier.hpp"
 #include "core/experiment.hpp"
 #include "tdc/measure_design.hpp"
+#include "util/expected.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
+#include "util/snapshot.hpp"
 
 using namespace pentimento;
 
@@ -55,6 +66,10 @@ constexpr std::size_t kRoutesPerTenant = 8;
 constexpr double kRouteTargetPs = 2000.0;
 constexpr std::size_t kMaxMeasured = 8;
 constexpr double kRecoveryHours = 25.0;
+constexpr const char *kDefaultCheckpointPath = "fleet_campaign.ckpt";
+
+constexpr std::uint32_t kCfgTag = util::snapshotTag('C', 'F', 'G', '!');
+constexpr std::uint32_t kCmpTag = util::snapshotTag('C', 'M', 'P', '!');
 
 /** One completed tenancy: what the attacker would need to know. */
 struct Tenancy
@@ -65,6 +80,29 @@ struct Tenancy
     double released_at_h = 0.0;
 };
 
+/** One tenancy still computing. */
+struct Active
+{
+    std::string board;
+    double ends_at_h = 0.0;
+    /** Day the tenant design was created — its identity, for resume. */
+    int start_day = 0;
+    Tenancy record;
+    /** Kept only under --journal-stress, for daily burn-value
+     *  rotations. */
+    std::shared_ptr<fabric::TargetDesign> target;
+};
+
+/** Everything the day loop owns; what a checkpoint must capture. */
+struct CampaignState
+{
+    std::unique_ptr<cloud::CloudPlatform> platform;
+    util::Rng rng{424261};
+    std::vector<Active> active;
+    std::vector<Tenancy> finished;
+    int next_day = 0;
+};
+
 /** Attack result for one measured board. */
 struct BoardScore
 {
@@ -73,6 +111,326 @@ struct BoardScore
     std::size_t correct = 0;
     double accuracy = 0.0;
 };
+
+// --------------------------------------------------- CLI validation
+
+void
+printUsage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: fleet_campaign [options]\n"
+        "  --fleet N             boards in the region (default %zu)\n"
+        "  --years N             simulated years (default %d)\n"
+        "  --seed S              campaign seed (default %llu)\n"
+        "  --workers N           parallel lanes for the scan phase\n"
+        "  --csv PATH            write per-board attack scores as CSV\n"
+        "  --journal-stress      daily burn rotations + coverage check\n"
+        "  --checkpoint-every N  checkpoint every N simulated days\n"
+        "  --checkpoint-path P   checkpoint file (default %s)\n"
+        "  --resume              continue from the latest good "
+        "checkpoint\n"
+        "  --halt-at-day D       exit cleanly after day D (pairs with "
+        "--resume)\n",
+        kDefaultFleet, kDefaultYears,
+        static_cast<unsigned long long>(kDefaultSeed),
+        kDefaultCheckpointPath);
+}
+
+/**
+ * Whitelist scan: every argument must be a known flag, with its value
+ * present when one is required. Anything else is a usage error — a
+ * typoed scaling flag silently ignored would misattribute numbers.
+ */
+bool
+argsAreKnown(int argc, char **argv)
+{
+    static const char *kValueFlags[] = {
+        "--fleet",   "--years", "--seed",
+        "--workers", "--csv",   "--checkpoint-every",
+        "--checkpoint-path",    "--halt-at-day"};
+    static const char *kBareFlags[] = {"--journal-stress", "--resume"};
+    for (int i = 1; i < argc; ++i) {
+        bool known = false;
+        for (const char *flag : kValueFlags) {
+            if (std::strcmp(argv[i], flag) == 0) {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr,
+                                 "fleet_campaign: missing value for "
+                                 "%s\n",
+                                 flag);
+                    return false;
+                }
+                ++i;
+                known = true;
+                break;
+            }
+        }
+        for (const char *flag : kBareFlags) {
+            if (!known && std::strcmp(argv[i], flag) == 0) {
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            std::fprintf(stderr, "fleet_campaign: unknown flag '%s'\n",
+                         argv[i]);
+            return false;
+        }
+    }
+    return true;
+}
+
+const char *
+parseStringFlag(int argc, char **argv, const char *flag,
+                const char *fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0) {
+            return argv[i + 1];
+        }
+    }
+    return fallback;
+}
+
+// -------------------------------------------------- tenant designs
+
+/** Rebuild a tenant design exactly as the rent-time site makes it. */
+std::shared_ptr<fabric::TargetDesign>
+makeTenantDesign(const Tenancy &tenancy, int start_day)
+{
+    fabric::ArithmeticHeavyConfig arith;
+    arith.dsp_count = 128;
+    return std::make_shared<fabric::TargetDesign>(
+        "tenant_" + tenancy.board + "_d" + std::to_string(start_day),
+        tenancy.specs, tenancy.bits, arith);
+}
+
+/** The --journal-stress rotation a tenancy carries on day `day`. */
+void
+applyRotation(const Active &a, int day)
+{
+    for (std::size_t i = 0; i < a.record.bits.size(); ++i) {
+        a.target->setBurnValue(i, (day % 2 == 0) == a.record.bits[i]);
+    }
+}
+
+// --------------------------------------------- checkpoint write/read
+
+void
+writeTenancy(util::SnapshotWriter &writer, const Tenancy &tenancy)
+{
+    writer.str(tenancy.board);
+    writer.u64(tenancy.specs.size());
+    for (const fabric::RouteSpec &spec : tenancy.specs) {
+        writer.str(spec.name);
+        writer.f64(spec.target_ps);
+        writer.u64(spec.elements.size());
+        for (const fabric::ResourceId &id : spec.elements) {
+            writer.u64(id.key());
+        }
+    }
+    writer.u64(tenancy.bits.size());
+    for (const bool bit : tenancy.bits) {
+        writer.u8(bit ? 1 : 0);
+    }
+    writer.f64(tenancy.released_at_h);
+}
+
+bool
+readTenancy(util::SnapshotReader &reader, Tenancy *tenancy)
+{
+    tenancy->board = reader.str();
+    const std::uint64_t spec_count = reader.u64();
+    for (std::uint64_t s = 0; s < spec_count && reader.ok(); ++s) {
+        fabric::RouteSpec spec;
+        spec.name = reader.str();
+        spec.target_ps = reader.f64();
+        const std::uint64_t elem_count = reader.u64();
+        for (std::uint64_t e = 0; e < elem_count && reader.ok(); ++e) {
+            spec.elements.push_back(
+                fabric::ResourceId::fromKey(reader.u64()));
+        }
+        tenancy->specs.push_back(std::move(spec));
+    }
+    const std::uint64_t bit_count = reader.u64();
+    for (std::uint64_t b = 0; b < bit_count && reader.ok(); ++b) {
+        tenancy->bits.push_back(reader.u8() != 0);
+    }
+    tenancy->released_at_h = reader.f64();
+    if (reader.ok() && tenancy->bits.size() != tenancy->specs.size()) {
+        reader.fail("checkpoint: tenancy bits/specs length mismatch");
+    }
+    return reader.ok();
+}
+
+/**
+ * Write one rotating checkpoint generation. Failure is reported but
+ * non-fatal — a full disk must not kill a year-long campaign.
+ */
+void
+saveCheckpoint(const CampaignState &state, std::size_t fleet, int days,
+               std::uint64_t seed, bool journal_stress,
+               const std::string &path)
+{
+    util::SnapshotWriter writer;
+    writer.beginChunk(kCfgTag);
+    writer.u64(fleet);
+    writer.u64(static_cast<std::uint64_t>(days));
+    writer.u64(seed);
+    writer.u8(journal_stress ? 1 : 0);
+    writer.endChunk();
+
+    state.platform->saveState(writer);
+
+    writer.beginChunk(kCmpTag);
+    writer.u64(static_cast<std::uint64_t>(state.next_day));
+    const util::Rng::State rng = state.rng.state();
+    for (const std::uint64_t word : rng.words) {
+        writer.u64(word);
+    }
+    writer.f64(rng.cached);
+    writer.u8(rng.have_cached ? 1 : 0);
+    writer.u64(state.finished.size());
+    for (const Tenancy &tenancy : state.finished) {
+        writeTenancy(writer, tenancy);
+    }
+    writer.u64(state.active.size());
+    for (const Active &a : state.active) {
+        writer.f64(a.ends_at_h);
+        writer.u64(static_cast<std::uint64_t>(a.start_day));
+        writeTenancy(writer, a.record);
+    }
+    writer.endChunk();
+
+    const util::Expected<void> committed = writer.commitRotating(path);
+    if (!committed.ok()) {
+        std::fprintf(stderr,
+                     "fleet_campaign: checkpoint write failed (%s); "
+                     "continuing without it\n",
+                     committed.error().c_str());
+    }
+}
+
+/**
+ * Restore one checkpoint generation into a freshly built platform.
+ * Every corruption path comes back as a recoverable error so the
+ * caller can fall through to the previous generation.
+ */
+util::Expected<CampaignState>
+restoreCampaignFrom(const std::string &path,
+                    const cloud::PlatformConfig &config, int days,
+                    bool journal_stress)
+{
+    util::Expected<util::SnapshotReader> opened =
+        util::SnapshotReader::open(path);
+    if (!opened.ok()) {
+        return util::unexpected(opened.error());
+    }
+    util::SnapshotReader &reader = opened.value();
+
+    if (!reader.enterChunk(kCfgTag)) {
+        return util::unexpected(reader.error());
+    }
+    const std::uint64_t fleet = reader.u64();
+    const std::uint64_t saved_days = reader.u64();
+    const std::uint64_t seed = reader.u64();
+    const bool saved_stress = reader.u8() != 0;
+    if (!reader.leaveChunk()) {
+        return util::unexpected(reader.error());
+    }
+    if (fleet != config.fleet_size || seed != config.seed ||
+        saved_days != static_cast<std::uint64_t>(days) ||
+        saved_stress != journal_stress) {
+        return util::unexpected(
+            "checkpoint was written by a different campaign "
+            "(--fleet/--years/--seed/--journal-stress skew)");
+    }
+
+    CampaignState state;
+    state.platform = std::make_unique<cloud::CloudPlatform>(config);
+    std::vector<std::string> boards_with_design;
+    const util::Expected<void> restored =
+        state.platform->restoreState(reader, &boards_with_design);
+    if (!restored.ok()) {
+        return util::unexpected(restored.error());
+    }
+
+    if (!reader.enterChunk(kCmpTag)) {
+        return util::unexpected(reader.error());
+    }
+    const std::uint64_t next_day = reader.u64();
+    util::Rng::State rng;
+    for (std::uint64_t &word : rng.words) {
+        word = reader.u64();
+    }
+    rng.cached = reader.f64();
+    rng.have_cached = reader.u8() != 0;
+    const std::uint64_t finished_count = reader.u64();
+    for (std::uint64_t i = 0; i < finished_count && reader.ok(); ++i) {
+        Tenancy tenancy;
+        if (readTenancy(reader, &tenancy)) {
+            state.finished.push_back(std::move(tenancy));
+        }
+    }
+    const std::uint64_t active_count = reader.u64();
+    for (std::uint64_t i = 0; i < active_count && reader.ok(); ++i) {
+        Active a;
+        a.ends_at_h = reader.f64();
+        a.start_day = static_cast<int>(reader.u64());
+        if (readTenancy(reader, &a.record)) {
+            a.board = a.record.board;
+            state.active.push_back(std::move(a));
+        }
+    }
+    if (!reader.leaveChunk() || !reader.expectEnd()) {
+        return util::unexpected(reader.error());
+    }
+    if (next_day < 1 || next_day > static_cast<std::uint64_t>(days)) {
+        return util::unexpected("checkpoint: day cursor out of range");
+    }
+    state.next_day = static_cast<int>(next_day);
+    state.rng.setState(rng);
+
+    // Designs are code, not board state: rebuild each active tenant's
+    // design (with the rotation parity it carried at save time, under
+    // --journal-stress) and re-load it. The restored board's activity
+    // state already matches, so the load is flip- and draw-neutral.
+    if (boards_with_design.size() != state.active.size()) {
+        return util::unexpected(
+            "checkpoint: design residency does not match the ledger");
+    }
+    for (Active &a : state.active) {
+        bool listed = false;
+        for (const std::string &board : boards_with_design) {
+            if (board == a.board) {
+                listed = true;
+                break;
+            }
+        }
+        if (!listed) {
+            return util::unexpected("checkpoint: active board '" +
+                                    a.board +
+                                    "' has no resident design");
+        }
+        std::shared_ptr<fabric::TargetDesign> target =
+            makeTenantDesign(a.record, a.start_day);
+        a.target = target;
+        if (journal_stress) {
+            applyRotation(a, state.next_day - 1);
+        }
+        if (!state.platform->loadDesign(a.board, target).empty()) {
+            return util::unexpected(
+                "checkpoint: reconstructed tenant design failed DRC");
+        }
+        if (!journal_stress) {
+            a.target = nullptr;
+        }
+    }
+    return state;
+}
+
+// --------------------------------------------------------- TM2 scan
 
 /**
  * TM2 park-and-watch on one re-acquired board: calibrate at takeover,
@@ -157,15 +515,35 @@ attackBoard(cloud::CloudPlatform &platform, const std::string &board_id,
 int
 main(int argc, char **argv)
 {
-    const auto kFleet = static_cast<std::size_t>(
-        bench::parseLongFlag(argc, argv, "--fleet", kDefaultFleet));
-    const int kDays =
-        365 * static_cast<int>(bench::parseLongFlag(argc, argv,
-                                                    "--years",
-                                                    kDefaultYears));
-    // Seed 0 is a legal Rng seed, so the floor is 0 here.
-    const auto seed = static_cast<std::uint64_t>(bench::parseLongFlag(
-        argc, argv, "--seed", static_cast<long>(kDefaultSeed), 0));
+    if (!argsAreKnown(argc, argv)) {
+        printUsage(stderr);
+        return 2;
+    }
+    std::size_t kFleet = 0;
+    int kDays = 0;
+    std::uint64_t seed = 0;
+    long checkpoint_every = 0;
+    long halt_at_day = 0;
+    std::string checkpoint_path;
+    try {
+        kFleet = static_cast<std::size_t>(
+            bench::parseLongFlag(argc, argv, "--fleet", kDefaultFleet));
+        kDays = 365 * static_cast<int>(bench::parseLongFlag(
+                          argc, argv, "--years", kDefaultYears));
+        // Seed 0 is a legal Rng seed, so the floor is 0 here.
+        seed = static_cast<std::uint64_t>(bench::parseLongFlag(
+            argc, argv, "--seed", static_cast<long>(kDefaultSeed), 0));
+        checkpoint_every =
+            bench::parseLongFlag(argc, argv, "--checkpoint-every", 0);
+        halt_at_day =
+            bench::parseLongFlag(argc, argv, "--halt-at-day", 0);
+        checkpoint_path = parseStringFlag(
+            argc, argv, "--checkpoint-path", kDefaultCheckpointPath);
+    } catch (const util::FatalError &error) {
+        std::fprintf(stderr, "fleet_campaign: %s\n", error.what());
+        printUsage(stderr);
+        return 2;
+    }
     // --journal-stress exercises the activity journal at fleet scale:
     // every active tenancy rotates its burn values daily (in-place
     // design mutations, journaled as O(1) flips on unobserved
@@ -175,6 +553,7 @@ main(int argc, char **argv)
     // committed CSV golden only applies without the flag.
     const bool journal_stress =
         bench::hasFlag(argc, argv, "--journal-stress");
+    const bool resume = bench::hasFlag(argc, argv, "--resume");
     std::printf("=== Fleet campaign: %zu boards, %d simulated days, "
                 "TM2 scan of <= %zu boards ===\n\n",
                 kFleet, kDays, kMaxMeasured);
@@ -185,36 +564,58 @@ main(int argc, char **argv)
     config.region = "fleet-sim";
     config.policy = cloud::AllocationPolicy::MostRecentlyReleased;
     config.seed = seed;
-    cloud::CloudPlatform platform(config);
 
-    util::Rng rng(424261);
-    struct Active
-    {
-        std::string board;
-        double ends_at_h;
-        Tenancy record;
-        /** Kept only under --journal-stress, for daily burn-value
-         *  rotations. */
-        std::shared_ptr<fabric::TargetDesign> target;
-    };
-    std::vector<Active> active;
-    std::vector<Tenancy> finished;
+    CampaignState state;
+    if (resume) {
+        // Two-generation retry: deeper corruption than a bad header
+        // is only discovered while restoring, so each generation gets
+        // a fresh platform and a full restore attempt.
+        util::Expected<CampaignState> attempt = restoreCampaignFrom(
+            checkpoint_path, config, kDays, journal_stress);
+        bool used_fallback = false;
+        if (!attempt.ok()) {
+            const std::string primary_error = attempt.error();
+            attempt =
+                restoreCampaignFrom(checkpoint_path + ".prev", config,
+                                    kDays, journal_stress);
+            used_fallback = attempt.ok();
+            if (!attempt.ok()) {
+                std::fprintf(
+                    stderr,
+                    "fleet_campaign: cannot resume: %s (previous "
+                    "generation also failed: %s)\n",
+                    primary_error.c_str(), attempt.error().c_str());
+                return 1;
+            }
+        }
+        state = std::move(attempt.value());
+        std::printf("  resumed from %s%s at day %d (%zu finished, "
+                    "%zu active tenancies)\n\n",
+                    checkpoint_path.c_str(),
+                    used_fallback ? ".prev" : "", state.next_day,
+                    state.finished.size(), state.active.size());
+    } else {
+        state.platform = std::make_unique<cloud::CloudPlatform>(config);
+    }
+    cloud::CloudPlatform &platform = *state.platform;
 
     // A year of interleaved tenancies in daily ticks: aim for about a
     // third of the region rented at any time, each tenancy burning a
     // random word on its own freshly allocated routes for 2-14 days.
-    for (int day = 0; day < kDays; ++day) {
+    for (int day = state.next_day; day < kDays; ++day) {
         const double now = platform.nowHours();
-        for (std::size_t i = active.size(); i-- > 0;) {
-            if (active[i].ends_at_h <= now) {
-                active[i].record.released_at_h = now;
-                platform.release(active[i].board);
-                finished.push_back(std::move(active[i].record));
-                active.erase(active.begin() +
-                             static_cast<std::ptrdiff_t>(i));
+        for (std::size_t i = state.active.size(); i-- > 0;) {
+            if (state.active[i].ends_at_h <= now) {
+                state.active[i].record.released_at_h = now;
+                platform.release(state.active[i].board);
+                state.finished.push_back(
+                    std::move(state.active[i].record));
+                state.active.erase(state.active.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
             }
         }
-        while (active.size() < kFleet / 3 && rng.bernoulli(0.35)) {
+        while (state.active.size() < kFleet / 3 &&
+               state.rng.bernoulli(0.35)) {
             const auto board = platform.rent();
             if (!board) {
                 break;
@@ -228,43 +629,56 @@ main(int argc, char **argv)
                     *board + "_d" + std::to_string(day) + "_r" +
                         std::to_string(r),
                     kRouteTargetPs));
-                tenancy.bits.push_back(rng.bernoulli(0.5));
+                tenancy.bits.push_back(state.rng.bernoulli(0.5));
             }
-            fabric::ArithmeticHeavyConfig arith;
-            arith.dsp_count = 128;
-            auto target = std::make_shared<fabric::TargetDesign>(
-                "tenant_" + *board + "_d" + std::to_string(day),
-                tenancy.specs, tenancy.bits, arith);
+            auto target = makeTenantDesign(tenancy, day);
             if (!platform.loadDesign(*board, target).empty()) {
-                util::fatal("fleet_campaign: tenant design failed DRC");
+                util::fatal(
+                    "fleet_campaign: tenant design failed DRC");
             }
             const double duration_h =
-                24.0 * static_cast<double>(rng.uniformInt(2, 14));
-            active.push_back(Active{*board, now + duration_h,
-                                    std::move(tenancy),
-                                    journal_stress ? target : nullptr});
+                24.0 *
+                static_cast<double>(state.rng.uniformInt(2, 14));
+            state.active.push_back(
+                Active{*board, now + duration_h, day,
+                       std::move(tenancy),
+                       journal_stress ? target : nullptr});
         }
         if (journal_stress) {
             // Daily inversion-mitigation-style rotation on every
             // active tenancy: in-place mutations the devices fold in
             // as journal flips at the next advance.
-            for (Active &a : active) {
-                for (std::size_t i = 0; i < a.record.bits.size();
-                     ++i) {
-                    a.target->setBurnValue(
-                        i, (day % 2 == 0) == a.record.bits[i]);
-                }
+            for (const Active &a : state.active) {
+                applyRotation(a, day);
             }
         }
         platform.advanceHours(24.0);
+
+        const int completed = day + 1;
+        state.next_day = completed;
+        const bool halting = halt_at_day > 0 &&
+                             completed >= static_cast<int>(halt_at_day);
+        const bool periodic = checkpoint_every > 0 &&
+                              completed % checkpoint_every == 0;
+        if ((periodic || halting) && completed < kDays) {
+            saveCheckpoint(state, kFleet, kDays, seed, journal_stress,
+                           checkpoint_path);
+            if (halting) {
+                std::printf("  halted after day %d; checkpoint "
+                            "written to %s (resume with --resume)\n",
+                            completed, checkpoint_path.c_str());
+                return 0;
+            }
+        }
     }
     // Wind down: everyone still computing releases now.
-    for (Active &a : active) {
+    for (Active &a : state.active) {
         a.record.released_at_h = platform.nowHours();
         platform.release(a.board);
-        finished.push_back(std::move(a.record));
+        state.finished.push_back(std::move(a.record));
     }
-    active.clear();
+    state.active.clear();
+    std::vector<Tenancy> &finished = state.finished;
     const double simulated_h = platform.nowHours();
 
     // ---- TM2 persistence scan -------------------------------------

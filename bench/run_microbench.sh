@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Run the kernel microbenchmarks and distill a perf-trajectory
-# snapshot: BENCH_pr6.json maps kernel name -> ns/op (real time).
+# snapshot: BENCH_pr7.json maps kernel name -> ns/op (real time).
 #
 # Usage: bench/run_microbench.sh [build_dir] [out_json]
 #
@@ -11,7 +11,7 @@
 set -eu
 
 BUILD_DIR=${1:-build}
-OUT=${2:-BENCH_pr6.json}
+OUT=${2:-BENCH_pr7.json}
 BIN="$BUILD_DIR/bench/microbench_kernels"
 
 if [ ! -x "$BIN" ]; then

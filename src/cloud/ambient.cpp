@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hpp"
+#include "util/snapshot.hpp"
 
 namespace pentimento::cloud {
 
@@ -93,6 +94,72 @@ AmbientModel::step(double dt_h)
     }
     advance(dt_h);
     return ambientK();
+}
+
+void
+AmbientModel::saveState(util::SnapshotWriter &writer) const
+{
+    // Parameter fingerprint: the draw sequence is a pure function of
+    // (params, seed), so restoring under different params would splice
+    // two different processes together.
+    writer.f64(params_.mean_k);
+    writer.f64(params_.reversion_per_h);
+    writer.f64(params_.sigma_k);
+    writer.f64(params_.event_every_h);
+    writer.f64(temp_k_);
+    writer.f64(clock_h_.rawSum());
+    writer.f64(clock_h_.rawCompensation());
+    writer.u64(committed_);
+    const util::Rng::State rng = rng_.state();
+    for (const std::uint64_t word : rng.words) {
+        writer.u64(word);
+    }
+    writer.f64(rng.cached);
+    writer.u8(rng.have_cached ? 1 : 0);
+}
+
+bool
+AmbientModel::restoreState(util::SnapshotReader &reader)
+{
+    const double mean_k = reader.f64();
+    const double reversion = reader.f64();
+    const double sigma_k = reader.f64();
+    const double cadence = reader.f64();
+    const double temp_k = reader.f64();
+    const double clock_sum = reader.f64();
+    const double clock_comp = reader.f64();
+    const std::uint64_t committed = reader.u64();
+    util::Rng::State rng;
+    for (std::uint64_t &word : rng.words) {
+        word = reader.u64();
+    }
+    rng.cached = reader.f64();
+    rng.have_cached = reader.u8() != 0;
+    if (!reader.ok()) {
+        return false;
+    }
+    if (mean_k != params_.mean_k ||
+        reversion != params_.reversion_per_h ||
+        sigma_k != params_.sigma_k ||
+        cadence != params_.event_every_h) {
+        reader.fail("snapshot: ambient parameter fingerprint mismatch");
+        return false;
+    }
+    if (!std::isfinite(temp_k) || temp_k <= 0.0 ||
+        !std::isfinite(clock_sum)) {
+        reader.fail("snapshot: ambient state is not physical");
+        return false;
+    }
+    temp_k_ = temp_k;
+    clock_h_.restoreParts(clock_sum, clock_comp);
+    committed_ = committed;
+    if (committed_ > targetEvents()) {
+        reader.fail("snapshot: ambient event cursor is ahead of its "
+                    "clock");
+        return false;
+    }
+    rng_.setState(rng);
+    return true;
 }
 
 } // namespace pentimento::cloud

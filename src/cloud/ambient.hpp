@@ -35,6 +35,11 @@
 #include "util/compensated.hpp"
 #include "util/rng.hpp"
 
+namespace pentimento::util {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace pentimento::util
+
 namespace pentimento::cloud {
 
 /** Ornstein–Uhlenbeck parameters for ambient temperature. */
@@ -102,6 +107,20 @@ class AmbientModel
      * instance's aging walk) bound their spans with this.
      */
     double hoursUntilBoundary() const;
+
+    /**
+     * Serialize the OU walk into the writer's current chunk: last
+     * committed temperature, the compensated clock, the event cursor,
+     * and the draw stream — pending (uncommitted) events stay pending,
+     * so checkpointing never consumes a draw early.
+     */
+    void saveState(util::SnapshotWriter &writer) const;
+
+    /**
+     * Restore into a model freshly constructed with the same params
+     * (the chunk carries a parameter fingerprint). Returns ok().
+     */
+    bool restoreState(util::SnapshotReader &reader);
 
   private:
     /** Draws committed after all advanced time is observed. */

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/logging.hpp"
+#include "util/snapshot.hpp"
 
 namespace pentimento::cloud {
 
@@ -84,6 +85,78 @@ FpgaInstance::advanceHours(double hours, double step_h)
     }
     materializeDeferred();
     walkSpans(hours, step_h, true);
+}
+
+void
+FpgaInstance::saveState(util::SnapshotWriter &writer) const
+{
+    writer.str(id_);
+    device_.saveState(writer);
+    ambient_.saveState(writer);
+    writer.f64(thermal_.ambientK());
+    writer.f64(thermal_.dieTempK());
+    writer.f64(deferred_h_.rawSum());
+    writer.f64(deferred_h_.rawCompensation());
+    const util::Rng::State rng = rng_.state();
+    for (const std::uint64_t word : rng.words) {
+        writer.u64(word);
+    }
+    writer.f64(rng.cached);
+    writer.u8(rng.have_cached ? 1 : 0);
+    writer.u8(rented_ ? 1 : 0);
+    writer.f64(released_at_h_);
+}
+
+util::Expected<void>
+FpgaInstance::restoreState(util::SnapshotReader &reader,
+                           bool *had_design)
+{
+    const std::string id = reader.str();
+    if (!reader.ok()) {
+        return reader.status();
+    }
+    if (id != id_) {
+        reader.fail("snapshot: instance id mismatch (expected '" + id_ +
+                    "', checkpoint has '" + id + "')");
+        return reader.status();
+    }
+    const util::Expected<void> device_result =
+        device_.restoreState(reader, had_design);
+    if (!device_result.ok()) {
+        return device_result;
+    }
+    if (!ambient_.restoreState(reader)) {
+        return reader.status();
+    }
+    const double ambient_k = reader.f64();
+    const double die_k = reader.f64();
+    const double deferred_sum = reader.f64();
+    const double deferred_comp = reader.f64();
+    util::Rng::State rng;
+    for (std::uint64_t &word : rng.words) {
+        word = reader.u64();
+    }
+    rng.cached = reader.f64();
+    rng.have_cached = reader.u8() != 0;
+    const bool rented = reader.u8() != 0;
+    const double released_at_h = reader.f64();
+    if (!reader.ok()) {
+        return reader.status();
+    }
+    if (!std::isfinite(ambient_k) || ambient_k <= 0.0 ||
+        !std::isfinite(die_k) || die_k <= 0.0 ||
+        !std::isfinite(deferred_sum) || deferred_sum < 0.0 ||
+        !std::isfinite(released_at_h)) {
+        reader.fail("snapshot: instance thermal/deferred state is not "
+                    "physical");
+        return reader.status();
+    }
+    thermal_.restoreState(ambient_k, die_k);
+    deferred_h_.restoreParts(deferred_sum, deferred_comp);
+    rng_.setState(rng);
+    rented_ = rented;
+    released_at_h_ = released_at_h;
+    return reader.status();
 }
 
 } // namespace pentimento::cloud

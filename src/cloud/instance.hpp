@@ -123,6 +123,25 @@ class FpgaInstance
     double releasedAtHour() const { return released_at_h_; }
     void setReleasedAtHour(double hour) { released_at_h_ = hour; }
 
+    /**
+     * Serialize the card into the writer's current chunk. Strictly
+     * non-flushing: the deferred idle backlog and the device's raw
+     * lazy state checkpoint as-is, so a restored card replays them at
+     * its next observation exactly as the uncheckpointed card would
+     * have.
+     */
+    void saveState(util::SnapshotWriter &writer) const;
+
+    /**
+     * Restore into a freshly constructed card with the same identity
+     * and configuration (fingerprint-checked). On failure the card
+     * must be discarded. `had_design` reports whether a design was
+     * resident at save time (designs are not serialized; the owner
+     * re-loads them).
+     */
+    util::Expected<void> restoreState(util::SnapshotReader &reader,
+                                      bool *had_design = nullptr);
+
   private:
     /**
      * Replay deferred idle time: walk the backlog at ambient-event

@@ -4,8 +4,17 @@
 #include <cmath>
 
 #include "util/logging.hpp"
+#include "util/snapshot.hpp"
 
 namespace pentimento::cloud {
+
+namespace {
+
+constexpr std::uint32_t kPlatformTag =
+    util::snapshotTag('P', 'L', 'T', '!');
+constexpr std::uint32_t kBoardTag = util::snapshotTag('B', 'R', 'D', '!');
+
+} // namespace
 
 CloudPlatform::CloudPlatform(PlatformConfig config)
     : config_(std::move(config)), drc_(config_.max_power_w),
@@ -204,6 +213,89 @@ CloudPlatform::allInstanceIds() const
         ids.push_back(inst->id());
     }
     return ids;
+}
+
+void
+CloudPlatform::saveState(util::SnapshotWriter &writer) const
+{
+    writer.beginChunk(kPlatformTag);
+    writer.u64(config_.fleet_size);
+    writer.u64(config_.seed);
+    writer.str(config_.region);
+    writer.u8(static_cast<std::uint8_t>(config_.policy));
+    writer.f64(config_.quarantine_hours);
+    writer.u8(config_.active_scrub ? 1 : 0);
+    writer.f64(now_h_);
+    const util::Rng::State rng = rng_.state();
+    for (const std::uint64_t word : rng.words) {
+        writer.u64(word);
+    }
+    writer.f64(rng.cached);
+    writer.u8(rng.have_cached ? 1 : 0);
+    writer.endChunk();
+    for (const auto &inst : fleet_) {
+        writer.beginChunk(kBoardTag);
+        inst->saveState(writer);
+        writer.endChunk();
+    }
+}
+
+util::Expected<void>
+CloudPlatform::restoreState(util::SnapshotReader &reader,
+                            std::vector<std::string> *boards_with_design)
+{
+    if (!reader.enterChunk(kPlatformTag)) {
+        return reader.status();
+    }
+    const std::uint64_t fleet_size = reader.u64();
+    const std::uint64_t seed = reader.u64();
+    const std::string region = reader.str();
+    const std::uint8_t policy = reader.u8();
+    const double quarantine = reader.f64();
+    const bool active_scrub = reader.u8() != 0;
+    const double now_h = reader.f64();
+    util::Rng::State rng;
+    for (std::uint64_t &word : rng.words) {
+        word = reader.u64();
+    }
+    rng.cached = reader.f64();
+    rng.have_cached = reader.u8() != 0;
+    if (!reader.leaveChunk()) {
+        return reader.status();
+    }
+    if (fleet_size != config_.fleet_size || seed != config_.seed ||
+        region != config_.region ||
+        policy != static_cast<std::uint8_t>(config_.policy) ||
+        quarantine != config_.quarantine_hours ||
+        active_scrub != config_.active_scrub) {
+        reader.fail("snapshot: platform config fingerprint mismatch "
+                    "(checkpoint belongs to a different fleet)");
+        return reader.status();
+    }
+    if (!std::isfinite(now_h) || now_h < 0.0) {
+        reader.fail("snapshot: platform clock is not physical");
+        return reader.status();
+    }
+    for (const auto &inst : fleet_) {
+        if (!reader.enterChunk(kBoardTag)) {
+            return reader.status();
+        }
+        bool had_design = false;
+        const util::Expected<void> result =
+            inst->restoreState(reader, &had_design);
+        if (!result.ok()) {
+            return result;
+        }
+        if (!reader.leaveChunk()) {
+            return reader.status();
+        }
+        if (had_design && boards_with_design != nullptr) {
+            boards_with_design->push_back(inst->id());
+        }
+    }
+    now_h_ = now_h;
+    rng_.setState(rng);
+    return reader.status();
 }
 
 } // namespace pentimento::cloud

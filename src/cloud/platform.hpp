@@ -139,6 +139,30 @@ class CloudPlatform
     /** Ids of all instances (diagnostics / experiments). */
     std::vector<std::string> allInstanceIds() const;
 
+    /**
+     * Serialize the whole fleet: one "PLT!" chunk (config
+     * fingerprint, wall clock, scheduler RNG) followed by one "BRD!"
+     * chunk per instance, in fleet order. Strictly non-flushing (see
+     * FpgaInstance::saveState). The marketplace is NOT serialized —
+     * it holds published design images (code, not board state);
+     * campaigns re-publish on resume.
+     */
+    void saveState(util::SnapshotWriter &writer) const;
+
+    /**
+     * Restore into a platform freshly constructed from the same
+     * PlatformConfig — construction re-derives each board's silicon
+     * seed and service age deterministically, then this restores the
+     * dynamic state on top. Any corruption or config skew is returned
+     * as a recoverable error (never fatal); the platform must then be
+     * discarded. `boards_with_design` (optional) collects the ids of
+     * boards that had a design resident at save time, for the owner
+     * to re-load.
+     */
+    util::Expected<void> restoreState(
+        util::SnapshotReader &reader,
+        std::vector<std::string> *boards_with_design = nullptr);
+
   private:
     FpgaInstance *find(const std::string &instance_id);
     bool availableForRent(const FpgaInstance &inst) const;

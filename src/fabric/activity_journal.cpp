@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hpp"
+#include "util/snapshot.hpp"
 
 namespace pentimento::fabric {
 
@@ -183,6 +184,167 @@ ActivityJournal::rebase(std::uint32_t delta)
             }
         }
     }
+}
+
+namespace {
+
+void
+saveRun(util::SnapshotWriter &writer,
+        std::uint32_t from, Activity kind, double duty_one)
+{
+    writer.u32(from);
+    writer.u8(static_cast<std::uint8_t>(kind));
+    writer.f64(duty_one);
+}
+
+} // namespace
+
+void
+ActivityJournal::saveState(util::SnapshotWriter &writer) const
+{
+    writer.u64(slots_.size());
+    writer.u64(used_);
+    writer.u64(active_);
+    writer.u32(cached_min_);
+    writer.u64(arena_.size());
+    for (const Node &node : arena_) {
+        saveRun(writer, node.run.from, node.run.kind, node.run.duty_one);
+        writer.u32(node.next);
+    }
+    std::uint64_t occupied = 0;
+    for (const Slot &slot : slots_) {
+        occupied += slot.count != 0 ? 1 : 0;
+    }
+    writer.u64(occupied);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        const Slot &slot = slots_[i];
+        if (slot.count == 0) {
+            continue;
+        }
+        writer.u64(i);
+        writer.u64(slot.key);
+        writer.u32(slot.count);
+        writer.u32(slot.head);
+        writer.u32(slot.tail);
+        saveRun(writer, slot.runs[0].from, slot.runs[0].kind,
+                slot.runs[0].duty_one);
+        saveRun(writer, slot.runs[1].from, slot.runs[1].kind,
+                slot.runs[1].duty_one);
+    }
+}
+
+namespace {
+
+struct RestoreRun
+{
+    std::uint32_t from = 0;
+    std::uint8_t kind = 0;
+    double duty_one = 0.0;
+};
+
+RestoreRun
+readRun(util::SnapshotReader &reader)
+{
+    RestoreRun run;
+    run.from = reader.u32();
+    run.kind = reader.u8();
+    run.duty_one = reader.f64();
+    if (run.kind > static_cast<std::uint8_t>(Activity::Toggle)) {
+        reader.fail("snapshot: journal run has invalid activity kind");
+    }
+    return run;
+}
+
+} // namespace
+
+bool
+ActivityJournal::restoreState(util::SnapshotReader &reader)
+{
+    const std::uint64_t table_size = reader.u64();
+    const std::uint64_t used = reader.u64();
+    const std::uint64_t active = reader.u64();
+    const std::uint32_t cached_min = reader.u32();
+    const std::uint64_t arena_size = reader.u64();
+    if (!reader.ok()) {
+        return false;
+    }
+    if ((table_size & (table_size - 1)) != 0 ||
+        (table_size == 0 && used != 0) || active > used ||
+        (table_size != 0 && 2 * used > table_size)) {
+        reader.fail("snapshot: journal table geometry is inconsistent");
+        return false;
+    }
+    std::vector<Node> arena;
+    arena.reserve(arena_size);
+    for (std::uint64_t i = 0; i < arena_size && reader.ok(); ++i) {
+        const RestoreRun run = readRun(reader);
+        const std::uint32_t next = reader.u32();
+        if (reader.ok() && next != kNpos && next >= arena_size) {
+            reader.fail("snapshot: journal arena link out of range");
+        }
+        arena.push_back(Node{
+            RawRun{run.from, static_cast<Activity>(run.kind),
+                   run.duty_one},
+            next});
+    }
+    const std::uint64_t occupied = reader.u64();
+    if (reader.ok() && occupied > table_size) {
+        reader.fail("snapshot: journal occupancy exceeds table size");
+    }
+    if (!reader.ok()) {
+        return false;
+    }
+    std::vector<Slot> slots(table_size);
+    std::uint64_t seen_active = 0;
+    for (std::uint64_t n = 0; n < occupied && reader.ok(); ++n) {
+        const std::uint64_t index = reader.u64();
+        const std::uint64_t key = reader.u64();
+        const std::uint32_t count = reader.u32();
+        const std::uint32_t head = reader.u32();
+        const std::uint32_t tail = reader.u32();
+        const RestoreRun run0 = readRun(reader);
+        const RestoreRun run1 = readRun(reader);
+        if (!reader.ok()) {
+            return false;
+        }
+        if (index >= table_size || slots[index].count != 0) {
+            reader.fail("snapshot: journal slot index invalid or "
+                        "duplicated");
+            return false;
+        }
+        if (count == 0 ||
+            (count != kSpent && count > 2 &&
+             (head >= arena_size || tail >= arena_size ||
+              count - 2 > arena_size))) {
+            reader.fail("snapshot: journal slot run count/chain invalid");
+            return false;
+        }
+        Slot &slot = slots[index];
+        slot.key = key;
+        slot.count = count;
+        slot.head = head;
+        slot.tail = tail;
+        slot.runs[0] = RawRun{run0.from,
+                              static_cast<Activity>(run0.kind),
+                              run0.duty_one};
+        slot.runs[1] = RawRun{run1.from,
+                              static_cast<Activity>(run1.kind),
+                              run1.duty_one};
+        seen_active += (count != kSpent) ? 1 : 0;
+    }
+    if (!reader.ok()) {
+        return false;
+    }
+    if (seen_active != active) {
+        reader.fail("snapshot: journal active-key count mismatch");
+        return false;
+    }
+    slots_ = std::move(slots);
+    arena_ = std::move(arena);
+    used_ = used;
+    active_ = active;
+    cached_min_ = cached_min;
+    return true;
 }
 
 } // namespace pentimento::fabric

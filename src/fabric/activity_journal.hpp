@@ -42,6 +42,11 @@
 
 #include "fabric/routing_element.hpp"
 
+namespace pentimento::util {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace pentimento::util
+
 namespace pentimento::fabric {
 
 /** One constant-activity run of a journaled (deferred) element. */
@@ -158,6 +163,22 @@ class ActivityJournal
      * timeline dropped `delta` consumed segments.
      */
     void rebase(std::uint32_t delta);
+
+    /**
+     * Serialize the journal into the writer's current chunk as an
+     * exact structural clone: table geometry, occupied slots at their
+     * probe positions (spent markers included — recording against a
+     * consumed key must still be detected after a restore), the spill
+     * arena with its chain links, and the memoised compaction pin.
+     */
+    void saveState(util::SnapshotWriter &writer) const;
+
+    /**
+     * Restore into a fresh journal from the reader's current chunk.
+     * Structural corruption (out-of-range slot indices, broken chain
+     * links, impossible counts) poisons the reader; returns ok().
+     */
+    bool restoreState(util::SnapshotReader &reader);
 
   private:
     static constexpr std::uint32_t kNpos =

@@ -170,6 +170,31 @@ class AgingTimeline
         return totals;
     }
 
+    /**
+     * Persistence accessors: the open segment's raw accumulator parts
+     * must round-trip (its compensation term feeds future append()s),
+     * and open_valid_ must survive even at zero duration — a valid
+     * zero-duration open segment pins the *context*, which decides
+     * whether the next append() extends or closes.
+     */
+    bool openValid() const { return open_valid_; }
+    const phys::AgingStepContext &openContext() const { return open_ctx_; }
+    const util::CompensatedSum &openHours() const { return open_h_; }
+
+    /** Restore into a fresh timeline; memo and revision start cold. */
+    void
+    restoreState(std::vector<AgingSegment> closed,
+                 const phys::AgingStepContext &open_ctx, double open_sum,
+                 double open_comp, bool open_valid)
+    {
+        closed_ = std::move(closed);
+        open_ctx_ = open_ctx;
+        open_h_.restoreParts(open_sum, open_comp);
+        open_valid_ = open_valid;
+        revision_ = 0;
+        memo_valid_ = false;
+    }
+
   private:
     std::vector<AgingSegment> closed_;
     phys::AgingStepContext open_ctx_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hpp"
+#include "util/snapshot.hpp"
 
 namespace pentimento::fabric {
 
@@ -757,6 +758,231 @@ Device::applyServiceWear(double hours, double duty_one)
     });
     maybeCompactTimeline();
     ++state_epoch_;
+}
+
+void
+Device::saveState(util::SnapshotWriter &writer) const
+{
+    // Config fingerprint: restore requires a device rebuilt from the
+    // same silicon identity — variation is a pure function of
+    // (seed, id), so a seed skew would graft one board's aging onto
+    // another board's delays and quietly invalidate every number.
+    writer.str(config_.family);
+    writer.u64(config_.seed);
+    writer.f64(config_.service_age_h);
+    writer.u32(config_.tiles_x);
+    writer.u32(config_.tiles_y);
+    writer.u32(config_.nodes_per_tile);
+    writer.u8(config_.eager_materialisation ? 1 : 0);
+
+    writer.f64(elapsed_h_.rawSum());
+    writer.f64(elapsed_h_.rawCompensation());
+    writer.u64(state_epoch_);
+    writer.u64(alloc_cursor_);
+    writer.u64(carry_cursor_);
+    writer.u64(lut_cursor_);
+    writer.u64(compact_watermark_);
+    writer.u8(design_ != nullptr ? 1 : 0);
+
+    // Timeline, including the still-open segment's raw accumulator —
+    // closing it here would move a flip boundary the live run has not
+    // produced yet.
+    const auto &closed = timeline_.closed();
+    writer.u64(closed.size());
+    for (const AgingSegment &seg : closed) {
+        writer.f64(seg.duration_h);
+        writer.f64(seg.ctx.stress_accel);
+        writer.f64(seg.ctx.recovery_accel);
+    }
+    writer.u8(timeline_.openValid() ? 1 : 0);
+    writer.f64(timeline_.openContext().stress_accel);
+    writer.f64(timeline_.openContext().recovery_accel);
+    writer.f64(timeline_.openHours().rawSum());
+    writer.f64(timeline_.openHours().rawCompensation());
+
+    // Elements in handle (slab) order, so the handle-indexed live_/
+    // synced_ arrays and every restored handle stay aligned.
+    const std::size_t count = store_.size();
+    writer.u64(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto h = static_cast<ElementHandle>(i);
+        const RoutingElement &elem = store_.sweepAt(h);
+        writer.u64(elem.id().key());
+        writer.f64(elem.basePs(phys::Transition::Rising));
+        writer.f64(elem.basePs(phys::Transition::Falling));
+        writer.f64(elem.aging().scale());
+        const phys::BtiState &nmos =
+            elem.aging().state(phys::TransistorType::Nmos);
+        const phys::BtiState &pmos =
+            elem.aging().state(phys::TransistorType::Pmos);
+        writer.f64(nmos.stressHours());
+        writer.f64(nmos.recoveryHours());
+        writer.f64(pmos.stressHours());
+        writer.f64(pmos.recoveryHours());
+        writer.u8(static_cast<std::uint8_t>(live_[i].kind));
+        writer.f64(live_[i].duty_one);
+        writer.u32(synced_[i]);
+    }
+
+    journal_.saveState(writer);
+}
+
+util::Expected<void>
+Device::restoreState(util::SnapshotReader &reader, bool *had_design)
+{
+    if (store_.size() != 0 || timeline_.position() != 0 ||
+        timeline_.openValid() || journal_.activeKeyCount() != 0 ||
+        design_ != nullptr || elapsed_h_.value() != 0.0) {
+        return util::unexpected(
+            "Device::restoreState: target device is not pristine");
+    }
+
+    const std::string family = reader.str();
+    const std::uint64_t seed = reader.u64();
+    const double service_age_h = reader.f64();
+    const std::uint32_t tiles_x = reader.u32();
+    const std::uint32_t tiles_y = reader.u32();
+    const std::uint32_t nodes_per_tile = reader.u32();
+    const bool eager = reader.u8() != 0;
+    if (!reader.ok()) {
+        return reader.status();
+    }
+    if (family != config_.family || seed != config_.seed ||
+        service_age_h != config_.service_age_h ||
+        tiles_x != config_.tiles_x || tiles_y != config_.tiles_y ||
+        nodes_per_tile != config_.nodes_per_tile ||
+        eager != config_.eager_materialisation) {
+        reader.fail("snapshot: device config fingerprint mismatch "
+                    "(checkpoint was taken on a different board)");
+        return reader.status();
+    }
+
+    const double elapsed_sum = reader.f64();
+    const double elapsed_comp = reader.f64();
+    const std::uint64_t state_epoch = reader.u64();
+    const std::uint64_t alloc_cursor = reader.u64();
+    const std::uint64_t carry_cursor = reader.u64();
+    const std::uint64_t lut_cursor = reader.u64();
+    const std::uint64_t compact_watermark = reader.u64();
+    const bool design_was_loaded = reader.u8() != 0;
+
+    const std::uint64_t closed_count = reader.u64();
+    if (!reader.ok()) {
+        return reader.status();
+    }
+    std::vector<AgingSegment> closed;
+    closed.reserve(closed_count);
+    for (std::uint64_t i = 0; i < closed_count && reader.ok(); ++i) {
+        AgingSegment seg;
+        seg.duration_h = reader.f64();
+        seg.ctx.stress_accel = reader.f64();
+        seg.ctx.recovery_accel = reader.f64();
+        if (reader.ok() &&
+            (!std::isfinite(seg.duration_h) || seg.duration_h <= 0.0 ||
+             !std::isfinite(seg.ctx.stress_accel) ||
+             !std::isfinite(seg.ctx.recovery_accel))) {
+            reader.fail("snapshot: timeline segment is not physical");
+        }
+        closed.push_back(seg);
+    }
+    const bool open_valid = reader.u8() != 0;
+    phys::AgingStepContext open_ctx;
+    open_ctx.stress_accel = reader.f64();
+    open_ctx.recovery_accel = reader.f64();
+    const double open_sum = reader.f64();
+    const double open_comp = reader.f64();
+
+    const std::uint64_t element_count = reader.u64();
+    if (!reader.ok()) {
+        return reader.status();
+    }
+    live_.reserve(element_count);
+    synced_.reserve(element_count);
+    for (std::uint64_t i = 0; i < element_count; ++i) {
+        const std::uint64_t key = reader.u64();
+        const double base_rise = reader.f64();
+        const double base_fall = reader.f64();
+        const double scale = reader.f64();
+        const double nmos_stress = reader.f64();
+        const double nmos_recovery = reader.f64();
+        const double pmos_stress = reader.f64();
+        const double pmos_recovery = reader.f64();
+        const std::uint8_t live_kind = reader.u8();
+        const double live_duty = reader.f64();
+        const std::uint32_t synced = reader.u32();
+        if (!reader.ok()) {
+            return reader.status();
+        }
+        // RoutingElement's constructor fatals on nonsense inputs, and
+        // a corrupt file must never reach a fatal — screen first.
+        if (!(base_rise > 0.0) || !std::isfinite(base_rise) ||
+            !(base_fall > 0.0) || !std::isfinite(base_fall) ||
+            !std::isfinite(scale) || !(nmos_stress >= 0.0) ||
+            !(nmos_recovery >= 0.0) || !(pmos_stress >= 0.0) ||
+            !(pmos_recovery >= 0.0) || !std::isfinite(nmos_stress) ||
+            !std::isfinite(nmos_recovery) ||
+            !std::isfinite(pmos_stress) ||
+            !std::isfinite(pmos_recovery)) {
+            reader.fail("snapshot: element physical state is not sane");
+            return reader.status();
+        }
+        if (live_kind > static_cast<std::uint8_t>(Activity::Toggle) ||
+            synced > closed_count) {
+            reader.fail("snapshot: element activity bookkeeping is "
+                        "out of range");
+            return reader.status();
+        }
+        // Append in saved handle order: unit variation + the saved
+        // composite scale reproduces the element exactly (the ctor
+        // multiplies base delays by variation, which is already baked
+        // into the saved bases).
+        const ResourceId id = ResourceId::fromKey(key);
+        const ElementHandle h = store_.ensure(id, [&](ResourceId rid) {
+            return RoutingElement(rid, base_rise, base_fall,
+                                  phys::ElementVariation{}, scale);
+        });
+        if (h != static_cast<ElementHandle>(i)) {
+            reader.fail("snapshot: duplicate element key breaks "
+                        "handle order");
+            return reader.status();
+        }
+        phys::ElementAging &aging = store_.sweepAt(h).aging();
+        aging.state(phys::TransistorType::Nmos)
+            .restoreHours(nmos_stress, nmos_recovery);
+        aging.state(phys::TransistorType::Pmos)
+            .restoreHours(pmos_stress, pmos_recovery);
+        live_.push_back(ElementActivity{
+            static_cast<Activity>(live_kind), live_duty});
+        synced_.push_back(synced);
+    }
+
+    if (!journal_.restoreState(reader)) {
+        return reader.status();
+    }
+    // The journal invariant — a key is active there XOR materialised —
+    // is what keeps bindElement's consume() sound; enforce it rather
+    // than trusting two independently-deserialized containers.
+    for (const std::uint64_t key : journal_.activeKeys()) {
+        if (store_.findExclusive(key) != kInvalidElement) {
+            reader.fail("snapshot: key both journaled and materialised");
+            return reader.status();
+        }
+    }
+
+    timeline_.restoreState(std::move(closed), open_ctx, open_sum,
+                           open_comp, open_valid);
+    elapsed_h_.restoreParts(elapsed_sum, elapsed_comp);
+    state_epoch_ = state_epoch;
+    alloc_cursor_ = alloc_cursor;
+    carry_cursor_ = carry_cursor;
+    lut_cursor_ = lut_cursor;
+    compact_watermark_ =
+        std::max<std::size_t>(kCompactThreshold, compact_watermark);
+    covered_slab_ = store_.size();
+    if (had_design != nullptr) {
+        *had_design = design_was_loaded;
+    }
+    return reader.status();
 }
 
 } // namespace pentimento::fabric

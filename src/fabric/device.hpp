@@ -75,8 +75,14 @@
 #include "phys/thermal.hpp"
 #include "phys/variation.hpp"
 #include "util/compensated.hpp"
+#include "util/expected.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+
+namespace pentimento::util {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace pentimento::util
 
 namespace pentimento::fabric {
 
@@ -358,6 +364,35 @@ class Device
 
     /** The attached work pool, or nullptr. */
     util::ThreadPool *workPool() const { return pool_; }
+
+    /**
+     * Serialize the device's complete dynamic state into the writer's
+     * current chunk. Const and strictly non-flushing: pending journal
+     * runs, the open timeline segment, and externally deferred time
+     * all serialize RAW, so taking a checkpoint never closes a
+     * segment, materialises an element, or otherwise perturbs the run
+     * being checkpointed.
+     *
+     * The loaded design is NOT serialized (designs are code, not
+     * board state); a `had_design` flag records whether one was
+     * resident so the owning campaign knows to re-load it. Re-loading
+     * an equivalent design into a restored device is draw-neutral and
+     * flip-free: live activities and journal runs already match, so
+     * neither the timeline nor any RNG stream moves.
+     */
+    void saveState(util::SnapshotWriter &writer) const;
+
+    /**
+     * Restore into a freshly constructed device whose DeviceConfig
+     * matches the one saved (the snapshot carries a fingerprint and
+     * rejects mismatches). Corrupt or inconsistent payloads poison
+     * the reader and return its error — never fatal/panic — and the
+     * device must then be discarded (state may be partially applied).
+     * On success `had_design` (optional) reports whether a design was
+     * resident at save time; the caller re-loads it.
+     */
+    util::Expected<void> restoreState(util::SnapshotReader &reader,
+                                      bool *had_design = nullptr);
 
   private:
     RoutingElement makeElement(ResourceId id) const;

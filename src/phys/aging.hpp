@@ -108,6 +108,13 @@ class ElementAging
     /** Direct access for tests and persistence. */
     const BtiState &state(TransistorType type) const;
 
+    /** Mutable access for checkpoint restore. */
+    BtiState &
+    state(TransistorType type)
+    {
+        return type == TransistorType::Nmos ? nmos_ : pmos_;
+    }
+
   private:
     BtiState nmos_;
     BtiState pmos_;

@@ -238,6 +238,14 @@ class BtiState
     /** True when the transistor has never been stressed. */
     bool pristine() const { return stress_eff_h_ == 0.0; }
 
+    /** Restore checkpointed effective hours bit-exactly. */
+    void
+    restoreHours(double stress_eff_h, double recovery_eff_h)
+    {
+        stress_eff_h_ = stress_eff_h;
+        recovery_eff_h_ = recovery_eff_h;
+    }
+
   private:
     /** deltaVth's slow path (pow + recovery window). */
     double deltaVthStressed(const MechanismParams &p,

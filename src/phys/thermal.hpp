@@ -81,6 +81,17 @@ class PackageThermalModel : public ThermalEnvironment
     /** Current ambient temperature. */
     double ambientK() const { return ambient_k_; }
 
+    /**
+     * Restore checkpointed dynamic state (ambient + die temperature);
+     * R_th and tau are construction constants and stay as built.
+     */
+    void
+    restoreState(double ambient_k, double die_k)
+    {
+        ambient_k_ = ambient_k;
+        die_k_ = die_k;
+    }
+
     /** Steady-state die temperature at the given dissipated power. */
     double
     settleK(double power_w) const

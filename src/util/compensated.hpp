@@ -62,6 +62,22 @@ class CompensatedSum
         comp_ = 0.0;
     }
 
+    /**
+     * Raw accumulator parts for checkpointing. Both must round-trip:
+     * the compensation term feeds every later add(), so restoring
+     * value() alone would change subsequent sums by an ulp.
+     */
+    double rawSum() const { return sum_; }
+    double rawCompensation() const { return comp_; }
+
+    /** Restore the exact accumulator parts captured above. */
+    void
+    restoreParts(double sum, double comp)
+    {
+        sum_ = sum;
+        comp_ = comp;
+    }
+
   private:
     double sum_ = 0.0;
     double comp_ = 0.0;

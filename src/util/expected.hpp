@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Minimal expected-style result type for recoverable errors.
+ *
+ * The simulator's configuration errors abort via util::fatal — the
+ * right behaviour for programmer mistakes, and the wrong one for a
+ * corrupt checkpoint file: a resumable campaign must be able to
+ * reject a torn or bit-flipped snapshot, fall back to the previous
+ * good generation, and keep running. Expected<T> carries either a
+ * value or an error message as ordinary control flow, so the whole
+ * snapshot load path is abort-free by construction (std::expected is
+ * C++23; this is the subset the checkpoint layer needs).
+ */
+
+#ifndef PENTIMENTO_UTIL_EXPECTED_HPP
+#define PENTIMENTO_UTIL_EXPECTED_HPP
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace pentimento::util {
+
+/** Tag type carrying an error message into any Expected<T>. */
+struct Unexpected
+{
+    std::string message;
+};
+
+/** Build an Unexpected from a message. */
+inline Unexpected
+unexpected(std::string message)
+{
+    return Unexpected{std::move(message)};
+}
+
+/**
+ * A value of type T, or an error message. Accessing the wrong side
+ * panics (that is a caller bug, not a data error).
+ */
+template <typename T> class [[nodiscard]] Expected
+{
+  public:
+    Expected(T value) : value_(std::move(value)) {}
+    Expected(Unexpected error) : error_(std::move(error.message)) {}
+
+    /** True when a value is held. */
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    T &
+    value()
+    {
+        if (!ok()) {
+            panic("Expected::value on error: " + error_);
+        }
+        return *value_;
+    }
+    const T &
+    value() const
+    {
+        if (!ok()) {
+            panic("Expected::value on error: " + error_);
+        }
+        return *value_;
+    }
+
+    /** The error message (only when !ok()). */
+    const std::string &
+    error() const
+    {
+        if (ok()) {
+            panic("Expected::error on success");
+        }
+        return error_;
+    }
+
+  private:
+    std::optional<T> value_;
+    std::string error_;
+};
+
+/**
+ * Success-or-error (no payload): the return type of restore and
+ * commit operations.
+ */
+template <> class [[nodiscard]] Expected<void>
+{
+  public:
+    Expected() = default;
+    Expected(Unexpected error)
+        : ok_(false), error_(std::move(error.message))
+    {
+    }
+
+    bool ok() const { return ok_; }
+    explicit operator bool() const { return ok_; }
+
+    const std::string &
+    error() const
+    {
+        if (ok_) {
+            panic("Expected::error on success");
+        }
+        return error_;
+    }
+
+  private:
+    bool ok_ = true;
+    std::string error_;
+};
+
+} // namespace pentimento::util
+
+#endif // PENTIMENTO_UTIL_EXPECTED_HPP

@@ -252,6 +252,37 @@ class Rng
         return split(h);
     }
 
+    /**
+     * Complete serializable stream cursor. The polar-method cache is
+     * part of the cursor: dropping it would desynchronise every
+     * odd-count gaussian consumer after a snapshot restore.
+     */
+    struct State
+    {
+        std::uint64_t words[4];
+        double cached;
+        bool have_cached;
+    };
+
+    /** Capture the stream cursor for checkpointing. */
+    State
+    state() const
+    {
+        return State{{state_[0], state_[1], state_[2], state_[3]},
+                     cached_, have_cached_};
+    }
+
+    /** Restore a stream cursor captured by state(). */
+    void
+    setState(const State &s)
+    {
+        for (int i = 0; i < 4; ++i) {
+            state_[i] = s.words[i];
+        }
+        cached_ = s.cached;
+        have_cached_ = s.have_cached;
+    }
+
   private:
     /**
      * Precomputed ziggurat layers for the standard normal. kn[i] is

@@ -1,0 +1,437 @@
+#include "util/snapshot.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "util/logging.hpp"
+
+namespace pentimento::util {
+
+namespace {
+
+/** 8-byte file magic; the trailing byte doubles as a format epoch. */
+constexpr unsigned char kMagic[8] = {'P', 'N', 'T', 'M',
+                                     'S', 'N', 'P', '\x01'};
+constexpr std::size_t kHeaderBytes = 16;
+/** Fixed chunk header: tag u32 + seq u32 + payload_len u64. */
+constexpr std::size_t kChunkHeaderBytes = 16;
+constexpr std::uint32_t kEndTag = snapshotTag('E', 'N', 'D', '!');
+
+/** Software CRC32C table (Castagnoli polynomial, reflected). */
+struct Crc32cTable
+{
+    std::uint32_t entries[256];
+
+    Crc32cTable()
+    {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t crc = i;
+            for (int bit = 0; bit < 8; ++bit) {
+                crc = (crc & 1u) != 0 ? (crc >> 1) ^ 0x82f63b78u
+                                      : crc >> 1;
+            }
+            entries[i] = crc;
+        }
+    }
+};
+
+std::string
+errnoMessage(const std::string &what, const std::string &path)
+{
+    return what + " " + path + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+std::uint32_t
+crc32c(const void *data, std::size_t len, std::uint32_t seed)
+{
+    static const Crc32cTable table;
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        crc = table.entries[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+    }
+    return ~crc;
+}
+
+SnapshotWriter::SnapshotWriter()
+{
+    out_.insert(out_.end(), kMagic, kMagic + sizeof(kMagic));
+    const std::uint32_t version = kSnapshotVersion;
+    const std::uint32_t flags = 0;
+    const auto *v = reinterpret_cast<const std::uint8_t *>(&version);
+    const auto *f = reinterpret_cast<const std::uint8_t *>(&flags);
+    out_.insert(out_.end(), v, v + 4);
+    out_.insert(out_.end(), f, f + 4);
+}
+
+void
+SnapshotWriter::beginChunk(std::uint32_t tag)
+{
+    if (chunk_start_ != 0 || finished_) {
+        panic("SnapshotWriter::beginChunk: chunk already open or finished");
+    }
+    chunk_start_ = out_.size();
+    u32(tag);
+    u32(chunk_count_);
+    u64(0); // payload length, patched by endChunk()
+}
+
+void
+SnapshotWriter::endChunk()
+{
+    if (chunk_start_ == 0) {
+        panic("SnapshotWriter::endChunk: no open chunk");
+    }
+    const std::uint64_t payload_len =
+        out_.size() - chunk_start_ - kChunkHeaderBytes;
+    std::memcpy(out_.data() + chunk_start_ + 8, &payload_len,
+                sizeof(payload_len));
+    const std::uint32_t crc =
+        crc32c(out_.data() + chunk_start_, out_.size() - chunk_start_);
+    chunk_start_ = 0;
+    ++chunk_count_;
+    u32(crc);
+}
+
+void
+SnapshotWriter::u8(std::uint8_t v)
+{
+    out_.push_back(v);
+}
+
+void
+SnapshotWriter::u32(std::uint32_t v)
+{
+    const auto *bytes = reinterpret_cast<const std::uint8_t *>(&v);
+    out_.insert(out_.end(), bytes, bytes + sizeof(v));
+}
+
+void
+SnapshotWriter::u64(std::uint64_t v)
+{
+    const auto *bytes = reinterpret_cast<const std::uint8_t *>(&v);
+    out_.insert(out_.end(), bytes, bytes + sizeof(v));
+}
+
+void
+SnapshotWriter::f64(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+SnapshotWriter::str(std::string_view v)
+{
+    u64(v.size());
+    const auto *bytes = reinterpret_cast<const std::uint8_t *>(v.data());
+    out_.insert(out_.end(), bytes, bytes + v.size());
+}
+
+const std::vector<std::uint8_t> &
+SnapshotWriter::finish()
+{
+    if (chunk_start_ != 0) {
+        panic("SnapshotWriter::finish: chunk still open");
+    }
+    if (!finished_) {
+        const std::uint32_t preceding = chunk_count_;
+        beginChunk(kEndTag);
+        u64(preceding);
+        endChunk();
+        finished_ = true;
+    }
+    return out_;
+}
+
+Expected<void>
+SnapshotWriter::commit(const std::string &path)
+{
+    const std::vector<std::uint8_t> &image = finish();
+    const std::string tmp = path + ".tmp";
+    std::FILE *fp = std::fopen(tmp.c_str(), "wb");
+    if (fp == nullptr) {
+        return unexpected(errnoMessage("snapshot: cannot create", tmp));
+    }
+    const std::size_t written =
+        image.empty() ? 0 : std::fwrite(image.data(), 1, image.size(), fp);
+    if (written != image.size() || std::fflush(fp) != 0 ||
+        fsync(fileno(fp)) != 0) {
+        const Expected<void> err =
+            unexpected(errnoMessage("snapshot: short write to", tmp));
+        std::fclose(fp);
+        std::remove(tmp.c_str());
+        return err;
+    }
+    if (std::fclose(fp) != 0) {
+        std::remove(tmp.c_str());
+        return unexpected(errnoMessage("snapshot: close failed for", tmp));
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const Expected<void> err =
+            unexpected(errnoMessage("snapshot: rename failed for", tmp));
+        std::remove(tmp.c_str());
+        return err;
+    }
+    return {};
+}
+
+Expected<void>
+SnapshotWriter::commitRotating(const std::string &path)
+{
+    // Keep the previous good generation: path -> path.prev, then the
+    // fresh image lands on path. A crash between the two renames
+    // leaves .prev loadable; a torn .tmp write never touches either.
+    const std::string prev = path + ".prev";
+    if (std::rename(path.c_str(), prev.c_str()) != 0 && errno != ENOENT) {
+        return unexpected(errnoMessage("snapshot: rotate failed for", path));
+    }
+    return commit(path);
+}
+
+Expected<SnapshotReader>
+SnapshotReader::fromBuffer(std::vector<std::uint8_t> image)
+{
+    if (image.size() < kHeaderBytes) {
+        return unexpected("snapshot: file shorter than header");
+    }
+    if (std::memcmp(image.data(), kMagic, sizeof(kMagic)) != 0) {
+        return unexpected("snapshot: bad magic (not a snapshot file)");
+    }
+    std::uint32_t version = 0;
+    std::memcpy(&version, image.data() + 8, sizeof(version));
+    if (version != kSnapshotVersion) {
+        return unexpected("snapshot: unsupported format version " +
+                          std::to_string(version) + " (expected " +
+                          std::to_string(kSnapshotVersion) + ")");
+    }
+    std::uint32_t flags = 0;
+    std::memcpy(&flags, image.data() + 12, sizeof(flags));
+    if (flags != 0) {
+        return unexpected("snapshot: unsupported header flags");
+    }
+    SnapshotReader reader;
+    reader.image_ = std::move(image);
+    reader.cursor_ = kHeaderBytes;
+    return reader;
+}
+
+Expected<SnapshotReader>
+SnapshotReader::open(const std::string &path)
+{
+    std::FILE *fp = std::fopen(path.c_str(), "rb");
+    if (fp == nullptr) {
+        return unexpected(errnoMessage("snapshot: cannot open", path));
+    }
+    std::vector<std::uint8_t> image;
+    unsigned char buf[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), fp)) > 0) {
+        image.insert(image.end(), buf, buf + got);
+    }
+    const bool read_error = std::ferror(fp) != 0;
+    std::fclose(fp);
+    if (read_error) {
+        return unexpected(errnoMessage("snapshot: read failed for", path));
+    }
+    return fromBuffer(std::move(image));
+}
+
+Expected<SnapshotReader>
+SnapshotReader::openWithFallback(const std::string &path,
+                                 bool *used_fallback)
+{
+    if (used_fallback != nullptr) {
+        *used_fallback = false;
+    }
+    Expected<SnapshotReader> primary = open(path);
+    if (primary.ok()) {
+        return primary;
+    }
+    Expected<SnapshotReader> previous = open(path + ".prev");
+    if (previous.ok()) {
+        if (used_fallback != nullptr) {
+            *used_fallback = true;
+        }
+        return previous;
+    }
+    return unexpected(primary.error() +
+                      " (fallback also failed: " + previous.error() + ")");
+}
+
+bool
+SnapshotReader::enterChunk(std::uint32_t tag)
+{
+    if (!ok()) {
+        return false;
+    }
+    if (in_chunk_) {
+        panic("SnapshotReader::enterChunk: chunk already open");
+    }
+    if (image_.size() - cursor_ < kChunkHeaderBytes + 4) {
+        fail("snapshot: truncated at chunk header");
+        return false;
+    }
+    std::uint32_t got_tag = 0;
+    std::uint32_t got_seq = 0;
+    std::uint64_t payload_len = 0;
+    std::memcpy(&got_tag, image_.data() + cursor_, 4);
+    std::memcpy(&got_seq, image_.data() + cursor_ + 4, 4);
+    std::memcpy(&payload_len, image_.data() + cursor_ + 8, 8);
+    if (payload_len > image_.size() - cursor_ - kChunkHeaderBytes - 4) {
+        fail("snapshot: chunk payload overruns file");
+        return false;
+    }
+    const std::size_t payload_begin = cursor_ + kChunkHeaderBytes;
+    std::uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, image_.data() + payload_begin + payload_len, 4);
+    const std::uint32_t computed_crc =
+        crc32c(image_.data() + cursor_, kChunkHeaderBytes + payload_len);
+    if (stored_crc != computed_crc) {
+        fail("snapshot: CRC mismatch in chunk " + std::to_string(got_seq));
+        return false;
+    }
+    if (got_seq != next_seq_) {
+        fail("snapshot: chunk sequence break (expected " +
+             std::to_string(next_seq_) + ", found " +
+             std::to_string(got_seq) + " — duplicated or missing chunk)");
+        return false;
+    }
+    if (got_tag != tag) {
+        fail("snapshot: unexpected chunk tag in chunk " +
+             std::to_string(got_seq));
+        return false;
+    }
+    cursor_ = payload_begin;
+    payload_end_ = payload_begin + payload_len;
+    chunk_end_ = payload_end_ + 4;
+    in_chunk_ = true;
+    ++next_seq_;
+    return true;
+}
+
+bool
+SnapshotReader::leaveChunk()
+{
+    if (!ok()) {
+        return false;
+    }
+    if (!in_chunk_) {
+        panic("SnapshotReader::leaveChunk: no open chunk");
+    }
+    if (cursor_ != payload_end_) {
+        fail("snapshot: chunk payload not fully consumed (layout drift)");
+        return false;
+    }
+    cursor_ = chunk_end_;
+    in_chunk_ = false;
+    payload_end_ = 0;
+    chunk_end_ = 0;
+    return true;
+}
+
+bool
+SnapshotReader::expectEnd()
+{
+    if (!enterChunk(kEndTag)) {
+        return false;
+    }
+    const std::uint64_t preceding = u64();
+    if (!leaveChunk()) {
+        return false;
+    }
+    if (ok() && preceding + 1 != next_seq_) {
+        fail("snapshot: END chunk count mismatch");
+        return false;
+    }
+    if (ok() && cursor_ != image_.size()) {
+        fail("snapshot: trailing bytes after END chunk");
+        return false;
+    }
+    return ok();
+}
+
+bool
+SnapshotReader::take(void *dst, std::size_t len)
+{
+    if (!ok()) {
+        std::memset(dst, 0, len);
+        return false;
+    }
+    if (!in_chunk_ || payload_end_ - cursor_ < len) {
+        std::memset(dst, 0, len);
+        fail("snapshot: field read past end of chunk payload");
+        return false;
+    }
+    std::memcpy(dst, image_.data() + cursor_, len);
+    cursor_ += len;
+    return true;
+}
+
+std::uint8_t
+SnapshotReader::u8()
+{
+    std::uint8_t v = 0;
+    take(&v, sizeof(v));
+    return v;
+}
+
+std::uint32_t
+SnapshotReader::u32()
+{
+    std::uint32_t v = 0;
+    take(&v, sizeof(v));
+    return v;
+}
+
+std::uint64_t
+SnapshotReader::u64()
+{
+    std::uint64_t v = 0;
+    take(&v, sizeof(v));
+    return v;
+}
+
+double
+SnapshotReader::f64()
+{
+    std::uint64_t bits = 0;
+    take(&bits, sizeof(bits));
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+SnapshotReader::str()
+{
+    const std::uint64_t len = u64();
+    if (!ok()) {
+        return {};
+    }
+    if (!in_chunk_ || payload_end_ - cursor_ < len) {
+        fail("snapshot: string length overruns chunk payload");
+        return {};
+    }
+    std::string v(reinterpret_cast<const char *>(image_.data() + cursor_),
+                  len);
+    cursor_ += len;
+    return v;
+}
+
+void
+SnapshotReader::fail(std::string message)
+{
+    if (error_.empty()) {
+        error_ = std::move(message);
+    }
+}
+
+} // namespace pentimento::util

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Versioned, checksummed binary snapshot format for board state.
+ *
+ * Layout: an 16-byte header (magic "PNTMSNP\x01", format version,
+ * reserved flags) followed by a flat sequence of chunks. Each chunk is
+ *
+ *     u32 tag | u32 seq | u64 payload_len | payload | u32 crc32c
+ *
+ * where the CRC covers tag+seq+len+payload, and seq is the 0-based
+ * ordinal of the chunk in the file — a duplicated, dropped, or
+ * reordered chunk breaks the sequence even when its own CRC is intact.
+ * The file ends with a mandatory "END!" chunk whose payload is the
+ * count of preceding chunks; trailing garbage after it is rejected.
+ *
+ * Writing is atomic: the whole image is built in memory, written to
+ * `<path>.tmp`, fsync'd, then renamed over `<path>`. commitRotating()
+ * additionally keeps the previous good generation at `<path>.prev`, so
+ * a crash at any instant leaves at least one loadable checkpoint.
+ *
+ * Reading is abort-free: SnapshotReader carries a sticky error (like
+ * std::istream) — the first malformed field poisons the reader, every
+ * later read returns zero values, and the caller checks ok() once at
+ * the end. Top-level entry points return util::Expected rather than
+ * calling util::fatal, so a corrupt checkpoint is a recoverable event.
+ */
+
+#ifndef PENTIMENTO_UTIL_SNAPSHOT_HPP
+#define PENTIMENTO_UTIL_SNAPSHOT_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/expected.hpp"
+
+namespace pentimento::util {
+
+/** Format version written to and required from every snapshot. */
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/** Pack a 4-char chunk tag ("BRD!") into its on-disk u32. */
+constexpr std::uint32_t
+snapshotTag(char a, char b, char c, char d)
+{
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8 |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16 |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+/** CRC32C (Castagnoli) of a byte range, chainable via seed. */
+std::uint32_t crc32c(const void *data, std::size_t len,
+                     std::uint32_t seed = 0);
+
+/**
+ * Builds a snapshot image in memory and commits it atomically.
+ *
+ * Usage: beginChunk(tag), write primitives, endChunk(), repeat; then
+ * either commit()/commitRotating() to persist, or finish() to get the
+ * complete image for in-memory round trips (tests, microbenches).
+ */
+class SnapshotWriter
+{
+  public:
+    SnapshotWriter();
+
+    /** Open a chunk; primitives written next land in its payload. */
+    void beginChunk(std::uint32_t tag);
+    /** Close the open chunk: patch its length, append its CRC. */
+    void endChunk();
+
+    void u8(std::uint8_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    /** Doubles are bit-cast, never formatted: restore is bit-exact. */
+    void f64(double v);
+    /** Length-prefixed byte string. */
+    void str(std::string_view v);
+
+    /**
+     * Append the terminal END chunk and return the finished image.
+     * The writer is spent afterwards.
+     */
+    const std::vector<std::uint8_t> &finish();
+
+    /**
+     * finish() + atomic persist: write `<path>.tmp`, flush + fsync,
+     * rename over `<path>`. Any OS-level failure is returned, not
+     * thrown.
+     */
+    Expected<void> commit(const std::string &path);
+
+    /**
+     * Like commit(), but first rotates an existing `<path>` to
+     * `<path>.prev` so the previous good generation survives a corrupt
+     * or torn write of the new one.
+     */
+    Expected<void> commitRotating(const std::string &path);
+
+  private:
+    std::vector<std::uint8_t> out_;
+    std::size_t chunk_start_ = 0; // offset of open chunk's tag; 0 = closed
+    std::uint32_t chunk_count_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * Parses a snapshot image with sticky-error semantics.
+ *
+ * enterChunk(tag) validates the next chunk's header, CRC, and
+ * sequence number; primitives then consume its payload; leaveChunk()
+ * requires the payload to be fully consumed (a length drift inside a
+ * chunk is structural corruption, not slack). After any failure all
+ * reads return zeroes and fail() records only the first error.
+ */
+class SnapshotReader
+{
+  public:
+    /** Wrap an in-memory image (no validation beyond the header). */
+    static Expected<SnapshotReader> fromBuffer(
+        std::vector<std::uint8_t> image);
+
+    /** Load `path` fully into memory and validate the header. */
+    static Expected<SnapshotReader> open(const std::string &path);
+
+    /**
+     * Load `path`, falling back to `<path>.prev` when the primary is
+     * missing or has a bad header (deeper corruption is only
+     * discovered while restoring; see the fleet_campaign resume loop
+     * for the full two-generation retry). Returns which file was
+     * opened via `used_fallback`.
+     */
+    static Expected<SnapshotReader> openWithFallback(
+        const std::string &path, bool *used_fallback = nullptr);
+
+    /** Enter the next chunk, which must carry `tag`. */
+    bool enterChunk(std::uint32_t tag);
+    /** Leave the current chunk; fails unless fully consumed. */
+    bool leaveChunk();
+    /** Validate the terminal END chunk and absence of trailing bytes. */
+    bool expectEnd();
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    std::string str();
+
+    /** Record a (first) error; subsequent reads return zeroes. */
+    void fail(std::string message);
+    /** True until the first structural or checksum error. */
+    bool ok() const { return error_.empty(); }
+    /** First recorded error message ("" when ok). */
+    const std::string &error() const { return error_; }
+
+    /** Convert reader state into an Expected for top-level callers. */
+    Expected<void>
+    status() const
+    {
+        if (!ok()) {
+            return unexpected(error_);
+        }
+        return {};
+    }
+
+  private:
+    SnapshotReader() = default;
+
+    bool take(void *dst, std::size_t len);
+
+    std::vector<std::uint8_t> image_;
+    std::size_t cursor_ = 0;      // next unread byte in image_
+    std::size_t payload_end_ = 0; // end of current chunk payload; 0 = none
+    std::size_t chunk_end_ = 0;   // end incl. trailing CRC
+    std::uint32_t next_seq_ = 0;
+    bool in_chunk_ = false;
+    std::string error_;
+};
+
+} // namespace pentimento::util
+
+#endif // PENTIMENTO_UTIL_SNAPSHOT_HPP

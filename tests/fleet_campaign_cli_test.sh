@@ -1,0 +1,54 @@
+#!/bin/sh
+# CLI-hardening contract for bench/fleet_campaign: every malformed
+# invocation must exit 2 and print a usage synopsis to stderr, and a
+# valid invocation must not trip the whitelist. Run by CTest as
+#   sh fleet_campaign_cli_test.sh <path-to-fleet_campaign>
+set -u
+
+bin="${1:?usage: fleet_campaign_cli_test.sh <fleet_campaign-binary>}"
+failures=0
+
+expect_usage_error() {
+    desc="$1"
+    shift
+    err=$("$bin" "$@" 2>&1 >/dev/null)
+    code=$?
+    if [ "$code" -ne 2 ]; then
+        echo "FAIL [$desc]: exit $code, want 2" >&2
+        failures=$((failures + 1))
+        return
+    fi
+    case "$err" in
+      *"usage: fleet_campaign"*) ;;
+      *)
+        echo "FAIL [$desc]: no usage synopsis on stderr" >&2
+        failures=$((failures + 1))
+        return
+        ;;
+    esac
+    echo "ok [$desc]"
+}
+
+expect_usage_error "--years 0"          --years 0
+expect_usage_error "--years -3"         --years -3
+expect_usage_error "--years junk"       --years junk
+expect_usage_error "--fleet 0"          --fleet 0
+expect_usage_error "--seed abc"         --seed abc
+expect_usage_error "unknown flag"       --bogus-flag
+expect_usage_error "missing value"      --fleet
+expect_usage_error "missing ckpt value" --checkpoint-every
+expect_usage_error "bad ckpt cadence"   --checkpoint-every 0
+
+# A valid (tiny) invocation must pass the whitelist and succeed.
+if ! "$bin" --fleet 4 --years 1 --seed 7 >/dev/null 2>&1; then
+    echo "FAIL [valid invocation]: nonzero exit" >&2
+    failures=$((failures + 1))
+else
+    echo "ok [valid invocation]"
+fi
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures CLI contract failure(s)" >&2
+    exit 1
+fi
+echo "fleet_campaign CLI contract: all cases pass"
