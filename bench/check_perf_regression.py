@@ -23,10 +23,19 @@ fast path against the committed PR 3 snapshot).
 
 import argparse
 import json
+import os
 import sys
 
 
 def load(path):
+    # A missing snapshot is a configuration error, not a clean gate: a
+    # mistyped baseline name (or a forgotten commit of the new PR's
+    # snapshot) must fail loudly instead of green-lighting the build.
+    if not os.path.exists(path):
+        raise SystemExit(
+            f"{path}: snapshot not found — the perf gate needs both a "
+            f"committed baseline and a freshly generated snapshot; "
+            f"check the file name and that the benchmark step ran")
     with open(path) as f:
         snap = json.load(f)
     if snap.get("schema") != "pentimento-microbench-v1":

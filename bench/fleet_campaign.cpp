@@ -38,11 +38,14 @@
  * kill half of the CI kill-and-resume stress).
  */
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -70,6 +73,20 @@ constexpr const char *kDefaultCheckpointPath = "fleet_campaign.ckpt";
 
 constexpr std::uint32_t kCfgTag = util::snapshotTag('C', 'F', 'G', '!');
 constexpr std::uint32_t kCmpTag = util::snapshotTag('C', 'M', 'P', '!');
+
+/**
+ * Last delivery-requested signal, observed by the day loop. SIGINT or
+ * SIGTERM does not abandon the campaign: the loop finishes the current
+ * day, writes a final checkpoint, and exits 128+sig — an interrupted
+ * campaign is ALWAYS `--resume`-able.
+ */
+std::atomic<int> g_signal{0};
+
+void
+onSignal(int sig)
+{
+    g_signal.store(sig, std::memory_order_relaxed);
+}
 
 /** One completed tenancy: what the attacker would need to know. */
 struct Tenancy
@@ -131,7 +148,9 @@ printUsage(std::FILE *out)
         "  --resume              continue from the latest good "
         "checkpoint\n"
         "  --halt-at-day D       exit cleanly after day D (pairs with "
-        "--resume)\n",
+        "--resume)\n"
+        "  --day-sleep-ms N      throttle each simulated day (signal "
+        "tests)\n",
         kDefaultFleet, kDefaultYears,
         static_cast<unsigned long long>(kDefaultSeed),
         kDefaultCheckpointPath);
@@ -148,7 +167,8 @@ argsAreKnown(int argc, char **argv)
     static const char *kValueFlags[] = {
         "--fleet",   "--years", "--seed",
         "--workers", "--csv",   "--checkpoint-every",
-        "--checkpoint-path",    "--halt-at-day"};
+        "--checkpoint-path",    "--halt-at-day",
+        "--day-sleep-ms"};
     static const char *kBareFlags[] = {"--journal-stress", "--resume"};
     for (int i = 1; i < argc; ++i) {
         bool known = false;
@@ -524,6 +544,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 0;
     long checkpoint_every = 0;
     long halt_at_day = 0;
+    long day_sleep_ms = 0;
     std::string checkpoint_path;
     try {
         kFleet = static_cast<std::size_t>(
@@ -537,6 +558,8 @@ main(int argc, char **argv)
             bench::parseLongFlag(argc, argv, "--checkpoint-every", 0);
         halt_at_day =
             bench::parseLongFlag(argc, argv, "--halt-at-day", 0);
+        day_sleep_ms =
+            bench::parseLongFlag(argc, argv, "--day-sleep-ms", 0, 0);
         checkpoint_path = parseStringFlag(
             argc, argv, "--checkpoint-path", kDefaultCheckpointPath);
     } catch (const util::FatalError &error) {
@@ -602,7 +625,13 @@ main(int argc, char **argv)
     // A year of interleaved tenancies in daily ticks: aim for about a
     // third of the region rented at any time, each tenancy burning a
     // random word on its own freshly allocated routes for 2-14 days.
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
     for (int day = state.next_day; day < kDays; ++day) {
+        if (day_sleep_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(day_sleep_ms));
+        }
         const double now = platform.nowHours();
         for (std::size_t i = state.active.size(); i-- > 0;) {
             if (state.active[i].ends_at_h <= now) {
@@ -669,6 +698,20 @@ main(int argc, char **argv)
                             completed, checkpoint_path.c_str());
                 return 0;
             }
+        }
+        // SIGINT/SIGTERM: flush a final checkpoint at this day
+        // boundary (even without --checkpoint-every) and exit
+        // 128+sig. The operator can always `--resume`.
+        const int sig = g_signal.load(std::memory_order_relaxed);
+        if (sig != 0 && completed < kDays) {
+            saveCheckpoint(state, kFleet, kDays, seed, journal_stress,
+                           checkpoint_path);
+            std::fprintf(stderr,
+                         "fleet_campaign: signal %d after day %d; "
+                         "checkpoint written to %s (resume with "
+                         "--resume)\n",
+                         sig, completed, checkpoint_path.c_str());
+            return 128 + sig;
         }
     }
     // Wind down: everyone still computing releases now.

@@ -1,0 +1,81 @@
+#!/usr/bin/env sh
+# Measure the campaign server's sustained request throughput and
+# distill it into the perf-trajectory snapshot schema: the loadgen's
+# ns_per_request (inverse requests/s) becomes a "kernel" so
+# check_perf_regression.py can gate it like any other number.
+#
+# Usage: bench/run_server_bench.sh [build_dir] [out_json]
+#
+# Starts a throwaway campaign_server on an ephemeral loopback port,
+# drives it with mixed well-formed + adversarial traffic, and tears it
+# down. Run from the repository root in a Release build.
+set -eu
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_pr8.json}
+SERVER="$BUILD_DIR/bench/campaign_server"
+LOADGEN="$BUILD_DIR/bench/server_loadgen"
+
+for bin in "$SERVER" "$LOADGEN"; do
+    if [ ! -x "$bin" ]; then
+        echo "run_server_bench: $bin not found (build the bench tree)" >&2
+        exit 1
+    fi
+done
+
+LOG=$(mktemp)
+RAW=$(mktemp)
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -TERM "$SERVER_PID" 2>/dev/null && \
+        wait "$SERVER_PID" 2>/dev/null
+    rm -f "$LOG" "$RAW"
+}
+trap cleanup EXIT
+
+"$SERVER" --port 0 --executors 2 >"$LOG" 2>&1 &
+SERVER_PID=$!
+PORT=""
+i=0
+while [ $i -lt 100 ]; do
+    PORT=$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$LOG")
+    [ -n "$PORT" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$PORT" ]; then
+    echo "run_server_bench: server did not report a port" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+
+# No pipeline here: the loadgen's exit code (nonzero on ANY failed
+# request) must propagate through `set -e`.
+"$LOADGEN" --port "$PORT" --clients 4 --requests 500 \
+    --adversarial-every 4 >"$RAW"
+cat "$RAW"
+
+python3 - "$RAW" "$OUT" <<'EOF'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+ns = None
+with open(raw_path) as f:
+    for line in f:
+        if line.startswith("ns_per_request"):
+            ns = float(line.split()[1])
+if ns is None or ns <= 0:
+    raise SystemExit("run_server_bench: no ns_per_request in loadgen "
+                     "output — did the load run fail?")
+
+out = {
+    "schema": "pentimento-microbench-v1",
+    "unit": "ns/op",
+    "kernels": {"ServerPingRoundTrip": round(ns, 1)},
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path} (ServerPingRoundTrip = {ns:.0f} ns/request)")
+EOF

@@ -132,6 +132,33 @@ assembleResult(const RouteSetup &setup, const SeriesRecorder &recorder,
     return result;
 }
 
+/**
+ * Report one finished sweep to the (optional) observer; honour a false
+ * return by throwing util::CancelledError right here, which unwinds
+ * the experiment loop at a clean checkpoint. The deltas handed out are
+ * the raw per-route ∆ps of this one sweep (uncentered — centering
+ * needs the whole series, which a streaming consumer doesn't have).
+ */
+void
+notifySweep(SweepObserver *observer, std::size_t sweep_index,
+            double hour, const tdc::MeasurementSweep &sweep)
+{
+    if (observer == nullptr) {
+        return;
+    }
+    std::vector<double> deltas;
+    deltas.reserve(sweep.per_route.size());
+    for (const auto &route : sweep.per_route) {
+        deltas.push_back(route.deltaPs());
+    }
+    if (!observer->onSweep(sweep_index, hour, deltas.data(),
+                           deltas.size())) {
+        throw util::CancelledError(
+            "experiment cancelled at sweep " +
+            std::to_string(sweep_index));
+    }
+}
+
 mitigation::NoMitigation g_no_mitigation;
 
 mitigation::MitigationStrategy &
@@ -239,6 +266,7 @@ runExperiment1(const Experiment1Config &config)
             measure->measureAll(oven.dieTempK(), meas_rng, config.pool);
         recorder.record(hour, sweep);
         measure_seconds += sweep.wall_seconds;
+        notifySweep(config.observer, sweeps, hour, sweep);
         ++sweeps;
     };
     measureNow(0.0);
@@ -322,6 +350,7 @@ runExperiment2(const Experiment2Config &config)
             inst.dieTempK(), inst.rng(), config.pool);
         recorder.record(hour, sweep);
         measure_seconds += sweep.wall_seconds;
+        notifySweep(config.observer, sweeps, hour, sweep);
         ++sweeps;
     };
     measureNow(0.0);
@@ -455,6 +484,7 @@ runExperiment3(const Experiment3Config &config)
                                 attacker_inst.rng(), config.pool);
         recorder.record(at_hour, sweep);
         measure_seconds += sweep.wall_seconds;
+        notifySweep(config.observer, sweeps, at_hour, sweep);
         ++sweeps;
     };
 
@@ -543,6 +573,12 @@ runTenancyChurn(const TenancyChurnConfig &config)
         device.advanceAt(config.idle_hours, config.idle_temp_k);
         elapsed += burn_h + config.idle_hours;
         history.push_back(std::move(tenancy));
+        if (config.observer != nullptr &&
+            !config.observer->onSweep(t, elapsed, nullptr, 0)) {
+            throw util::CancelledError(
+                "tenancy churn cancelled after tenancy " +
+                std::to_string(t));
+        }
     }
 
     TenancyChurnResult result;

@@ -58,6 +58,30 @@ struct RouteGroup
 /** The paper's standard 64-route layout (16 each of 1/2/5/10 ns). */
 std::vector<RouteGroup> paperRouteGroups();
 
+/**
+ * Observation/cancellation hook for long experiment loops.
+ *
+ * onSweep() fires after every measurement sweep with the raw
+ * (uncentered) per-route ∆ps of that sweep; returning false asks the
+ * experiment to stop, which it honours by throwing
+ * util::CancelledError at that checkpoint. The server layer uses this
+ * both to stream incremental results and to enforce per-request
+ * deadlines cooperatively — long loops never need to be killed from
+ * outside. Purely-conditioning loops with no sweeps (tenancy churn)
+ * call onSweep with n_routes == 0 once per tenancy so they stay
+ * cancellable too.
+ */
+class SweepObserver
+{
+  public:
+    virtual ~SweepObserver() = default;
+
+    /** @return false to cancel the run at this checkpoint. */
+    virtual bool onSweep(std::size_t sweep_index, double hour,
+                         const double *delta_ps,
+                         std::size_t n_routes) = 0;
+};
+
 /** Result record for one route under test. */
 struct RouteRecord
 {
@@ -110,6 +134,8 @@ struct Experiment1Config
      * results for any worker count (nullptr = serial).
      */
     util::ThreadPool *pool = nullptr;
+    /** Optional per-sweep observation/cancellation hook. */
+    SweepObserver *observer = nullptr;
 };
 
 /** Run Experiment 1 on a local device. */
@@ -128,6 +154,8 @@ struct Experiment2Config
     mitigation::MitigationStrategy *strategy = nullptr;
     /** Work pool (see Experiment1Config::pool). */
     util::ThreadPool *pool = nullptr;
+    /** Optional per-sweep observation/cancellation hook. */
+    SweepObserver *observer = nullptr;
 };
 
 /** Run Experiment 2 against a cloud platform. */
@@ -158,6 +186,8 @@ struct Experiment3Config
     mitigation::MitigationStrategy *strategy = nullptr;
     /** Work pool (see Experiment1Config::pool). */
     util::ThreadPool *pool = nullptr;
+    /** Optional per-sweep observation/cancellation hook. */
+    SweepObserver *observer = nullptr;
 };
 
 /** Run Experiment 3 against a cloud platform. */
@@ -199,6 +229,8 @@ struct TenancyChurnConfig
     std::size_t observe_last = 2;
     std::uint64_t seed = 7321;
     fabric::DeviceConfig device{};
+    /** Optional per-tenancy cancellation hook (n_routes == 0). */
+    SweepObserver *observer = nullptr;
 };
 
 /** Output of a tenancy-churn run. */

@@ -1,0 +1,528 @@
+#include "serve/campaign.hpp"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cloud/platform.hpp"
+#include "core/classifier.hpp"
+#include "core/delta_series.hpp"
+#include "tdc/measure_design.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/snapshot.hpp"
+
+namespace pentimento::serve {
+
+namespace {
+
+constexpr double kRouteTargetPs = 2000.0;
+constexpr double kRecoveryHours = 25.0;
+
+constexpr std::uint32_t kSrvCfgTag =
+    util::snapshotTag('S', 'C', 'F', '!');
+constexpr std::uint32_t kSrvCmpTag =
+    util::snapshotTag('S', 'C', 'M', '!');
+
+/** One completed tenancy: what the attacker would need to know. */
+struct Tenancy
+{
+    std::string board;
+    std::vector<fabric::RouteSpec> specs;
+    std::vector<bool> bits;
+    double released_at_h = 0.0;
+};
+
+/** One tenancy still computing. */
+struct Active
+{
+    std::string board;
+    double ends_at_h = 0.0;
+    /** Day the tenant design was created — its identity, for resume. */
+    int start_day = 0;
+    Tenancy record;
+};
+
+/** Everything the day loop owns; what a checkpoint must capture. */
+struct CampaignState
+{
+    std::unique_ptr<cloud::CloudPlatform> platform;
+    util::Rng rng{424261};
+    std::vector<Active> active;
+    std::vector<Tenancy> finished;
+    int next_day = 0;
+};
+
+/** Rebuild a tenant design exactly as the rent-time site makes it. */
+std::shared_ptr<fabric::TargetDesign>
+makeTenantDesign(const Tenancy &tenancy, int start_day)
+{
+    fabric::ArithmeticHeavyConfig arith;
+    arith.dsp_count = 128;
+    return std::make_shared<fabric::TargetDesign>(
+        "srv_tenant_" + tenancy.board + "_d" +
+            std::to_string(start_day),
+        tenancy.specs, tenancy.bits, arith);
+}
+
+void
+writeTenancy(util::SnapshotWriter &writer, const Tenancy &tenancy)
+{
+    writer.str(tenancy.board);
+    writer.u64(tenancy.specs.size());
+    for (const fabric::RouteSpec &spec : tenancy.specs) {
+        writer.str(spec.name);
+        writer.f64(spec.target_ps);
+        writer.u64(spec.elements.size());
+        for (const fabric::ResourceId &id : spec.elements) {
+            writer.u64(id.key());
+        }
+    }
+    writer.u64(tenancy.bits.size());
+    for (const bool bit : tenancy.bits) {
+        writer.u8(bit ? 1 : 0);
+    }
+    writer.f64(tenancy.released_at_h);
+}
+
+bool
+readTenancy(util::SnapshotReader &reader, Tenancy *tenancy)
+{
+    tenancy->board = reader.str();
+    const std::uint64_t spec_count = reader.u64();
+    for (std::uint64_t s = 0; s < spec_count && reader.ok(); ++s) {
+        fabric::RouteSpec spec;
+        spec.name = reader.str();
+        spec.target_ps = reader.f64();
+        const std::uint64_t elem_count = reader.u64();
+        for (std::uint64_t e = 0; e < elem_count && reader.ok(); ++e) {
+            spec.elements.push_back(
+                fabric::ResourceId::fromKey(reader.u64()));
+        }
+        tenancy->specs.push_back(std::move(spec));
+    }
+    const std::uint64_t bit_count = reader.u64();
+    for (std::uint64_t b = 0; b < bit_count && reader.ok(); ++b) {
+        tenancy->bits.push_back(reader.u8() != 0);
+    }
+    tenancy->released_at_h = reader.f64();
+    if (reader.ok() && tenancy->bits.size() != tenancy->specs.size()) {
+        reader.fail("checkpoint: tenancy bits/specs length mismatch");
+    }
+    return reader.ok();
+}
+
+/**
+ * Write one rotating checkpoint generation. Failure is reported but
+ * non-fatal — a full disk must not kill a long campaign.
+ */
+void
+saveCheckpoint(const CampaignState &state,
+               const FleetScanConfig &config)
+{
+    util::SnapshotWriter writer;
+    writer.beginChunk(kSrvCfgTag);
+    writer.u64(config.fleet);
+    writer.u64(static_cast<std::uint64_t>(config.days));
+    writer.u64(config.seed);
+    writer.u64(config.routes_per_tenant);
+    writer.u64(config.max_measured);
+    writer.endChunk();
+
+    state.platform->saveState(writer);
+
+    writer.beginChunk(kSrvCmpTag);
+    writer.u64(static_cast<std::uint64_t>(state.next_day));
+    const util::Rng::State rng = state.rng.state();
+    for (const std::uint64_t word : rng.words) {
+        writer.u64(word);
+    }
+    writer.f64(rng.cached);
+    writer.u8(rng.have_cached ? 1 : 0);
+    writer.u64(state.finished.size());
+    for (const Tenancy &tenancy : state.finished) {
+        writeTenancy(writer, tenancy);
+    }
+    writer.u64(state.active.size());
+    for (const Active &a : state.active) {
+        writer.f64(a.ends_at_h);
+        writer.u64(static_cast<std::uint64_t>(a.start_day));
+        writeTenancy(writer, a.record);
+    }
+    writer.endChunk();
+
+    const util::Expected<void> committed =
+        writer.commitRotating(config.checkpoint_path);
+    if (!committed.ok()) {
+        util::warn("fleet scan: checkpoint write failed (" +
+                   committed.error() + "); continuing without it");
+    }
+}
+
+/**
+ * Restore one checkpoint generation into a freshly built platform.
+ * Every corruption path comes back as a recoverable error so the
+ * caller can fall through to the previous generation or a fresh run.
+ */
+util::Expected<CampaignState>
+restoreCampaignFrom(const std::string &path,
+                    const cloud::PlatformConfig &platform_config,
+                    const FleetScanConfig &config)
+{
+    util::Expected<util::SnapshotReader> opened =
+        util::SnapshotReader::open(path);
+    if (!opened.ok()) {
+        return util::unexpected(opened.error());
+    }
+    util::SnapshotReader &reader = opened.value();
+
+    if (!reader.enterChunk(kSrvCfgTag)) {
+        return util::unexpected(reader.error());
+    }
+    const std::uint64_t fleet = reader.u64();
+    const std::uint64_t saved_days = reader.u64();
+    const std::uint64_t seed = reader.u64();
+    const std::uint64_t routes = reader.u64();
+    const std::uint64_t measured = reader.u64();
+    if (!reader.leaveChunk()) {
+        return util::unexpected(reader.error());
+    }
+    if (fleet != config.fleet || seed != config.seed ||
+        saved_days != static_cast<std::uint64_t>(config.days) ||
+        routes != config.routes_per_tenant ||
+        measured != config.max_measured) {
+        return util::unexpected(
+            "checkpoint was written by a different campaign "
+            "(config skew)");
+    }
+
+    CampaignState state;
+    state.platform =
+        std::make_unique<cloud::CloudPlatform>(platform_config);
+    std::vector<std::string> boards_with_design;
+    const util::Expected<void> restored =
+        state.platform->restoreState(reader, &boards_with_design);
+    if (!restored.ok()) {
+        return util::unexpected(restored.error());
+    }
+
+    if (!reader.enterChunk(kSrvCmpTag)) {
+        return util::unexpected(reader.error());
+    }
+    const std::uint64_t next_day = reader.u64();
+    util::Rng::State rng;
+    for (std::uint64_t &word : rng.words) {
+        word = reader.u64();
+    }
+    rng.cached = reader.f64();
+    rng.have_cached = reader.u8() != 0;
+    const std::uint64_t finished_count = reader.u64();
+    for (std::uint64_t i = 0; i < finished_count && reader.ok(); ++i) {
+        Tenancy tenancy;
+        if (readTenancy(reader, &tenancy)) {
+            state.finished.push_back(std::move(tenancy));
+        }
+    }
+    const std::uint64_t active_count = reader.u64();
+    for (std::uint64_t i = 0; i < active_count && reader.ok(); ++i) {
+        Active a;
+        a.ends_at_h = reader.f64();
+        a.start_day = static_cast<int>(reader.u64());
+        if (readTenancy(reader, &a.record)) {
+            a.board = a.record.board;
+            state.active.push_back(std::move(a));
+        }
+    }
+    if (!reader.leaveChunk() || !reader.expectEnd()) {
+        return util::unexpected(reader.error());
+    }
+    if (next_day < 1 ||
+        next_day > static_cast<std::uint64_t>(config.days)) {
+        return util::unexpected("checkpoint: day cursor out of range");
+    }
+    state.next_day = static_cast<int>(next_day);
+    state.rng.setState(rng);
+
+    // Designs are code, not board state: rebuild each active tenant's
+    // design and re-load it. The restored board's activity state
+    // already matches, so the load is flip- and draw-neutral.
+    if (boards_with_design.size() != state.active.size()) {
+        return util::unexpected(
+            "checkpoint: design residency does not match the ledger");
+    }
+    for (Active &a : state.active) {
+        bool listed = false;
+        for (const std::string &board : boards_with_design) {
+            if (board == a.board) {
+                listed = true;
+                break;
+            }
+        }
+        if (!listed) {
+            return util::unexpected("checkpoint: active board '" +
+                                    a.board +
+                                    "' has no resident design");
+        }
+        if (!state.platform
+                 ->loadDesign(a.board,
+                              makeTenantDesign(a.record, a.start_day))
+                 .empty()) {
+            return util::unexpected(
+                "checkpoint: reconstructed tenant design failed DRC");
+        }
+    }
+    return state;
+}
+
+/**
+ * TM2 park-and-watch on one re-acquired board: calibrate at takeover,
+ * park the victim's routes at 0, record 25 hourly sweeps, classify
+ * the recovery slopes. (Mirrors bench/fleet_campaign's attackBoard.)
+ */
+FleetScanBoardScore
+attackBoard(cloud::CloudPlatform &platform,
+            const std::string &board_id, const Tenancy &tenancy,
+            util::ThreadPool *pool)
+{
+    cloud::FpgaInstance &inst = platform.instance(board_id);
+    fabric::Device &device = inst.device();
+    device.setWorkPool(pool);
+
+    // Fast sampling: the campaign is measurement-bound, and its
+    // accuracy statistics are seed-sweep-equivalent between the exact
+    // and fast sampling paths (see tdc_test's FastSampling battery).
+    tdc::TdcConfig sensor_config;
+    sensor_config.fast_sampling = true;
+    auto measure = std::make_shared<tdc::MeasureDesign>(
+        device, tenancy.specs, sensor_config);
+    if (!platform.loadDesign(board_id, measure).empty()) {
+        util::fatal("fleet scan: measure design failed DRC");
+    }
+    measure->calibrateAll(inst.dieTempK(), inst.rng(), pool);
+
+    auto park = std::make_shared<fabric::Design>("park0_" + board_id);
+    for (const fabric::RouteSpec &spec : tenancy.specs) {
+        park->setRouteValue(spec, false);
+    }
+    park->setPowerW(2.0);
+
+    std::vector<core::DeltaSeries> series(tenancy.specs.size());
+    double observed = 0.0;
+    const auto sweepNow = [&](double hour) {
+        if (!platform.loadDesign(board_id, measure).empty()) {
+            util::fatal("fleet scan: measure design failed DRC");
+        }
+        platform.advanceHours(core::kMeasureSettleHours);
+        const tdc::MeasurementSweep sweep =
+            measure->measureAll(inst.dieTempK(), inst.rng(), pool);
+        for (std::size_t i = 0; i < series.size(); ++i) {
+            series[i].addPoint(hour, sweep.per_route[i].deltaPs());
+        }
+    };
+    sweepNow(0.0);
+    while (observed < kRecoveryHours - 1e-9) {
+        if (!platform.loadDesign(board_id, park).empty()) {
+            util::fatal("fleet scan: park design failed DRC");
+        }
+        platform.advanceHours(1.0 - core::kMeasureSettleHours);
+        observed += 1.0;
+        sweepNow(observed);
+    }
+
+    core::ExperimentResult result;
+    for (std::size_t i = 0; i < tenancy.specs.size(); ++i) {
+        core::RouteRecord record;
+        record.name = tenancy.specs[i].name;
+        record.target_ps = tenancy.specs[i].target_ps;
+        record.burn_value = tenancy.bits[i];
+        record.series = series[i].centeredAtFirst();
+        result.routes.push_back(std::move(record));
+    }
+    const core::ClassificationReport report =
+        core::ThreatModel2Classifier().classify(result);
+
+    platform.release(board_id);
+    device.setWorkPool(nullptr);
+    FleetScanBoardScore score;
+    score.board = board_id;
+    score.bits = report.bits.size();
+    score.correct = report.correct;
+    score.accuracy = report.accuracy;
+    return score;
+}
+
+} // namespace
+
+util::Expected<FleetScanResult>
+runFleetScan(const FleetScanConfig &config)
+{
+    if (config.fleet == 0 || config.days <= 0 ||
+        config.routes_per_tenant == 0) {
+        return util::unexpected("fleet scan: empty scenario");
+    }
+    const bool checkpointing = !config.checkpoint_path.empty();
+
+    cloud::PlatformConfig platform_config;
+    platform_config.fleet_size = config.fleet;
+    platform_config.region = "fleet-sim";
+    platform_config.policy =
+        cloud::AllocationPolicy::MostRecentlyReleased;
+    platform_config.seed = config.seed;
+
+    CampaignState state;
+    bool resumed = false;
+    if (checkpointing) {
+        // Two-generation retry. A missing checkpoint is the normal
+        // fresh-run case; corruption or config skew also falls back to
+        // a fresh run — resume is an optimisation, never a correctness
+        // requirement, because the result is a pure function of the
+        // config either way.
+        util::Expected<CampaignState> attempt = restoreCampaignFrom(
+            config.checkpoint_path, platform_config, config);
+        if (!attempt.ok()) {
+            attempt =
+                restoreCampaignFrom(config.checkpoint_path + ".prev",
+                                    platform_config, config);
+        }
+        if (attempt.ok()) {
+            state = std::move(attempt.value());
+            resumed = true;
+            util::inform("fleet scan: resumed at day " +
+                         std::to_string(state.next_day));
+        }
+    }
+    if (!resumed) {
+        state.platform =
+            std::make_unique<cloud::CloudPlatform>(platform_config);
+        // The driver's draw stream is split from the request seed so
+        // the tenancy schedule (not just the silicon) re-rolls with
+        // it.
+        util::Rng base(config.seed);
+        state.rng = base.split("serve_fleet_scan");
+    }
+    cloud::CloudPlatform &platform = *state.platform;
+
+    // Interleaved tenancies in daily ticks: aim for about a third of
+    // the region rented at any time, each tenancy burning a random
+    // word on its own freshly allocated routes for 2-14 days.
+    for (int day = state.next_day; day < config.days; ++day) {
+        if (config.throttle_ms_per_day > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                config.throttle_ms_per_day));
+        }
+        const double now = platform.nowHours();
+        for (std::size_t i = state.active.size(); i-- > 0;) {
+            if (state.active[i].ends_at_h <= now) {
+                state.active[i].record.released_at_h = now;
+                platform.release(state.active[i].board);
+                state.finished.push_back(
+                    std::move(state.active[i].record));
+                state.active.erase(state.active.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+            }
+        }
+        while (state.active.size() < config.fleet / 3 &&
+               state.rng.bernoulli(0.35)) {
+            const auto board = platform.rent();
+            if (!board) {
+                break;
+            }
+            fabric::Device &device =
+                platform.instance(*board).device();
+            Tenancy tenancy;
+            tenancy.board = *board;
+            for (std::size_t r = 0; r < config.routes_per_tenant;
+                 ++r) {
+                tenancy.specs.push_back(device.allocateRoute(
+                    *board + "_d" + std::to_string(day) + "_r" +
+                        std::to_string(r),
+                    kRouteTargetPs));
+                tenancy.bits.push_back(state.rng.bernoulli(0.5));
+            }
+            if (!platform
+                     .loadDesign(*board, makeTenantDesign(tenancy, day))
+                     .empty()) {
+                util::fatal("fleet scan: tenant design failed DRC");
+            }
+            const double duration_h =
+                24.0 *
+                static_cast<double>(state.rng.uniformInt(2, 14));
+            state.active.push_back(Active{*board, now + duration_h,
+                                          day, std::move(tenancy)});
+        }
+        platform.advanceHours(24.0);
+
+        const int completed = day + 1;
+        state.next_day = completed;
+        if (checkpointing && config.checkpoint_every_days > 0 &&
+            completed % config.checkpoint_every_days == 0 &&
+            completed < config.days) {
+            saveCheckpoint(state, config);
+        }
+        if (config.observer != nullptr &&
+            !config.observer->onSweep(
+                static_cast<std::size_t>(completed),
+                platform.nowHours(), nullptr, 0)) {
+            // A final checkpoint before unwinding makes every
+            // cancellation (deadline, disconnect, drain) resumable
+            // from exactly this day.
+            if (checkpointing) {
+                saveCheckpoint(state, config);
+            }
+            throw util::CancelledError(
+                "fleet scan cancelled after day " +
+                std::to_string(completed));
+        }
+    }
+    // Wind down: everyone still computing releases now.
+    for (Active &a : state.active) {
+        a.record.released_at_h = platform.nowHours();
+        platform.release(a.board);
+        state.finished.push_back(std::move(a.record));
+    }
+    state.active.clear();
+
+    FleetScanResult result;
+    result.tenancies = state.finished.size();
+    result.simulated_h = platform.nowHours();
+
+    // ---- TM2 persistence scan -------------------------------------
+    // Flash-acquire recently released boards (LIFO policy) and attack
+    // the most recent tenancy on each. Not interruptible: bounded at
+    // max_measured * 25 simulated hours, it finishes in well under a
+    // deadline tick, and interrupting it mid-measurement would leave
+    // the board half-scanned with no valid checkpoint boundary.
+    std::vector<std::pair<std::string, const Tenancy *>> scan_targets;
+    std::vector<std::string> skipped;
+    while (scan_targets.size() < config.max_measured) {
+        const auto board = platform.rent();
+        if (!board) {
+            break;
+        }
+        const Tenancy *last = nullptr;
+        for (const Tenancy &t : state.finished) {
+            if (t.board == *board &&
+                (last == nullptr ||
+                 t.released_at_h > last->released_at_h)) {
+                last = &t;
+            }
+        }
+        if (last == nullptr) {
+            skipped.push_back(*board); // virgin stock: nothing to scan
+            continue;
+        }
+        scan_targets.emplace_back(*board, last);
+    }
+    for (const auto &[board, tenancy] : scan_targets) {
+        result.boards.push_back(
+            attackBoard(platform, board, *tenancy, config.pool));
+    }
+    for (const std::string &board : skipped) {
+        platform.release(board);
+    }
+    return result;
+}
+
+} // namespace pentimento::serve

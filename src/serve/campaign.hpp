@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Checkpointed fleet-scan campaign engine for the campaign server.
+ *
+ * This is the library form of bench/fleet_campaign's workload: a
+ * marketplace region runs `days` simulated days of interleaved
+ * tenancies, then a TM2 attacker flash-acquires the most recently
+ * released boards and runs the park-and-watch recovery attack against
+ * whatever the last tenant left behind.
+ *
+ * The engine adds the two properties the server needs:
+ *
+ *  - **Cancellable**: an optional core::SweepObserver fires once per
+ *    simulated day; returning false checkpoints (when configured) and
+ *    unwinds with util::CancelledError. Deadlines, disconnects and
+ *    SIGTERM drain all ride this one hook.
+ *  - **Resumable**: with a checkpoint path configured the campaign
+ *    writes a rotating two-generation util/snapshot every
+ *    `checkpoint_every_days`, and on entry silently resumes from the
+ *    latest good generation *if* it matches this config — so a server
+ *    killed mid-campaign re-delivers the identical result when the
+ *    identical request is resubmitted after restart. A missing,
+ *    corrupt or mismatched checkpoint just means a fresh run.
+ *
+ * The result is a pure function of (fleet, days, seed,
+ * routes_per_tenant, max_measured): checkpoint/resume history, the
+ * day throttle and the worker count never change a byte of it.
+ */
+
+#ifndef PENTIMENTO_SERVE_CAMPAIGN_HPP
+#define PENTIMENTO_SERVE_CAMPAIGN_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "serve/protocol.hpp"
+#include "util/expected.hpp"
+#include "util/parallel.hpp"
+
+namespace pentimento::serve {
+
+/** Fleet-scan campaign configuration. */
+struct FleetScanConfig
+{
+    std::size_t fleet = 112;
+    int days = 365;
+    std::uint64_t seed = 90902;
+    std::size_t routes_per_tenant = 8;
+    /** Boards the TM2 attacker measures at the end. */
+    std::size_t max_measured = 8;
+    /** Checkpoint cadence in simulated days (0 = never). */
+    int checkpoint_every_days = 0;
+    /** Rotating checkpoint path ("" = no checkpointing/resume). */
+    std::string checkpoint_path;
+    /** Testing aid: wall-clock sleep per simulated day, ms. */
+    std::uint32_t throttle_ms_per_day = 0;
+    /** Scan-phase work pool (nullptr = serial). */
+    util::ThreadPool *pool = nullptr;
+    /**
+     * Fires once per completed simulated day with (day, hours,
+     * nullptr, 0); returning false checkpoints and cancels.
+     */
+    core::SweepObserver *observer = nullptr;
+};
+
+/**
+ * Run (or resume) a fleet-scan campaign.
+ *
+ * Throws util::CancelledError when the observer cancels (after
+ * writing a final checkpoint, when a path is configured); returns an
+ * error for invalid configuration. Checkpoint write failures are
+ * reported via util::warn and never fail the campaign.
+ */
+util::Expected<FleetScanResult> runFleetScan(
+    const FleetScanConfig &config);
+
+} // namespace pentimento::serve
+
+#endif // PENTIMENTO_SERVE_CAMPAIGN_HPP

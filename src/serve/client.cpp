@@ -1,0 +1,168 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+namespace pentimento::serve {
+
+ClientConnection::~ClientConnection()
+{
+    close();
+}
+
+ClientConnection::ClientConnection(ClientConnection &&other) noexcept
+    : fd_(other.fd_), decoder_(std::move(other.decoder_))
+{
+    other.fd_ = -1;
+}
+
+ClientConnection &
+ClientConnection::operator=(ClientConnection &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        decoder_ = std::move(other.decoder_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+util::Expected<void>
+ClientConnection::connect(std::uint16_t port)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        return util::unexpected(std::string("socket: ") +
+                                std::strerror(errno));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        const std::string error = std::strerror(errno);
+        close();
+        return util::unexpected("connect: " + error);
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    decoder_ = FrameDecoder(1u << 24);
+    return {};
+}
+
+util::Expected<void>
+ClientConnection::sendRaw(const void *data, std::size_t len)
+{
+    if (fd_ < 0) {
+        return util::unexpected("sendRaw: not connected");
+    }
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::size_t sent = 0;
+    while (sent < len) {
+        const ssize_t n =
+            ::send(fd_, bytes + sent, len - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) {
+                continue;
+            }
+            return util::unexpected(std::string("send: ") +
+                                    std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return {};
+}
+
+util::Expected<void>
+ClientConnection::sendFrame(FrameType type,
+                            const std::vector<std::uint8_t> &payload)
+{
+    const std::vector<std::uint8_t> frame = encodeFrame(type, payload);
+    return sendRaw(frame.data(), frame.size());
+}
+
+util::Expected<Frame>
+ClientConnection::readFrame(std::uint32_t timeout_ms)
+{
+    if (fd_ < 0) {
+        return util::unexpected("readFrame: not connected");
+    }
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    Frame frame;
+    for (;;) {
+        const FrameDecoder::Status status = decoder_.next(&frame);
+        if (status == FrameDecoder::Status::Ready) {
+            return frame;
+        }
+        if (status == FrameDecoder::Status::Corrupt) {
+            return util::unexpected("readFrame: " + decoder_.error());
+        }
+        const auto remaining = deadline - Clock::now();
+        if (remaining <= std::chrono::milliseconds(0)) {
+            return util::unexpected("readFrame: timed out");
+        }
+        pollfd pfd{fd_, POLLIN, 0};
+        const int rc = ::poll(
+            &pfd, 1,
+            static_cast<int>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    remaining)
+                    .count()) +
+                1);
+        if (rc < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return util::unexpected(std::string("poll: ") +
+                                    std::strerror(errno));
+        }
+        if (rc == 0) {
+            return util::unexpected("readFrame: timed out");
+        }
+        std::uint8_t buf[4096];
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n == 0) {
+            return util::unexpected("readFrame: connection closed");
+        }
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return util::unexpected(std::string("recv: ") +
+                                    std::strerror(errno));
+        }
+        decoder_.feed(buf, static_cast<std::size_t>(n));
+    }
+}
+
+void
+ClientConnection::closeWrite()
+{
+    if (fd_ >= 0) {
+        ::shutdown(fd_, SHUT_WR);
+    }
+}
+
+void
+ClientConnection::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace pentimento::serve

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal blocking client for the campaign-server protocol.
+ *
+ * Shared by bench/server_loadgen and tests/serve_test so the framing
+ * logic (and its hardening) is exercised from both sides of the
+ * socket. sendRaw() exists deliberately: the adversarial batteries
+ * need to put *wrong* bytes on the wire, not just well-formed frames.
+ */
+
+#ifndef PENTIMENTO_SERVE_CLIENT_HPP
+#define PENTIMENTO_SERVE_CLIENT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "util/expected.hpp"
+
+namespace pentimento::serve {
+
+/** One blocking client connection. Movable, closes on destruction. */
+class ClientConnection
+{
+  public:
+    ClientConnection() = default;
+    ~ClientConnection();
+    ClientConnection(ClientConnection &&other) noexcept;
+    ClientConnection &operator=(ClientConnection &&other) noexcept;
+    ClientConnection(const ClientConnection &) = delete;
+    ClientConnection &operator=(const ClientConnection &) = delete;
+
+    /** Connect to 127.0.0.1:port. */
+    util::Expected<void> connect(std::uint16_t port);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Send raw bytes verbatim (for adversarial tests). */
+    util::Expected<void> sendRaw(const void *data, std::size_t len);
+
+    /** Frame and send a payload. */
+    util::Expected<void> sendFrame(
+        FrameType type, const std::vector<std::uint8_t> &payload);
+
+    /**
+     * Read until one complete frame arrives (or timeout/EOF/corrupt
+     * bytes from the server, each a distinct error message).
+     */
+    util::Expected<Frame> readFrame(std::uint32_t timeout_ms);
+
+    /** Half-close the write side (mid-request disconnect tests). */
+    void closeWrite();
+
+    /** Close now (destructor does this too). */
+    void close();
+
+  private:
+    int fd_ = -1;
+    FrameDecoder decoder_{1u << 24};
+};
+
+} // namespace pentimento::serve
+
+#endif // PENTIMENTO_SERVE_CLIENT_HPP

@@ -1,0 +1,137 @@
+#include "serve/wire.hpp"
+
+#include <cstring>
+
+namespace pentimento::serve {
+
+namespace {
+
+void
+putLe(std::vector<std::uint8_t> &out, std::uint64_t v, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+} // namespace
+
+void
+WireWriter::u8(std::uint8_t v)
+{
+    out_.push_back(v);
+}
+
+void
+WireWriter::u32(std::uint32_t v)
+{
+    putLe(out_, v, 4);
+}
+
+void
+WireWriter::u64(std::uint64_t v)
+{
+    putLe(out_, v, 8);
+}
+
+void
+WireWriter::f64(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+WireWriter::str(std::string_view v)
+{
+    u32(static_cast<std::uint32_t>(v.size()));
+    out_.insert(out_.end(), v.begin(), v.end());
+}
+
+bool
+WireReader::take(void *dst, std::size_t n)
+{
+    if (!ok()) {
+        return false;
+    }
+    if (n > remaining()) {
+        fail("wire: truncated payload");
+        return false;
+    }
+    std::memcpy(dst, data_ + cursor_, n);
+    cursor_ += n;
+    return true;
+}
+
+std::uint8_t
+WireReader::u8()
+{
+    std::uint8_t v = 0;
+    take(&v, 1);
+    return v;
+}
+
+std::uint32_t
+WireReader::u32()
+{
+    std::uint8_t raw[4] = {};
+    if (!take(raw, sizeof(raw))) {
+        return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+        v = (v << 8) | raw[i];
+    }
+    return v;
+}
+
+std::uint64_t
+WireReader::u64()
+{
+    std::uint8_t raw[8] = {};
+    if (!take(raw, sizeof(raw))) {
+        return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+        v = (v << 8) | raw[i];
+    }
+    return v;
+}
+
+double
+WireReader::f64()
+{
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return ok() ? v : 0.0;
+}
+
+std::string
+WireReader::str()
+{
+    const std::uint32_t len = u32();
+    if (!ok()) {
+        return {};
+    }
+    if (len > remaining()) {
+        fail("wire: string length exceeds payload");
+        return {};
+    }
+    std::string s(reinterpret_cast<const char *>(data_ + cursor_), len);
+    cursor_ += len;
+    return s;
+}
+
+void
+WireReader::fail(std::string message)
+{
+    if (error_.empty()) {
+        error_ = std::move(message);
+    }
+}
+
+} // namespace pentimento::serve

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Little-endian wire codec for the campaign-server protocol.
+ *
+ * Every byte that crosses the service boundary is hostile, so the
+ * reader mirrors util::SnapshotReader's sticky-error discipline: the
+ * first malformed field poisons the reader, every later read returns
+ * zero values, and the caller checks ok() exactly once — no partial
+ * decode can ever be observed, and no decode path aborts. The writer
+ * is the same primitive set in reverse; doubles are bit-cast rather
+ * than formatted so a response is a pure byte function of its value,
+ * which is what makes "bit-identical response" a testable contract.
+ */
+
+#ifndef PENTIMENTO_SERVE_WIRE_HPP
+#define PENTIMENTO_SERVE_WIRE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pentimento::serve {
+
+/** Append-only little-endian encoder. */
+class WireWriter
+{
+  public:
+    void u8(std::uint8_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    /** Bit-cast, never formatted: responses are byte-deterministic. */
+    void f64(double v);
+    /** u32 length prefix + raw bytes. */
+    void str(std::string_view v);
+
+    const std::vector<std::uint8_t> &bytes() const { return out_; }
+    std::vector<std::uint8_t> take() { return std::move(out_); }
+
+  private:
+    std::vector<std::uint8_t> out_;
+};
+
+/**
+ * Sticky-error little-endian decoder over a borrowed byte range.
+ * The range must outlive the reader (frames own their payloads).
+ */
+class WireReader
+{
+  public:
+    WireReader(const std::uint8_t *data, std::size_t len)
+        : data_(data), len_(len)
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    /**
+     * Length-prefixed string, capped at the remaining payload (a
+     * declared length past the end is the classic truncation attack).
+     */
+    std::string str();
+
+    /** Unconsumed bytes. */
+    std::size_t remaining() const { return len_ - cursor_; }
+    /** True when the payload is fully consumed (strict decoders
+     *  require this: trailing bytes are malformed, not slack). */
+    bool atEnd() const { return cursor_ == len_; }
+
+    /** Record a (first) error; later reads return zeroes. */
+    void fail(std::string message);
+    bool ok() const { return error_.empty(); }
+    const std::string &error() const { return error_; }
+
+  private:
+    bool take(void *dst, std::size_t n);
+
+    const std::uint8_t *data_ = nullptr;
+    std::size_t len_ = 0;
+    std::size_t cursor_ = 0;
+    std::string error_;
+};
+
+} // namespace pentimento::serve
+
+#endif // PENTIMENTO_SERVE_WIRE_HPP

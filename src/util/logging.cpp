@@ -1,40 +1,73 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace pentimento::util {
 
 namespace {
 
-Verbosity g_verbosity = Verbosity::Warning;
+std::atomic<Verbosity> g_verbosity{Verbosity::Warning};
+
+/** Serialises line emission so concurrent threads never interleave
+ *  characters within a line (stdout and stderr share the mutex so an
+ *  inform/warn pair from one thread stays ordered). */
+std::mutex g_emit_mutex;
+
+thread_local std::string t_log_context;
+
+void
+emit(std::ostream &stream, const char *severity,
+     const std::string &message)
+{
+    std::lock_guard<std::mutex> lock(g_emit_mutex);
+    stream << severity;
+    if (!t_log_context.empty()) {
+        stream << "[" << t_log_context << "] ";
+    }
+    stream << message << "\n";
+}
 
 } // namespace
 
 void
 setVerbosity(Verbosity level)
 {
-    g_verbosity = level;
+    g_verbosity.store(level, std::memory_order_relaxed);
 }
 
 Verbosity
 verbosity()
 {
-    return g_verbosity;
+    return g_verbosity.load(std::memory_order_relaxed);
+}
+
+void
+setThreadLogContext(const std::string &context)
+{
+    t_log_context = context;
+}
+
+std::string
+threadLogContext()
+{
+    return t_log_context;
 }
 
 void
 inform(const std::string &message)
 {
-    if (g_verbosity >= Verbosity::Info) {
-        std::cout << "info: " << message << "\n";
+    if (verbosity() >= Verbosity::Info) {
+        emit(std::cout, "info: ", message);
     }
 }
 
 void
 warn(const std::string &message)
 {
-    if (g_verbosity >= Verbosity::Warning) {
-        std::cerr << "warn: " << message << "\n";
+    if (verbosity() >= Verbosity::Warning) {
+        emit(std::cerr, "warn: ", message);
     }
 }
 

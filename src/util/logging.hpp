@@ -6,6 +6,12 @@
  * conditions, fatal() aborts on user error (bad configuration), and
  * panic() aborts on internal invariant violations. Verbosity can be
  * silenced globally so tests and benches stay quiet.
+ *
+ * Emission is thread-safe: verbosity is an atomic, and each line is
+ * written under one mutex so concurrent server threads never interleave
+ * mid-line. setThreadLogContext() installs a per-thread prefix (e.g.
+ * "req 42") that tags every line the thread emits, making interleaved
+ * server logs attributable to a request.
  */
 
 #ifndef PENTIMENTO_UTIL_LOGGING_HPP
@@ -36,6 +42,16 @@ void inform(const std::string &message);
 /** Print a warning (stderr). */
 void warn(const std::string &message);
 
+/**
+ * Install a per-thread log-context prefix; every inform()/warn() from
+ * this thread is tagged "[context] ". Empty clears the prefix. Worker
+ * threads serving a request set this on entry and clear it on exit.
+ */
+void setThreadLogContext(const std::string &context);
+
+/** The calling thread's current log context ("" when unset). */
+std::string threadLogContext();
+
 /** Error thrown by fatal(): a user/configuration problem. */
 class FatalError : public std::runtime_error
 {
@@ -48,6 +64,18 @@ class PanicError : public std::logic_error
 {
   public:
     using std::logic_error::logic_error;
+};
+
+/**
+ * Cooperative-cancellation signal: thrown from inside a long-running
+ * simulation loop when its observer asks it to stop (deadline hit,
+ * client disconnected, server draining). Not an error in the
+ * fatal()/panic() sense — the catcher decides how to answer.
+ */
+class CancelledError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
 };
 
 /**

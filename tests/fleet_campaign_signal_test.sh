@@ -1,0 +1,70 @@
+#!/bin/sh
+# Signal-safety contract for bench/fleet_campaign: SIGTERM (and
+# SIGINT) mid-campaign must flush a final checkpoint at the current
+# day boundary and exit 128+sig, leaving the campaign --resume-able.
+# Run by CTest as
+#   sh fleet_campaign_signal_test.sh <path-to-fleet_campaign>
+set -u
+
+bin="${1:?usage: fleet_campaign_signal_test.sh <fleet_campaign-binary>}"
+workdir=$(mktemp -d) || exit 1
+ckpt="$workdir/signal.ckpt"
+log="$workdir/run.log"
+failures=0
+
+cleanup() {
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# Throttled campaign in the background: ~50 ms per simulated day
+# leaves a wide window to signal it mid-loop.
+"$bin" --fleet 8 --years 1 --seed 7 --day-sleep-ms 50 \
+    --checkpoint-path "$ckpt" >"$log" 2>&1 &
+pid=$!
+sleep 2
+kill -TERM "$pid"
+wait "$pid"
+code=$?
+
+if [ "$code" -ne 143 ]; then
+    echo "FAIL [exit code]: got $code, want 143 (128+SIGTERM)" >&2
+    failures=$((failures + 1))
+else
+    echo "ok [exit code 143]"
+fi
+
+if [ ! -s "$ckpt" ]; then
+    echo "FAIL [checkpoint]: $ckpt missing or empty after SIGTERM" >&2
+    failures=$((failures + 1))
+else
+    echo "ok [final checkpoint written]"
+fi
+
+if ! grep -q "checkpoint written" "$log"; then
+    echo "FAIL [message]: no 'checkpoint written' notice in output" >&2
+    failures=$((failures + 1))
+else
+    echo "ok [operator notice]"
+fi
+
+# The interrupted campaign must be resumable: pick up from the
+# checkpoint and halt a few days later, exiting cleanly.
+if ! "$bin" --fleet 8 --years 1 --seed 7 --resume \
+        --checkpoint-path "$ckpt" --halt-at-day 360 \
+        >"$workdir/resume.log" 2>&1; then
+    echo "FAIL [resume]: nonzero exit resuming from signal checkpoint" >&2
+    cat "$workdir/resume.log" >&2
+    failures=$((failures + 1))
+elif ! grep -q "resumed from" "$workdir/resume.log"; then
+    echo "FAIL [resume]: output does not report a resume" >&2
+    failures=$((failures + 1))
+else
+    echo "ok [resume after signal]"
+fi
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures signal contract failure(s)" >&2
+    exit 1
+fi
+echo "fleet_campaign signal contract: all cases pass"
