@@ -20,13 +20,16 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <sys/stat.h>
 #include <thread>
+#include <unistd.h>
 
 #include "bench_common.hpp"
 #include "serve/server.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 
 using namespace pentimento;
@@ -56,6 +59,8 @@ printUsage(std::FILE *out)
         "  --max-deadline-ms N  ceiling on client deadlines\n"
         "  --frame-timeout-ms N mid-frame stall timeout\n"
         "  --checkpoint-dir P   campaign checkpoint directory\n"
+        "  --worker             shard-worker mode: exit when stdin "
+        "closes\n"
         "  --verbose            per-request log lines\n");
 }
 
@@ -67,7 +72,7 @@ argsAreKnown(int argc, char **argv)
         "--executors",   "--queue",
         "--deadline-ms", "--max-deadline-ms",
         "--frame-timeout-ms", "--checkpoint-dir"};
-    static const char *kBareFlags[] = {"--verbose"};
+    static const char *kBareFlags[] = {"--verbose", "--worker"};
     for (int i = 1; i < argc; ++i) {
         bool known = false;
         for (const char *flag : kValueFlags) {
@@ -149,6 +154,15 @@ main(int argc, char **argv)
     if (bench::hasFlag(argc, argv, "--verbose")) {
         util::setVerbosity(util::Verbosity::Info);
     }
+    // Chaos harnesses hand workers their deterministic fault schedule
+    // through the environment; a typoed schedule must refuse to start
+    // rather than fake an injection-free green run.
+    const util::Expected<void> armed = util::fault::armFromEnv();
+    if (!armed.ok()) {
+        std::fprintf(stderr, "campaign_server: %s\n",
+                     armed.error().c_str());
+        return 1;
+    }
     if (!config.checkpoint_dir.empty()) {
         if (::mkdir(config.checkpoint_dir.c_str(), 0777) != 0 &&
             errno != EEXIST) {
@@ -171,6 +185,24 @@ main(int argc, char **argv)
     std::printf("campaign_server listening on port %u\n",
                 static_cast<unsigned>(server.port()));
     std::fflush(stdout);
+
+    if (bench::hasFlag(argc, argv, "--worker")) {
+        // Shard-worker mode: the supervisor holds our stdin pipe. EOF
+        // means it is gone — exit immediately rather than linger as
+        // an orphan daemon. _Exit, not exit: a shard worker's only
+        // durable state is its checkpoint, already safe on disk, and
+        // a prompt death is exactly what the supervisor's crash
+        // machinery is built to absorb.
+        std::thread([] {
+            char buf[64];
+            for (;;) {
+                const ssize_t n = ::read(0, buf, sizeof(buf));
+                if (n == 0 || (n < 0 && errno != EINTR)) {
+                    std::_Exit(0);
+                }
+            }
+        }).detach();
+    }
 
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);

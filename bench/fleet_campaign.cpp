@@ -12,14 +12,29 @@
  * Data Persistence in Cloud FPGA Platforms" (Zhang et al.) performs
  * on real hardware.
  *
- * Under eager per-hour aging this scenario costs
- * O(board-hours x elements) — a year across 112 boards was
- * intractable. With the segment timeline every unobserved board-hour
- * is O(1) bookkeeping and elements only materialise their BTI state
- * when the attacker's TDC actually binds them; the event-driven
- * ambient (PR 4) defers even the idle boards' temperature walk, so
- * the campaign is bounded by the ≤ 8 measured boards and completes in
- * a fraction of a second.
+ * The campaign engine itself lives in serve/campaign (shared with the
+ * campaign server); this binary is the CLI. It runs the scenario in
+ * one of two ways:
+ *
+ *  - **In-process** (default): serve::runFleetScan in golden-compat
+ *    mode — the exact historical draw sequence this bench has always
+ *    produced, locked by the committed golden CSV. Crash-safe
+ *    checkpointing (PR 7): `--checkpoint-every N` writes a rotating
+ *    two-generation snapshot every N simulated days; `--resume`
+ *    continues from the latest good generation; `--halt-at-day D`
+ *    exits cleanly after day D (the kill half of the CI
+ *    kill-and-resume stress). SIGINT/SIGTERM flush a final checkpoint
+ *    at the next day boundary and exit 128+sig.
+ *
+ *  - **Sharded** (PR 9): `--shards N` partitions the TM2 scan across
+ *    N campaign_server worker *processes* under serve/shard's
+ *    fault-tolerant supervisor — crashed, killed or wedged workers
+ *    are respawned and resume from their per-shard checkpoints, and
+ *    the merged CSV is byte-identical to the in-process run
+ *    regardless of shard count, worker deaths or retry order.
+ *    `--fault-schedule S` arms util/fault's deterministic
+ *    fault-injection schedule here and (via the environment) in every
+ *    worker.
  *
  * `--fleet N` and `--years Y` rescale the region and the simulated
  * horizon so the scaling claims are reproducible at other sizes;
@@ -28,35 +43,23 @@
  * conditions (service-aged silicon, short tenancies, 25 h of
  * observation): across nearby seeds it spans roughly 50-85%, and the
  * default seed is chosen to sit near the middle of that range.
- *
- * Crash-safe checkpointing (PR 7): `--checkpoint-every N` writes a
- * rotating two-generation snapshot of the entire campaign — fleet
- * board state plus the driver's tenancy ledger and RNG cursor — after
- * every N simulated days; `--resume` continues from the latest good
- * generation, and a resumed run's CSV is byte-identical to an
- * uninterrupted one. `--halt-at-day D` exits cleanly after day D (the
- * kill half of the CI kill-and-resume stress).
  */
 
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "cloud/platform.hpp"
-#include "core/classifier.hpp"
-#include "core/experiment.hpp"
-#include "tdc/measure_design.hpp"
+#include "serve/campaign.hpp"
+#include "serve/shard.hpp"
 #include "util/expected.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
-#include "util/rng.hpp"
-#include "util/snapshot.hpp"
 
 using namespace pentimento;
 
@@ -66,13 +69,8 @@ constexpr std::size_t kDefaultFleet = 112;
 constexpr int kDefaultYears = 1;
 constexpr std::uint64_t kDefaultSeed = 90902;
 constexpr std::size_t kRoutesPerTenant = 8;
-constexpr double kRouteTargetPs = 2000.0;
 constexpr std::size_t kMaxMeasured = 8;
-constexpr double kRecoveryHours = 25.0;
 constexpr const char *kDefaultCheckpointPath = "fleet_campaign.ckpt";
-
-constexpr std::uint32_t kCfgTag = util::snapshotTag('C', 'F', 'G', '!');
-constexpr std::uint32_t kCmpTag = util::snapshotTag('C', 'M', 'P', '!');
 
 /**
  * Last delivery-requested signal, observed by the day loop. SIGINT or
@@ -88,45 +86,28 @@ onSignal(int sig)
     g_signal.store(sig, std::memory_order_relaxed);
 }
 
-/** One completed tenancy: what the attacker would need to know. */
-struct Tenancy
+/** Day-boundary hook: cancels the engine once a signal is pending. */
+class SignalObserver final : public core::SweepObserver
 {
-    std::string board;
-    std::vector<fabric::RouteSpec> specs;
-    std::vector<bool> bits;
-    double released_at_h = 0.0;
-};
+  public:
+    explicit SignalObserver(int days) : days_(days) {}
 
-/** One tenancy still computing. */
-struct Active
-{
-    std::string board;
-    double ends_at_h = 0.0;
-    /** Day the tenant design was created — its identity, for resume. */
-    int start_day = 0;
-    Tenancy record;
-    /** Kept only under --journal-stress, for daily burn-value
-     *  rotations. */
-    std::shared_ptr<fabric::TargetDesign> target;
-};
+    bool
+    onSweep(std::size_t day, double, const double *,
+            std::size_t) override
+    {
+        last_day_ = static_cast<int>(day);
+        sig_ = g_signal.load(std::memory_order_relaxed);
+        return sig_ == 0 || last_day_ >= days_;
+    }
 
-/** Everything the day loop owns; what a checkpoint must capture. */
-struct CampaignState
-{
-    std::unique_ptr<cloud::CloudPlatform> platform;
-    util::Rng rng{424261};
-    std::vector<Active> active;
-    std::vector<Tenancy> finished;
-    int next_day = 0;
-};
+    int lastDay() const { return last_day_; }
+    int signalNumber() const { return sig_; }
 
-/** Attack result for one measured board. */
-struct BoardScore
-{
-    std::string board;
-    std::size_t bits = 0;
-    std::size_t correct = 0;
-    double accuracy = 0.0;
+  private:
+    int days_ = 0;
+    int last_day_ = 0;
+    int sig_ = 0;
 };
 
 // --------------------------------------------------- CLI validation
@@ -150,7 +131,11 @@ printUsage(std::FILE *out)
         "  --halt-at-day D       exit cleanly after day D (pairs with "
         "--resume)\n"
         "  --day-sleep-ms N      throttle each simulated day (signal "
-        "tests)\n",
+        "tests)\n"
+        "  --shards N            fan the scan out across N worker "
+        "processes\n"
+        "  --worker-binary P     campaign_server binary for --shards\n"
+        "  --fault-schedule S    arm a deterministic fault schedule\n",
         kDefaultFleet, kDefaultYears,
         static_cast<unsigned long long>(kDefaultSeed),
         kDefaultCheckpointPath);
@@ -168,7 +153,8 @@ argsAreKnown(int argc, char **argv)
         "--fleet",   "--years", "--seed",
         "--workers", "--csv",   "--checkpoint-every",
         "--checkpoint-path",    "--halt-at-day",
-        "--day-sleep-ms"};
+        "--day-sleep-ms",       "--shards",
+        "--worker-binary",      "--fault-schedule"};
     static const char *kBareFlags[] = {"--journal-stress", "--resume"};
     for (int i = 1; i < argc; ++i) {
         bool known = false;
@@ -213,321 +199,55 @@ parseStringFlag(int argc, char **argv, const char *flag,
     return fallback;
 }
 
-// -------------------------------------------------- tenant designs
-
-/** Rebuild a tenant design exactly as the rent-time site makes it. */
-std::shared_ptr<fabric::TargetDesign>
-makeTenantDesign(const Tenancy &tenancy, int start_day)
-{
-    fabric::ArithmeticHeavyConfig arith;
-    arith.dsp_count = 128;
-    return std::make_shared<fabric::TargetDesign>(
-        "tenant_" + tenancy.board + "_d" + std::to_string(start_day),
-        tenancy.specs, tenancy.bits, arith);
-}
-
-/** The --journal-stress rotation a tenancy carries on day `day`. */
-void
-applyRotation(const Active &a, int day)
-{
-    for (std::size_t i = 0; i < a.record.bits.size(); ++i) {
-        a.target->setBurnValue(i, (day % 2 == 0) == a.record.bits[i]);
-    }
-}
-
-// --------------------------------------------- checkpoint write/read
+// ------------------------------------------------------------ report
 
 void
-writeTenancy(util::SnapshotWriter &writer, const Tenancy &tenancy)
+printSummary(const serve::FleetScanResult &result, std::size_t fleet,
+             bool journal_stress, double wall_s, int argc, char **argv)
 {
-    writer.str(tenancy.board);
-    writer.u64(tenancy.specs.size());
-    for (const fabric::RouteSpec &spec : tenancy.specs) {
-        writer.str(spec.name);
-        writer.f64(spec.target_ps);
-        writer.u64(spec.elements.size());
-        for (const fabric::ResourceId &id : spec.elements) {
-            writer.u64(id.key());
-        }
-    }
-    writer.u64(tenancy.bits.size());
-    for (const bool bit : tenancy.bits) {
-        writer.u8(bit ? 1 : 0);
-    }
-    writer.f64(tenancy.released_at_h);
-}
+    std::printf("  fleet                 %zu boards\n", fleet);
+    std::printf("  simulated             %.0f h (%.1f board-years)\n",
+                result.simulated_h,
+                result.simulated_h * static_cast<double>(fleet) /
+                    8760.0);
+    std::printf("  tenancies             %zu\n",
+                static_cast<std::size_t>(result.tenancies));
+    std::printf("  boards measured       %zu (+%zu virgin skipped)\n\n",
+                result.boards.size(),
+                static_cast<std::size_t>(result.skipped));
 
-bool
-readTenancy(util::SnapshotReader &reader, Tenancy *tenancy)
-{
-    tenancy->board = reader.str();
-    const std::uint64_t spec_count = reader.u64();
-    for (std::uint64_t s = 0; s < spec_count && reader.ok(); ++s) {
-        fabric::RouteSpec spec;
-        spec.name = reader.str();
-        spec.target_ps = reader.f64();
-        const std::uint64_t elem_count = reader.u64();
-        for (std::uint64_t e = 0; e < elem_count && reader.ok(); ++e) {
-            spec.elements.push_back(
-                fabric::ResourceId::fromKey(reader.u64()));
-        }
-        tenancy->specs.push_back(std::move(spec));
+    std::printf("  %-12s %8s %10s\n", "board", "bits", "recovered");
+    std::size_t bits = 0;
+    std::size_t correct = 0;
+    std::vector<std::vector<std::string>> rows;
+    for (const serve::FleetScanBoardScore &s : result.boards) {
+        std::printf("  %-12s %8zu %9.1f%%\n", s.board.c_str(),
+                    static_cast<std::size_t>(s.bits),
+                    100.0 * s.accuracy);
+        bits += s.bits;
+        correct += s.correct;
+        rows.push_back({s.board, std::to_string(s.bits),
+                        std::to_string(s.correct),
+                        std::to_string(s.accuracy)});
     }
-    const std::uint64_t bit_count = reader.u64();
-    for (std::uint64_t b = 0; b < bit_count && reader.ok(); ++b) {
-        tenancy->bits.push_back(reader.u8() != 0);
+    if (bits > 0) {
+        std::printf("  %-12s %8zu %9.1f%%\n", "overall", bits,
+                    100.0 * static_cast<double>(correct) /
+                        static_cast<double>(bits));
     }
-    tenancy->released_at_h = reader.f64();
-    if (reader.ok() && tenancy->bits.size() != tenancy->specs.size()) {
-        reader.fail("checkpoint: tenancy bits/specs length mismatch");
+    if (journal_stress) {
+        std::printf("\n  journal stress        %zu deferred elements "
+                    "replayed across %zu boards, coverage exact\n",
+                    static_cast<std::size_t>(result.stress_elements),
+                    static_cast<std::size_t>(result.stress_boards));
     }
-    return reader.ok();
-}
-
-/**
- * Write one rotating checkpoint generation. Failure is reported but
- * non-fatal — a full disk must not kill a year-long campaign.
- */
-void
-saveCheckpoint(const CampaignState &state, std::size_t fleet, int days,
-               std::uint64_t seed, bool journal_stress,
-               const std::string &path)
-{
-    util::SnapshotWriter writer;
-    writer.beginChunk(kCfgTag);
-    writer.u64(fleet);
-    writer.u64(static_cast<std::uint64_t>(days));
-    writer.u64(seed);
-    writer.u8(journal_stress ? 1 : 0);
-    writer.endChunk();
-
-    state.platform->saveState(writer);
-
-    writer.beginChunk(kCmpTag);
-    writer.u64(static_cast<std::uint64_t>(state.next_day));
-    const util::Rng::State rng = state.rng.state();
-    for (const std::uint64_t word : rng.words) {
-        writer.u64(word);
-    }
-    writer.f64(rng.cached);
-    writer.u8(rng.have_cached ? 1 : 0);
-    writer.u64(state.finished.size());
-    for (const Tenancy &tenancy : state.finished) {
-        writeTenancy(writer, tenancy);
-    }
-    writer.u64(state.active.size());
-    for (const Active &a : state.active) {
-        writer.f64(a.ends_at_h);
-        writer.u64(static_cast<std::uint64_t>(a.start_day));
-        writeTenancy(writer, a.record);
-    }
-    writer.endChunk();
-
-    const util::Expected<void> committed = writer.commitRotating(path);
-    if (!committed.ok()) {
-        std::fprintf(stderr,
-                     "fleet_campaign: checkpoint write failed (%s); "
-                     "continuing without it\n",
-                     committed.error().c_str());
-    }
-}
-
-/**
- * Restore one checkpoint generation into a freshly built platform.
- * Every corruption path comes back as a recoverable error so the
- * caller can fall through to the previous generation.
- */
-util::Expected<CampaignState>
-restoreCampaignFrom(const std::string &path,
-                    const cloud::PlatformConfig &config, int days,
-                    bool journal_stress)
-{
-    util::Expected<util::SnapshotReader> opened =
-        util::SnapshotReader::open(path);
-    if (!opened.ok()) {
-        return util::unexpected(opened.error());
-    }
-    util::SnapshotReader &reader = opened.value();
-
-    if (!reader.enterChunk(kCfgTag)) {
-        return util::unexpected(reader.error());
-    }
-    const std::uint64_t fleet = reader.u64();
-    const std::uint64_t saved_days = reader.u64();
-    const std::uint64_t seed = reader.u64();
-    const bool saved_stress = reader.u8() != 0;
-    if (!reader.leaveChunk()) {
-        return util::unexpected(reader.error());
-    }
-    if (fleet != config.fleet_size || seed != config.seed ||
-        saved_days != static_cast<std::uint64_t>(days) ||
-        saved_stress != journal_stress) {
-        return util::unexpected(
-            "checkpoint was written by a different campaign "
-            "(--fleet/--years/--seed/--journal-stress skew)");
-    }
-
-    CampaignState state;
-    state.platform = std::make_unique<cloud::CloudPlatform>(config);
-    std::vector<std::string> boards_with_design;
-    const util::Expected<void> restored =
-        state.platform->restoreState(reader, &boards_with_design);
-    if (!restored.ok()) {
-        return util::unexpected(restored.error());
-    }
-
-    if (!reader.enterChunk(kCmpTag)) {
-        return util::unexpected(reader.error());
-    }
-    const std::uint64_t next_day = reader.u64();
-    util::Rng::State rng;
-    for (std::uint64_t &word : rng.words) {
-        word = reader.u64();
-    }
-    rng.cached = reader.f64();
-    rng.have_cached = reader.u8() != 0;
-    const std::uint64_t finished_count = reader.u64();
-    for (std::uint64_t i = 0; i < finished_count && reader.ok(); ++i) {
-        Tenancy tenancy;
-        if (readTenancy(reader, &tenancy)) {
-            state.finished.push_back(std::move(tenancy));
-        }
-    }
-    const std::uint64_t active_count = reader.u64();
-    for (std::uint64_t i = 0; i < active_count && reader.ok(); ++i) {
-        Active a;
-        a.ends_at_h = reader.f64();
-        a.start_day = static_cast<int>(reader.u64());
-        if (readTenancy(reader, &a.record)) {
-            a.board = a.record.board;
-            state.active.push_back(std::move(a));
-        }
-    }
-    if (!reader.leaveChunk() || !reader.expectEnd()) {
-        return util::unexpected(reader.error());
-    }
-    if (next_day < 1 || next_day > static_cast<std::uint64_t>(days)) {
-        return util::unexpected("checkpoint: day cursor out of range");
-    }
-    state.next_day = static_cast<int>(next_day);
-    state.rng.setState(rng);
-
-    // Designs are code, not board state: rebuild each active tenant's
-    // design (with the rotation parity it carried at save time, under
-    // --journal-stress) and re-load it. The restored board's activity
-    // state already matches, so the load is flip- and draw-neutral.
-    if (boards_with_design.size() != state.active.size()) {
-        return util::unexpected(
-            "checkpoint: design residency does not match the ledger");
-    }
-    for (Active &a : state.active) {
-        bool listed = false;
-        for (const std::string &board : boards_with_design) {
-            if (board == a.board) {
-                listed = true;
-                break;
-            }
-        }
-        if (!listed) {
-            return util::unexpected("checkpoint: active board '" +
-                                    a.board +
-                                    "' has no resident design");
-        }
-        std::shared_ptr<fabric::TargetDesign> target =
-            makeTenantDesign(a.record, a.start_day);
-        a.target = target;
-        if (journal_stress) {
-            applyRotation(a, state.next_day - 1);
-        }
-        if (!state.platform->loadDesign(a.board, target).empty()) {
-            return util::unexpected(
-                "checkpoint: reconstructed tenant design failed DRC");
-        }
-        if (!journal_stress) {
-            a.target = nullptr;
-        }
-    }
-    return state;
-}
-
-// --------------------------------------------------------- TM2 scan
-
-/**
- * TM2 park-and-watch on one re-acquired board: calibrate at takeover,
- * park the victim's routes at 0, record 25 hourly sweeps, classify
- * the recovery slopes.
- */
-BoardScore
-attackBoard(cloud::CloudPlatform &platform, const std::string &board_id,
-            const Tenancy &tenancy, util::ThreadPool *pool)
-{
-    cloud::FpgaInstance &inst = platform.instance(board_id);
-    fabric::Device &device = inst.device();
-    device.setWorkPool(pool);
-
-    // Fast sampling: the campaign is measurement-bound, and its
-    // accuracy statistics are seed-sweep-equivalent between the exact
-    // and fast sampling paths (see tdc_test's FastSampling battery).
-    // Deliberate sample-path re-roll, PR-4 style: the committed golden
-    // CSV is recorded from this configuration.
-    tdc::TdcConfig sensor_config;
-    sensor_config.fast_sampling = true;
-    auto measure = std::make_shared<tdc::MeasureDesign>(
-        device, tenancy.specs, sensor_config);
-    if (!platform.loadDesign(board_id, measure).empty()) {
-        util::fatal("fleet_campaign: measure design failed DRC");
-    }
-    measure->calibrateAll(inst.dieTempK(), inst.rng(), pool);
-
-    auto park = std::make_shared<fabric::Design>("park0_" + board_id);
-    for (const fabric::RouteSpec &spec : tenancy.specs) {
-        park->setRouteValue(spec, false);
-    }
-    park->setPowerW(2.0);
-
-    std::vector<core::RouteRecord> records(tenancy.specs.size());
-    std::vector<core::DeltaSeries> series(tenancy.specs.size());
-    double observed = 0.0;
-    const auto sweepNow = [&](double hour) {
-        if (!platform.loadDesign(board_id, measure).empty()) {
-            util::fatal("fleet_campaign: measure design failed DRC");
-        }
-        platform.advanceHours(core::kMeasureSettleHours);
-        const tdc::MeasurementSweep sweep =
-            measure->measureAll(inst.dieTempK(), inst.rng(), pool);
-        for (std::size_t i = 0; i < series.size(); ++i) {
-            series[i].addPoint(hour, sweep.per_route[i].deltaPs());
-        }
-    };
-    sweepNow(0.0);
-    while (observed < kRecoveryHours - 1e-9) {
-        if (!platform.loadDesign(board_id, park).empty()) {
-            util::fatal("fleet_campaign: park design failed DRC");
-        }
-        platform.advanceHours(1.0 - core::kMeasureSettleHours);
-        observed += 1.0;
-        sweepNow(observed);
-    }
-
-    core::ExperimentResult result;
-    for (std::size_t i = 0; i < tenancy.specs.size(); ++i) {
-        records[i].name = tenancy.specs[i].name;
-        records[i].target_ps = tenancy.specs[i].target_ps;
-        records[i].burn_value = tenancy.bits[i];
-        records[i].series = series[i].centeredAtFirst();
-        result.routes.push_back(records[i]);
-    }
-    const core::ClassificationReport report =
-        core::ThreatModel2Classifier().classify(result);
-
-    platform.release(board_id);
-    device.setWorkPool(nullptr);
-    BoardScore score;
-    score.board = board_id;
-    score.bits = report.bits.size();
-    score.correct = report.correct;
-    score.accuracy = report.accuracy;
-    return score;
+    std::printf("\n  wall clock            %.2f s (%.0f simulated "
+                "board-hours per ms)\n",
+                wall_s,
+                result.simulated_h * static_cast<double>(fleet) /
+                    (1000.0 * wall_s));
+    bench::dumpGridCsv(argc, argv,
+                       {"board", "bits", "correct", "accuracy"}, rows);
 }
 
 } // namespace
@@ -545,6 +265,7 @@ main(int argc, char **argv)
     long checkpoint_every = 0;
     long halt_at_day = 0;
     long day_sleep_ms = 0;
+    long shards = 0;
     std::string checkpoint_path;
     try {
         kFleet = static_cast<std::size_t>(
@@ -560,6 +281,7 @@ main(int argc, char **argv)
             bench::parseLongFlag(argc, argv, "--halt-at-day", 0);
         day_sleep_ms =
             bench::parseLongFlag(argc, argv, "--day-sleep-ms", 0, 0);
+        shards = bench::parseLongFlag(argc, argv, "--shards", 0, 0);
         checkpoint_path = parseStringFlag(
             argc, argv, "--checkpoint-path", kDefaultCheckpointPath);
     } catch (const util::FatalError &error) {
@@ -577,268 +299,154 @@ main(int argc, char **argv)
     const bool journal_stress =
         bench::hasFlag(argc, argv, "--journal-stress");
     const bool resume = bench::hasFlag(argc, argv, "--resume");
+    if (shards > 0 && (journal_stress || resume || halt_at_day > 0)) {
+        std::fprintf(stderr,
+                     "fleet_campaign: --shards cannot be combined "
+                     "with --journal-stress/--resume/--halt-at-day "
+                     "(workers checkpoint and resume on their own)\n");
+        printUsage(stderr);
+        return 2;
+    }
+    const char *fault_schedule =
+        parseStringFlag(argc, argv, "--fault-schedule", "");
+    if (fault_schedule[0] != '\0') {
+        // Through the environment so spawned shard workers inherit
+        // the same schedule (each point draws from its own stream, so
+        // sharing the spec is safe).
+        ::setenv("PENTIMENTO_FAULTS", fault_schedule, 1);
+    }
+    const util::Expected<void> armed = util::fault::armFromEnv();
+    if (!armed.ok()) {
+        std::fprintf(stderr, "fleet_campaign: %s\n",
+                     armed.error().c_str());
+        return 1;
+    }
+
     std::printf("=== Fleet campaign: %zu boards, %d simulated days, "
                 "TM2 scan of <= %zu boards ===\n\n",
                 kFleet, kDays, kMaxMeasured);
     const auto wall_start = std::chrono::steady_clock::now();
 
-    cloud::PlatformConfig config;
-    config.fleet_size = kFleet;
-    config.region = "fleet-sim";
-    config.policy = cloud::AllocationPolicy::MostRecentlyReleased;
-    config.seed = seed;
-
-    CampaignState state;
-    if (resume) {
-        // Two-generation retry: deeper corruption than a bad header
-        // is only discovered while restoring, so each generation gets
-        // a fresh platform and a full restore attempt.
-        util::Expected<CampaignState> attempt = restoreCampaignFrom(
-            checkpoint_path, config, kDays, journal_stress);
-        bool used_fallback = false;
-        if (!attempt.ok()) {
-            const std::string primary_error = attempt.error();
-            attempt =
-                restoreCampaignFrom(checkpoint_path + ".prev", config,
-                                    kDays, journal_stress);
-            used_fallback = attempt.ok();
-            if (!attempt.ok()) {
-                std::fprintf(
-                    stderr,
-                    "fleet_campaign: cannot resume: %s (previous "
-                    "generation also failed: %s)\n",
-                    primary_error.c_str(), attempt.error().c_str());
-                return 1;
-            }
+    // ---- sharded: supervisor over campaign_server workers ---------
+    if (shards > 0) {
+        std::string worker_binary =
+            parseStringFlag(argc, argv, "--worker-binary", "");
+        if (worker_binary.empty()) {
+            const std::string self = argv[0];
+            const std::size_t slash = self.rfind('/');
+            worker_binary =
+                slash == std::string::npos
+                    ? std::string("./campaign_server")
+                    : self.substr(0, slash + 1) + "campaign_server";
         }
-        state = std::move(attempt.value());
-        std::printf("  resumed from %s%s at day %d (%zu finished, "
-                    "%zu active tenancies)\n\n",
-                    checkpoint_path.c_str(),
-                    used_fallback ? ".prev" : "", state.next_day,
-                    state.finished.size(), state.active.size());
-    } else {
-        state.platform = std::make_unique<cloud::CloudPlatform>(config);
-    }
-    cloud::CloudPlatform &platform = *state.platform;
+        serve::ShardSupervisorConfig supervisor;
+        supervisor.worker_binary = std::move(worker_binary);
+        supervisor.checkpoint_dir = checkpoint_path + ".shards";
+        supervisor.shard_count = static_cast<std::uint32_t>(shards);
+        supervisor.backoff_seed = seed;
+        supervisor.request.kind = serve::RequestKind::FleetScan;
+        supervisor.request.seed = seed;
+        supervisor.request.deadline_ms = 300000;
+        supervisor.request.flags = serve::kFlagGoldenCampaign;
+        supervisor.request.fleet = static_cast<std::uint32_t>(kFleet);
+        supervisor.request.days = static_cast<std::uint32_t>(kDays);
+        supervisor.request.scan_routes_per_tenant =
+            static_cast<std::uint32_t>(kRoutesPerTenant);
+        supervisor.request.max_measured =
+            static_cast<std::uint32_t>(kMaxMeasured);
+        supervisor.request.checkpoint_every_days =
+            static_cast<std::uint32_t>(checkpoint_every);
+        supervisor.request.throttle_ms_per_day =
+            static_cast<std::uint32_t>(day_sleep_ms);
 
-    // A year of interleaved tenancies in daily ticks: aim for about a
-    // third of the region rented at any time, each tenancy burning a
-    // random word on its own freshly allocated routes for 2-14 days.
+        const util::Expected<serve::ShardedScanResult> run =
+            serve::runShardedFleetScan(supervisor);
+        if (!run.ok()) {
+            std::fprintf(stderr, "fleet_campaign: %s\n",
+                         run.error().c_str());
+            return 1;
+        }
+        std::uint32_t attempts = 0;
+        std::uint32_t spawned = 0;
+        for (const serve::ShardOutcome &shard : run.value().shards) {
+            attempts += shard.attempts;
+            spawned += shard.workers_spawned;
+        }
+        std::printf("  shards                %zu workers (%u attempts, "
+                    "%u processes spawned)\n",
+                    run.value().shards.size(), attempts, spawned);
+        const double wall_s =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        printSummary(run.value().merged, kFleet, false, wall_s, argc,
+                     argv);
+        return 0;
+    }
+
+    // ---- in-process: the engine in golden-compat mode -------------
+    serve::FleetScanConfig config;
+    config.fleet = kFleet;
+    config.days = kDays;
+    config.seed = seed;
+    config.routes_per_tenant = kRoutesPerTenant;
+    config.max_measured = kMaxMeasured;
+    config.checkpoint_every_days = static_cast<int>(checkpoint_every);
+    config.checkpoint_path = checkpoint_path;
+    config.throttle_ms_per_day =
+        static_cast<std::uint32_t>(day_sleep_ms);
+    // --resume is a promise, not a hint: if both generations are bad,
+    // fail rather than silently redo the year.
+    config.resume = resume ? serve::ResumeMode::Require
+                           : serve::ResumeMode::Never;
+    // This bench's historical draw sequence (fixed driver stream,
+    // "tenant_" naming) is locked by the committed golden CSV.
+    config.golden_compat = true;
+    config.journal_stress = journal_stress;
+    config.halt_at_day = static_cast<int>(halt_at_day);
+    const auto pool = bench::makePool(argc, argv);
+    config.pool = pool.get();
+    SignalObserver observer(kDays);
+    config.observer = &observer;
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
-    for (int day = state.next_day; day < kDays; ++day) {
-        if (day_sleep_ms > 0) {
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(day_sleep_ms));
-        }
-        const double now = platform.nowHours();
-        for (std::size_t i = state.active.size(); i-- > 0;) {
-            if (state.active[i].ends_at_h <= now) {
-                state.active[i].record.released_at_h = now;
-                platform.release(state.active[i].board);
-                state.finished.push_back(
-                    std::move(state.active[i].record));
-                state.active.erase(state.active.begin() +
-                                   static_cast<std::ptrdiff_t>(i));
-            }
-        }
-        while (state.active.size() < kFleet / 3 &&
-               state.rng.bernoulli(0.35)) {
-            const auto board = platform.rent();
-            if (!board) {
-                break;
-            }
-            fabric::Device &device =
-                platform.instance(*board).device();
-            Tenancy tenancy;
-            tenancy.board = *board;
-            for (std::size_t r = 0; r < kRoutesPerTenant; ++r) {
-                tenancy.specs.push_back(device.allocateRoute(
-                    *board + "_d" + std::to_string(day) + "_r" +
-                        std::to_string(r),
-                    kRouteTargetPs));
-                tenancy.bits.push_back(state.rng.bernoulli(0.5));
-            }
-            auto target = makeTenantDesign(tenancy, day);
-            if (!platform.loadDesign(*board, target).empty()) {
-                util::fatal(
-                    "fleet_campaign: tenant design failed DRC");
-            }
-            const double duration_h =
-                24.0 *
-                static_cast<double>(state.rng.uniformInt(2, 14));
-            state.active.push_back(
-                Active{*board, now + duration_h, day,
-                       std::move(tenancy),
-                       journal_stress ? target : nullptr});
-        }
-        if (journal_stress) {
-            // Daily inversion-mitigation-style rotation on every
-            // active tenancy: in-place mutations the devices fold in
-            // as journal flips at the next advance.
-            for (const Active &a : state.active) {
-                applyRotation(a, day);
-            }
-        }
-        platform.advanceHours(24.0);
 
-        const int completed = day + 1;
-        state.next_day = completed;
-        const bool halting = halt_at_day > 0 &&
-                             completed >= static_cast<int>(halt_at_day);
-        const bool periodic = checkpoint_every > 0 &&
-                              completed % checkpoint_every == 0;
-        if ((periodic || halting) && completed < kDays) {
-            saveCheckpoint(state, kFleet, kDays, seed, journal_stress,
-                           checkpoint_path);
-            if (halting) {
-                std::printf("  halted after day %d; checkpoint "
-                            "written to %s (resume with --resume)\n",
-                            completed, checkpoint_path.c_str());
-                return 0;
-            }
+    serve::FleetScanResult result;
+    try {
+        util::Expected<serve::FleetScanResult> run =
+            serve::runFleetScan(config);
+        if (!run.ok()) {
+            std::fprintf(stderr, "fleet_campaign: %s\n",
+                         run.error().c_str());
+            return 1;
         }
-        // SIGINT/SIGTERM: flush a final checkpoint at this day
-        // boundary (even without --checkpoint-every) and exit
-        // 128+sig. The operator can always `--resume`.
-        const int sig = g_signal.load(std::memory_order_relaxed);
-        if (sig != 0 && completed < kDays) {
-            saveCheckpoint(state, kFleet, kDays, seed, journal_stress,
-                           checkpoint_path);
-            std::fprintf(stderr,
-                         "fleet_campaign: signal %d after day %d; "
-                         "checkpoint written to %s (resume with "
-                         "--resume)\n",
-                         sig, completed, checkpoint_path.c_str());
-            return 128 + sig;
-        }
+        result = std::move(run.value());
+    } catch (const util::CancelledError &) {
+        std::fprintf(stderr,
+                     "fleet_campaign: signal %d after day %d; "
+                     "checkpoint written to %s (resume with "
+                     "--resume)\n",
+                     observer.signalNumber(), observer.lastDay(),
+                     checkpoint_path.c_str());
+        return 128 + observer.signalNumber();
     }
-    // Wind down: everyone still computing releases now.
-    for (Active &a : state.active) {
-        a.record.released_at_h = platform.nowHours();
-        platform.release(a.board);
-        state.finished.push_back(std::move(a.record));
+    if (!result.resumed_from.empty()) {
+        std::printf("  resumed from %s at day %d (%zu finished, "
+                    "%zu active tenancies)\n\n",
+                    result.resumed_from.c_str(), result.resumed_day,
+                    static_cast<std::size_t>(result.resumed_finished),
+                    static_cast<std::size_t>(result.resumed_active));
     }
-    state.active.clear();
-    std::vector<Tenancy> &finished = state.finished;
-    const double simulated_h = platform.nowHours();
-
-    // ---- TM2 persistence scan -------------------------------------
-    // Flash-acquire recently released boards (LIFO policy) and attack
-    // the most recent tenancy on each.
-    const auto pool = bench::makePool(argc, argv);
-    std::vector<std::pair<std::string, const Tenancy *>> targets;
-    std::vector<std::string> skipped;
-    while (targets.size() < kMaxMeasured) {
-        // Acquire first, attack later: releasing mid-scan would hand
-        // the LIFO scheduler the same board straight back.
-        const auto board = platform.rent();
-        if (!board) {
-            break;
-        }
-        const Tenancy *last = nullptr;
-        for (const Tenancy &t : finished) {
-            if (t.board == *board &&
-                (last == nullptr ||
-                 t.released_at_h > last->released_at_h)) {
-                last = &t;
-            }
-        }
-        if (last == nullptr) {
-            skipped.push_back(*board); // virgin stock: nothing to scan
-            continue;
-        }
-        targets.emplace_back(*board, last);
+    if (result.halted_after_day > 0) {
+        std::printf("  halted after day %d; checkpoint written to %s "
+                    "(resume with --resume)\n",
+                    result.halted_after_day, checkpoint_path.c_str());
+        return 0;
     }
-    std::vector<BoardScore> scores;
-    scores.reserve(targets.size());
-    for (const auto &[board, tenancy] : targets) {
-        scores.push_back(
-            attackBoard(platform, board, *tenancy, pool.get()));
-    }
-    for (const std::string &board : skipped) {
-        platform.release(board);
-    }
-
-    // ---- journal coverage check (--journal-stress) ----------------
-    // Force-materialise every board's deferred population and verify
-    // it converges exactly to the imprinted listing: a year of
-    // journaled tenancies (with daily mitigation flips) must replay
-    // without losing or inventing a single element.
-    std::size_t stress_boards = 0;
-    std::size_t stress_elements = 0;
-    if (journal_stress) {
-        for (const std::string &id : platform.allInstanceIds()) {
-            fabric::Device &device = platform.instance(id).device();
-            const std::size_t deferred = device.journaledKeyCount();
-            if (deferred == 0) {
-                continue;
-            }
-            const std::vector<fabric::ResourceId> imprinted =
-                device.imprintedIds();
-            for (const fabric::ResourceId &rid : imprinted) {
-                (void)device.element(rid); // materialise + replay
-            }
-            const std::vector<fabric::ResourceId> materialized =
-                device.materializedIds();
-            bool converged =
-                device.journaledKeyCount() == 0 &&
-                materialized.size() == imprinted.size();
-            for (std::size_t i = 0; converged && i < imprinted.size();
-                 ++i) {
-                converged = materialized[i].key() == imprinted[i].key();
-            }
-            if (!converged) {
-                util::fatal("fleet_campaign: journal coverage check "
-                            "failed on " + id);
-            }
-            ++stress_boards;
-            stress_elements += deferred;
-        }
-    }
-
-    const auto wall_end = std::chrono::steady_clock::now();
     const double wall_s =
-        std::chrono::duration<double>(wall_end - wall_start).count();
-
-    std::printf("  fleet                 %zu boards\n", kFleet);
-    std::printf("  simulated             %.0f h (%.1f board-years)\n",
-                simulated_h,
-                simulated_h * static_cast<double>(kFleet) / 8760.0);
-    std::printf("  tenancies             %zu\n", finished.size());
-    std::printf("  boards measured       %zu (+%zu virgin skipped)\n\n",
-                scores.size(), skipped.size());
-
-    std::printf("  %-12s %8s %10s\n", "board", "bits", "recovered");
-    std::size_t bits = 0;
-    std::size_t correct = 0;
-    std::vector<std::vector<std::string>> rows;
-    for (const BoardScore &s : scores) {
-        std::printf("  %-12s %8zu %9.1f%%\n", s.board.c_str(), s.bits,
-                    100.0 * s.accuracy);
-        bits += s.bits;
-        correct += s.correct;
-        rows.push_back({s.board, std::to_string(s.bits),
-                        std::to_string(s.correct),
-                        std::to_string(s.accuracy)});
-    }
-    if (bits > 0) {
-        std::printf("  %-12s %8zu %9.1f%%\n", "overall", bits,
-                    100.0 * static_cast<double>(correct) /
-                        static_cast<double>(bits));
-    }
-    if (journal_stress) {
-        std::printf("\n  journal stress        %zu deferred elements "
-                    "replayed across %zu boards, coverage exact\n",
-                    stress_elements, stress_boards);
-    }
-    std::printf("\n  wall clock            %.2f s (%.0f simulated "
-                "board-hours per ms)\n",
-                wall_s,
-                simulated_h * static_cast<double>(kFleet) /
-                    (1000.0 * wall_s));
-    bench::dumpGridCsv(argc, argv,
-                       {"board", "bits", "correct", "accuracy"}, rows);
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    printSummary(result, kFleet, journal_stress, wall_s, argc, argv);
     return 0;
 }

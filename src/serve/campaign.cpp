@@ -1,5 +1,6 @@
 #include "serve/campaign.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -43,6 +44,8 @@ struct Active
     /** Day the tenant design was created — its identity, for resume. */
     int start_day = 0;
     Tenancy record;
+    /** Kept only under journal_stress, for daily burn rotations. */
+    std::shared_ptr<fabric::TargetDesign> target;
 };
 
 /** Everything the day loop owns; what a checkpoint must capture. */
@@ -57,14 +60,26 @@ struct CampaignState
 
 /** Rebuild a tenant design exactly as the rent-time site makes it. */
 std::shared_ptr<fabric::TargetDesign>
-makeTenantDesign(const Tenancy &tenancy, int start_day)
+makeTenantDesign(const Tenancy &tenancy, int start_day, bool golden)
 {
     fabric::ArithmeticHeavyConfig arith;
     arith.dsp_count = 128;
+    // The design name feeds draw splitting downstream: golden-compat
+    // keeps bench/fleet_campaign's historical "tenant_" prefix so the
+    // committed golden CSV stays byte-exact.
     return std::make_shared<fabric::TargetDesign>(
-        "srv_tenant_" + tenancy.board + "_d" +
+        (golden ? "tenant_" : "srv_tenant_") + tenancy.board + "_d" +
             std::to_string(start_day),
         tenancy.specs, tenancy.bits, arith);
+}
+
+/** The journal-stress rotation a tenancy carries on day `day`. */
+void
+applyRotation(const Active &a, int day)
+{
+    for (std::size_t i = 0; i < a.record.bits.size(); ++i) {
+        a.target->setBurnValue(i, (day % 2 == 0) == a.record.bits[i]);
+    }
 }
 
 void
@@ -129,6 +144,10 @@ saveCheckpoint(const CampaignState &state,
     writer.u64(config.seed);
     writer.u64(config.routes_per_tenant);
     writer.u64(config.max_measured);
+    writer.u8(config.golden_compat ? 1 : 0);
+    writer.u8(config.journal_stress ? 1 : 0);
+    writer.u32(config.shard_index);
+    writer.u32(config.shard_count);
     writer.endChunk();
 
     state.platform->saveState(writer);
@@ -186,13 +205,21 @@ restoreCampaignFrom(const std::string &path,
     const std::uint64_t seed = reader.u64();
     const std::uint64_t routes = reader.u64();
     const std::uint64_t measured = reader.u64();
+    const bool saved_golden = reader.u8() != 0;
+    const bool saved_stress = reader.u8() != 0;
+    const std::uint32_t saved_shard_index = reader.u32();
+    const std::uint32_t saved_shard_count = reader.u32();
     if (!reader.leaveChunk()) {
         return util::unexpected(reader.error());
     }
     if (fleet != config.fleet || seed != config.seed ||
         saved_days != static_cast<std::uint64_t>(config.days) ||
         routes != config.routes_per_tenant ||
-        measured != config.max_measured) {
+        measured != config.max_measured ||
+        saved_golden != config.golden_compat ||
+        saved_stress != config.journal_stress ||
+        saved_shard_index != config.shard_index ||
+        saved_shard_count != config.shard_count) {
         return util::unexpected(
             "checkpoint was written by a different campaign "
             "(config skew)");
@@ -246,8 +273,9 @@ restoreCampaignFrom(const std::string &path,
     state.rng.setState(rng);
 
     // Designs are code, not board state: rebuild each active tenant's
-    // design and re-load it. The restored board's activity state
-    // already matches, so the load is flip- and draw-neutral.
+    // design (with the rotation parity it carried at save time, under
+    // journal_stress) and re-load it. The restored board's activity
+    // state already matches, so the load is flip- and draw-neutral.
     if (boards_with_design.size() != state.active.size()) {
         return util::unexpected(
             "checkpoint: design residency does not match the ledger");
@@ -265,12 +293,19 @@ restoreCampaignFrom(const std::string &path,
                                     a.board +
                                     "' has no resident design");
         }
-        if (!state.platform
-                 ->loadDesign(a.board,
-                              makeTenantDesign(a.record, a.start_day))
-                 .empty()) {
+        std::shared_ptr<fabric::TargetDesign> target =
+            makeTenantDesign(a.record, a.start_day,
+                             config.golden_compat);
+        a.target = target;
+        if (config.journal_stress) {
+            applyRotation(a, state.next_day - 1);
+        }
+        if (!state.platform->loadDesign(a.board, target).empty()) {
             return util::unexpected(
                 "checkpoint: reconstructed tenant design failed DRC");
+        }
+        if (!config.journal_stress) {
+            a.target = nullptr;
         }
     }
     return state;
@@ -279,7 +314,7 @@ restoreCampaignFrom(const std::string &path,
 /**
  * TM2 park-and-watch on one re-acquired board: calibrate at takeover,
  * park the victim's routes at 0, record 25 hourly sweeps, classify
- * the recovery slopes. (Mirrors bench/fleet_campaign's attackBoard.)
+ * the recovery slopes.
  */
 FleetScanBoardScore
 attackBoard(cloud::CloudPlatform &platform,
@@ -362,6 +397,11 @@ runFleetScan(const FleetScanConfig &config)
         config.routes_per_tenant == 0) {
         return util::unexpected("fleet scan: empty scenario");
     }
+    if (config.shard_count == 0 ? config.shard_index != 0
+                                : config.shard_index >=
+                                      config.shard_count) {
+        return util::unexpected("fleet scan: shard_index out of range");
+    }
     const bool checkpointing = !config.checkpoint_path.empty();
 
     cloud::PlatformConfig platform_config;
@@ -371,36 +411,57 @@ runFleetScan(const FleetScanConfig &config)
         cloud::AllocationPolicy::MostRecentlyReleased;
     platform_config.seed = config.seed;
 
+    FleetScanResult result;
     CampaignState state;
     bool resumed = false;
-    if (checkpointing) {
-        // Two-generation retry. A missing checkpoint is the normal
-        // fresh-run case; corruption or config skew also falls back to
-        // a fresh run — resume is an optimisation, never a correctness
-        // requirement, because the result is a pure function of the
-        // config either way.
+    if (checkpointing && config.resume != ResumeMode::Never) {
+        // Two-generation retry. Under Auto a missing checkpoint is
+        // the normal fresh-run case; corruption or config skew also
+        // falls back to a fresh run — resume is an optimisation,
+        // never a correctness requirement, because the result is a
+        // pure function of the config either way. Require makes both
+        // generations failing a hard error (the CLI --resume
+        // contract: never silently redo a year you asked to resume).
         util::Expected<CampaignState> attempt = restoreCampaignFrom(
             config.checkpoint_path, platform_config, config);
+        bool used_fallback = false;
+        std::string primary_error;
         if (!attempt.ok()) {
+            primary_error = attempt.error();
             attempt =
                 restoreCampaignFrom(config.checkpoint_path + ".prev",
                                     platform_config, config);
+            used_fallback = attempt.ok();
         }
         if (attempt.ok()) {
             state = std::move(attempt.value());
             resumed = true;
+            result.resumed_from =
+                config.checkpoint_path + (used_fallback ? ".prev" : "");
+            result.resumed_day = state.next_day;
+            result.resumed_finished = state.finished.size();
+            result.resumed_active = state.active.size();
             util::inform("fleet scan: resumed at day " +
                          std::to_string(state.next_day));
+        } else if (config.resume == ResumeMode::Require) {
+            return util::unexpected(
+                "cannot resume: " + primary_error +
+                " (previous generation also failed: " +
+                attempt.error() + ")");
         }
     }
     if (!resumed) {
         state.platform =
             std::make_unique<cloud::CloudPlatform>(platform_config);
-        // The driver's draw stream is split from the request seed so
-        // the tenancy schedule (not just the silicon) re-rolls with
-        // it.
-        util::Rng base(config.seed);
-        state.rng = base.split("serve_fleet_scan");
+        if (!config.golden_compat) {
+            // The driver's draw stream is split from the request seed
+            // so the tenancy schedule (not just the silicon) re-rolls
+            // with it. Golden-compat keeps CampaignState's fixed
+            // historical seed — bench/fleet_campaign never re-rolled
+            // its driver stream, and the committed golden locks that.
+            util::Rng base(config.seed);
+            state.rng = base.split("serve_fleet_scan");
+        }
     }
     cloud::CloudPlatform &platform = *state.platform;
 
@@ -441,33 +502,54 @@ runFleetScan(const FleetScanConfig &config)
                     kRouteTargetPs));
                 tenancy.bits.push_back(state.rng.bernoulli(0.5));
             }
-            if (!platform
-                     .loadDesign(*board, makeTenantDesign(tenancy, day))
-                     .empty()) {
+            auto target = makeTenantDesign(tenancy, day,
+                                           config.golden_compat);
+            if (!platform.loadDesign(*board, target).empty()) {
                 util::fatal("fleet scan: tenant design failed DRC");
             }
             const double duration_h =
                 24.0 *
                 static_cast<double>(state.rng.uniformInt(2, 14));
-            state.active.push_back(Active{*board, now + duration_h,
-                                          day, std::move(tenancy)});
+            state.active.push_back(
+                Active{*board, now + duration_h, day,
+                       std::move(tenancy),
+                       config.journal_stress ? target : nullptr});
+        }
+        if (config.journal_stress) {
+            // Daily inversion-mitigation-style rotation on every
+            // active tenancy: in-place mutations the devices fold in
+            // as journal flips at the next advance.
+            for (const Active &a : state.active) {
+                applyRotation(a, day);
+            }
         }
         platform.advanceHours(24.0);
 
         const int completed = day + 1;
         state.next_day = completed;
-        if (checkpointing && config.checkpoint_every_days > 0 &&
+        const bool halting =
+            config.halt_at_day > 0 && completed >= config.halt_at_day &&
+            completed < config.days;
+        const bool periodic =
+            checkpointing && config.checkpoint_every_days > 0 &&
             completed % config.checkpoint_every_days == 0 &&
-            completed < config.days) {
+            completed < config.days;
+        if (periodic || (halting && checkpointing)) {
             saveCheckpoint(state, config);
+        }
+        if (halting) {
+            result.halted_after_day = completed;
+            result.tenancies = state.finished.size();
+            result.simulated_h = platform.nowHours();
+            return result;
         }
         if (config.observer != nullptr &&
             !config.observer->onSweep(
                 static_cast<std::size_t>(completed),
                 platform.nowHours(), nullptr, 0)) {
             // A final checkpoint before unwinding makes every
-            // cancellation (deadline, disconnect, drain) resumable
-            // from exactly this day.
+            // cancellation (deadline, disconnect, drain, signal)
+            // resumable from exactly this day.
             if (checkpointing) {
                 saveCheckpoint(state, config);
             }
@@ -484,7 +566,6 @@ runFleetScan(const FleetScanConfig &config)
     }
     state.active.clear();
 
-    FleetScanResult result;
     result.tenancies = state.finished.size();
     result.simulated_h = platform.nowHours();
 
@@ -494,6 +575,11 @@ runFleetScan(const FleetScanConfig &config)
     // max_measured * 25 simulated hours, it finishes in well under a
     // deadline tick, and interrupting it mid-measurement would leave
     // the board half-scanned with no valid checkpoint boundary.
+    //
+    // Acquire first, attack later: releasing mid-scan would hand the
+    // LIFO scheduler the same board straight back. Every shard runs
+    // this acquisition loop identically — the target list and its
+    // order are a pure function of the (identical) simulation phase.
     std::vector<std::pair<std::string, const Tenancy *>> scan_targets;
     std::vector<std::string> skipped;
     while (scan_targets.size() < config.max_measured) {
@@ -515,12 +601,77 @@ runFleetScan(const FleetScanConfig &config)
         }
         scan_targets.emplace_back(*board, last);
     }
-    for (const auto &[board, tenancy] : scan_targets) {
-        result.boards.push_back(
-            attackBoard(platform, board, *tenancy, config.pool));
+    result.skipped = skipped.size();
+
+    // Shard slice of the target list. Each attack advances the global
+    // clock by exactly kRecoveryHours + kMeasureSettleHours (one
+    // settle after the takeover sweep, then 25 × [park for
+    // 1−settle, settle+sweep]); all of its draws come from the
+    // attacked board's own per-instance rng. So an out-of-shard
+    // attack is replaced by that exact time advance: every board this
+    // shard does attack sees the identical global clock and identical
+    // private draw stream as in an unsharded run (partition
+    // invariance of advanceHours makes the coarser step exact).
+    std::size_t begin = 0;
+    std::size_t end = scan_targets.size();
+    if (config.shard_count > 0) {
+        const std::size_t per =
+            (scan_targets.size() + config.shard_count - 1) /
+            config.shard_count;
+        begin = std::min(scan_targets.size(),
+                         static_cast<std::size_t>(config.shard_index) *
+                             per);
+        end = std::min(scan_targets.size(), begin + per);
+    }
+    for (std::size_t k = 0; k < end; ++k) {
+        if (k < begin) {
+            platform.advanceHours(kRecoveryHours +
+                                  core::kMeasureSettleHours);
+            continue;
+        }
+        result.boards.push_back(attackBoard(platform,
+                                            scan_targets[k].first,
+                                            *scan_targets[k].second,
+                                            config.pool));
     }
     for (const std::string &board : skipped) {
         platform.release(board);
+    }
+
+    // ---- journal coverage check (journal_stress) ------------------
+    // Force-materialise every board's deferred population and verify
+    // it converges exactly to the imprinted listing: a year of
+    // journaled tenancies (with daily mitigation flips) must replay
+    // without losing or inventing a single element.
+    if (config.journal_stress) {
+        for (const std::string &id : platform.allInstanceIds()) {
+            fabric::Device &device = platform.instance(id).device();
+            const std::size_t deferred = device.journaledKeyCount();
+            if (deferred == 0) {
+                continue;
+            }
+            const std::vector<fabric::ResourceId> imprinted =
+                device.imprintedIds();
+            for (const fabric::ResourceId &rid : imprinted) {
+                (void)device.element(rid); // materialise + replay
+            }
+            const std::vector<fabric::ResourceId> materialized =
+                device.materializedIds();
+            bool converged =
+                device.journaledKeyCount() == 0 &&
+                materialized.size() == imprinted.size();
+            for (std::size_t i = 0; converged && i < imprinted.size();
+                 ++i) {
+                converged =
+                    materialized[i].key() == imprinted[i].key();
+            }
+            if (!converged) {
+                util::fatal("fleet scan: journal coverage check "
+                            "failed on " + id);
+            }
+            ++result.stress_boards;
+            result.stress_elements += deferred;
+        }
     }
     return result;
 }

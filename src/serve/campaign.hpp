@@ -40,6 +40,17 @@
 
 namespace pentimento::serve {
 
+/** How runFleetScan treats an existing checkpoint on entry. */
+enum class ResumeMode
+{
+    /** Resume when a good matching generation exists; else fresh. */
+    Auto,
+    /** Ignore any existing checkpoint; always start fresh. */
+    Never,
+    /** Resume or fail: both generations bad is a hard error. */
+    Require,
+};
+
 /** Fleet-scan campaign configuration. */
 struct FleetScanConfig
 {
@@ -55,6 +66,28 @@ struct FleetScanConfig
     std::string checkpoint_path;
     /** Testing aid: wall-clock sleep per simulated day, ms. */
     std::uint32_t throttle_ms_per_day = 0;
+    ResumeMode resume = ResumeMode::Auto;
+    /**
+     * Reproduce bench/fleet_campaign's exact draw sequence (its fixed
+     * driver rng and "tenant_" design naming) so results line up
+     * byte-for-byte with the committed golden CSV.
+     */
+    bool golden_compat = false;
+    /** Daily burn rotations + exact deferred-coverage check. */
+    bool journal_stress = false;
+    /** Checkpoint and return after this completed day (0 = run out). */
+    int halt_at_day = 0;
+    /**
+     * Board-range shard of the TM2 scan phase. The simulation phase
+     * (cheap) runs identically everywhere; only targets
+     * [shard_index·per, (shard_index+1)·per) of the deterministic
+     * scan-target list are attacked, with every other attack replaced
+     * by the exact time advance it would have caused. Concatenating
+     * shard results in shard order is byte-identical to an unsharded
+     * run. shard_count == 0 means unsharded.
+     */
+    std::uint32_t shard_index = 0;
+    std::uint32_t shard_count = 0;
     /** Scan-phase work pool (nullptr = serial). */
     util::ThreadPool *pool = nullptr;
     /**

@@ -9,9 +9,34 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
+
+#include "util/fault.hpp"
+#include "util/rng.hpp"
 
 namespace pentimento::serve {
+
+std::uint32_t
+retryDelayMs(const ClientConfig &config, std::uint32_t attempt,
+             std::uint32_t server_hint_ms)
+{
+    const std::uint64_t backoff = std::min<std::uint64_t>(
+        config.backoff_cap_ms,
+        static_cast<std::uint64_t>(config.backoff_base_ms)
+            << std::min<std::uint32_t>(attempt, 20));
+    const std::uint64_t delay =
+        std::max<std::uint64_t>(server_hint_ms, backoff);
+    // Fresh stream per (seed, attempt): the delay depends on nothing
+    // but its arguments, so reconnects and interleavings can't shift
+    // the jitter sequence.
+    util::Rng jitter = util::Rng(config.jitter_seed)
+                           .split("client_retry_" +
+                                  std::to_string(attempt));
+    return static_cast<std::uint32_t>(
+        delay - delay / 2 + jitter.uniformInt(0, delay / 2));
+}
 
 ClientConnection::~ClientConnection()
 {
@@ -40,7 +65,9 @@ util::Expected<void>
 ClientConnection::connect(std::uint16_t port)
 {
     close();
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    // CLOEXEC: the shard supervisor forks workers while client
+    // connections are live; their fds must not leak into children.
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd_ < 0) {
         return util::unexpected(std::string("socket: ") +
                                 std::strerror(errno));
@@ -67,7 +94,26 @@ ClientConnection::sendRaw(const void *data, std::size_t len)
     if (fd_ < 0) {
         return util::unexpected("sendRaw: not connected");
     }
+    if (util::fault::shouldFail("client.send.reset")) {
+        close();
+        return util::unexpected("send: Connection reset by peer (injected)");
+    }
     const auto *bytes = static_cast<const std::uint8_t *>(data);
+    if (len > 1 && util::fault::shouldFail("client.send.short")) {
+        // Push half the frame so the server sees a truncated request,
+        // then die the way a mid-write crash would.
+        std::size_t half_sent = 0;
+        while (half_sent < len / 2) {
+            const ssize_t n = ::send(fd_, bytes + half_sent,
+                                     len / 2 - half_sent, MSG_NOSIGNAL);
+            if (n <= 0) {
+                break;
+            }
+            half_sent += static_cast<std::size_t>(n);
+        }
+        close();
+        return util::unexpected("send: short write (injected)");
+    }
     std::size_t sent = 0;
     while (sent < len) {
         const ssize_t n =
@@ -97,6 +143,15 @@ ClientConnection::readFrame(std::uint32_t timeout_ms)
 {
     if (fd_ < 0) {
         return util::unexpected("readFrame: not connected");
+    }
+    if (util::fault::shouldFail("client.recv.stall")) {
+        // A stalled peer surfaces as the same timeout the poll loop
+        // would produce — just without burning wall clock on it.
+        return util::unexpected("readFrame: timed out");
+    }
+    if (util::fault::shouldFail("client.recv.reset")) {
+        close();
+        return util::unexpected("recv: Connection reset by peer (injected)");
     }
     using Clock = std::chrono::steady_clock;
     const Clock::time_point deadline =
@@ -145,6 +200,50 @@ ClientConnection::readFrame(std::uint32_t timeout_ms)
                                     std::strerror(errno));
         }
         decoder_.feed(buf, static_cast<std::size_t>(n));
+    }
+}
+
+util::Expected<Frame>
+ClientConnection::call(const Request &request,
+                       const ClientConfig &config,
+                       std::uint32_t timeout_ms,
+                       std::uint32_t *retries)
+{
+    if (retries != nullptr) {
+        *retries = 0;
+    }
+    const std::vector<std::uint8_t> payload = encodeRequest(request);
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        const util::Expected<void> sent =
+            sendFrame(FrameType::Request, payload);
+        if (!sent.ok()) {
+            return util::unexpected(sent.error());
+        }
+        for (;;) {
+            util::Expected<Frame> frame = readFrame(timeout_ms);
+            if (!frame.ok()) {
+                return frame;
+            }
+            if (frame.value().type == FrameType::Sweep) {
+                continue;
+            }
+            if (frame.value().type == FrameType::Error &&
+                attempt < config.max_retries) {
+                const std::optional<ErrorInfo> info =
+                    decodeError(frame.value().payload);
+                if (info.has_value() &&
+                    info->code == ErrorCode::RetryAfter) {
+                    if (retries != nullptr) {
+                        *retries = attempt + 1;
+                    }
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(retryDelayMs(
+                            config, attempt, info->retry_after_ms)));
+                    break; // resubmit
+                }
+            }
+            return frame;
+        }
     }
 }
 

@@ -20,6 +20,29 @@
 
 namespace pentimento::serve {
 
+/** Auto-retry policy for shed (RETRY_AFTER) responses. */
+struct ClientConfig
+{
+    /** Retries after a shed; 0 = surface the shed to the caller. */
+    std::uint32_t max_retries = 0;
+    /** Exponential backoff base, doubled per consecutive shed. */
+    std::uint32_t backoff_base_ms = 25;
+    /** Ceiling on the backoff term. */
+    std::uint32_t backoff_cap_ms = 2000;
+    /** Seed of the deterministic retry jitter stream. */
+    std::uint64_t jitter_seed = 0;
+};
+
+/**
+ * Deterministic retry delay for shed attempt `attempt` (0-based):
+ * max(server hint, capped exponential backoff), jittered into
+ * [delay/2, delay] by a stream derived from (jitter_seed, attempt).
+ * A pure function of its arguments — tests can predict every delay.
+ */
+std::uint32_t retryDelayMs(const ClientConfig &config,
+                           std::uint32_t attempt,
+                           std::uint32_t server_hint_ms);
+
 /** One blocking client connection. Movable, closes on destruction. */
 class ClientConnection
 {
@@ -48,6 +71,20 @@ class ClientConnection
      * bytes from the server, each a distinct error message).
      */
     util::Expected<Frame> readFrame(std::uint32_t timeout_ms);
+
+    /**
+     * Send `request` and wait for its terminal frame, transparently
+     * honoring RETRY_AFTER sheds: up to config.max_retries
+     * resubmissions, each after retryDelayMs() of wall clock. Returns
+     * the first RESULT frame — or the ERROR frame (including the last
+     * shed once retries are exhausted). Not for sweep-streaming
+     * requests: SWEEP frames are skipped. `retries` (optional)
+     * reports how many sheds were absorbed.
+     */
+    util::Expected<Frame> call(const Request &request,
+                               const ClientConfig &config,
+                               std::uint32_t timeout_ms,
+                               std::uint32_t *retries = nullptr);
 
     /** Half-close the write side (mid-request disconnect tests). */
     void closeWrite();

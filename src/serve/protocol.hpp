@@ -45,6 +45,9 @@ namespace pentimento::serve {
 /** Protocol version carried inside every request payload. */
 inline constexpr std::uint32_t kProtocolVersion = 1;
 
+/** Ceiling on FleetScan shard_count (supervisor and wire cap). */
+inline constexpr std::uint32_t kMaxShards = 64;
+
 /** Frame magic: "PCS1". */
 inline constexpr std::uint32_t kFrameMagic =
     util::snapshotTag('P', 'C', 'S', '1');
@@ -83,6 +86,10 @@ enum class ErrorCode : std::uint32_t
 
 /** Request flag bits. */
 inline constexpr std::uint32_t kFlagStreamSweeps = 1u << 0;
+/** FleetScan: run in golden-compat mode — the exact draw sequence of
+ *  bench/fleet_campaign (its fixed driver seed and design naming), so
+ *  shard workers reproduce the committed golden CSV byte-for-byte. */
+inline constexpr std::uint32_t kFlagGoldenCampaign = 1u << 1;
 
 // ----------------------------------------------------------- requests
 
@@ -129,8 +136,16 @@ struct Request
     std::uint32_t checkpoint_every_days = 0;
     /** Testing aid: sleep this long per simulated day (capped). */
     std::uint32_t throttle_ms_per_day = 0;
+    /** Board-range shard of the scan: this worker's index. */
+    std::uint32_t shard_index = 0;
+    /** Total shards (0 = unsharded, run the whole scan). */
+    std::uint32_t shard_count = 0;
 
     bool streamSweeps() const { return (flags & kFlagStreamSweeps) != 0; }
+    bool goldenCampaign() const
+    {
+        return (flags & kFlagGoldenCampaign) != 0;
+    }
 };
 
 /** Decode failure: a typed code plus a deterministic message. */
@@ -169,7 +184,22 @@ struct FleetScanResult
 {
     std::uint64_t tenancies = 0;
     double simulated_h = 0.0;
+    /** Scan targets skipped as never-rented virgins. */
+    std::uint64_t skipped = 0;
     std::vector<FleetScanBoardScore> boards;
+
+    // Local-run bookkeeping; NOT part of the wire encoding.
+    /** Checkpoint path the run resumed from ("" = fresh run). */
+    std::string resumed_from;
+    /** Day the resumed checkpoint was taken at. */
+    int resumed_day = 0;
+    std::uint64_t resumed_finished = 0;
+    std::uint64_t resumed_active = 0;
+    /** Day the run halted at (halt_at_day; 0 = ran to completion). */
+    int halted_after_day = 0;
+    /** Journal-stress counters (0/0 unless stress mode). */
+    std::uint64_t stress_boards = 0;
+    std::uint64_t stress_elements = 0;
 };
 
 /** RESULT payload for Ping. */
@@ -187,6 +217,14 @@ std::vector<std::uint8_t> encodeChurnResult(
 /** RESULT payload for FleetScan. */
 std::vector<std::uint8_t> encodeFleetScanResult(
     std::uint64_t request_id, const FleetScanResult &result);
+
+/**
+ * Decode a FleetScan RESULT payload (supervisor side). Returns the
+ * echoed request id via *request_id; nullopt-style error string on
+ * malformed bytes.
+ */
+util::Expected<FleetScanResult> decodeFleetScanResult(
+    const std::vector<std::uint8_t> &payload, std::uint64_t *request_id);
 
 /** SWEEP payload: raw (uncentered) per-route ∆ps of one sweep. */
 std::vector<std::uint8_t> encodeSweep(std::uint64_t request_id,

@@ -10,11 +10,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <utility>
 
 #include "core/experiment.hpp"
 #include "core/presets.hpp"
 #include "serve/campaign.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 
 namespace pentimento::serve {
@@ -351,12 +353,31 @@ CampaignServer::handleFrame(const std::shared_ptr<Conn> &conn,
     }
     const std::uint64_t request_id = request.request_id;
     bool admitted = false;
+    std::uint32_t hint_ms = 0;
     {
         std::lock_guard<std::mutex> lock(queue_mutex_);
         if (queue_.size() < config_.queue_capacity) {
             queue_.push_back(
                 Job{conn, std::move(request), Clock::now()});
+            shed_streak_ = 0;
             admitted = true;
+        } else {
+            // Load-aware hint: the base scaled by the backlog (queue
+            // plus in-flight, relative to capacity) and grown by the
+            // consecutive-shed streak, so sustained overload pushes
+            // clients progressively further out instead of inviting
+            // them all back at a fixed cadence.
+            const std::size_t backlog = queue_.size() + in_flight_;
+            const std::uint64_t scaled =
+                static_cast<std::uint64_t>(config_.retry_after_ms) *
+                (backlog + shed_streak_) /
+                std::max<std::size_t>(std::size_t{1},
+                                      config_.queue_capacity);
+            hint_ms = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                config_.retry_after_cap_ms,
+                std::max<std::uint64_t>(config_.retry_after_ms,
+                                        scaled)));
+            ++shed_streak_;
         }
     }
     if (admitted) {
@@ -364,8 +385,8 @@ CampaignServer::handleFrame(const std::shared_ptr<Conn> &conn,
     } else {
         // Bounded admission: shed with an explicit hint instead of
         // queueing unboundedly.
-        sendError(*conn, request_id, ErrorCode::RetryAfter,
-                  config_.retry_after_ms, "admission queue is full");
+        sendError(*conn, request_id, ErrorCode::RetryAfter, hint_ms,
+                  "admission queue is full");
     }
     return true;
 }
@@ -515,6 +536,9 @@ CampaignServer::process(const Job &job)
             config.checkpoint_path =
                 campaignCheckpointPath(request.request_id);
             config.throttle_ms_per_day = request.throttle_ms_per_day;
+            config.golden_compat = request.goldenCampaign();
+            config.shard_index = request.shard_index;
+            config.shard_count = request.shard_count;
             config.pool = pool_.get();
             config.observer = &observer;
             const util::Expected<FleetScanResult> result =
@@ -561,6 +585,11 @@ bool
 CampaignServer::sendFrame(Conn &conn, FrameType type,
                           const std::vector<std::uint8_t> &payload)
 {
+    if (util::fault::shouldFail("server.send.reset")) {
+        conn.peer_gone.store(true, std::memory_order_relaxed);
+        ::shutdown(conn.fd, SHUT_RDWR);
+        return false;
+    }
     const std::vector<std::uint8_t> frame = encodeFrame(type, payload);
     std::lock_guard<std::mutex> lock(conn.write_mutex);
     std::size_t sent = 0;

@@ -75,8 +75,11 @@ struct CampaignServerConfig
     std::uint32_t max_payload_bytes = 1u << 20;
     /** A frame must complete within this of its first byte. */
     std::uint32_t frame_timeout_ms = 5000;
-    /** RETRY_AFTER hint handed to shed clients. */
+    /** Base RETRY_AFTER hint handed to shed clients; the live hint
+     *  scales with backlog and consecutive-shed streak. */
     std::uint32_t retry_after_ms = 250;
+    /** Ceiling on the load-scaled RETRY_AFTER hint. */
+    std::uint32_t retry_after_cap_ms = 10000;
     /** Campaign checkpoint directory ("" disables checkpointing). */
     std::string checkpoint_dir;
 };
@@ -159,6 +162,8 @@ class CampaignServer
     std::condition_variable idle_cv_;
     std::deque<Job> queue_;
     std::size_t in_flight_ = 0;
+    /** Consecutive sheds since the last admit (under queue_mutex_). */
+    std::size_t shed_streak_ = 0;
 };
 
 } // namespace pentimento::serve

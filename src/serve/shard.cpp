@@ -1,0 +1,526 @@
+#include "serve/shard.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "serve/client.hpp"
+#include "serve/wire.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace pentimento::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Heartbeat request ids live far above the 1-based shard ids. */
+constexpr std::uint64_t kPingIdBase = 0x70696e6700000000ULL; // "ping"
+
+std::uint32_t
+elapsedMs(Clock::time_point since)
+{
+    return static_cast<std::uint32_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now() - since)
+            .count());
+}
+
+/** One spawned campaign_server --worker process. */
+struct Worker
+{
+    pid_t pid = -1;
+    /** Write end of the worker's stdin: closing it (or our death —
+     *  it's the only copy) makes the worker exit, so no campaign can
+     *  leave orphan daemons behind. */
+    int stdin_fd = -1;
+    /** Read end of the worker's stdout: the port line. */
+    int stdout_fd = -1;
+    std::uint16_t port = 0;
+};
+
+void
+closeFd(int *fd)
+{
+    if (*fd >= 0) {
+        ::close(*fd);
+        *fd = -1;
+    }
+}
+
+/** waitpid(WNOHANG) based liveness. Reaps on death. */
+bool
+workerAlive(Worker &worker)
+{
+    if (worker.pid < 0) {
+        return false;
+    }
+    int status = 0;
+    const pid_t reaped = ::waitpid(worker.pid, &status, WNOHANG);
+    if (reaped == worker.pid) {
+        worker.pid = -1;
+        return false;
+    }
+    return true;
+}
+
+/** SIGKILL + reap + close pipes. Idempotent. */
+void
+destroyWorker(Worker &worker)
+{
+    if (worker.pid >= 0) {
+        ::kill(worker.pid, SIGKILL);
+        int status = 0;
+        while (::waitpid(worker.pid, &status, 0) < 0 &&
+               errno == EINTR) {
+        }
+        worker.pid = -1;
+    }
+    closeFd(&worker.stdin_fd);
+    closeFd(&worker.stdout_fd);
+    worker.port = 0;
+}
+
+/**
+ * Graceful shutdown: close stdin (the worker's --worker watcher exits
+ * on EOF) and give it a moment before escalating to SIGKILL.
+ */
+void
+retireWorker(Worker &worker)
+{
+    closeFd(&worker.stdin_fd);
+    const Clock::time_point start = Clock::now();
+    while (worker.pid >= 0 && elapsedMs(start) < 2000) {
+        if (!workerAlive(worker)) {
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    destroyWorker(worker);
+}
+
+/**
+ * Read the worker's "campaign_server listening on port N" line from
+ * its stdout pipe. Anything else first (usage errors, a crashed
+ * exec) fails the spawn.
+ */
+util::Expected<std::uint16_t>
+readPortLine(int fd, std::uint32_t timeout_ms)
+{
+    std::string line;
+    const Clock::time_point start = Clock::now();
+    for (;;) {
+        const std::size_t nl = line.find('\n');
+        if (nl != std::string::npos) {
+            unsigned port = 0;
+            if (std::sscanf(line.c_str(),
+                            "campaign_server listening on port %u",
+                            &port) == 1 &&
+                port > 0 && port <= 65535) {
+                return static_cast<std::uint16_t>(port);
+            }
+            return util::unexpected("worker: unexpected startup line '" +
+                                    line.substr(0, nl) + "'");
+        }
+        const std::uint32_t spent = elapsedMs(start);
+        if (spent >= timeout_ms) {
+            return util::unexpected("worker: no port line within " +
+                                    std::to_string(timeout_ms) + " ms");
+        }
+        pollfd pfd{fd, POLLIN, 0};
+        const int rc =
+            ::poll(&pfd, 1, static_cast<int>(timeout_ms - spent));
+        if (rc < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return util::unexpected(std::string("worker: poll: ") +
+                                    std::strerror(errno));
+        }
+        if (rc == 0) {
+            continue;
+        }
+        char buf[256];
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n == 0) {
+            return util::unexpected(
+                "worker: exited before printing its port");
+        }
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return util::unexpected(std::string("worker: read: ") +
+                                    std::strerror(errno));
+        }
+        line.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+/**
+ * Fork+exec one worker. stdin/stdout are pipes (CLOEXEC on our side:
+ * concurrent shard threads fork too, and their children must not
+ * inherit this worker's pipe ends or its EOF-on-supervisor-death
+ * contract breaks).
+ */
+util::Expected<Worker>
+spawnWorker(const ShardSupervisorConfig &config)
+{
+    std::vector<std::string> args = {config.worker_binary, "--worker",
+                                     "--port",             "0",
+                                     "--executors",        "1",
+                                     "--queue",            "8"};
+    if (!config.checkpoint_dir.empty()) {
+        args.push_back("--checkpoint-dir");
+        args.push_back(config.checkpoint_dir);
+    }
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string &arg : args) {
+        argv.push_back(arg.data());
+    }
+    argv.push_back(nullptr);
+
+    int in_pipe[2];  // supervisor writes [1] -> worker stdin [0]
+    int out_pipe[2]; // worker stdout [1] -> supervisor reads [0]
+    if (::pipe2(in_pipe, O_CLOEXEC) != 0) {
+        return util::unexpected(std::string("pipe2: ") +
+                                std::strerror(errno));
+    }
+    if (::pipe2(out_pipe, O_CLOEXEC) != 0) {
+        const std::string error = std::strerror(errno);
+        ::close(in_pipe[0]);
+        ::close(in_pipe[1]);
+        return util::unexpected("pipe2: " + error);
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        const std::string error = std::strerror(errno);
+        ::close(in_pipe[0]);
+        ::close(in_pipe[1]);
+        ::close(out_pipe[0]);
+        ::close(out_pipe[1]);
+        return util::unexpected("fork: " + error);
+    }
+    if (pid == 0) {
+        // Child: async-signal-safe only. dup2 clears CLOEXEC on the
+        // worker's copies; every other pipe end closes at exec.
+        ::dup2(in_pipe[0], 0);
+        ::dup2(out_pipe[1], 1);
+        ::execv(argv[0], argv.data());
+        ::_exit(127);
+    }
+    ::close(in_pipe[0]);
+    ::close(out_pipe[1]);
+    Worker worker;
+    worker.pid = pid;
+    worker.stdin_fd = in_pipe[1];
+    worker.stdout_fd = out_pipe[0];
+    const util::Expected<std::uint16_t> port =
+        readPortLine(worker.stdout_fd, config.spawn_timeout_ms);
+    if (!port.ok()) {
+        destroyWorker(worker);
+        return util::unexpected(port.error());
+    }
+    worker.port = port.value();
+    return worker;
+}
+
+/** Peek the request id a RESULT payload echoes. */
+std::uint64_t
+resultRequestId(const std::vector<std::uint8_t> &payload)
+{
+    WireReader reader(payload.data(), payload.size());
+    return reader.u64();
+}
+
+/**
+ * Drive one shard to a result: spawn/adopt a worker, submit, keep the
+ * connection warm with pings, absorb crashes/stalls/sheds/resets with
+ * bounded deterministic retries.
+ */
+util::Expected<ShardOutcome>
+runShard(const ShardSupervisorConfig &config, std::uint32_t shard)
+{
+    Request request = config.request;
+    request.request_id = shard + 1; // keys the checkpoint file
+    request.shard_index = shard;
+    request.shard_count = config.shard_count;
+    const std::uint64_t ping_id = kPingIdBase + shard;
+
+    ShardOutcome outcome;
+    outcome.shard_index = shard;
+    Worker worker;
+    ClientConnection conn;
+    std::string last_error = "not attempted";
+
+    for (std::uint32_t attempt = 0; attempt < config.max_attempts;
+         ++attempt) {
+        if (attempt > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(shardRetryDelayMs(
+                    config.backoff_seed, shard, attempt - 1,
+                    config.backoff_base_ms, config.backoff_cap_ms)));
+        }
+        outcome.attempts = attempt + 1;
+        if (!workerAlive(worker)) {
+            destroyWorker(worker); // close stale pipes
+            util::Expected<Worker> spawned = spawnWorker(config);
+            if (!spawned.ok()) {
+                last_error = spawned.error();
+                continue;
+            }
+            worker = std::move(spawned.value());
+            ++outcome.workers_spawned;
+            conn.close();
+        }
+        if (!conn.connected()) {
+            const util::Expected<void> connected =
+                conn.connect(worker.port);
+            if (!connected.ok()) {
+                last_error = connected.error();
+                destroyWorker(worker);
+                continue;
+            }
+        }
+        const util::Expected<void> sent = conn.sendFrame(
+            FrameType::Request, encodeRequest(request));
+        if (!sent.ok()) {
+            // Transport death. Worker alive = orphaned run: reconnect
+            // and resubmit — the server cancels the orphan at its next
+            // day boundary (flushing a checkpoint) and the
+            // resubmission resumes from it. Worker dead = respawn.
+            last_error = sent.error();
+            conn.close();
+            continue;
+        }
+        Clock::time_point last_frame = Clock::now();
+        bool retry_attempt = false;
+        while (!retry_attempt) {
+            util::Expected<Frame> frame =
+                conn.readFrame(config.heartbeat_ms);
+            if (!frame.ok()) {
+                last_error = frame.error();
+                if (!conn.connected() ||
+                    frame.error().find("timed out") ==
+                        std::string::npos) {
+                    conn.close();
+                    retry_attempt = true; // reset / EOF / corrupt
+                    break;
+                }
+                if (elapsedMs(last_frame) >= config.stall_timeout_ms) {
+                    last_error = "shard worker stalled (no frame for " +
+                                 std::to_string(
+                                     config.stall_timeout_ms) +
+                                 " ms)";
+                    conn.close();
+                    destroyWorker(worker);
+                    retry_attempt = true;
+                    break;
+                }
+                // Quiet but not yet stalled: ping. The server answers
+                // pings inline from its reader thread, so a healthy
+                // worker echoes even while its executor is busy.
+                Request ping;
+                ping.request_id = ping_id;
+                ping.kind = RequestKind::Ping;
+                const util::Expected<void> pinged = conn.sendFrame(
+                    FrameType::Request, encodeRequest(ping));
+                if (!pinged.ok()) {
+                    last_error = pinged.error();
+                    conn.close();
+                    retry_attempt = true;
+                }
+                continue;
+            }
+            last_frame = Clock::now();
+            if (frame.value().type == FrameType::Sweep) {
+                continue;
+            }
+            if (frame.value().type == FrameType::Result) {
+                const std::uint64_t id =
+                    resultRequestId(frame.value().payload);
+                if (id == ping_id) {
+                    continue; // heartbeat ack
+                }
+                if (id != request.request_id) {
+                    continue; // stale echo from an adopted worker
+                }
+                std::uint64_t echoed = 0;
+                util::Expected<FleetScanResult> decoded =
+                    decodeFleetScanResult(frame.value().payload,
+                                          &echoed);
+                if (!decoded.ok()) {
+                    return util::unexpected(
+                        "shard " + std::to_string(shard) +
+                        ": malformed result: " + decoded.error());
+                }
+                outcome.result = std::move(decoded.value());
+                retireWorker(worker);
+                return outcome;
+            }
+            if (frame.value().type == FrameType::Error) {
+                const std::optional<ErrorInfo> info =
+                    decodeError(frame.value().payload);
+                if (!info.has_value()) {
+                    last_error = "undecodable error frame";
+                    conn.close();
+                    destroyWorker(worker);
+                    retry_attempt = true;
+                    break;
+                }
+                if (info->request_id == ping_id) {
+                    continue;
+                }
+                last_error = info->message;
+                switch (info->code) {
+                case ErrorCode::RetryAfter:
+                    // Deterministic backoff, floored at the server's
+                    // hint; resubmit on the same healthy connection.
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(std::max(
+                            info->retry_after_ms,
+                            shardRetryDelayMs(
+                                config.backoff_seed, shard, attempt,
+                                config.backoff_base_ms,
+                                config.backoff_cap_ms))));
+                    retry_attempt = true;
+                    break;
+                case ErrorCode::Malformed:
+                case ErrorCode::Unsupported:
+                case ErrorCode::InvalidArgument:
+                    // Resubmitting identical bytes cannot succeed.
+                    destroyWorker(worker);
+                    return util::unexpected(
+                        "shard " + std::to_string(shard) +
+                        " rejected: " + info->message);
+                default:
+                    // Deadline / internal / shutting down: replace
+                    // the worker and retry from its checkpoint.
+                    conn.close();
+                    destroyWorker(worker);
+                    retry_attempt = true;
+                    break;
+                }
+            }
+        }
+    }
+    destroyWorker(worker);
+    return util::unexpected(
+        "shard " + std::to_string(shard) + " failed after " +
+        std::to_string(config.max_attempts) +
+        " attempts (last error: " + last_error + ")");
+}
+
+} // namespace
+
+std::uint32_t
+shardRetryDelayMs(std::uint64_t seed, std::uint32_t shard,
+                  std::uint32_t attempt, std::uint32_t base_ms,
+                  std::uint32_t cap_ms)
+{
+    const std::uint64_t backoff = std::min<std::uint64_t>(
+        cap_ms, static_cast<std::uint64_t>(base_ms)
+                    << std::min<std::uint32_t>(attempt, 20));
+    util::Rng jitter =
+        util::Rng(seed).split("shard_backoff_" + std::to_string(shard) +
+                              "_" + std::to_string(attempt));
+    return static_cast<std::uint32_t>(
+        backoff - backoff / 2 + jitter.uniformInt(0, backoff / 2));
+}
+
+util::Expected<FleetScanResult>
+mergeShardResults(const std::vector<FleetScanResult> &shard_results)
+{
+    if (shard_results.empty()) {
+        return util::unexpected("merge: no shard results");
+    }
+    FleetScanResult merged;
+    merged.tenancies = shard_results[0].tenancies;
+    merged.simulated_h = shard_results[0].simulated_h;
+    merged.skipped = shard_results[0].skipped;
+    for (std::size_t s = 0; s < shard_results.size(); ++s) {
+        const FleetScanResult &r = shard_results[s];
+        // The simulation phase is replicated, not partitioned: any
+        // disagreement means a worker diverged and the merged output
+        // would be silently wrong — refuse loudly instead.
+        if (r.tenancies != merged.tenancies ||
+            r.simulated_h != merged.simulated_h ||
+            r.skipped != merged.skipped) {
+            return util::unexpected(
+                "merge: shard " + std::to_string(s) +
+                " disagrees on the shared simulation phase");
+        }
+        for (const FleetScanBoardScore &score : r.boards) {
+            merged.boards.push_back(score);
+        }
+    }
+    return merged;
+}
+
+util::Expected<ShardedScanResult>
+runShardedFleetScan(const ShardSupervisorConfig &config)
+{
+    if (config.shard_count == 0 || config.shard_count > kMaxShards) {
+        return util::unexpected("supervisor: shard count out of range");
+    }
+    if (config.worker_binary.empty()) {
+        return util::unexpected("supervisor: no worker binary");
+    }
+    if (!config.checkpoint_dir.empty() &&
+        ::mkdir(config.checkpoint_dir.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+        // Without the directory every worker would silently run
+        // checkpoint-less and crash resume would restart shards from
+        // scratch — refuse up front instead.
+        return util::unexpected(
+            "supervisor: cannot create checkpoint dir " +
+            config.checkpoint_dir + ": " + std::strerror(errno));
+    }
+    const std::uint32_t n = config.shard_count;
+    std::vector<util::Expected<ShardOutcome>> outcomes(
+        n, util::Expected<ShardOutcome>(util::unexpected("not run")));
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (std::uint32_t shard = 0; shard < n; ++shard) {
+        threads.emplace_back([&config, &outcomes, shard] {
+            outcomes[shard] = runShard(config, shard);
+        });
+    }
+    for (std::thread &thread : threads) {
+        thread.join();
+    }
+    ShardedScanResult result;
+    std::vector<FleetScanResult> shard_results;
+    shard_results.reserve(n);
+    for (std::uint32_t shard = 0; shard < n; ++shard) {
+        if (!outcomes[shard].ok()) {
+            return util::unexpected("supervisor: " +
+                                    outcomes[shard].error());
+        }
+        shard_results.push_back(outcomes[shard].value().result);
+        result.shards.push_back(std::move(outcomes[shard].value()));
+    }
+    util::Expected<FleetScanResult> merged =
+        mergeShardResults(shard_results);
+    if (!merged.ok()) {
+        return util::unexpected("supervisor: " + merged.error());
+    }
+    result.merged = std::move(merged.value());
+    return result;
+}
+
+} // namespace pentimento::serve

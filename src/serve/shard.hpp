@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Fault-tolerant shard supervisor for fleet-scan campaigns.
+ *
+ * Partitions the TM2 scan of a fleet campaign into board-range shards
+ * and farms each shard out to its own worker *process* (a
+ * campaign_server in --worker mode), so a crashed, killed or wedged
+ * worker can never take the campaign down with it. Each shard worker
+ * runs the cheap simulation phase identically and attacks only its
+ * slice of the deterministic scan-target list; the supervisor merges
+ * shard results by concatenation in shard order, which the engine's
+ * partition-invariance guarantees is byte-identical to an unsharded
+ * run — regardless of shard count, worker deaths, retry order or
+ * injected faults.
+ *
+ * Failure handling per shard, all bounded and deterministic:
+ *
+ *  - **Crash** (exit/kill -9): detected via waitpid; a fresh worker is
+ *    spawned and the request resubmitted. With a checkpoint directory
+ *    configured the new worker resumes the shard from its latest good
+ *    checkpoint generation.
+ *  - **Stall**: the supervisor pings the worker every heartbeat_ms
+ *    while waiting; stall_timeout_ms without any frame is a hang —
+ *    the worker is killed and replaced.
+ *  - **Orphaned run** (transport error, worker alive): the supervisor
+ *    reconnects to the *same* worker and resubmits; the server cancels
+ *    the orphaned run at its next day boundary (flushing a
+ *    checkpoint) and the resubmission resumes from it.
+ *  - **Shed** (RETRY_AFTER): honoured with the same deterministic
+ *    capped-exponential backoff used between respawn attempts.
+ *
+ * Retries per shard are capped at max_attempts; delays come from
+ * shardRetryDelayMs(), a pure function of (seed, shard, attempt), so
+ * a chaos schedule replays identically.
+ */
+
+#ifndef PENTIMENTO_SERVE_SHARD_HPP
+#define PENTIMENTO_SERVE_SHARD_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "util/expected.hpp"
+
+namespace pentimento::serve {
+
+/** Supervisor configuration for one sharded fleet-scan campaign. */
+struct ShardSupervisorConfig
+{
+    /** campaign_server binary to spawn as shard workers. */
+    std::string worker_binary;
+    /** Shared checkpoint directory ("" = no crash resume). */
+    std::string checkpoint_dir;
+    /** Shards to partition the scan into (1..kMaxShards). */
+    std::uint32_t shard_count = 2;
+    /**
+     * FleetScan request template. request_id, shard_index and
+     * shard_count are overwritten per shard (ids are 1-based shard
+     * numbers so checkpoint files key stably across restarts).
+     */
+    Request request;
+    /** Ping cadence while waiting on a shard result. */
+    std::uint32_t heartbeat_ms = 1000;
+    /** No frame at all for this long = wedged worker, kill it. */
+    std::uint32_t stall_timeout_ms = 20000;
+    /** Attempts per shard (spawn/connect/submit cycles) before the
+     *  whole campaign fails. */
+    std::uint32_t max_attempts = 8;
+    /** Seed of the deterministic retry-backoff jitter. */
+    std::uint64_t backoff_seed = 0;
+    std::uint32_t backoff_base_ms = 50;
+    std::uint32_t backoff_cap_ms = 2000;
+    /** Worker must print its port line within this long of spawn. */
+    std::uint32_t spawn_timeout_ms = 20000;
+};
+
+/** Per-shard accounting of how the result was obtained. */
+struct ShardOutcome
+{
+    std::uint32_t shard_index = 0;
+    /** Submit attempts consumed (1 = clean first try). */
+    std::uint32_t attempts = 0;
+    /** Workers spawned for this shard (1 = original survived). */
+    std::uint32_t workers_spawned = 0;
+    FleetScanResult result;
+};
+
+/** Merged campaign result plus per-shard accounting. */
+struct ShardedScanResult
+{
+    FleetScanResult merged;
+    std::vector<ShardOutcome> shards;
+};
+
+/**
+ * Deterministic supervisor retry delay for shard `shard`, attempt
+ * `attempt` (0-based): capped exponential backoff jittered into
+ * [delay/2, delay] by a stream derived from (seed, shard, attempt).
+ * Pure function of its arguments — a chaos run's retry timing is
+ * replayable and independent of cross-shard interleaving.
+ */
+std::uint32_t shardRetryDelayMs(std::uint64_t seed, std::uint32_t shard,
+                                std::uint32_t attempt,
+                                std::uint32_t base_ms,
+                                std::uint32_t cap_ms);
+
+/**
+ * Merge per-shard results (indexed by shard) into the unsharded
+ * equivalent: asserts the shards agree on the shared simulation phase
+ * (tenancies, simulated hours, skipped count — they ran it
+ * identically) and concatenates board scores in shard order. Exposed
+ * separately so tests can exercise the merge without processes.
+ */
+util::Expected<FleetScanResult> mergeShardResults(
+    const std::vector<FleetScanResult> &shard_results);
+
+/**
+ * Run one fleet-scan campaign across config.shard_count worker
+ * processes and merge the results. Blocks until every shard succeeds
+ * or one exhausts max_attempts (the error names the shard and its
+ * last failure). All spawned workers are dead by return.
+ */
+util::Expected<ShardedScanResult> runShardedFleetScan(
+    const ShardSupervisorConfig &config);
+
+} // namespace pentimento::serve
+
+#endif // PENTIMENTO_SERVE_SHARD_HPP

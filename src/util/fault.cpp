@@ -1,0 +1,314 @@
+#include "util/fault.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/rng.hpp"
+
+namespace pentimento::util::fault {
+
+namespace {
+
+bool
+isPointChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+           c == '.' || c == '_';
+}
+
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+        s.remove_prefix(1);
+    }
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+bool
+parseU64(std::string_view s, std::uint64_t *out)
+{
+    if (s.empty()) {
+        return false;
+    }
+    std::uint64_t v = 0;
+    for (const char c : s) {
+        if (c < '0' || c > '9') {
+            return false;
+        }
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    *out = v;
+    return true;
+}
+
+bool
+parseProbability(std::string_view s, double *out)
+{
+    if (s.empty()) {
+        return false;
+    }
+    char *end = nullptr;
+    const std::string copy(s);
+    const double v = std::strtod(copy.c_str(), &end);
+    if (end != copy.c_str() + copy.size() || !(v >= 0.0) || v > 1.0) {
+        return false;
+    }
+    *out = v;
+    return true;
+}
+
+/** Parse one `point[:k=v[,k=v...]]` clause. */
+Expected<PointConfig>
+parsePoint(std::string_view clause)
+{
+    PointConfig config;
+    const std::size_t colon = clause.find(':');
+    std::string_view name = trim(clause.substr(0, colon));
+    if (name.empty()) {
+        return unexpected("fault schedule: empty point name");
+    }
+    for (const char c : name) {
+        if (!isPointChar(c)) {
+            return unexpected("fault schedule: bad point name '" +
+                              std::string(name) + "'");
+        }
+    }
+    config.point = std::string(name);
+    if (colon == std::string_view::npos) {
+        return config;
+    }
+    std::string_view rest = clause.substr(colon + 1);
+    while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        std::string_view item = trim(rest.substr(0, comma));
+        rest = comma == std::string_view::npos
+                   ? std::string_view{}
+                   : rest.substr(comma + 1);
+        const std::size_t eq = item.find('=');
+        if (eq == std::string_view::npos) {
+            return unexpected("fault schedule: expected key=value in '" +
+                              std::string(item) + "'");
+        }
+        const std::string_view key = trim(item.substr(0, eq));
+        const std::string_view value = trim(item.substr(eq + 1));
+        if (key == "p") {
+            if (!parseProbability(value, &config.probability)) {
+                return unexpected(
+                    "fault schedule: bad probability for point '" +
+                    config.point + "'");
+            }
+        } else if (key == "skip") {
+            if (!parseU64(value, &config.skip)) {
+                return unexpected("fault schedule: bad skip for point '" +
+                                  config.point + "'");
+            }
+        } else if (key == "max") {
+            if (!parseU64(value, &config.max_fires)) {
+                return unexpected("fault schedule: bad max for point '" +
+                                  config.point + "'");
+            }
+        } else {
+            return unexpected("fault schedule: unknown key '" +
+                              std::string(key) + "' for point '" +
+                              config.point + "'");
+        }
+    }
+    return config;
+}
+
+} // namespace
+
+Expected<Schedule>
+parseSchedule(std::string_view text)
+{
+    Schedule schedule;
+    std::string_view rest = text;
+    bool first = true;
+    while (!rest.empty()) {
+        const std::size_t semi = rest.find(';');
+        std::string_view clause = trim(rest.substr(0, semi));
+        rest = semi == std::string_view::npos ? std::string_view{}
+                                              : rest.substr(semi + 1);
+        if (clause.empty()) {
+            continue;
+        }
+        if (first && clause.substr(0, 5) == "seed=") {
+            if (!parseU64(trim(clause.substr(5)), &schedule.seed)) {
+                return unexpected("fault schedule: bad seed");
+            }
+            first = false;
+            continue;
+        }
+        first = false;
+        Expected<PointConfig> point = parsePoint(clause);
+        if (!point.ok()) {
+            return unexpected(point.error());
+        }
+        for (const PointConfig &existing : schedule.points) {
+            if (existing.point == point.value().point) {
+                return unexpected("fault schedule: duplicate point '" +
+                                  existing.point + "'");
+            }
+        }
+        schedule.points.push_back(std::move(point.value()));
+    }
+    return schedule;
+}
+
+std::string
+formatSchedule(const Schedule &schedule)
+{
+    std::string out = "seed=" + std::to_string(schedule.seed);
+    for (const PointConfig &point : schedule.points) {
+        out += ";" + point.point +
+               ":p=" + std::to_string(point.probability) +
+               ",skip=" + std::to_string(point.skip);
+        if (point.max_fires != ~0ULL) {
+            out += ",max=" + std::to_string(point.max_fires);
+        }
+    }
+    return out;
+}
+
+#if defined(PENTIMENTO_FAULT_INJECTION)
+
+namespace {
+
+/** One armed point: its config, its private Rng, its counters. */
+struct PointState
+{
+    PointConfig config;
+    Rng rng{0};
+    std::uint64_t evaluations = 0;
+    std::uint64_t fires = 0;
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    /** Schedule order, for stats(). */
+    std::vector<std::string> order;
+    std::map<std::string, PointState, std::less<>> points;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+/** Fast-path gate: false ⇒ shouldFail() returns without locking. */
+std::atomic<bool> g_armed{false};
+
+} // namespace
+
+void
+arm(const Schedule &schedule)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.points.clear();
+    r.order.clear();
+    for (const PointConfig &config : schedule.points) {
+        PointState state;
+        state.config = config;
+        // Per-point stream derived from the single schedule seed: the
+        // fire sequence at a point never depends on evaluation
+        // interleavings at other points (or on other threads).
+        Rng base(schedule.seed);
+        state.rng = base.split(std::string_view(config.point));
+        r.order.push_back(config.point);
+        r.points.emplace(config.point, std::move(state));
+    }
+    g_armed.store(!r.points.empty(), std::memory_order_release);
+}
+
+void
+disarm()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    g_armed.store(false, std::memory_order_release);
+    r.points.clear();
+    r.order.clear();
+}
+
+bool
+armed()
+{
+    return g_armed.load(std::memory_order_acquire);
+}
+
+bool
+shouldFail(const char *point)
+{
+    if (!g_armed.load(std::memory_order_relaxed)) {
+        return false;
+    }
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.points.find(std::string_view(point));
+    if (it == r.points.end()) {
+        return false;
+    }
+    PointState &state = it->second;
+    ++state.evaluations;
+    if (state.evaluations <= state.config.skip) {
+        return false;
+    }
+    if (state.fires >= state.config.max_fires) {
+        return false;
+    }
+    // Always draw, even at p=1: every evaluation past `skip` consumes
+    // exactly one variate, so the fire pattern is a pure function of
+    // the evaluation ordinal.
+    if (!state.rng.bernoulli(state.config.probability)) {
+        return false;
+    }
+    ++state.fires;
+    return true;
+}
+
+std::vector<PointStats>
+stats()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<PointStats> out;
+    out.reserve(r.order.size());
+    for (const std::string &name : r.order) {
+        const auto it = r.points.find(name);
+        if (it == r.points.end()) {
+            continue;
+        }
+        out.push_back(PointStats{name, it->second.evaluations,
+                                 it->second.fires});
+    }
+    return out;
+}
+
+Expected<void>
+armFromEnv()
+{
+    const char *env = std::getenv("PENTIMENTO_FAULTS");
+    if (env == nullptr || env[0] == '\0') {
+        return {};
+    }
+    Expected<Schedule> schedule = parseSchedule(env);
+    if (!schedule.ok()) {
+        return unexpected("PENTIMENTO_FAULTS: " + schedule.error());
+    }
+    arm(schedule.value());
+    return {};
+}
+
+#endif // PENTIMENTO_FAULT_INJECTION
+
+} // namespace pentimento::util::fault

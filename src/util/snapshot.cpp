@@ -6,6 +6,7 @@
 
 #include <unistd.h>
 
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 
 namespace pentimento::util {
@@ -156,13 +157,26 @@ SnapshotWriter::commit(const std::string &path)
 {
     const std::vector<std::uint8_t> &image = finish();
     const std::string tmp = path + ".tmp";
+    if (fault::shouldFail("snapshot.commit.enospc")) {
+        return unexpected("snapshot: cannot create " + tmp +
+                          ": No space left on device (injected)");
+    }
     std::FILE *fp = std::fopen(tmp.c_str(), "wb");
     if (fp == nullptr) {
         return unexpected(errnoMessage("snapshot: cannot create", tmp));
     }
+    // A torn rename writes a truncated image but then "succeeds" all
+    // the way through rename, leaving a corrupt destination — the
+    // failure mode a crash between fwrite and fsync would produce on
+    // a journal-less filesystem. The .prev generation must rescue it.
+    const bool torn = fault::shouldFail("snapshot.commit.torn_rename");
+    const bool short_write =
+        !torn && fault::shouldFail("snapshot.commit.short_write");
+    const std::size_t intend =
+        (torn || short_write) ? image.size() / 2 : image.size();
     const std::size_t written =
-        image.empty() ? 0 : std::fwrite(image.data(), 1, image.size(), fp);
-    if (written != image.size() || std::fflush(fp) != 0 ||
+        intend == 0 ? 0 : std::fwrite(image.data(), 1, intend, fp);
+    if (short_write || written != intend || std::fflush(fp) != 0 ||
         fsync(fileno(fp)) != 0) {
         const Expected<void> err =
             unexpected(errnoMessage("snapshot: short write to", tmp));
@@ -174,11 +188,20 @@ SnapshotWriter::commit(const std::string &path)
         std::remove(tmp.c_str());
         return unexpected(errnoMessage("snapshot: close failed for", tmp));
     }
+    if (fault::shouldFail("snapshot.commit.rename")) {
+        std::remove(tmp.c_str());
+        return unexpected("snapshot: rename failed for " + tmp +
+                          " (injected)");
+    }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         const Expected<void> err =
             unexpected(errnoMessage("snapshot: rename failed for", tmp));
         std::remove(tmp.c_str());
         return err;
+    }
+    if (torn) {
+        return unexpected("snapshot: torn rename for " + path +
+                          " (injected; destination truncated)");
     }
     return {};
 }
@@ -241,8 +264,68 @@ SnapshotReader::open(const std::string &path)
     if (read_error) {
         return unexpected(errnoMessage("snapshot: read failed for", path));
     }
+    if (image.size() > kHeaderBytes &&
+        fault::shouldFail("snapshot.load.corrupt_crc")) {
+        // Media bit-rot: flip one mid-file byte so some chunk's CRC
+        // check must reject the image.
+        image[kHeaderBytes + (image.size() - kHeaderBytes) / 2] ^= 0x40u;
+    }
     return fromBuffer(std::move(image));
 }
+
+namespace {
+
+/**
+ * Full structural walk of an image whose header already validated:
+ * every chunk header in bounds, sequence numbers dense, every CRC
+ * good, exactly one terminal END chunk, no trailing bytes. One cheap
+ * CRC pass over memory — done up front by openWithFallback so a torn
+ * or bit-rotten generation is rejected before anyone restores from it.
+ */
+Expected<void>
+validateChunks(const std::vector<std::uint8_t> &image)
+{
+    std::size_t off = kHeaderBytes;
+    std::uint32_t seq = 0;
+    bool saw_end = false;
+    while (off < image.size()) {
+        if (saw_end) {
+            return unexpected("snapshot: trailing bytes after END chunk");
+        }
+        if (image.size() - off < kChunkHeaderBytes + 4) {
+            return unexpected("snapshot: truncated chunk header");
+        }
+        std::uint32_t tag = 0;
+        std::uint32_t chunk_seq = 0;
+        std::uint64_t len = 0;
+        std::memcpy(&tag, image.data() + off, sizeof(tag));
+        std::memcpy(&chunk_seq, image.data() + off + 4,
+                    sizeof(chunk_seq));
+        std::memcpy(&len, image.data() + off + 8, sizeof(len));
+        if (chunk_seq != seq) {
+            return unexpected("snapshot: chunk out of sequence");
+        }
+        if (len > image.size() - off - kChunkHeaderBytes - 4) {
+            return unexpected("snapshot: chunk length out of bounds");
+        }
+        const std::size_t end = off + kChunkHeaderBytes +
+                                static_cast<std::size_t>(len);
+        std::uint32_t stored = 0;
+        std::memcpy(&stored, image.data() + end, sizeof(stored));
+        if (crc32c(image.data() + off, end - off) != stored) {
+            return unexpected("snapshot: chunk CRC mismatch");
+        }
+        saw_end = tag == kEndTag;
+        off = end + 4;
+        ++seq;
+    }
+    if (!saw_end) {
+        return unexpected("snapshot: missing END chunk");
+    }
+    return {};
+}
+
+} // namespace
 
 Expected<SnapshotReader>
 SnapshotReader::openWithFallback(const std::string &path,
@@ -253,10 +336,23 @@ SnapshotReader::openWithFallback(const std::string &path,
     }
     Expected<SnapshotReader> primary = open(path);
     if (primary.ok()) {
-        return primary;
+        const Expected<void> valid =
+            validateChunks(primary.value().image_);
+        if (valid.ok()) {
+            return primary;
+        }
+        primary = Expected<SnapshotReader>(
+            unexpected(valid.error() + " in " + path));
     }
     Expected<SnapshotReader> previous = open(path + ".prev");
     if (previous.ok()) {
+        const Expected<void> valid =
+            validateChunks(previous.value().image_);
+        if (!valid.ok()) {
+            return unexpected(primary.error() +
+                              " (fallback also failed: " + valid.error() +
+                              " in " + path + ".prev)");
+        }
         if (used_fallback != nullptr) {
             *used_fallback = true;
         }

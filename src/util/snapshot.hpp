@@ -128,9 +128,11 @@ class SnapshotReader
 
     /**
      * Load `path`, falling back to `<path>.prev` when the primary is
-     * missing or has a bad header (deeper corruption is only
-     * discovered while restoring; see the fleet_campaign resume loop
-     * for the full two-generation retry). Returns which file was
+     * missing or structurally corrupt. Unlike open(), every chunk is
+     * CRC-walked up front — one cheap pass over the in-memory image —
+     * so a torn or bit-rotten generation is rejected *here*, before a
+     * caller commits to restoring from it, instead of surfacing as a
+     * read error halfway through the restore. Returns which file was
      * opened via `used_fallback`.
      */
     static Expected<SnapshotReader> openWithFallback(

@@ -23,6 +23,7 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/wire.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 
 namespace {
@@ -643,6 +644,104 @@ TEST_F(ServeTest, QueueFullShedsWithRetryAfter)
     EXPECT_TRUE(queued_reply.ok()) << queued_reply.error();
 }
 
+TEST_F(ServeTest, ShedHintGrowsUnderSustainedOverload)
+{
+    serve::CampaignServerConfig config = baseConfig();
+    config.queue_capacity = 1;
+    config.retry_after_ms = 50;
+    auto server = startServer(config);
+
+    // Occupy the single executor with a throttled campaign (~2 s)...
+    Request slow = smallFleetScanRequest(25, 9);
+    slow.days = 40;
+    slow.throttle_ms_per_day = 50;
+    serve::ClientConnection busy;
+    ASSERT_TRUE(busy.connect(server->port()).ok());
+    ASSERT_TRUE(busy.sendFrame(FrameType::Request,
+                               serve::encodeRequest(slow))
+                    .ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    // ...and fill the queue.
+    serve::ClientConnection queued;
+    ASSERT_TRUE(queued.connect(server->port()).ok());
+    ASSERT_TRUE(queued.sendFrame(
+                         FrameType::Request,
+                         serve::encodeRequest(smallChurnRequest(26, 1)))
+                    .ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    // Every further request sheds — with a hint that pushes clients
+    // progressively further out the longer the overload lasts.
+    std::vector<std::uint32_t> hints;
+    for (std::uint64_t id = 27; id < 32; ++id) {
+        const util::Expected<Frame> shed =
+            roundTrip(server->port(), smallChurnRequest(id, 1), 5000);
+        const serve::ErrorInfo info =
+            expectError(shed, ErrorCode::RetryAfter);
+        hints.push_back(info.retry_after_ms);
+    }
+    ASSERT_EQ(hints.size(), 5u);
+    EXPECT_GE(hints.front(), config.retry_after_ms);
+    for (std::size_t i = 1; i < hints.size(); ++i) {
+        EXPECT_GE(hints[i], hints[i - 1]) << "hint " << i << " shrank";
+        EXPECT_LE(hints[i], config.retry_after_cap_ms);
+    }
+    EXPECT_GT(hints.back(), hints.front())
+        << "sustained overload must grow the hint";
+
+    // Drain the in-flight work so stop() is prompt.
+    EXPECT_TRUE(busy.readFrame(30000).ok());
+    EXPECT_TRUE(queued.readFrame(30000).ok());
+}
+
+TEST_F(ServeTest, ClientCallRetriesShedsUntilAdmitted)
+{
+    serve::CampaignServerConfig config = baseConfig();
+    config.queue_capacity = 1;
+    config.retry_after_ms = 50;
+    auto server = startServer(config);
+
+    // Same overload shape as above: executor busy (~1.5 s), queue full.
+    Request slow = smallFleetScanRequest(35, 9);
+    slow.days = 30;
+    slow.throttle_ms_per_day = 50;
+    serve::ClientConnection busy;
+    ASSERT_TRUE(busy.connect(server->port()).ok());
+    ASSERT_TRUE(busy.sendFrame(FrameType::Request,
+                               serve::encodeRequest(slow))
+                    .ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    serve::ClientConnection queued;
+    ASSERT_TRUE(queued.connect(server->port()).ok());
+    ASSERT_TRUE(queued.sendFrame(
+                         FrameType::Request,
+                         serve::encodeRequest(smallChurnRequest(36, 1)))
+                    .ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    // A retrying call() absorbs the sheds and lands once the backlog
+    // clears — the caller never sees a RETRY_AFTER.
+    serve::ClientConfig retry_config;
+    retry_config.max_retries = 40;
+    retry_config.backoff_base_ms = 50;
+    retry_config.backoff_cap_ms = 200;
+    retry_config.jitter_seed = 7;
+    serve::ClientConnection caller;
+    ASSERT_TRUE(caller.connect(server->port()).ok());
+    std::uint32_t retries = 0;
+    const util::Expected<Frame> reply = caller.call(
+        smallChurnRequest(37, 1), retry_config, 30000, &retries);
+    ASSERT_TRUE(reply.ok()) << reply.error();
+    EXPECT_EQ(reply.value().type, FrameType::Result);
+    EXPECT_GE(retries, 1u) << "the first submission must have shed";
+    serve::WireReader reader(reply.value().payload.data(),
+                             reply.value().payload.size());
+    EXPECT_EQ(reader.u64(), 37u);
+
+    EXPECT_TRUE(busy.readFrame(30000).ok());
+    EXPECT_TRUE(queued.readFrame(30000).ok());
+}
+
 TEST_F(ServeTest, DeadlineExceededMidCampaign)
 {
     auto server = startServer(baseConfig());
@@ -929,6 +1028,54 @@ TEST_F(FleetScanResumeTest, ResumedRunIsByteIdentical)
     EXPECT_EQ(serve::encodeFleetScanResult(1, result.value()),
               reference);
 }
+
+#if defined(PENTIMENTO_FAULT_INJECTION)
+
+TEST_F(FleetScanResumeTest, BitRottenPrimaryResumesFromPrevGeneration)
+{
+    const util::Expected<serve::FleetScanResult> straight =
+        serve::runFleetScan(scanConfig());
+    ASSERT_TRUE(straight.ok()) << straight.error();
+    const std::vector<std::uint8_t> reference =
+        serve::encodeFleetScanResult(1, straight.value());
+
+    // Interrupted run leaves two generations: .ckpt at day 12 (the
+    // cancellation flush) and .prev at day 10 (the last periodic one).
+    serve::FleetScanConfig interrupted = scanConfig();
+    interrupted.checkpoint_every_days = 5;
+    interrupted.checkpoint_path = dir_ + "/scan.ckpt";
+    CancelAfter cancel(12);
+    interrupted.observer = &cancel;
+    EXPECT_THROW((void)serve::runFleetScan(interrupted),
+                 util::CancelledError);
+
+    // One in-flight bit flip (max=1): the newest generation fails its
+    // CRC on load, and the .prev generation must rescue the resume —
+    // Require turns a silent fresh rerun into a hard failure, so this
+    // also proves a real resume happened.
+    const util::Expected<util::fault::Schedule> schedule =
+        util::fault::parseSchedule(
+            "seed=1;snapshot.load.corrupt_crc:max=1");
+    ASSERT_TRUE(schedule.ok()) << schedule.error();
+    util::fault::arm(schedule.value());
+    serve::FleetScanConfig resumed = scanConfig();
+    resumed.checkpoint_every_days = 5;
+    resumed.checkpoint_path = dir_ + "/scan.ckpt";
+    resumed.resume = serve::ResumeMode::Require;
+    const util::Expected<serve::FleetScanResult> result =
+        serve::runFleetScan(resumed);
+    util::fault::disarm();
+
+    ASSERT_TRUE(result.ok()) << result.error();
+    EXPECT_EQ(result.value().resumed_from, dir_ + "/scan.ckpt.prev");
+    // The .prev generation predates the cancellation flush.
+    EXPECT_GT(result.value().resumed_day, 0);
+    EXPECT_LT(result.value().resumed_day, 12);
+    EXPECT_EQ(serve::encodeFleetScanResult(1, result.value()),
+              reference);
+}
+
+#endif // PENTIMENTO_FAULT_INJECTION
 
 TEST_F(FleetScanResumeTest, CorruptCheckpointFallsBackToFreshRun)
 {

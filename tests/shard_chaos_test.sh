@@ -1,0 +1,127 @@
+#!/bin/sh
+# Chaos battery for the shard supervisor: the merged CSV of a sharded
+# fleet campaign must be byte-identical to a single-process run under
+# (a) a clean multi-shard run, (b) three seeded deterministic fault
+# schedules (worker result-send resets, supervisor-side send resets,
+# checkpoint-commit failures plus one load-time bit flip), and
+# (c) a kill -9 sweep that SIGKILLs every worker process twice
+# mid-campaign, forcing respawn + checkpoint resume.
+#
+# The reference is computed HERE, by the same binary, not compared to
+# the committed golden CSV: Debug/sanitizer builds may drift in
+# floating point relative to the Release build that produced the
+# golden. The committed-golden comparison is the Release CI leg's job.
+# Run by CTest (and CI) as
+#   sh shard_chaos_test.sh <fleet_campaign> <campaign_server>
+set -u
+
+campaign="${1:?usage: shard_chaos_test.sh <fleet_campaign> <campaign_server>}"
+server="${2:?usage: shard_chaos_test.sh <fleet_campaign> <campaign_server>}"
+workdir=$(mktemp -d) || exit 1
+failures=0
+
+cleanup() {
+    # Workers name their checkpoint dir on the command line; anything
+    # still under $workdir is an orphan of a failed scenario.
+    pkill -9 -f -- "--worker --port 0 .*$workdir" 2>/dev/null
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+note() { printf '%s\n' "$*"; }
+fail() {
+    note "FAIL: $*"
+    failures=$((failures + 1))
+}
+
+fleet=24
+
+# ---- single-process reference ------------------------------------
+if ! "$campaign" --fleet $fleet --csv "$workdir/ref.csv" \
+        >"$workdir/ref.log" 2>&1; then
+    note "FAIL: reference run failed"
+    tail -5 "$workdir/ref.log"
+    exit 1
+fi
+
+# One sharded scenario: run, expect exit 0, expect CSV == reference.
+#   run_sharded <name> <shards> [extra flags...]
+run_sharded() {
+    name="$1"
+    nshards="$2"
+    shift 2
+    if ! "$campaign" --fleet $fleet --shards "$nshards" \
+            --worker-binary "$server" \
+            --checkpoint-path "$workdir/$name.ckpt" \
+            --checkpoint-every 30 \
+            --csv "$workdir/$name.csv" "$@" \
+            >"$workdir/$name.log" 2>&1; then
+        fail "$name: sharded campaign exited nonzero"
+        tail -5 "$workdir/$name.log"
+        return 1
+    fi
+    if ! cmp -s "$workdir/ref.csv" "$workdir/$name.csv"; then
+        fail "$name: merged CSV differs from the single-process run"
+        return 1
+    fi
+    note "ok: $name ($(sed -n 's/^  shards  *//p' "$workdir/$name.log"))"
+    return 0
+}
+
+# ---- clean sharded run -------------------------------------------
+run_sharded clean 3
+
+# ---- seeded fault schedules --------------------------------------
+# Each schedule is capped (max=) so the run provably converges; the
+# per-point seeds make every injected failure replayable. Workers
+# inherit the schedule via PENTIMENTO_FAULTS.
+run_sharded fault_server_reset 2 \
+    --fault-schedule "seed=101;server.send.reset:max=2"
+run_sharded fault_client_reset 2 \
+    --fault-schedule "seed=202;client.send.reset:skip=1,max=2"
+run_sharded fault_snapshot 2 \
+    --fault-schedule "seed=303;snapshot.commit.enospc:p=0.5,max=4;snapshot.load.corrupt_crc:max=1"
+
+# ---- kill -9 sweep -----------------------------------------------
+# Throttle the simulated days so the campaign is alive long enough to
+# be shot at, then SIGKILL every worker twice. The supervisor must
+# respawn them and resume each shard from its checkpoint.
+name=kill9
+"$campaign" --fleet $fleet --shards 2 \
+    --worker-binary "$server" \
+    --checkpoint-path "$workdir/$name.ckpt" \
+    --checkpoint-every 30 --day-sleep-ms 5 \
+    --csv "$workdir/$name.csv" \
+    >"$workdir/$name.log" 2>&1 &
+campaign_pid=$!
+kills=0
+for _ in 1 2; do
+    sleep 1
+    if pkill -9 -f -- "--worker --port 0 .*$workdir/$name.ckpt.shards" \
+            2>/dev/null; then
+        kills=$((kills + 1))
+    fi
+done
+if ! wait "$campaign_pid"; then
+    fail "$name: campaign exited nonzero after worker kills"
+    tail -5 "$workdir/$name.log"
+elif [ "$kills" -eq 0 ]; then
+    fail "$name: no worker was ever killed (campaign too fast to test)"
+elif ! cmp -s "$workdir/ref.csv" "$workdir/$name.csv"; then
+    fail "$name: merged CSV differs after kill -9 recovery"
+else
+    spawned=$(sed -n 's/.*attempts, \([0-9]*\) processes spawned.*/\1/p' \
+        "$workdir/$name.log")
+    if [ -n "$spawned" ] && [ "$spawned" -le 2 ]; then
+        fail "$name: workers were killed but never respawned"
+    else
+        note "ok: $name ($kills kill sweeps, $spawned processes spawned)"
+    fi
+fi
+
+if [ "$failures" -ne 0 ]; then
+    note "$failures chaos scenario(s) failed"
+    exit 1
+fi
+note "all chaos scenarios byte-identical to the single-process run"
+exit 0

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * serve/shard: partition invariance, merge contract, retry timing.
+ *
+ * The supervisor's whole correctness story rests on one invariant:
+ * running the fleet-scan engine per shard and concatenating board
+ * scores in shard order is byte-identical to an unsharded run. This
+ * suite locks that invariant *in process* (no worker processes, so it
+ * runs everywhere fast and under sanitizers), plus the merge's
+ * divergence refusal and the pure-function retry-delay contracts the
+ * chaos harness replays against. Process-level supervision — spawn,
+ * kill -9, stall, resume — is exercised end-to-end by
+ * tests/shard_chaos_test.sh.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/campaign.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/shard.hpp"
+
+namespace ps = pentimento::serve;
+namespace pu = pentimento::util;
+
+namespace {
+
+/** Small but non-trivial scenario: several boards, reuse, skips. */
+ps::FleetScanConfig
+scanConfig()
+{
+    ps::FleetScanConfig config;
+    config.fleet = 8;
+    config.days = 45;
+    config.seed = 1717;
+    config.routes_per_tenant = 2;
+    config.max_measured = 4;
+    return config;
+}
+
+/** Wire bytes of a result — the strongest equality we can assert. */
+std::vector<std::uint8_t>
+resultBytes(const ps::FleetScanResult &result)
+{
+    return ps::encodeFleetScanResult(1, result);
+}
+
+} // namespace
+
+// -------------------------------------------- partition invariance
+
+TEST(ShardEquivalence, AnyShardCountMergesByteIdentical)
+{
+    const pu::Expected<ps::FleetScanResult> unsharded =
+        ps::runFleetScan(scanConfig());
+    ASSERT_TRUE(unsharded.ok()) << unsharded.error();
+    ASSERT_GT(unsharded.value().boards.size(), 1u)
+        << "scenario too small to exercise partitioning";
+    const std::vector<std::uint8_t> want =
+        resultBytes(unsharded.value());
+
+    for (const std::uint32_t shard_count : {1u, 2u, 3u, 5u}) {
+        std::vector<ps::FleetScanResult> pieces;
+        for (std::uint32_t shard = 0; shard < shard_count; ++shard) {
+            ps::FleetScanConfig config = scanConfig();
+            config.shard_index = shard;
+            config.shard_count = shard_count;
+            const pu::Expected<ps::FleetScanResult> piece =
+                ps::runFleetScan(config);
+            ASSERT_TRUE(piece.ok())
+                << "shard " << shard << "/" << shard_count << ": "
+                << piece.error();
+            pieces.push_back(piece.value());
+        }
+        const pu::Expected<ps::FleetScanResult> merged =
+            ps::mergeShardResults(pieces);
+        ASSERT_TRUE(merged.ok()) << merged.error();
+        EXPECT_EQ(resultBytes(merged.value()), want)
+            << shard_count << " shards did not merge byte-identical";
+    }
+}
+
+TEST(ShardEquivalence, ShardCountBeyondTargetsYieldsEmptyTailShards)
+{
+    // More shards than scan targets: the tail shards attack nothing
+    // but still agree on the simulation phase, and the merge is still
+    // byte-identical.
+    const pu::Expected<ps::FleetScanResult> unsharded =
+        ps::runFleetScan(scanConfig());
+    ASSERT_TRUE(unsharded.ok()) << unsharded.error();
+    const std::uint32_t shard_count =
+        static_cast<std::uint32_t>(unsharded.value().boards.size()) + 3;
+
+    std::vector<ps::FleetScanResult> pieces;
+    std::size_t empty_shards = 0;
+    for (std::uint32_t shard = 0; shard < shard_count; ++shard) {
+        ps::FleetScanConfig config = scanConfig();
+        config.shard_index = shard;
+        config.shard_count = shard_count;
+        const pu::Expected<ps::FleetScanResult> piece =
+            ps::runFleetScan(config);
+        ASSERT_TRUE(piece.ok()) << piece.error();
+        empty_shards += piece.value().boards.empty() ? 1 : 0;
+        pieces.push_back(piece.value());
+    }
+    EXPECT_GE(empty_shards, 3u);
+    const pu::Expected<ps::FleetScanResult> merged =
+        ps::mergeShardResults(pieces);
+    ASSERT_TRUE(merged.ok()) << merged.error();
+    EXPECT_EQ(resultBytes(merged.value()),
+              resultBytes(unsharded.value()));
+}
+
+TEST(ShardEquivalence, ShardIndexOutOfRangeRejected)
+{
+    ps::FleetScanConfig config = scanConfig();
+    config.shard_index = 2;
+    config.shard_count = 2;
+    const pu::Expected<ps::FleetScanResult> run =
+        ps::runFleetScan(config);
+    ASSERT_FALSE(run.ok());
+    EXPECT_NE(run.error().find("shard_index"), std::string::npos)
+        << run.error();
+
+    // Unsharded (count 0) must not carry a stray index either.
+    config.shard_index = 1;
+    config.shard_count = 0;
+    EXPECT_FALSE(ps::runFleetScan(config).ok());
+}
+
+// ---------------------------------------------------------- merging
+
+TEST(ShardMerge, RefusesDivergentSimulationPhase)
+{
+    ps::FleetScanResult a;
+    a.tenancies = 10;
+    a.simulated_h = 100.0;
+    a.skipped = 1;
+    ps::FleetScanResult b = a;
+    b.boards.push_back({"board_3", 64, 60, 60.0 / 64.0});
+
+    // Identical phases merge fine.
+    ASSERT_TRUE(ps::mergeShardResults({a, b}).ok());
+
+    // Any divergence in the replicated phase is refused loudly.
+    for (int field = 0; field < 3; ++field) {
+        ps::FleetScanResult diverged = b;
+        if (field == 0) {
+            diverged.tenancies += 1;
+        } else if (field == 1) {
+            diverged.simulated_h += 0.5;
+        } else {
+            diverged.skipped += 1;
+        }
+        const pu::Expected<ps::FleetScanResult> merged =
+            ps::mergeShardResults({a, diverged});
+        ASSERT_FALSE(merged.ok());
+        EXPECT_NE(merged.error().find("shard 1 disagrees"),
+                  std::string::npos)
+            << merged.error();
+    }
+}
+
+TEST(ShardMerge, ConcatenatesBoardsInShardOrder)
+{
+    ps::FleetScanResult a;
+    a.boards.push_back({"board_7", 64, 50, 50.0 / 64.0});
+    ps::FleetScanResult b;
+    b.boards.push_back({"board_2", 64, 40, 40.0 / 64.0});
+    b.boards.push_back({"board_9", 64, 30, 30.0 / 64.0});
+
+    const pu::Expected<ps::FleetScanResult> merged =
+        ps::mergeShardResults({a, b});
+    ASSERT_TRUE(merged.ok());
+    ASSERT_EQ(merged.value().boards.size(), 3u);
+    EXPECT_EQ(merged.value().boards[0].board, "board_7");
+    EXPECT_EQ(merged.value().boards[1].board, "board_2");
+    EXPECT_EQ(merged.value().boards[2].board, "board_9");
+
+    EXPECT_FALSE(ps::mergeShardResults({}).ok());
+}
+
+// ------------------------------------------------------ retry timing
+
+TEST(ShardBackoff, DeterministicBoundedAndGrowing)
+{
+    // Pure function: same arguments, same delay.
+    for (std::uint32_t attempt = 0; attempt < 12; ++attempt) {
+        const std::uint32_t a =
+            ps::shardRetryDelayMs(42, 3, attempt, 50, 2000);
+        const std::uint32_t b =
+            ps::shardRetryDelayMs(42, 3, attempt, 50, 2000);
+        EXPECT_EQ(a, b);
+
+        // Jittered into [backoff/2, backoff] with backoff capped.
+        const std::uint32_t backoff =
+            std::min<std::uint32_t>(2000, 50u << std::min(attempt, 20u));
+        EXPECT_GE(a, backoff / 2) << "attempt " << attempt;
+        EXPECT_LE(a, backoff) << "attempt " << attempt;
+    }
+
+    // Distinct shards and seeds draw distinct jitter streams (equal
+    // values are possible per-attempt; across 12 attempts they are
+    // not all equal).
+    bool any_shard_diff = false;
+    bool any_seed_diff = false;
+    for (std::uint32_t attempt = 0; attempt < 12; ++attempt) {
+        any_shard_diff |=
+            ps::shardRetryDelayMs(42, 0, attempt, 50, 2000) !=
+            ps::shardRetryDelayMs(42, 1, attempt, 50, 2000);
+        any_seed_diff |=
+            ps::shardRetryDelayMs(42, 0, attempt, 50, 2000) !=
+            ps::shardRetryDelayMs(43, 0, attempt, 50, 2000);
+    }
+    EXPECT_TRUE(any_shard_diff);
+    EXPECT_TRUE(any_seed_diff);
+
+    // Attempt 40 must not shift past 32 bits.
+    const std::uint32_t deep = ps::shardRetryDelayMs(1, 0, 40, 50, 2000);
+    EXPECT_GE(deep, 1000u);
+    EXPECT_LE(deep, 2000u);
+}
+
+TEST(ClientBackoff, HonorsServerHintFloorAndCap)
+{
+    ps::ClientConfig config;
+    config.backoff_base_ms = 25;
+    config.backoff_cap_ms = 400;
+    config.jitter_seed = 7;
+
+    for (std::uint32_t attempt = 0; attempt < 8; ++attempt) {
+        for (const std::uint32_t hint : {0u, 10u, 300u, 5000u}) {
+            const std::uint32_t a =
+                ps::retryDelayMs(config, attempt, hint);
+            EXPECT_EQ(a, ps::retryDelayMs(config, attempt, hint));
+            const std::uint32_t backoff = std::min<std::uint32_t>(
+                400, 25u << std::min(attempt, 20u));
+            const std::uint32_t floor = std::max(hint, backoff);
+            EXPECT_GE(a, floor / 2)
+                << "attempt " << attempt << " hint " << hint;
+            EXPECT_LE(a, floor)
+                << "attempt " << attempt << " hint " << hint;
+            // A server hint above the local backoff must dominate.
+            if (hint >= backoff) {
+                EXPECT_GE(a, hint / 2);
+            }
+        }
+    }
+}
+
+// -------------------------------------------- supervisor validation
+
+TEST(ShardSupervisor, RejectsBadConfigWithoutSpawning)
+{
+    ps::ShardSupervisorConfig config;
+    config.worker_binary = "/does/not/matter";
+    config.shard_count = 0;
+    EXPECT_FALSE(ps::runShardedFleetScan(config).ok());
+    config.shard_count = ps::kMaxShards + 1;
+    EXPECT_FALSE(ps::runShardedFleetScan(config).ok());
+
+    config.shard_count = 2;
+    config.worker_binary = "";
+    const pu::Expected<ps::ShardedScanResult> run =
+        ps::runShardedFleetScan(config);
+    ASSERT_FALSE(run.ok());
+    EXPECT_NE(run.error().find("worker binary"), std::string::npos);
+}

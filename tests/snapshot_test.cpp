@@ -33,6 +33,7 @@
 #include "fabric/device.hpp"
 #include "fabric/route.hpp"
 #include "util/expected.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 #include "util/snapshot.hpp"
 
@@ -443,6 +444,153 @@ TEST(SnapshotFormat, CrashBetweenTempWriteAndRenameIsHarmless)
     EXPECT_FALSE(neither.ok());
     EXPECT_NE(neither.error().find("fallback"), std::string::npos);
 }
+
+#if defined(PENTIMENTO_FAULT_INJECTION)
+
+// Failed-commit hygiene, driven through the same injection points the
+// chaos battery schedules: a commit that fails for *any* reason must
+// leave no stale .tmp behind and must not have touched the published
+// generations — .prev still rescues after a torn rename.
+TEST(SnapshotFormat, InjectedCommitFailuresLeaveNoTmpAndKeepPrev)
+{
+    const std::string path = tempPath("snap_fault.bin");
+    const std::string prev = path + ".prev";
+    std::remove(path.c_str());
+    std::remove(prev.c_str());
+    std::remove((path + ".tmp").c_str());
+
+    pu::SnapshotWriter gen1;
+    gen1.beginChunk(kTag1);
+    gen1.u64(1);
+    gen1.endChunk();
+    ASSERT_TRUE(gen1.commitRotating(path).ok());
+
+    const char *failures[] = {"snapshot.commit.enospc",
+                              "snapshot.commit.short_write",
+                              "snapshot.commit.rename"};
+    for (const char *point : failures) {
+        const pu::Expected<pu::fault::Schedule> schedule =
+            pu::fault::parseSchedule(std::string("seed=1;") + point +
+                                     ":max=1");
+        ASSERT_TRUE(schedule.ok()) << schedule.error();
+        pu::fault::arm(schedule.value());
+
+        pu::SnapshotWriter gen2;
+        gen2.beginChunk(kTag1);
+        gen2.u64(2);
+        gen2.endChunk();
+        const pu::Expected<void> committed = gen2.commitRotating(path);
+        pu::fault::disarm();
+        ASSERT_FALSE(committed.ok()) << point << " did not fire";
+        // No half-written temp file may survive the failure.
+        EXPECT_FALSE(fileExists(path + ".tmp")) << point;
+        // The rotation already moved gen1 to .prev; the fallback chain
+        // must still deliver it.
+        bool used_fallback = false;
+        pu::Expected<pu::SnapshotReader> recovered =
+            pu::SnapshotReader::openWithFallback(path, &used_fallback);
+        ASSERT_TRUE(recovered.ok()) << point << ": " << recovered.error();
+        EXPECT_TRUE(used_fallback) << point;
+        EXPECT_EQ(readMarker(recovered.value()), 1u) << point;
+
+        // Reset for the next failure mode: republish gen1 as primary.
+        std::remove(path.c_str());
+        std::remove(prev.c_str());
+        pu::SnapshotWriter again;
+        again.beginChunk(kTag1);
+        again.u64(1);
+        again.endChunk();
+        ASSERT_TRUE(again.commitRotating(path).ok());
+    }
+    std::remove(path.c_str());
+    std::remove(prev.c_str());
+}
+
+// A torn rename is worse than a clean failure: the rename itself
+// succeeds, so the *published primary* is truncated mid-image (the
+// crash-between-fwrite-and-fsync shape) and commit reports it only
+// after the fact. CRC validation must reject the primary and the
+// rotating fallback must deliver the previous generation.
+TEST(SnapshotFormat, InjectedTornRenamePublishesCorruptPrimaryPrevRescues)
+{
+    const std::string path = tempPath("snap_torn.bin");
+    const std::string prev = path + ".prev";
+    std::remove(path.c_str());
+    std::remove(prev.c_str());
+
+    pu::SnapshotWriter gen1;
+    gen1.beginChunk(kTag1);
+    gen1.u64(1);
+    gen1.endChunk();
+    ASSERT_TRUE(gen1.commitRotating(path).ok());
+
+    const pu::Expected<pu::fault::Schedule> schedule =
+        pu::fault::parseSchedule(
+            "seed=1;snapshot.commit.torn_rename:max=1");
+    ASSERT_TRUE(schedule.ok()) << schedule.error();
+    pu::fault::arm(schedule.value());
+    pu::SnapshotWriter gen2;
+    gen2.beginChunk(kTag1);
+    gen2.u64(2);
+    gen2.endChunk();
+    const pu::Expected<void> committed = gen2.commitRotating(path);
+    pu::fault::disarm();
+
+    // The write went through rename before the failure surfaced.
+    ASSERT_FALSE(committed.ok());
+    EXPECT_NE(committed.error().find("torn rename"), std::string::npos)
+        << committed.error();
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+    // Header-only open() cannot see the damage (the first 16 bytes
+    // survived the tear) — the fallback chain's full CRC walk must.
+    EXPECT_TRUE(pu::SnapshotReader::open(path).ok());
+
+    bool used_fallback = false;
+    pu::Expected<pu::SnapshotReader> recovered =
+        pu::SnapshotReader::openWithFallback(path, &used_fallback);
+    ASSERT_TRUE(recovered.ok()) << recovered.error();
+    EXPECT_TRUE(used_fallback);
+    EXPECT_EQ(readMarker(recovered.value()), 1u);
+
+    std::remove(path.c_str());
+    std::remove(prev.c_str());
+}
+
+// The load-side bit-rot point: a good image on disk, corrupted once in
+// flight. The first open (of the primary) rejects; the fallback open
+// of .prev succeeds because max=1 spends the fault on the primary.
+TEST(SnapshotFormat, InjectedLoadCorruptionFallsBackToPrev)
+{
+    const std::string path = tempPath("snap_rot.bin");
+    const std::string prev = path + ".prev";
+    std::remove(path.c_str());
+    std::remove(prev.c_str());
+
+    for (std::uint64_t marker : {1ULL, 2ULL}) {
+        pu::SnapshotWriter writer;
+        writer.beginChunk(kTag1);
+        writer.u64(marker);
+        writer.endChunk();
+        ASSERT_TRUE(writer.commitRotating(path).ok());
+    }
+
+    const pu::Expected<pu::fault::Schedule> schedule =
+        pu::fault::parseSchedule("seed=1;snapshot.load.corrupt_crc:max=1");
+    ASSERT_TRUE(schedule.ok()) << schedule.error();
+    pu::fault::arm(schedule.value());
+    bool used_fallback = false;
+    pu::Expected<pu::SnapshotReader> recovered =
+        pu::SnapshotReader::openWithFallback(path, &used_fallback);
+    pu::fault::disarm();
+    ASSERT_TRUE(recovered.ok()) << recovered.error();
+    EXPECT_TRUE(used_fallback);
+    EXPECT_EQ(readMarker(recovered.value()), 1u);
+
+    std::remove(path.c_str());
+    std::remove(prev.c_str());
+}
+
+#endif // PENTIMENTO_FAULT_INJECTION
 
 TEST(SnapshotFormat, ExpectedBasics)
 {
