@@ -135,7 +135,11 @@ printUsage(std::FILE *out)
         "  --shards N            fan the scan out across N worker "
         "processes\n"
         "  --worker-binary P     campaign_server binary for --shards\n"
-        "  --fault-schedule S    arm a deterministic fault schedule\n",
+        "  --fault-schedule S    arm a deterministic fault schedule\n"
+        "  --bram                run the BRAM content-remanence "
+        "channel too\n"
+        "  --bram-scrub P        provider scrub policy: none | "
+        "release | rent\n",
         kDefaultFleet, kDefaultYears,
         static_cast<unsigned long long>(kDefaultSeed),
         kDefaultCheckpointPath);
@@ -154,8 +158,10 @@ argsAreKnown(int argc, char **argv)
         "--workers", "--csv",   "--checkpoint-every",
         "--checkpoint-path",    "--halt-at-day",
         "--day-sleep-ms",       "--shards",
-        "--worker-binary",      "--fault-schedule"};
-    static const char *kBareFlags[] = {"--journal-stress", "--resume"};
+        "--worker-binary",      "--fault-schedule",
+        "--bram-scrub"};
+    static const char *kBareFlags[] = {"--journal-stress", "--resume",
+                                       "--bram"};
     for (int i = 1; i < argc; ++i) {
         bool known = false;
         for (const char *flag : kValueFlags) {
@@ -201,6 +207,38 @@ parseStringFlag(int argc, char **argv, const char *flag,
 
 // ------------------------------------------------------------ report
 
+/**
+ * BRAM-channel report, stdout only: the CSV grid keeps its historical
+ * aging-channel columns so the committed golden stays byte-exact even
+ * under --bram.
+ */
+void
+printBramSummary(const serve::FleetScanResult &result)
+{
+    std::printf("\n  BRAM channel          %zu provider scrubs\n",
+                static_cast<std::size_t>(result.bram_scrub_ops));
+    std::printf("  %-12s %8s %10s %8s %8s %9s\n", "board", "blocks",
+                "recovered", "decayed", "zeroed", "teardown");
+    std::size_t blocks = 0;
+    std::size_t recovered = 0;
+    for (const serve::FleetScanBramScore &s : result.bram_boards) {
+        std::printf("  %-12s %8zu %10zu %8zu %8zu %9s\n",
+                    s.board.c_str(),
+                    static_cast<std::size_t>(s.blocks),
+                    static_cast<std::size_t>(s.recovered),
+                    static_cast<std::size_t>(s.decayed),
+                    static_cast<std::size_t>(s.zeroed),
+                    s.unclean ? "unclean" : "clean");
+        blocks += s.blocks;
+        recovered += s.recovered;
+    }
+    if (blocks > 0) {
+        std::printf("  %-12s %8zu %9.1f%%\n", "overall", blocks,
+                    100.0 * static_cast<double>(recovered) /
+                        static_cast<double>(blocks));
+    }
+}
+
 void
 printSummary(const serve::FleetScanResult &result, std::size_t fleet,
              bool journal_stress, double wall_s, int argc, char **argv)
@@ -240,6 +278,9 @@ printSummary(const serve::FleetScanResult &result, std::size_t fleet,
                     "replayed across %zu boards, coverage exact\n",
                     static_cast<std::size_t>(result.stress_elements),
                     static_cast<std::size_t>(result.stress_boards));
+    }
+    if (!result.bram_boards.empty()) {
+        printBramSummary(result);
     }
     std::printf("\n  wall clock            %.2f s (%.0f simulated "
                 "board-hours per ms)\n",
@@ -304,6 +345,33 @@ main(int argc, char **argv)
                      "fleet_campaign: --shards cannot be combined "
                      "with --journal-stress/--resume/--halt-at-day "
                      "(workers checkpoint and resume on their own)\n");
+        printUsage(stderr);
+        return 2;
+    }
+    const bool bram = bench::hasFlag(argc, argv, "--bram");
+    const std::string bram_scrub_name =
+        parseStringFlag(argc, argv, "--bram-scrub", "none");
+    cloud::BramScrubPolicy bram_scrub = cloud::BramScrubPolicy::None;
+    if (bram_scrub_name == "release") {
+        bram_scrub = cloud::BramScrubPolicy::ZeroOnRelease;
+    } else if (bram_scrub_name == "rent") {
+        bram_scrub = cloud::BramScrubPolicy::ZeroOnRent;
+    } else if (bram_scrub_name != "none") {
+        std::fprintf(stderr,
+                     "fleet_campaign: unknown --bram-scrub policy "
+                     "'%s'\n",
+                     bram_scrub_name.c_str());
+        printUsage(stderr);
+        return 2;
+    }
+    if (shards > 0 &&
+        (bram || bram_scrub != cloud::BramScrubPolicy::None)) {
+        // The per-board BRAM readouts are local-run bookkeeping, not
+        // part of the worker wire protocol, so a sharded run could
+        // not merge them.
+        std::fprintf(stderr,
+                     "fleet_campaign: --shards cannot be combined "
+                     "with --bram/--bram-scrub\n");
         printUsage(stderr);
         return 2;
     }
@@ -403,6 +471,8 @@ main(int argc, char **argv)
     // "tenant_" naming) is locked by the committed golden CSV.
     config.golden_compat = true;
     config.journal_stress = journal_stress;
+    config.bram_channel = bram;
+    config.bram_scrub = bram_scrub;
     config.halt_at_day = static_cast<int>(halt_at_day);
     const auto pool = bench::makePool(argc, argv);
     config.pool = pool.get();

@@ -88,6 +88,30 @@ FpgaInstance::advanceHours(double hours, double step_h)
 }
 
 void
+FpgaInstance::powerCycle(double off_hours)
+{
+    if (!(off_hours >= 0.0) || !std::isfinite(off_hours)) {
+        util::fatal("FpgaInstance::powerCycle: bad off-power hours");
+    }
+    // The wipe is an observation (it flips configured activities), so
+    // the deferred idle backlog must land first.
+    materializeDeferred();
+    device_.wipe();
+    device_.accrueBramOffPower(off_hours);
+    // Unpowered silicon holds no heat: the die is at ambient when the
+    // card comes back.
+    thermal_.restoreState(thermal_.ambientK(), thermal_.ambientK());
+    ++power_cycles_;
+}
+
+void
+FpgaInstance::pcieReset()
+{
+    materializeDeferred();
+    ++pcie_resets_;
+}
+
+void
 FpgaInstance::saveState(util::SnapshotWriter &writer) const
 {
     writer.str(id_);
@@ -105,6 +129,8 @@ FpgaInstance::saveState(util::SnapshotWriter &writer) const
     writer.u8(rng.have_cached ? 1 : 0);
     writer.u8(rented_ ? 1 : 0);
     writer.f64(released_at_h_);
+    writer.u64(power_cycles_);
+    writer.u64(pcie_resets_);
 }
 
 util::Expected<void>
@@ -140,6 +166,8 @@ FpgaInstance::restoreState(util::SnapshotReader &reader,
     rng.have_cached = reader.u8() != 0;
     const bool rented = reader.u8() != 0;
     const double released_at_h = reader.f64();
+    const std::uint64_t power_cycles = reader.u64();
+    const std::uint64_t pcie_resets = reader.u64();
     if (!reader.ok()) {
         return reader.status();
     }
@@ -156,6 +184,8 @@ FpgaInstance::restoreState(util::SnapshotReader &reader,
     rng_.setState(rng);
     rented_ = rented;
     released_at_h_ = released_at_h;
+    power_cycles_ = power_cycles;
+    pcie_resets_ = pcie_resets;
     return reader.status();
 }
 

@@ -124,6 +124,30 @@ class FpgaInstance
     void setReleasedAtHour(double hour) { released_at_h_ = hour; }
 
     /**
+     * Power event (host reboot / instance stop): the SRAM-based
+     * configuration is lost — a wipe, with all its activity-flip
+     * bookkeeping — and every BRAM block accrues `off_hours` against
+     * its retention window, while interconnect aging is untouched
+     * (it is physical wear). The die relaxes to ambient. Does NOT
+     * advance simulated time: the owner advances the clock through
+     * the normal advanceHours path.
+     */
+    void powerCycle(double off_hours);
+
+    /**
+     * PCIe hot reset: the configuration stays resident and BRAM
+     * contents survive untouched (the data-persistence literature's
+     * headline observation) — only the event counter moves. Exists so
+     * experiments can assert the survival, not fake it.
+     */
+    void pcieReset();
+
+    /** Power events seen (diagnostics + snapshot). */
+    std::uint64_t powerCycles() const { return power_cycles_; }
+    /** PCIe resets seen (diagnostics + snapshot). */
+    std::uint64_t pcieResets() const { return pcie_resets_; }
+
+    /**
      * Serialize the card into the writer's current chunk. Strictly
      * non-flushing: the deferred idle backlog and the device's raw
      * lazy state checkpoint as-is, so a restored card replays them at
@@ -172,6 +196,8 @@ class FpgaInstance
     util::Rng rng_;
     bool rented_ = false;
     double released_at_h_ = -1.0e18;
+    std::uint64_t power_cycles_ = 0;
+    std::uint64_t pcie_resets_ = 0;
 };
 
 } // namespace pentimento::cloud

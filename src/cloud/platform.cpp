@@ -31,6 +31,7 @@ CloudPlatform::CloudPlatform(PlatformConfig config)
         std::string id = "fpga-" + std::to_string(i);
         fleet_.push_back(std::make_unique<FpgaInstance>(
             id, std::move(dc), config_.ambient, rng_.split(id)));
+        index_.emplace(fleet_.back()->id(), i);
     }
 }
 
@@ -85,12 +86,22 @@ CloudPlatform::rent()
             });
         break;
       case AllocationPolicy::Random:
-        chosen = candidates[rng_.uniformInt(0, candidates.size() - 1)];
+        // uniformIndex = uniformInt(0, n-1) with a fatal guard on
+        // n == 0 instead of a silent wrap to the full 64-bit range
+        // (candidates is non-empty here, but the guard costs nothing
+        // and the size()-1 underflow class bit other call sites).
+        chosen = candidates[rng_.uniformIndex(candidates.size())];
         break;
     }
     // Hand the board over with a clean configuration (drops any
     // provider scrub design that ran while pooled).
     chosen->device().wipe();
+    if (config_.bram_scrub == BramScrubPolicy::ZeroOnRent) {
+        // Scrub at hand-over: catches content left by unclean
+        // teardowns that bypassed the release pipeline.
+        chosen->device().zeroBram();
+        ++bram_scrub_ops_;
+    }
     chosen->setRented(true);
     return chosen->id();
 }
@@ -108,16 +119,30 @@ CloudPlatform::rentAll()
 FpgaInstance *
 CloudPlatform::find(const std::string &instance_id)
 {
-    for (const auto &inst : fleet_) {
-        if (inst->id() == instance_id) {
-            return inst.get();
-        }
-    }
-    return nullptr;
+    const auto it = index_.find(instance_id);
+    return it == index_.end() ? nullptr : fleet_[it->second].get();
 }
 
 void
 CloudPlatform::release(const std::string &instance_id)
+{
+    releaseImpl(instance_id, /*clean=*/true, 0.0);
+}
+
+void
+CloudPlatform::releaseUnclean(const std::string &instance_id,
+                              double off_power_hours)
+{
+    if (!(off_power_hours >= 0.0) || !std::isfinite(off_power_hours)) {
+        util::fatal("CloudPlatform::releaseUnclean: bad off-power "
+                    "hours");
+    }
+    releaseImpl(instance_id, /*clean=*/false, off_power_hours);
+}
+
+void
+CloudPlatform::releaseImpl(const std::string &instance_id, bool clean,
+                           double off_power_hours)
 {
     FpgaInstance *inst = find(instance_id);
     if (inst == nullptr || !inst->rented()) {
@@ -127,6 +152,17 @@ CloudPlatform::release(const std::string &instance_id)
     // Provider-side scrub: the configuration is cleared, the silicon
     // keeps its BTI imprint.
     inst->device().wipe();
+    if (!clean) {
+        // Unclean teardown: the board saw a power event on its way
+        // back to the pool. Content ages against retention; nothing
+        // on the interconnect side differs from a clean release.
+        inst->device().accrueBramOffPower(off_power_hours);
+    } else if (config_.bram_scrub == BramScrubPolicy::ZeroOnRelease) {
+        // The release-pipeline content scrub — exactly the step an
+        // unclean teardown bypasses.
+        inst->device().zeroBram();
+        ++bram_scrub_ops_;
+    }
     inst->setRented(false);
     inst->setReleasedAtHour(now_h_);
 
@@ -225,6 +261,8 @@ CloudPlatform::saveState(util::SnapshotWriter &writer) const
     writer.u8(static_cast<std::uint8_t>(config_.policy));
     writer.f64(config_.quarantine_hours);
     writer.u8(config_.active_scrub ? 1 : 0);
+    writer.u8(static_cast<std::uint8_t>(config_.bram_scrub));
+    writer.u64(bram_scrub_ops_);
     writer.f64(now_h_);
     const util::Rng::State rng = rng_.state();
     for (const std::uint64_t word : rng.words) {
@@ -253,6 +291,8 @@ CloudPlatform::restoreState(util::SnapshotReader &reader,
     const std::uint8_t policy = reader.u8();
     const double quarantine = reader.f64();
     const bool active_scrub = reader.u8() != 0;
+    const std::uint8_t bram_scrub = reader.u8();
+    const std::uint64_t bram_scrub_ops = reader.u64();
     const double now_h = reader.f64();
     util::Rng::State rng;
     for (std::uint64_t &word : rng.words) {
@@ -267,7 +307,8 @@ CloudPlatform::restoreState(util::SnapshotReader &reader,
         region != config_.region ||
         policy != static_cast<std::uint8_t>(config_.policy) ||
         quarantine != config_.quarantine_hours ||
-        active_scrub != config_.active_scrub) {
+        active_scrub != config_.active_scrub ||
+        bram_scrub != static_cast<std::uint8_t>(config_.bram_scrub)) {
         reader.fail("snapshot: platform config fingerprint mismatch "
                     "(checkpoint belongs to a different fleet)");
         return reader.status();
@@ -295,6 +336,7 @@ CloudPlatform::restoreState(util::SnapshotReader &reader,
     }
     now_h_ = now_h;
     rng_.setState(rng);
+    bram_scrub_ops_ = bram_scrub_ops;
     return reader.status();
 }
 

@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cloud/instance.hpp"
@@ -37,6 +38,28 @@ enum class AllocationPolicy
     MostRecentlyReleased, ///< LIFO: favours temporal adversaries
     LeastRecentlyReleased, ///< FIFO
     Random
+};
+
+/**
+ * When (if ever) the provider zeroes BRAM contents around a tenancy
+ * change. Orthogonal to the interconnect-side wipe — a wipe clears
+ * configuration, which cannot touch memory contents — and to
+ * active_scrub, which drives *analog* wear. The ablation_bram_scrub
+ * bench prices these against each other.
+ */
+enum class BramScrubPolicy : std::uint8_t
+{
+    /** Contents ride along to the next tenant untouched. */
+    None,
+    /** Scrub when the provider processes a clean release. Unclean
+     *  teardowns (tenant crash, power event — releaseUnclean) bypass
+     *  the release pipeline and therefore the scrub: the residual
+     *  exposure window this leaves is exactly what the ablation
+     *  measures against ZeroOnRent. */
+    ZeroOnRelease,
+    /** Scrub at hand-over to the next tenant: catches unclean
+     *  teardowns too, at one scrub per rent. */
+    ZeroOnRent
 };
 
 /** Fleet configuration. */
@@ -68,6 +91,8 @@ struct PlatformConfig
      * that logical erasure cannot remove burn-in.
      */
     bool active_scrub = false;
+    /** BRAM content-scrub policy (see BramScrubPolicy). */
+    BramScrubPolicy bram_scrub = BramScrubPolicy::None;
     /** Master seed for the fleet. */
     std::uint64_t seed = 1234;
 };
@@ -107,6 +132,24 @@ class CloudPlatform
      * design ("scrubs FPGA state on termination") — aging persists.
      */
     void release(const std::string &instance_id);
+
+    /**
+     * Unclean teardown: the board returns to the pool outside the
+     * provider's release pipeline (tenant crash, host power event).
+     * Same configuration wipe and pool bookkeeping as release(), but
+     * the ZeroOnRelease content scrub is bypassed — that residual is
+     * the exposure window the BRAM channel exploits — and the
+     * board's BRAM blocks accrue `off_power_hours` against their
+     * retention windows. Interconnect-side behaviour (wipe, active
+     * scrub) is identical to release(), so enabling unclean
+     * teardowns never perturbs the aging channel.
+     */
+    void releaseUnclean(const std::string &instance_id,
+                        double off_power_hours = 0.0);
+
+    /** BRAM scrub operations performed so far (the cost side of the
+     *  scrub-policy ablation). */
+    std::uint64_t bramScrubOps() const { return bram_scrub_ops_; }
 
     /** Access an instance (caller must have rented it). */
     FpgaInstance &instance(const std::string &instance_id);
@@ -166,13 +209,25 @@ class CloudPlatform
   private:
     FpgaInstance *find(const std::string &instance_id);
     bool availableForRent(const FpgaInstance &inst) const;
+    /** Shared body of release()/releaseUnclean(). */
+    void releaseImpl(const std::string &instance_id, bool clean,
+                     double off_power_hours);
 
     PlatformConfig config_;
     Marketplace marketplace_;
     fabric::DesignRuleChecker drc_;
     std::vector<std::unique_ptr<FpgaInstance>> fleet_;
+    /** id → fleet_ index. The fleet is fixed at construction and
+     *  restore never reorders it (board chunks are fingerprint-
+     *  checked against ids in fleet order), so the index is built
+     *  once and stays valid across snapshot round-trips. Every
+     *  rent/release/loadDesign/instance call resolves through it —
+     *  the linear scan it replaced made fleet-wide campaign phases
+     *  O(N²). */
+    std::unordered_map<std::string, std::size_t> index_;
     util::Rng rng_;
     double now_h_ = 0.0;
+    std::uint64_t bram_scrub_ops_ = 0;
 };
 
 } // namespace pentimento::cloud

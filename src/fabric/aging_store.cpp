@@ -1,153 +1,11 @@
 #include "fabric/aging_store.hpp"
 
-#include <algorithm>
-#include <mutex>
-
-#include "util/logging.hpp"
-
 namespace pentimento::fabric {
 
-AgingStore::~AgingStore()
+AgingStore::AgingStore()
 {
-    const std::uint32_t count = count_.load(std::memory_order_relaxed);
-    for (std::uint32_t h = 0; h < count; ++h) {
-        slot(h)->~RoutingElement();
-    }
-}
-
-ElementHandle
-AgingStore::lookup(std::uint64_t key) const
-{
-    if (index_.empty()) {
-        return kInvalidElement;
-    }
-    const std::size_t mask = index_.size() - 1;
-    std::size_t i = hashKey(key) & mask;
-    while (true) {
-        const IndexSlot &slot = index_[i];
-        if (slot.handle == kInvalidElement) {
-            return kInvalidElement;
-        }
-        if (slot.key == key) {
-            return slot.handle;
-        }
-        i = (i + 1) & mask;
-    }
-}
-
-void
-AgingStore::indexInsert(std::uint64_t key, ElementHandle h)
-{
-    // Keep the load factor under 1/2 so probe runs stay short. The
-    // arithmetic must run at std::size_t width: at uint32 width the
-    // doubling overflows once index_used_ crosses 2^31, the grow
-    // check goes false forever, and the table silently overfills
-    // until lookup()'s probe loop can no longer terminate.
-    if (2 * (static_cast<std::size_t>(index_used_) + 1) >
-        index_.size()) {
-        const std::size_t grown =
-            index_.empty() ? 1024 : index_.size() * 2;
-        std::vector<IndexSlot> rehashed(grown);
-        const std::size_t mask = grown - 1;
-        for (const IndexSlot &slot : index_) {
-            if (slot.handle == kInvalidElement) {
-                continue;
-            }
-            std::size_t i = hashKey(slot.key) & mask;
-            while (rehashed[i].handle != kInvalidElement) {
-                i = (i + 1) & mask;
-            }
-            rehashed[i] = slot;
-        }
-        index_ = std::move(rehashed);
-    }
-    const std::size_t mask = index_.size() - 1;
-    std::size_t i = hashKey(key) & mask;
-    while (index_[i].handle != kInvalidElement) {
-        i = (i + 1) & mask;
-    }
-    index_[i] = IndexSlot{key, h};
-    ++index_used_;
-}
-
-ElementHandle
-AgingStore::ensure(ResourceId id,
-                   const std::function<RoutingElement(ResourceId)> &make)
-{
-    const std::uint64_t key = id.key();
-    {
-        std::shared_lock<std::shared_mutex> lock(mutex_);
-        const ElementHandle h = lookup(key);
-        if (h != kInvalidElement) {
-            return h;
-        }
-    }
-    RoutingElement fresh = make(id);
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    const ElementHandle existing = lookup(key);
-    if (existing != kInvalidElement) {
-        return existing; // another thread won the race
-    }
-    const std::uint32_t count = count_.load(std::memory_order_relaxed);
-    if (count == kInvalidElement) {
-        util::fatal("AgingStore: element capacity exhausted");
-    }
-    if ((count >> kChunkShift) == chunks_.size()) {
-        chunks_.push_back(std::make_unique<Chunk>());
-        dvth_chunks_.push_back(std::make_unique<DvthChunk>());
-    }
-    const ElementHandle h = count;
-    new (slot(h)) RoutingElement(std::move(fresh));
-    // Publish only after the element is constructed (see size()).
-    count_.store(count + 1, std::memory_order_release);
-    indexInsert(key, h);
-    return h;
-}
-
-ElementHandle
-AgingStore::find(std::uint64_t key) const
-{
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    return lookup(key);
-}
-
-RoutingElement &
-AgingStore::at(ElementHandle h)
-{
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    if (h >= size()) {
-        util::fatal("AgingStore::at: handle out of range");
-    }
-    return *slot(h);
-}
-
-const RoutingElement &
-AgingStore::at(ElementHandle h) const
-{
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    if (h >= size()) {
-        util::fatal("AgingStore::at: handle out of range");
-    }
-    return *slot(h);
-}
-
-std::vector<ResourceId>
-AgingStore::sortedIds() const
-{
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    const std::uint32_t count = count_.load(std::memory_order_relaxed);
-    std::vector<std::uint64_t> keys;
-    keys.reserve(count);
-    for (std::uint32_t h = 0; h < count; ++h) {
-        keys.push_back(slot(h)->id().key());
-    }
-    std::sort(keys.begin(), keys.end());
-    std::vector<ResourceId> ids;
-    ids.reserve(keys.size());
-    for (const std::uint64_t key : keys) {
-        ids.push_back(ResourceId::fromKey(key));
-    }
-    return ids;
+    slab_.setChunkGrowHook(
+        [this] { dvth_chunks_.push_back(std::make_unique<DvthChunk>()); });
 }
 
 } // namespace pentimento::fabric

@@ -10,6 +10,12 @@
  * exactly once — at bind time — and every subsequent hot-path access
  * is a flat array read with no hashing and no lock.
  *
+ * The slab + key-index machinery itself is the generic
+ * ElementSlab<T> (fabric/element_slab.hpp); AgingStore layers the
+ * epoch-keyed ΔVth memo on top, grown in lockstep with the element
+ * chunks via the slab's chunk-grow hook so a RoutingElement stays one
+ * cache line and the memo stays a flat side array.
+ *
  * Thread-safety: ensure()/find()/size()/sortedIds() may be called
  * concurrently (a shared_mutex guards the key index and slab growth).
  * sweepAt() is the unlocked dense accessor for exclusive phases
@@ -21,24 +27,16 @@
 #ifndef PENTIMENTO_FABRIC_AGING_STORE_HPP
 #define PENTIMENTO_FABRIC_AGING_STORE_HPP
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
+#include "fabric/element_slab.hpp"
 #include "fabric/resource.hpp"
 #include "fabric/routing_element.hpp"
 
 namespace pentimento::fabric {
-
-/** Dense index of a materialised element inside an AgingStore. */
-using ElementHandle = std::uint32_t;
-
-/** Sentinel for "not materialised". */
-inline constexpr ElementHandle kInvalidElement =
-    static_cast<ElementHandle>(-1);
 
 /** Epoch value meaning "this ΔVth entry has never been filled". The
  *  device's state epoch counts up from zero, so ~0 is unreachable. */
@@ -65,25 +63,24 @@ struct DvthCacheEntry
 };
 
 /**
- * Chunked slab of RoutingElements plus a ResourceId-key index.
+ * Chunked slab of RoutingElements plus a ResourceId-key index and a
+ * ΔVth memo side array.
  */
 class AgingStore
 {
   public:
-    AgingStore() = default;
-    ~AgingStore();
+    AgingStore();
+    ~AgingStore() = default;
 
     AgingStore(const AgingStore &) = delete;
     AgingStore &operator=(const AgingStore &) = delete;
 
-    /** Number of materialised elements. Lock-free: the count only
-     *  grows, and it is published (release) after the element is
-     *  constructed, so a reader that observes handle h < size() can
-     *  always dereference it. Called once per recorded aging span. */
+    /** Number of materialised elements. Lock-free (see
+     *  ElementSlab::size()). Called once per recorded aging span. */
     std::size_t
     size() const
     {
-        return count_.load(std::memory_order_acquire);
+        return slab_.size();
     }
 
     /**
@@ -92,12 +89,19 @@ class AgingStore
      * expensive part); when two threads race, one construction wins
      * and the other is discarded.
      */
-    ElementHandle ensure(
-        ResourceId id,
-        const std::function<RoutingElement(ResourceId)> &make);
+    ElementHandle
+    ensure(ResourceId id,
+           const std::function<RoutingElement(ResourceId)> &make)
+    {
+        return slab_.ensure(id, make);
+    }
 
     /** Handle for a packed key, or kInvalidElement. */
-    ElementHandle find(std::uint64_t key) const;
+    ElementHandle
+    find(std::uint64_t key) const
+    {
+        return slab_.find(key);
+    }
 
     /**
      * find() without the shared lock, for exclusive phases (design
@@ -108,24 +112,34 @@ class AgingStore
     ElementHandle
     findExclusive(std::uint64_t key) const
     {
-        return lookup(key);
+        return slab_.findExclusive(key);
     }
 
     /** Element behind a handle (shared-locked bounds check). */
-    RoutingElement &at(ElementHandle h);
-    const RoutingElement &at(ElementHandle h) const;
+    RoutingElement &
+    at(ElementHandle h)
+    {
+        return slab_.at(h);
+    }
+    const RoutingElement &
+    at(ElementHandle h) const
+    {
+        return slab_.at(h);
+    }
 
     /**
      * Unlocked dense access for exclusive-phase sweeps. The handle
      * must be < size(); no concurrent ensure() may run.
      */
-    RoutingElement &sweepAt(ElementHandle h)
+    RoutingElement &
+    sweepAt(ElementHandle h)
     {
-        return *slot(h);
+        return slab_.sweepAt(h);
     }
-    const RoutingElement &sweepAt(ElementHandle h) const
+    const RoutingElement &
+    sweepAt(ElementHandle h) const
     {
-        return *slot(h);
+        return slab_.sweepAt(h);
     }
 
     /**
@@ -141,85 +155,34 @@ class AgingStore
     DvthCacheEntry &
     dvthSlot(ElementHandle h)
     {
-        return dvth_chunks_[h >> kChunkShift]
-            ->entries[h & kChunkMask];
+        return dvth_chunks_[h >> ElementSlab<RoutingElement>::kChunkShift]
+            ->entries[h & ElementSlab<RoutingElement>::kChunkMask];
     }
 
     /**
      * Ids of every materialised element, sorted by packed key so the
      * listing is deterministic regardless of materialisation order.
      */
-    std::vector<ResourceId> sortedIds() const;
+    std::vector<ResourceId>
+    sortedIds() const
+    {
+        return slab_.sortedIds();
+    }
 
   private:
-    /** Elements per chunk; power of two so slot() is shift + mask. */
-    static constexpr std::uint32_t kChunkShift = 10;
-    static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
-    static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
-
-    struct Chunk
-    {
-        alignas(RoutingElement) std::byte
-            raw[sizeof(RoutingElement) * kChunkSize];
-    };
-
     /** ΔVth memo chunk mirroring one element chunk, kept out of the
      *  element slab so a RoutingElement stays one cache line. */
     struct DvthChunk
     {
-        DvthCacheEntry entries[kChunkSize];
+        DvthCacheEntry
+            entries[ElementSlab<RoutingElement>::kChunkSize];
     };
 
-    RoutingElement *slot(ElementHandle h)
-    {
-        return reinterpret_cast<RoutingElement *>(
-                   chunks_[h >> kChunkShift]->raw) +
-               (h & kChunkMask);
-    }
-    const RoutingElement *slot(ElementHandle h) const
-    {
-        return reinterpret_cast<const RoutingElement *>(
-                   chunks_[h >> kChunkShift]->raw) +
-               (h & kChunkMask);
-    }
-
-    /**
-     * Open-addressing key index: a power-of-two probe table of
-     * (key, handle) with handle == kInvalidElement marking empty
-     * slots. Keys are never erased, so linear probing needs no
-     * tombstones; the flat layout keeps the bind/materialise paths —
-     * a hash probe per configured element per design load — off the
-     * node-allocating std::unordered_map.
-     */
-    struct IndexSlot
-    {
-        std::uint64_t key = 0;
-        ElementHandle handle = kInvalidElement;
-    };
-
-    static std::uint64_t
-    hashKey(std::uint64_t key)
-    {
-        // splitmix64 finaliser: full-avalanche mix of the packed id.
-        key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ULL;
-        key = (key ^ (key >> 27)) * 0x94d049bb133111ebULL;
-        return key ^ (key >> 31);
-    }
-
-    /** Probe for key (caller holds a lock). */
-    ElementHandle lookup(std::uint64_t key) const;
-
-    /** Insert key -> h, growing as needed (caller holds the unique
+    ElementSlab<RoutingElement> slab_;
+    /** Grown in lockstep with the slab's chunks via the grow hook
+     *  (installed in the constructor, invoked under the slab's unique
      *  lock). */
-    void indexInsert(std::uint64_t key, ElementHandle h);
-
-    std::vector<std::unique_ptr<Chunk>> chunks_;
-    /** Grown in lockstep with chunks_ (see ensure()). */
     std::vector<std::unique_ptr<DvthChunk>> dvth_chunks_;
-    std::atomic<std::uint32_t> count_ = 0;
-    std::vector<IndexSlot> index_;
-    std::uint32_t index_used_ = 0;
-    mutable std::shared_mutex mutex_;
 };
 
 } // namespace pentimento::fabric

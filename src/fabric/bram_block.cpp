@@ -1,0 +1,23 @@
+#include "fabric/bram_block.hpp"
+
+namespace pentimento::fabric {
+
+const char *
+toString(BramState state)
+{
+    switch (state) {
+      case BramState::Unwritten:
+        return "unwritten";
+      case BramState::Written:
+        return "written";
+      case BramState::Retained:
+        return "retained";
+      case BramState::Decayed:
+        return "decayed";
+      case BramState::Zeroed:
+        return "zeroed";
+    }
+    return "?";
+}
+
+} // namespace pentimento::fabric

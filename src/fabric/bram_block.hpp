@@ -1,0 +1,150 @@
+/**
+ * @file
+ * BRAM content remanence: the second persistent resource class.
+ *
+ * Pentimento's channel is interconnect *aging*; the related work
+ * (Zhang et al., "Security Risks Due to Data Persistence in Cloud
+ * FPGA Platforms") attacks memory *contents* surviving tenancy
+ * changes. The two channels have opposite persistence semantics:
+ *
+ *   - interconnect aging survives reconfiguration (it is physical
+ *     wear) but recovers over time;
+ *   - BRAM contents survive power events and PCIe resets (within a
+ *     per-cell retention window) but are zeroed the moment a new
+ *     bitstream is configured, and may additionally be scrubbed by
+ *     provider policy.
+ *
+ * A BramBlock models one block RAM's representative word plus the
+ * state machine that tracks what an attacker reading it back would
+ * see:
+ *
+ *     Unwritten ──write──▶ Written ──survived power-off──▶ Retained
+ *         │                  │  │
+ *         │                  │  └──retention exceeded──▶ Decayed
+ *         └──────────────────┴──(re)configuration/scrub──▶ Zeroed
+ *
+ * Written/Retained/Decayed resolution is lazy: power-off hours
+ * accrue on the block (`accrueOffPower`) and the Written→Retained or
+ * Written→Decayed transition happens only when the content is next
+ * observed (`resolveRetention`) — mirroring how routing-element aging
+ * replays lazily at observation. The retention limit is a
+ * deterministic per-element draw (the Device seeds it from a split
+ * Rng stream at materialisation), so resolution is pure and
+ * independent of observation order and worker count.
+ *
+ * The struct is trivially copyable by design: it lives in an
+ * ElementSlab chunk and is snapshotted field-by-field.
+ */
+
+#ifndef PENTIMENTO_FABRIC_BRAM_BLOCK_HPP
+#define PENTIMENTO_FABRIC_BRAM_BLOCK_HPP
+
+#include <cstdint>
+#include <type_traits>
+
+#include "fabric/resource.hpp"
+
+namespace pentimento::fabric {
+
+/** Observable lifecycle of one BRAM block's contents. */
+enum class BramState : std::uint8_t
+{
+    Unwritten, ///< never initialised since device power-on
+    Written,   ///< holds tenant data; retention not yet resolved
+    Retained,  ///< survived power events inside the retention window
+    Decayed,   ///< retention window exceeded; content is cell noise
+    Zeroed     ///< cleared by (re)configuration or provider scrub
+};
+
+/** Human-readable state name (tests and experiment summaries). */
+const char *toString(BramState state);
+
+/**
+ * One block RAM's persistent content state.
+ */
+struct BramBlock
+{
+    ResourceId id_{};
+    BramState state = BramState::Unwritten;
+    /** Representative 64-bit word of the block's contents. */
+    std::uint64_t content = 0;
+    /** Device-clock hour the content was last written. */
+    double written_at_h = 0.0;
+    /** Off-power hours accrued since the last write (pending decay
+     *  resolution — see resolveRetention()). */
+    double off_power_h = 0.0;
+    /** Per-element retention limit: off-power time beyond which the
+     *  content decays to cell noise. Drawn once at materialisation
+     *  from a split Rng stream keyed by the element id. */
+    double retention_limit_h = 0.0;
+
+    ResourceId
+    id() const
+    {
+        return id_;
+    }
+
+    /** Tenant write: content becomes live data, pending decay state
+     *  resets. */
+    void
+    write(std::uint64_t word, double now_h)
+    {
+        state = BramState::Written;
+        content = word;
+        written_at_h = now_h;
+        off_power_h = 0.0;
+    }
+
+    /** (Re)configuration or provider scrub: contents are cleared
+     *  regardless of prior state. */
+    void
+    zero()
+    {
+        state = BramState::Zeroed;
+        content = 0;
+        off_power_h = 0.0;
+    }
+
+    /** Accrue off-power time against the retention window. Only
+     *  content that exists can decay. */
+    void
+    accrueOffPower(double hours)
+    {
+        if (state == BramState::Written ||
+            state == BramState::Retained) {
+            off_power_h += hours;
+        }
+    }
+
+    /**
+     * Lazily resolve pending off-power exposure at observation time.
+     * Returns true when the block just transitioned to Decayed — the
+     * caller must then replace `content` with its deterministic
+     * cell-noise draw (the draw needs the device seed, which the
+     * block does not carry).
+     */
+    bool
+    resolveRetention()
+    {
+        if (state != BramState::Written &&
+            state != BramState::Retained) {
+            return false;
+        }
+        if (off_power_h > retention_limit_h) {
+            state = BramState::Decayed;
+            return true;
+        }
+        if (off_power_h > 0.0) {
+            state = BramState::Retained;
+        }
+        return false;
+    }
+};
+
+static_assert(std::is_trivially_copyable_v<BramBlock>,
+              "BramBlock lives in raw slab chunks and is snapshotted "
+              "field-by-field");
+
+} // namespace pentimento::fabric
+
+#endif // PENTIMENTO_FABRIC_BRAM_BLOCK_HPP

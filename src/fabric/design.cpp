@@ -104,6 +104,13 @@ Design::activityFor(ResourceId id) const
 }
 
 void
+Design::setBramInit(ResourceId id, std::uint64_t word)
+{
+    bram_init_[id.key()] = word;
+    ++bram_revision_;
+}
+
+void
 Design::addCombinationalEdge(const std::string &from,
                              const std::string &to)
 {

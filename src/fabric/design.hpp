@@ -96,6 +96,34 @@ class Design
     std::uint64_t keysetRevision() const { return keyset_revision_; }
 
     /**
+     * Initial content word for a BRAM block the design instantiates.
+     * Applied by the device at configuration time (loadDesign): the
+     * configured word lands in the block's content state, exactly as
+     * a bitstream's BRAM init payload would.
+     *
+     * Deliberately separate from the element-activity map and its
+     * revision counters: BRAM inits do not drive aging, so mutating
+     * them must not perturb the device's activity-resolution caches
+     * (nor any draw sequence downstream of them). Mutations on a
+     * design that is already resident take effect at the *next*
+     * loadDesign — configuration is the only write path into the
+     * fabric, matching real hardware.
+     */
+    void setBramInit(ResourceId id, std::uint64_t word);
+
+    /** All declared BRAM init words, keyed by packed ResourceId. */
+    const std::unordered_map<std::uint64_t, std::uint64_t> &
+    bramInitMap() const
+    {
+        return bram_init_;
+    }
+
+    /** Monotonic counter bumped by every BRAM init mutation (own
+     *  counter so the activity caches stay undisturbed; see
+     *  setBramInit). */
+    std::uint64_t bramRevision() const { return bram_revision_; }
+
+    /**
      * Declare a combinational arc between named logic nodes; the DRC
      * scans these for loops (ring-oscillator detection, as AWS does).
      */
@@ -114,7 +142,9 @@ class Design
     double power_w_ = 0.0;
     std::uint64_t revision_ = 0;
     std::uint64_t keyset_revision_ = 0;
+    std::uint64_t bram_revision_ = 0;
     std::unordered_map<std::uint64_t, ElementActivity> activity_;
+    std::unordered_map<std::uint64_t, std::uint64_t> bram_init_;
     std::vector<std::pair<std::string, std::string>> edges_;
 };
 

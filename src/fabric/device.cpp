@@ -53,6 +53,97 @@ Device::makeElement(ResourceId id) const
                           fresh_scale_ * coupling);
 }
 
+BramBlock
+Device::makeBramBlock(ResourceId id) const
+{
+    // Retention is a pure function of (device seed, block id) — same
+    // discipline as process variation, so materialisation order and
+    // worker count are irrelevant. The "bram" tag keeps the stream
+    // disjoint from the variation stream of a routing element that
+    // happens to share the packed key space.
+    util::Rng stream =
+        util::Rng(config_.seed).split("bram").split(id.key());
+    BramBlock block;
+    block.id_ = id;
+    block.retention_limit_h =
+        stream.lognormal(std::log(config_.bram_retention_median_h),
+                         config_.bram_retention_sigma);
+    return block;
+}
+
+void
+Device::writeBram(ResourceId id, std::uint64_t word)
+{
+    const ElementHandle h = bram_.ensure(
+        id, [this](ResourceId rid) { return makeBramBlock(rid); });
+    bram_.at(h).write(word, elapsedHours());
+}
+
+const BramBlock &
+Device::readBram(ResourceId id)
+{
+    const ElementHandle h = bram_.ensure(
+        id, [this](ResourceId rid) { return makeBramBlock(rid); });
+    BramBlock &block = bram_.at(h);
+    if (block.resolveRetention()) {
+        // Decayed: the word the attacker reads is cell noise — a pure
+        // per-id draw, so any observation order sees the same noise.
+        block.content = util::Rng(config_.seed)
+                            .split("bram_decay")
+                            .split(id.key())
+                            .uniformInt(0, ~0ULL);
+    }
+    return block;
+}
+
+const BramBlock *
+Device::findBramBlock(ResourceId id) const
+{
+    const ElementHandle h = bram_.find(id.key());
+    return h == kInvalidElement ? nullptr : &bram_.at(h);
+}
+
+void
+Device::zeroBram()
+{
+    const std::size_t count = bram_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+        bram_.sweepAt(static_cast<ElementHandle>(i)).zero();
+    }
+}
+
+void
+Device::accrueBramOffPower(double hours)
+{
+    if (!(hours >= 0.0)) {
+        util::fatal("Device::accrueBramOffPower: negative hours");
+    }
+    const std::size_t count = bram_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+        bram_.sweepAt(static_cast<ElementHandle>(i))
+            .accrueOffPower(hours);
+    }
+}
+
+void
+Device::applyBramConfiguration()
+{
+    // Configuration writes the whole BRAM column: every block is
+    // zeroed (this is why reconfiguration kills the content channel)
+    // and the design's declared init words land on top.
+    zeroBram();
+    if (design_ == nullptr) {
+        bram_applied_design_.clear();
+        bram_applied_revision_ = 0;
+        return;
+    }
+    for (const auto &[key, word] : design_->bramInitMap()) {
+        writeBram(ResourceId::fromKey(key), word);
+    }
+    bram_applied_design_ = design_->name();
+    bram_applied_revision_ = design_->bramRevision();
+}
+
 ElementHandle
 Device::bindElement(ResourceId id)
 {
@@ -316,9 +407,11 @@ Device::loadDesign(std::shared_ptr<const Design> design)
     flushExternalTime();
     if (design_ == design && activity_design_ == design &&
         activity_revision_ == design->revision() &&
-        covered_slab_ == store_.size()) {
+        covered_slab_ == store_.size() &&
+        bram_applied_revision_ == design->bramRevision()) {
         // Re-loading the resident, unmutated design: nothing physical
-        // changes, so neither the timeline nor the epoch moves.
+        // changes — no reconfiguration happens, so BRAM contents
+        // survive and neither the timeline nor the epoch moves.
         return;
     }
     // applyDesignActivity resolves (and thereby materialises) every
@@ -327,6 +420,19 @@ Device::loadDesign(std::shared_ptr<const Design> design)
     // if nothing ever reads their delay.
     design_ = std::move(design);
     applyDesignActivity();
+    // A real (re)configuration zeroes BRAM and lands the new design's
+    // init words. Gated on (name, bramRevision) rather than object
+    // identity so that re-loading an equivalent design into a
+    // *restored* device — the checkpoint-resume path, which must be
+    // neutral for every persistent state — leaves mid-tenancy BRAM
+    // contents exactly as serialized, the same way the activity apply
+    // above is flip-free there. Independent of the activity apply:
+    // no aging state, journal run, or Rng stream is shared between
+    // the channels.
+    if (design_->name() != bram_applied_design_ ||
+        design_->bramRevision() != bram_applied_revision_) {
+        applyBramConfiguration();
+    }
     maybeCompactTimeline();
     ++state_epoch_;
 }
@@ -394,6 +500,12 @@ Device::wipe()
     design_.reset();
     activity_design_.reset();
     activity_revision_ = 0;
+    // BRAM contents survive the wipe — that is this channel's
+    // vulnerability — but the applied-configuration tracking clears:
+    // any bitstream loaded after a wipe, even the same one, is a real
+    // reconfiguration and must zero the blocks.
+    bram_applied_design_.clear();
+    bram_applied_revision_ = 0;
     covered_slab_ = store_.size();
     maybeCompactTimeline();
     ++state_epoch_;
@@ -774,6 +886,11 @@ Device::saveState(util::SnapshotWriter &writer) const
     writer.u32(config_.tiles_y);
     writer.u32(config_.nodes_per_tile);
     writer.u8(config_.eager_materialisation ? 1 : 0);
+    // Retention identity: the per-block limits are pure draws from
+    // (seed, median, sigma), so a knob skew would graft one board's
+    // decay behaviour onto another's contents.
+    writer.f64(config_.bram_retention_median_h);
+    writer.f64(config_.bram_retention_sigma);
 
     writer.f64(elapsed_h_.rawSum());
     writer.f64(elapsed_h_.rawCompensation());
@@ -825,6 +942,28 @@ Device::saveState(util::SnapshotWriter &writer) const
     }
 
     journal_.saveState(writer);
+
+    // BRAM content slab, in handle order like the element slab. Raw
+    // state: a Written block with pending off-power hours serializes
+    // unresolved — resolution happens at readback on whichever side
+    // of the checkpoint the readback lands, with identical results
+    // (the retention limit travels with the block). The applied-
+    // configuration tracking travels too, so the resume re-load of
+    // the resident design recognises itself and stays BRAM-neutral.
+    writer.str(bram_applied_design_);
+    writer.u64(bram_applied_revision_);
+    const std::size_t bram_count = bram_.size();
+    writer.u64(bram_count);
+    for (std::size_t i = 0; i < bram_count; ++i) {
+        const BramBlock &block =
+            bram_.sweepAt(static_cast<ElementHandle>(i));
+        writer.u64(block.id_.key());
+        writer.u8(static_cast<std::uint8_t>(block.state));
+        writer.u64(block.content);
+        writer.f64(block.written_at_h);
+        writer.f64(block.off_power_h);
+        writer.f64(block.retention_limit_h);
+    }
 }
 
 util::Expected<void>
@@ -832,7 +971,8 @@ Device::restoreState(util::SnapshotReader &reader, bool *had_design)
 {
     if (store_.size() != 0 || timeline_.position() != 0 ||
         timeline_.openValid() || journal_.activeKeyCount() != 0 ||
-        design_ != nullptr || elapsed_h_.value() != 0.0) {
+        bram_.size() != 0 || design_ != nullptr ||
+        elapsed_h_.value() != 0.0) {
         return util::unexpected(
             "Device::restoreState: target device is not pristine");
     }
@@ -844,6 +984,8 @@ Device::restoreState(util::SnapshotReader &reader, bool *had_design)
     const std::uint32_t tiles_y = reader.u32();
     const std::uint32_t nodes_per_tile = reader.u32();
     const bool eager = reader.u8() != 0;
+    const double retention_median = reader.f64();
+    const double retention_sigma = reader.f64();
     if (!reader.ok()) {
         return reader.status();
     }
@@ -851,7 +993,9 @@ Device::restoreState(util::SnapshotReader &reader, bool *had_design)
         service_age_h != config_.service_age_h ||
         tiles_x != config_.tiles_x || tiles_y != config_.tiles_y ||
         nodes_per_tile != config_.nodes_per_tile ||
-        eager != config_.eager_materialisation) {
+        eager != config_.eager_materialisation ||
+        retention_median != config_.bram_retention_median_h ||
+        retention_sigma != config_.bram_retention_sigma) {
         reader.fail("snapshot: device config fingerprint mismatch "
                     "(checkpoint was taken on a different board)");
         return reader.status();
@@ -969,8 +1113,49 @@ Device::restoreState(util::SnapshotReader &reader, bool *had_design)
         }
     }
 
+    std::string bram_applied_design = reader.str();
+    const std::uint64_t bram_applied_revision = reader.u64();
+    const std::uint64_t bram_count = reader.u64();
+    if (!reader.ok()) {
+        return reader.status();
+    }
+    for (std::uint64_t i = 0; i < bram_count; ++i) {
+        const std::uint64_t key = reader.u64();
+        const std::uint8_t state = reader.u8();
+        const std::uint64_t content = reader.u64();
+        const double written_at = reader.f64();
+        const double off_power = reader.f64();
+        const double retention = reader.f64();
+        if (!reader.ok()) {
+            return reader.status();
+        }
+        if (state > static_cast<std::uint8_t>(BramState::Zeroed) ||
+            !std::isfinite(written_at) || !(off_power >= 0.0) ||
+            !std::isfinite(off_power) || !(retention >= 0.0) ||
+            !std::isfinite(retention)) {
+            reader.fail("snapshot: BRAM block state is not sane");
+            return reader.status();
+        }
+        BramBlock block;
+        block.id_ = ResourceId::fromKey(key);
+        block.state = static_cast<BramState>(state);
+        block.content = content;
+        block.written_at_h = written_at;
+        block.off_power_h = off_power;
+        block.retention_limit_h = retention;
+        const ElementHandle h = bram_.ensure(
+            block.id_, [&](ResourceId) { return block; });
+        if (h != static_cast<ElementHandle>(i)) {
+            reader.fail("snapshot: duplicate BRAM key breaks handle "
+                        "order");
+            return reader.status();
+        }
+    }
+
     timeline_.restoreState(std::move(closed), open_ctx, open_sum,
                            open_comp, open_valid);
+    bram_applied_design_ = std::move(bram_applied_design);
+    bram_applied_revision_ = bram_applied_revision;
     elapsed_h_.restoreParts(elapsed_sum, elapsed_comp);
     state_epoch_ = state_epoch;
     alloc_cursor_ = alloc_cursor;

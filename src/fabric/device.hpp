@@ -67,6 +67,7 @@
 #include "fabric/activity_journal.hpp"
 #include "fabric/aging_store.hpp"
 #include "fabric/aging_timeline.hpp"
+#include "fabric/bram_block.hpp"
 #include "fabric/design.hpp"
 #include "fabric/resource.hpp"
 #include "fabric/route.hpp"
@@ -120,6 +121,18 @@ struct DeviceConfig
     double service_age_h = 0.0;
     /** Per-device silicon seed (process variation identity). */
     std::uint64_t seed = 1;
+    /**
+     * BRAM cell retention across power-off, lognormal per block:
+     * median off-power hours a block's contents survive before
+     * decaying to cell noise. SRAM retention at room temperature is
+     * seconds-to-minutes class; the per-block draw (split Rng stream
+     * keyed by the block id, same idiom as process variation) models
+     * the cell-to-cell spread the data-persistence literature
+     * measures.
+     */
+    double bram_retention_median_h = 0.05;
+    /** Lognormal sigma of the per-block retention draw. */
+    double bram_retention_sigma = 1.0;
     /**
      * Materialise every configured element at design load (the
      * pre-journal behaviour) instead of deferring to first
@@ -291,6 +304,48 @@ class Device
     /** Currently loaded design, or nullptr. */
     const Design *currentDesign() const { return design_.get(); }
 
+    // ── BRAM content remanence (the second resource class) ─────────
+    //
+    // Persistence semantics are the *inverse* of interconnect aging:
+    // wipe() clears the logical configuration but leaves BRAM words
+    // (they are physical SRAM state, not configuration), power events
+    // and PCIe resets leave them too (within each block's retention
+    // window), and only (re)configuration — loadDesign — or an
+    // explicit provider scrub zeroes them. None of these paths touch
+    // the aging slab, the journal, the timeline, or any Rng stream
+    // the interconnect channel consumes: the routing goldens cannot
+    // move.
+
+    /** Tenant write of a block's representative word. Materialises
+     *  the block (retention limit drawn from a split stream keyed by
+     *  the id — pure, order-independent). */
+    void writeBram(ResourceId id, std::uint64_t word);
+
+    /**
+     * Attacker/tenant readback. Resolves pending off-power exposure
+     * lazily (Written → Retained or Decayed; a decayed block's word
+     * is replaced by a deterministic per-id cell-noise draw) and
+     * returns the block. Reading is not a timeline observation —
+     * BRAM content carries no analog aging to replay.
+     */
+    const BramBlock &readBram(ResourceId id);
+
+    /** Look up a block without materialising or resolving it.
+     *  Returns nullptr when the block was never touched. */
+    const BramBlock *findBramBlock(ResourceId id) const;
+
+    /** Zero every materialised block (provider scrub / configuration
+     *  clear). Unlike wipe(), this IS observable by a later tenant:
+     *  it is the mitigation the scrub-policy ablation prices. */
+    void zeroBram();
+
+    /** Accrue off-power hours against every block's retention window
+     *  (power loss; PCIe resets pass 0 hours and leave content). */
+    void accrueBramOffPower(double hours);
+
+    /** Number of materialised BRAM blocks. */
+    std::size_t bramBlockCount() const { return bram_.size(); }
+
     /**
      * Advance simulated time: steps the thermal environment with the
      * loaded design's power and records the span on the segment
@@ -396,6 +451,13 @@ class Device
 
   private:
     RoutingElement makeElement(ResourceId id) const;
+
+    /** Fresh Unwritten block with its pure per-id retention draw. */
+    BramBlock makeBramBlock(ResourceId id) const;
+
+    /** Zero all blocks, then land the resident design's BRAM init
+     *  words — what configuring a bitstream does to block RAM. */
+    void applyBramConfiguration();
 
     /** Run the pre-observation hook (deferred-time flush), if any. */
     void
@@ -515,6 +577,18 @@ class Device
     std::uint64_t carry_cursor_ = 0;
     std::uint64_t lut_cursor_ = 0;
     AgingStore store_;
+    /** BRAM content slab — the second element class. Deliberately a
+     *  bare ElementSlab: content state needs no ΔVth memo, no journal
+     *  (writes are explicit, not per-hour), and no timeline. */
+    ElementSlab<BramBlock> bram_;
+    /** (name, bramRevision) of the design whose BRAM configuration
+     *  the blocks currently reflect. Keyed by name rather than object
+     *  identity so the checkpoint-resume re-load of an equivalent
+     *  design — rebuilt deterministically on the other side of the
+     *  snapshot — is BRAM-neutral (see loadDesign). Cleared by wipe:
+     *  configuring after a wipe always zeroes. */
+    std::string bram_applied_design_;
+    std::uint64_t bram_applied_revision_ = 0;
     AgingTimeline timeline_;
     /** Flip log for configured-but-unmaterialised elements. Invariant:
      *  a key is EITHER active here OR materialised (bindElement

@@ -18,6 +18,8 @@ toString(ResourceType type)
         return "LUT";
       case ResourceType::Dsp:
         return "DSP";
+      case ResourceType::Bram:
+        return "BRAM";
     }
     return "?";
 }

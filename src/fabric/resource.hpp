@@ -27,7 +27,8 @@ enum class ResourceType : std::uint8_t
     CarryElement, ///< fast carry-chain stage (CARRY8 style)
     Register,     ///< slice flip-flop
     Lut,          ///< slice look-up table
-    Dsp           ///< DSP block (used by Arithmetic Heavy circuits)
+    Dsp,          ///< DSP block (used by Arithmetic Heavy circuits)
+    Bram          ///< block RAM (content-remanence channel)
 };
 
 /** Human-readable resource-class name. */

@@ -1,6 +1,10 @@
 #include "mitigation/advisor.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "util/logging.hpp"
 
 namespace pentimento::mitigation {
 
@@ -53,6 +57,50 @@ RouteShorteningAdvisor::analyze(
         report.routes.push_back(std::move(advice));
     }
     return report;
+}
+
+std::vector<ScrubPolicyAdvice>
+ScrubPolicyAdvisor::rank(const std::vector<ScrubPolicyOutcome> &outcomes,
+                         const std::string &baseline) const
+{
+    const ScrubPolicyOutcome *base = nullptr;
+    for (const ScrubPolicyOutcome &outcome : outcomes) {
+        if (outcome.name == baseline) {
+            base = &outcome;
+            break;
+        }
+    }
+    if (base == nullptr) {
+        util::fatal("ScrubPolicyAdvisor: baseline policy '" + baseline +
+                    "' is not among the outcomes");
+    }
+    std::vector<ScrubPolicyAdvice> advice;
+    for (const ScrubPolicyOutcome &outcome : outcomes) {
+        ScrubPolicyAdvice a;
+        a.name = outcome.name;
+        a.recovery_rate = outcome.recovery_rate;
+        a.scrub_ops = outcome.scrub_ops;
+        a.benefit = base->recovery_rate - outcome.recovery_rate;
+        a.cost_per_benefit =
+            a.benefit > 0.0
+                ? static_cast<double>(outcome.scrub_ops) / a.benefit
+                : std::numeric_limits<double>::infinity();
+        advice.push_back(std::move(a));
+    }
+    std::sort(advice.begin(), advice.end(),
+              [](const ScrubPolicyAdvice &a, const ScrubPolicyAdvice &b) {
+                  if (a.benefit != b.benefit) {
+                      return a.benefit > b.benefit;
+                  }
+                  if (a.scrub_ops != b.scrub_ops) {
+                      return a.scrub_ops < b.scrub_ops;
+                  }
+                  return a.name < b.name;
+              });
+    for (std::size_t i = 0; i < advice.size(); ++i) {
+        advice[i].rank = static_cast<int>(i) + 1;
+    }
+    return advice;
 }
 
 } // namespace pentimento::mitigation

@@ -14,6 +14,7 @@
 #ifndef PENTIMENTO_MITIGATION_ADVISOR_HPP
 #define PENTIMENTO_MITIGATION_ADVISOR_HPP
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,53 @@ class RouteShorteningAdvisor
 
   private:
     opentitan::VulnerabilityMetric metric_;
+};
+
+/** One BRAM scrub policy's measured campaign outcome. */
+struct ScrubPolicyOutcome
+{
+    std::string name;
+    /** Fraction of victim BRAM words the attacker recovered exactly. */
+    double recovery_rate = 0.0;
+    /** Provider scrub operations the policy cost over the campaign. */
+    std::uint64_t scrub_ops = 0;
+};
+
+/** Ranked cost/benefit advice for one policy. */
+struct ScrubPolicyAdvice
+{
+    std::string name;
+    double recovery_rate = 0.0;
+    std::uint64_t scrub_ops = 0;
+    /** Absolute exposure reduction vs. the no-scrub baseline. */
+    double benefit = 0.0;
+    /** Scrub operations per point of exposure reduction; infinity
+     *  when the policy buys nothing over the baseline. */
+    double cost_per_benefit = 0.0;
+    /** 1 = most exposure reduction (ties broken by fewer scrubs). */
+    int rank = 0;
+};
+
+/**
+ * Ranks provider BRAM content-scrub policies by measured cost and
+ * benefit. The interconnect channel has no equivalent — a logical
+ * scrub cannot erase analog burn-in (ablation_provider_scrub) — but
+ * content remanence IS logically erasable, so here the provider's
+ * question is only *when* to pay for the zeroing pass. Fed by
+ * ablation_bram_scrub with one fleet-scan outcome per policy.
+ */
+class ScrubPolicyAdvisor
+{
+  public:
+    /**
+     * Rank `outcomes` against the outcome named `baseline` (the
+     * no-scrub policy). Fatals if the baseline is missing. Returns
+     * advice sorted best rank first: primary key exposure reduction
+     * (descending), ties broken by fewer scrub operations, then name.
+     */
+    std::vector<ScrubPolicyAdvice>
+    rank(const std::vector<ScrubPolicyOutcome> &outcomes,
+         const std::string &baseline) const;
 };
 
 } // namespace pentimento::mitigation

@@ -45,7 +45,7 @@ ShuffleMitigation::permutationFor(std::uint64_t period,
     std::iota(perm.begin(), perm.end(), std::size_t{0});
     util::Rng rng = util::Rng(seed_).split(period);
     for (std::size_t i = n; i > 1; --i) {
-        const std::size_t j = rng.uniformInt(0, i - 1);
+        const std::size_t j = rng.uniformIndex(i);
         std::swap(perm[i - 1], perm[j]);
     }
     return perm;

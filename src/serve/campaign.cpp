@@ -10,6 +10,7 @@
 #include "cloud/platform.hpp"
 #include "core/classifier.hpp"
 #include "core/delta_series.hpp"
+#include "fabric/bram_block.hpp"
 #include "tdc/measure_design.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -21,6 +22,14 @@ namespace {
 
 constexpr double kRouteTargetPs = 2000.0;
 constexpr double kRecoveryHours = 25.0;
+
+/** Fraction of tenancies ending in an unclean teardown (crash or
+ *  host power event) when the BRAM channel runs. */
+constexpr double kUncleanTeardownP = 0.25;
+/** Longest off-power exposure an unclean teardown inflicts, hours —
+ *  the same order as the default per-block retention median, so a
+ *  realistic share of unclean boards decay before readout. */
+constexpr double kMaxOffPowerH = 0.1;
 
 constexpr std::uint32_t kSrvCfgTag =
     util::snapshotTag('S', 'C', 'F', '!');
@@ -34,7 +43,25 @@ struct Tenancy
     std::vector<fabric::RouteSpec> specs;
     std::vector<bool> bits;
     double released_at_h = 0.0;
+    /** Words written into the board's BRAM blocks (bram_channel). */
+    std::vector<std::uint64_t> bram_words;
+    /** Whether this tenancy ends in an unclean teardown. */
+    bool unclean = false;
 };
+
+/**
+ * The fixed BRAM block every tenancy's route r writes. Stable ids are
+ * the channel's Assumption-1 analogue: the attacker reads the same
+ * physical blocks the victim wrote.
+ */
+fabric::ResourceId
+bramBlockId(std::size_t r)
+{
+    fabric::ResourceId id;
+    id.type = fabric::ResourceType::Bram;
+    id.index = static_cast<std::uint16_t>(r);
+    return id;
+}
 
 /** One tenancy still computing. */
 struct Active
@@ -100,6 +127,11 @@ writeTenancy(util::SnapshotWriter &writer, const Tenancy &tenancy)
         writer.u8(bit ? 1 : 0);
     }
     writer.f64(tenancy.released_at_h);
+    writer.u64(tenancy.bram_words.size());
+    for (const std::uint64_t word : tenancy.bram_words) {
+        writer.u64(word);
+    }
+    writer.u8(tenancy.unclean ? 1 : 0);
 }
 
 bool
@@ -123,8 +155,18 @@ readTenancy(util::SnapshotReader &reader, Tenancy *tenancy)
         tenancy->bits.push_back(reader.u8() != 0);
     }
     tenancy->released_at_h = reader.f64();
+    const std::uint64_t word_count = reader.u64();
+    for (std::uint64_t w = 0; w < word_count && reader.ok(); ++w) {
+        tenancy->bram_words.push_back(reader.u64());
+    }
+    tenancy->unclean = reader.u8() != 0;
     if (reader.ok() && tenancy->bits.size() != tenancy->specs.size()) {
         reader.fail("checkpoint: tenancy bits/specs length mismatch");
+    }
+    if (reader.ok() && !tenancy->bram_words.empty() &&
+        tenancy->bram_words.size() != tenancy->specs.size()) {
+        reader.fail("checkpoint: tenancy BRAM words/specs length "
+                    "mismatch");
     }
     return reader.ok();
 }
@@ -146,6 +188,8 @@ saveCheckpoint(const CampaignState &state,
     writer.u64(config.max_measured);
     writer.u8(config.golden_compat ? 1 : 0);
     writer.u8(config.journal_stress ? 1 : 0);
+    writer.u8(config.bram_channel ? 1 : 0);
+    writer.u8(static_cast<std::uint8_t>(config.bram_scrub));
     writer.u32(config.shard_index);
     writer.u32(config.shard_count);
     writer.endChunk();
@@ -207,6 +251,8 @@ restoreCampaignFrom(const std::string &path,
     const std::uint64_t measured = reader.u64();
     const bool saved_golden = reader.u8() != 0;
     const bool saved_stress = reader.u8() != 0;
+    const bool saved_bram = reader.u8() != 0;
+    const std::uint8_t saved_scrub = reader.u8();
     const std::uint32_t saved_shard_index = reader.u32();
     const std::uint32_t saved_shard_count = reader.u32();
     if (!reader.leaveChunk()) {
@@ -218,6 +264,8 @@ restoreCampaignFrom(const std::string &path,
         measured != config.max_measured ||
         saved_golden != config.golden_compat ||
         saved_stress != config.journal_stress ||
+        saved_bram != config.bram_channel ||
+        saved_scrub != static_cast<std::uint8_t>(config.bram_scrub) ||
         saved_shard_index != config.shard_index ||
         saved_shard_count != config.shard_count) {
         return util::unexpected(
@@ -319,11 +367,43 @@ restoreCampaignFrom(const std::string &path,
 FleetScanBoardScore
 attackBoard(cloud::CloudPlatform &platform,
             const std::string &board_id, const Tenancy &tenancy,
-            util::ThreadPool *pool)
+            util::ThreadPool *pool, FleetScanBramScore *bram)
 {
     cloud::FpgaInstance &inst = platform.instance(board_id);
     fabric::Device &device = inst.device();
     device.setWorkPool(pool);
+
+    if (bram != nullptr) {
+        // BRAM readout must be the attacker's FIRST act: loading the
+        // measure design below is a (re)configuration, and
+        // configuration zeroes contents. The aging channel has the
+        // opposite ordering freedom — the imprint survives any number
+        // of loads. A ZeroOnRent scrub already ran inside rent(), so
+        // under that policy this loop observes only zeroes.
+        bram->board = board_id;
+        bram->unclean = tenancy.unclean;
+        for (std::size_t r = 0; r < tenancy.bram_words.size(); ++r) {
+            const fabric::BramBlock &block =
+                device.readBram(bramBlockId(r));
+            ++bram->blocks;
+            switch (block.state) {
+              case fabric::BramState::Decayed:
+                ++bram->decayed;
+                break;
+              case fabric::BramState::Unwritten:
+              case fabric::BramState::Zeroed:
+                ++bram->zeroed;
+                break;
+              default:
+                break;
+            }
+            if ((block.state == fabric::BramState::Written ||
+                 block.state == fabric::BramState::Retained) &&
+                block.content == tenancy.bram_words[r]) {
+                ++bram->recovered;
+            }
+        }
+    }
 
     // Fast sampling: the campaign is measurement-bound, and its
     // accuracy statistics are seed-sweep-equivalent between the exact
@@ -410,6 +490,7 @@ runFleetScan(const FleetScanConfig &config)
     platform_config.policy =
         cloud::AllocationPolicy::MostRecentlyReleased;
     platform_config.seed = config.seed;
+    platform_config.bram_scrub = config.bram_scrub;
 
     FleetScanResult result;
     CampaignState state;
@@ -465,6 +546,26 @@ runFleetScan(const FleetScanConfig &config)
     }
     cloud::CloudPlatform &platform = *state.platform;
 
+    // Unclean teardowns bypass the provider's release pipeline (and
+    // any ZeroOnRelease scrub) and expose the board's BRAM blocks to
+    // an off-power interval. The decision and the interval are pure
+    // draws keyed by (board, start day) — never the shared driver
+    // stream — so the interconnect channel sees release() and
+    // releaseUnclean() identically.
+    const auto releaseTenancy = [&](const Active &a) {
+        if (config.bram_channel && a.record.unclean) {
+            const double off_h =
+                util::Rng(config.seed)
+                    .split("bram_off_h")
+                    .split(a.board)
+                    .split(static_cast<std::uint64_t>(a.start_day))
+                    .uniform(0.0, kMaxOffPowerH);
+            platform.releaseUnclean(a.board, off_h);
+        } else {
+            platform.release(a.board);
+        }
+    };
+
     // Interleaved tenancies in daily ticks: aim for about a third of
     // the region rented at any time, each tenancy burning a random
     // word on its own freshly allocated routes for 2-14 days.
@@ -477,7 +578,7 @@ runFleetScan(const FleetScanConfig &config)
         for (std::size_t i = state.active.size(); i-- > 0;) {
             if (state.active[i].ends_at_h <= now) {
                 state.active[i].record.released_at_h = now;
-                platform.release(state.active[i].board);
+                releaseTenancy(state.active[i]);
                 state.finished.push_back(
                     std::move(state.active[i].record));
                 state.active.erase(state.active.begin() +
@@ -506,6 +607,30 @@ runFleetScan(const FleetScanConfig &config)
                                            config.golden_compat);
             if (!platform.loadDesign(*board, target).empty()) {
                 util::fatal("fleet scan: tenant design failed DRC");
+            }
+            if (config.bram_channel) {
+                // Write AFTER the load: configuring the tenant's
+                // bitstream zeroed whatever the blocks held. Words
+                // and the teardown fate come from fresh pure streams
+                // keyed by (board, day) so the shared driver rng —
+                // and with it the golden draw sequence — never moves.
+                util::Rng words = util::Rng(config.seed)
+                                      .split("bram_words")
+                                      .split(*board)
+                                      .split(static_cast<std::uint64_t>(
+                                          day));
+                for (std::size_t r = 0; r < config.routes_per_tenant;
+                     ++r) {
+                    const std::uint64_t word = words();
+                    device.writeBram(bramBlockId(r), word);
+                    tenancy.bram_words.push_back(word);
+                }
+                tenancy.unclean =
+                    util::Rng(config.seed)
+                        .split("bram_unclean")
+                        .split(*board)
+                        .split(static_cast<std::uint64_t>(day))
+                        .bernoulli(kUncleanTeardownP);
             }
             const double duration_h =
                 24.0 *
@@ -561,7 +686,7 @@ runFleetScan(const FleetScanConfig &config)
     // Wind down: everyone still computing releases now.
     for (Active &a : state.active) {
         a.record.released_at_h = platform.nowHours();
-        platform.release(a.board);
+        releaseTenancy(a);
         state.finished.push_back(std::move(a.record));
     }
     state.active.clear();
@@ -629,14 +754,18 @@ runFleetScan(const FleetScanConfig &config)
                                   core::kMeasureSettleHours);
             continue;
         }
-        result.boards.push_back(attackBoard(platform,
-                                            scan_targets[k].first,
-                                            *scan_targets[k].second,
-                                            config.pool));
+        FleetScanBramScore bram;
+        result.boards.push_back(attackBoard(
+            platform, scan_targets[k].first, *scan_targets[k].second,
+            config.pool, config.bram_channel ? &bram : nullptr));
+        if (config.bram_channel) {
+            result.bram_boards.push_back(std::move(bram));
+        }
     }
     for (const std::string &board : skipped) {
         platform.release(board);
     }
+    result.bram_scrub_ops = platform.bramScrubOps();
 
     // ---- journal coverage check (journal_stress) ------------------
     // Force-materialise every board's deferred population and verify

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cloud/platform.hpp"
 #include "core/experiment.hpp"
 #include "serve/protocol.hpp"
 #include "util/expected.hpp"
@@ -75,6 +76,23 @@ struct FleetScanConfig
     bool golden_compat = false;
     /** Daily burn rotations + exact deferred-coverage check. */
     bool journal_stress = false;
+    /**
+     * Run the BRAM content-remanence channel alongside the aging
+     * channel: each tenancy writes one word per route into the
+     * board's fixed BRAM blocks, a fraction of tenancies end in
+     * unclean teardowns (off-power hours accrue against retention,
+     * and any ZeroOnRelease scrub is bypassed), and the TM2 attacker
+     * reads the blocks back *before* its first configuration — a
+     * reconfiguration zeroes contents, so the readout must be the
+     * attacker's first act on the board. All BRAM draws come from
+     * fresh pure streams split off the campaign seed, so enabling
+     * the channel never moves a single interconnect draw: the
+     * aging-channel scores (and the committed golden CSV) are
+     * byte-identical with the channel on or off.
+     */
+    bool bram_channel = false;
+    /** Provider BRAM scrub policy (priced by ablation_bram_scrub). */
+    cloud::BramScrubPolicy bram_scrub = cloud::BramScrubPolicy::None;
     /** Checkpoint and return after this completed day (0 = run out). */
     int halt_at_day = 0;
     /**

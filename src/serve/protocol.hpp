@@ -179,6 +179,25 @@ struct FleetScanBoardScore
     double accuracy = 0.0;
 };
 
+/**
+ * Per-board BRAM readout score (content-remanence channel; local
+ * bookkeeping only, never wire-encoded).
+ */
+struct FleetScanBramScore
+{
+    std::string board;
+    /** Blocks read back (== the victim tenancy's word count). */
+    std::uint64_t blocks = 0;
+    /** Exact 64-bit word matches against the victim's data. */
+    std::uint64_t recovered = 0;
+    /** Blocks whose retention window had expired (cell noise). */
+    std::uint64_t decayed = 0;
+    /** Blocks found zeroed (provider scrub or reconfiguration). */
+    std::uint64_t zeroed = 0;
+    /** Whether the victim tenancy ended in an unclean teardown. */
+    bool unclean = false;
+};
+
 /** Result of a fleet-scan campaign. */
 struct FleetScanResult
 {
@@ -200,6 +219,10 @@ struct FleetScanResult
     /** Journal-stress counters (0/0 unless stress mode). */
     std::uint64_t stress_boards = 0;
     std::uint64_t stress_elements = 0;
+    /** BRAM-channel per-board readouts (bram_channel runs only). */
+    std::vector<FleetScanBramScore> bram_boards;
+    /** Provider BRAM scrubs performed over the whole campaign. */
+    std::uint64_t bram_scrub_ops = 0;
 };
 
 /** RESULT payload for Ping. */

@@ -19,6 +19,8 @@
 #include <limits>
 #include <string_view>
 
+#include "util/logging.hpp"
+
 namespace pentimento::util {
 
 /**
@@ -78,12 +80,35 @@ class Rng
         return lo + (hi - lo) * uniform();
     }
 
-    /** Uniform integer in [lo, hi] (inclusive). */
+    /** Uniform integer in [lo, hi] (inclusive). lo > hi is a caller
+     *  bug and fatals. NOTE: an unsigned `size() - 1` underflow from
+     *  an empty container produces (0, UINT64_MAX) — which is the
+     *  *legitimate* full-range request, so it cannot be trapped here.
+     *  Use uniformIndex() to pick from a container. */
     std::uint64_t
     uniformInt(std::uint64_t lo, std::uint64_t hi)
     {
+        if (lo > hi) {
+            fatal("Rng::uniformInt: empty range (lo > hi)");
+        }
         const std::uint64_t span = hi - lo + 1;
         return lo + (span == 0 ? (*this)() : (*this)() % span);
+    }
+
+    /**
+     * Uniform index in [0, count). Fatals on count == 0 — the guard
+     * uniformInt(0, size() - 1) cannot provide, because the empty
+     * container's size()-1 wraps to exactly the legitimate full-range
+     * request. Draw-compatible with uniformInt(0, count - 1): call
+     * sites switching over keep their sequences bit-identical.
+     */
+    std::uint64_t
+    uniformIndex(std::uint64_t count)
+    {
+        if (count == 0) {
+            fatal("Rng::uniformIndex: empty range");
+        }
+        return (*this)() % count;
     }
 
     /** Standard normal variate (Marsaglia polar method). */

@@ -1,0 +1,75 @@
+#!/bin/sh
+# Multi-channel recovery experiment: the interconnect-aging channel and
+# the BRAM content-remanence channel run in the same campaign without
+# perturbing each other. Run by CTest as
+#   sh multi_channel_test.sh <path-to-fleet_campaign>
+#
+# Locks three properties:
+#  1. Enabling --bram leaves the aging-channel CSV byte-identical (all
+#     BRAM draws come from fresh pure streams). At the default scale
+#     this is the committed golden; here a small fleet keeps the
+#     sanitizer legs fast, so the reference CSV is the same binary run
+#     without --bram.
+#  2. The BRAM readout is deterministic across worker counts.
+#  3. Under the no-scrub policy the attacker actually recovers words
+#     (the channel is live, not silently disabled).
+set -u
+
+bin="${1:?usage: multi_channel_test.sh <fleet_campaign-binary>}"
+work="${TMPDIR:-/tmp}/multi_channel_$$"
+mkdir -p "$work"
+trap 'rm -rf "$work"' EXIT
+failures=0
+
+run() {
+    out="$1"
+    csv="$2"
+    shift 2
+    if ! "$bin" --fleet 24 --years 1 --seed 777 --csv "$csv" "$@" \
+        >"$out" 2>&1; then
+        echo "FAIL: campaign exited non-zero ($*)" >&2
+        cat "$out" >&2
+        exit 1
+    fi
+}
+
+run "$work/aging.out" "$work/aging.csv"
+run "$work/multi.out" "$work/multi.csv" --bram
+run "$work/multi2.out" "$work/multi2.csv" --bram --workers 2
+
+# 1. aging channel untouched by the BRAM channel
+if cmp -s "$work/aging.csv" "$work/multi.csv"; then
+    echo "ok [aging CSV byte-identical under --bram]"
+else
+    echo "FAIL: --bram perturbed the aging-channel CSV" >&2
+    failures=$((failures + 1))
+fi
+
+# 2. worker-count invariance of both channels
+bram_summary() {
+    sed -n '/BRAM channel/,/wall clock/p' "$1" | grep -v "wall clock"
+}
+if cmp -s "$work/multi.csv" "$work/multi2.csv" &&
+    [ "$(bram_summary "$work/multi.out")" = \
+      "$(bram_summary "$work/multi2.out")" ]; then
+    echo "ok [worker-count invariant]"
+else
+    echo "FAIL: worker count changed the multi-channel result" >&2
+    failures=$((failures + 1))
+fi
+
+# 3. the content channel is live: no-scrub recovery is non-zero
+recovered=$(bram_summary "$work/multi.out" |
+    awk '$1 ~ /^fpga-/ { sum += $3 } END { print sum + 0 }')
+if [ "$recovered" -gt 0 ]; then
+    echo "ok [no-scrub recovery non-zero: $recovered words]"
+else
+    echo "FAIL: BRAM channel recovered nothing under no-scrub" >&2
+    failures=$((failures + 1))
+fi
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures multi-channel check(s) failed" >&2
+    exit 1
+fi
+echo "multi-channel experiment OK"

@@ -136,13 +136,13 @@ TEST_P(PlatformFuzz, RentalInvariantsSurviveRandomOperations)
             }
         } else if (action == 1 && !held.empty()) {
             const std::size_t pick =
-                rng.uniformInt(0, held.size() - 1);
+                rng.uniformIndex(held.size());
             platform.release(held[pick]);
             held.erase(held.begin() +
                        static_cast<std::ptrdiff_t>(pick));
         } else if (action == 2 && !held.empty()) {
             const std::size_t pick =
-                rng.uniformInt(0, held.size() - 1);
+                rng.uniformIndex(held.size());
             auto design = std::make_shared<pf::Design>(
                 "fuzz" + std::to_string(step));
             design->setPowerW(rng.uniform(1.0, 80.0));
@@ -450,7 +450,7 @@ class JournalInterleaving
                 resident.reset();
             } else if (action == 2 && resident != nullptr) {
                 const std::size_t pick =
-                    rng.uniformInt(0, routes.size() - 1);
+                    rng.uniformIndex(routes.size());
                 resident->setRouteValue(routes[pick],
                                         rng.bernoulli(0.5));
             } else {
